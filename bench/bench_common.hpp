@@ -1,0 +1,53 @@
+// Shared plumbing for the experiment binaries (E1-E5): run a workload cell
+// against a named implementation and format rows. Durations are deliberately
+// short by default so the full `for b in build/bench/*` sweep finishes in
+// minutes; set EFRB_BENCH_MS to lengthen each cell for lower variance.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "workload/report.hpp"
+#include "workload/runner.hpp"
+
+namespace efrb::bench {
+
+inline std::chrono::milliseconds cell_duration() {
+  if (const char* ms = std::getenv("EFRB_BENCH_MS")) {
+    return std::chrono::milliseconds(std::max(10L, std::atol(ms)));
+  }
+  return std::chrono::milliseconds(120);
+}
+
+/// Measures one (implementation, config) cell: fresh instance, prefill, run.
+template <typename Set>
+WorkloadResult run_cell(const WorkloadConfig& cfg) {
+  Set set;
+  prefill(set, cfg.key_range, cfg.prefill_fraction, cfg.seed);
+  return run_workload(set, cfg);
+}
+
+inline std::string human_range(std::uint64_t range) {
+  char buf[32];
+  if (range >= (1u << 20) && range % (1u << 20) == 0) {
+    std::snprintf(buf, sizeof(buf), "2^%d", 20 + __builtin_ctzll(range >> 20));
+  } else if (range >= 1024 && range % 1024 == 0 &&
+             (range & (range - 1)) == 0) {
+    std::snprintf(buf, sizeof(buf), "2^%d", __builtin_ctzll(range));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(range));
+  }
+  return buf;
+}
+
+inline void print_header(const char* experiment, const char* description) {
+  std::printf("\n=== %s ===\n%s\n", experiment, description);
+  std::printf("cell duration: %lld ms%s\n\n",
+              static_cast<long long>(cell_duration().count()),
+              std::getenv("EFRB_BENCH_MS") ? " (EFRB_BENCH_MS)" : "");
+}
+
+}  // namespace efrb::bench

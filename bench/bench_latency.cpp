@@ -1,0 +1,93 @@
+// Experiment E6 — single-operation latency (google-benchmark): Find, Insert
+// and Delete cost on prefilled trees of growing size, for the EFRB tree and
+// the sequential-cost reference points (std::set and the coarse-locked BST).
+// The expected shape is logarithmic growth in tree size for all of them — the
+// §6 observation that randomly built BSTs have expected logarithmic depth —
+// with the EFRB constant factor covering atomics + epoch pin.
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "baselines/coarse_bst.hpp"
+#include "core/efrb_tree.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using Key = std::uint64_t;
+
+template <typename Set>
+void fill_random(Set& s, std::int64_t n, std::uint64_t seed) {
+  efrb::Xoshiro256 rng(seed);
+  std::int64_t inserted = 0;
+  while (inserted < n) {
+    if (s.insert(rng.next() >> 1)) ++inserted;
+  }
+}
+
+void BM_EfrbFind(benchmark::State& state) {
+  efrb::EfrbTreeSet<Key> t;
+  fill_random(t, state.range(0), 42);
+  efrb::Xoshiro256 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.contains(rng.next() >> 1));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EfrbFind)->Range(1 << 8, 1 << 18)->Complexity(benchmark::oLogN);
+
+void BM_EfrbInsertErase(benchmark::State& state) {
+  efrb::EfrbTreeSet<Key> t;
+  fill_random(t, state.range(0), 42);
+  efrb::Xoshiro256 rng(7);
+  for (auto _ : state) {
+    const Key k = rng.next() >> 1;
+    benchmark::DoNotOptimize(t.insert(k));
+    benchmark::DoNotOptimize(t.erase(k));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EfrbInsertErase)
+    ->Range(1 << 8, 1 << 18)
+    ->Complexity(benchmark::oLogN);
+
+void BM_StdSetFind(benchmark::State& state) {
+  struct Wrapper {
+    std::set<Key> s;
+    bool insert(Key k) { return s.insert(k).second; }
+  } t;
+  fill_random(t, state.range(0), 42);
+  efrb::Xoshiro256 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.s.count(rng.next() >> 1));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StdSetFind)->Range(1 << 8, 1 << 18)->Complexity(benchmark::oLogN);
+
+void BM_CoarseLockFind(benchmark::State& state) {
+  efrb::CoarseLockBst<Key> t;
+  fill_random(t, state.range(0), 42);
+  efrb::Xoshiro256 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.contains(rng.next() >> 1));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CoarseLockFind)
+    ->Range(1 << 8, 1 << 18)
+    ->Complexity(benchmark::oLogN);
+
+void BM_EfrbMinKey(benchmark::State& state) {
+  efrb::EfrbTreeSet<Key> t;
+  fill_random(t, state.range(0), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.min_key());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EfrbMinKey)->Range(1 << 8, 1 << 16)->Complexity(benchmark::oLogN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

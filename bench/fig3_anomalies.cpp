@@ -1,0 +1,150 @@
+// Figure 3 reproduction — "Problems can occur if updates only CAS one child
+// pointer." Replays the paper's two interleavings deterministically on the
+// naive single-CAS strawman, prints the resulting (broken) trees, then shows
+// a randomized divergence count for the naive tree vs. the EFRB tree under
+// identical concurrent load. (The unit-test version of this lives in
+// tests/naive_anomaly_test.cpp; this binary narrates it as an experiment.)
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "baselines/naive_cas_bst.hpp"
+#include "core/efrb_tree.hpp"
+#include "util/barrier.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+constexpr int A = 1, C = 3, E = 5, F = 6, H = 8;
+const char* kLetters = " ABCDEFGH";
+
+void print_keys(const char* label, const std::vector<int>& keys) {
+  std::printf("%-34s{", label);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    std::printf("%s%c", i ? ", " : " ", kLetters[keys[i]]);
+  }
+  std::printf(" }\n");
+}
+
+template <typename SetT>
+void build_fig3a(SetT& t) {
+  for (int k : {A, C, E, H}) t.insert(k);
+}
+
+/// Randomized divergence measurement: two threads hammer 16 keys; afterwards
+/// membership must equal flip-parity (every successful update flips its
+/// key's presence in a linearizable set). Returns the divergent-key count.
+///
+/// Each update yields between reading its window and performing its CAS —
+/// modelling the preemption that on a multi-core host occurs naturally mid-
+/// update (this host has one CPU, so without the yield the race window would
+/// almost never span a context switch).
+int naive_divergence_run(std::uint64_t seed) {
+  efrb::NaiveCasBst<int> t;
+  std::vector<std::atomic<std::uint64_t>> flips(16);
+  efrb::YieldingBarrier start(2);
+  auto worker = [&](std::uint64_t salt) {
+    efrb::Xoshiro256 rng(seed * 1000 + salt);
+    start.arrive_and_wait();
+    for (int i = 0; i < 4000; ++i) {
+      const int k = static_cast<int>(rng.next_below(16));
+      const bool is_insert = (rng.next() & 1) != 0;
+      auto ticket = is_insert ? t.prepare_insert(k) : t.prepare_erase(k);
+      if (!ticket.applicable) continue;
+      std::this_thread::yield();  // preempted between read and CAS
+      if (t.commit(ticket)) flips[static_cast<std::size_t>(k)].fetch_add(1);
+    }
+  };
+  std::thread other([&] { worker(7); });
+  worker(5);
+  other.join();
+  int divergent = 0;
+  for (int k = 0; k < 16; ++k) {
+    if (t.contains(k) != ((flips[static_cast<std::size_t>(k)].load() % 2) == 1)) {
+      ++divergent;
+    }
+  }
+  return divergent;
+}
+
+/// Same load on the EFRB tree (whose operations are atomic end-to-end; the
+/// yield goes between complete operations, the strongest analogue).
+int efrb_divergence_run(std::uint64_t seed) {
+  efrb::EfrbTreeSet<int> t;
+  std::vector<std::atomic<std::uint64_t>> flips(16);
+  efrb::YieldingBarrier start(2);
+  auto worker = [&](std::uint64_t salt) {
+    efrb::Xoshiro256 rng(seed * 1000 + salt);
+    start.arrive_and_wait();
+    for (int i = 0; i < 4000; ++i) {
+      const int k = static_cast<int>(rng.next_below(16));
+      const bool is_insert = (rng.next() & 1) != 0;
+      std::this_thread::yield();
+      const bool ok = is_insert ? t.insert(k) : t.erase(k);
+      if (ok) flips[static_cast<std::size_t>(k)].fetch_add(1);
+    }
+  };
+  std::thread other([&] { worker(7); });
+  worker(5);
+  other.join();
+  int divergent = 0;
+  for (int k = 0; k < 16; ++k) {
+    if (t.contains(k) != ((flips[static_cast<std::size_t>(k)].load() % 2) == 1)) {
+      ++divergent;
+    }
+  }
+  return divergent;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 3: why one CAS per update is not enough ===\n");
+  std::printf("Initial tree (Fig. 3a): keys { A, C, E, H }\n\n");
+
+  {
+    std::printf("(b) concurrent Delete(C) + Delete(E), both CAS steps "
+                "succeed:\n");
+    efrb::NaiveCasBst<int> t;
+    build_fig3a(t);
+    auto del_c = t.prepare_erase(C);
+    auto del_e = t.prepare_erase(E);
+    const bool ok_c = t.commit(del_c);
+    const bool ok_e = t.commit(del_e);
+    std::printf("    Delete(C) acknowledged: %s\n", ok_c ? "yes" : "no");
+    std::printf("    Delete(E) acknowledged: %s\n", ok_e ? "yes" : "no");
+    print_keys("    reachable keys afterwards:", t.keys());
+    std::printf("    => E was deleted successfully yet is still present: "
+                "LOST DELETE\n\n");
+  }
+  {
+    std::printf("(c) concurrent Delete(E) + Insert(F), both CAS steps "
+                "succeed:\n");
+    efrb::NaiveCasBst<int> t;
+    build_fig3a(t);
+    auto del_e = t.prepare_erase(E);
+    auto ins_f = t.prepare_insert(F);
+    const bool ok_e = t.commit(del_e);
+    const bool ok_f = t.commit(ins_f);
+    std::printf("    Delete(E) acknowledged: %s\n", ok_e ? "yes" : "no");
+    std::printf("    Insert(F) acknowledged: %s\n", ok_f ? "yes" : "no");
+    print_keys("    reachable keys afterwards:", t.keys());
+    std::printf("    => F was inserted successfully yet is unreachable: "
+                "LOST INSERT\n\n");
+  }
+
+  std::printf("=== Randomized control: divergent keys after 8k racing ops "
+              "(10 seeds,\n    updates preempted between window read and "
+              "CAS) ===\n");
+  int naive_total = 0, efrb_total = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    naive_total += naive_divergence_run(seed);
+    efrb_total += efrb_divergence_run(seed);
+  }
+  std::printf("naive single-CAS BST: %d divergent keys across 10 runs "
+              "(lost updates)\n", naive_total);
+  std::printf("EFRB tree:            %d divergent keys across 10 runs "
+              "(must be 0)\n", efrb_total);
+  return efrb_total == 0 ? 0 : 1;
+}

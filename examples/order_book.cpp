@@ -1,0 +1,95 @@
+// Example: a price-level order book on two EFRB tree maps.
+//
+// An exchange keeps resting liquidity as (price -> quantity) levels: bids and
+// asks. Market-data threads stream level updates (insert / replace / delete)
+// while trading threads continuously read the best bid and best ask — the
+// ordered-dictionary queries (max_key / min_key) the tree supports
+// linearizably via its leftmost/rightmost search paths.
+//
+// The invariant checked throughout: fenced book integrity — sentinel levels
+// at the extremes are never crossed, and best-bid <= best-ask fences hold
+// (with the churn confined strictly between the fences, every linearizable
+// read must see the fence prices as the extremes' bounds).
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "core/efrb_tree.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using Price = std::uint64_t;  // integer ticks
+using Qty = std::uint64_t;
+using Book = efrb::EfrbTreeMap<Price, Qty>;
+
+constexpr Price kBidFence = 10'000;   // a resting bid that never cancels
+constexpr Price kAskFence = 20'000;   // a resting ask that never cancels
+
+}  // namespace
+
+int main() {
+  Book bids, asks;
+  bids.insert(kBidFence, 100);
+  asks.insert(kAskFence, 100);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> updates{0}, quotes{0}, violations{0};
+
+  // 2 market-data writers + 2 quoting readers.
+  efrb::run_threads(4, [&](std::size_t tid) {
+    efrb::Xoshiro256 rng(tid * 31 + 7);
+    if (tid < 2) {
+      // Market data: add/replace/cancel levels strictly inside the fences.
+      for (int i = 0; i < 30000; ++i) {
+        const bool bid_side = rng.next_below(2) == 0;
+        Book& book = bid_side ? bids : asks;
+        // Bids live in (fence-500, fence]; asks in [fence, fence+500).
+        const Price px = bid_side ? kBidFence - 1 - rng.next_below(500)
+                                  : kAskFence + 1 + rng.next_below(500);
+        switch (rng.next_below(3)) {
+          case 0: book.insert(px, 1 + rng.next_below(1000)); break;
+          case 1: book.insert_or_assign(px, 1 + rng.next_below(1000)); break;
+          default: book.erase(px);
+        }
+        updates.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (tid == 0) stop.store(true);
+    } else {
+      // Quoting: read best bid (max of bids) / best ask (min of asks).
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto best_bid = bids.max_key();
+        const auto best_ask = asks.min_key();
+        quotes.fetch_add(1, std::memory_order_relaxed);
+        // Fences guarantee non-empty books and bound the extremes.
+        if (!best_bid || !best_ask || *best_bid < kBidFence ||
+            *best_bid >= kAskFence || *best_ask > kAskFence ||
+            *best_ask <= kBidFence) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+
+  std::printf("== lock-free order book ==\n");
+  std::printf("level updates:   %llu\n",
+              static_cast<unsigned long long>(updates.load()));
+  std::printf("quotes served:   %llu\n",
+              static_cast<unsigned long long>(quotes.load()));
+  std::printf("best bid now:    %llu (fence %llu)\n",
+              static_cast<unsigned long long>(*bids.max_key()),
+              static_cast<unsigned long long>(kBidFence));
+  std::printf("best ask now:    %llu (fence %llu)\n",
+              static_cast<unsigned long long>(*asks.min_key()),
+              static_cast<unsigned long long>(kAskFence));
+  std::printf("depth:           %zu bid levels / %zu ask levels\n",
+              bids.size(), asks.size());
+  std::printf("fence violations:%llu (must be 0 — linearizable min/max)\n",
+              static_cast<unsigned long long>(violations.load()));
+
+  const bool ok = violations.load() == 0 && bids.validate().ok &&
+                  asks.validate().ok;
+  std::printf("validation:      %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Full verification gate: plain build + tests, ASan/UBSan, TSan, quick bench
+# smoke, examples, and the soak/fuzz tools. Run from the repository root.
+#
+#   scripts/check.sh            # everything (slow: three full builds)
+#   scripts/check.sh --fast     # plain build + tests + smoke only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run() { echo "+ $*"; "$@"; }
+
+echo "=== plain build + tests ==="
+run cmake -B build -G Ninja
+run cmake --build build
+run ctest --test-dir build --output-on-failure
+
+echo "=== examples ==="
+for ex in quickstart kv_cache order_book adversarial_find; do
+  run "./build/examples/${ex}" > /dev/null
+done
+
+echo "=== bench smoke (short cells) ==="
+for b in build/bench/*; do
+  [[ -x "$b" && ! -d "$b" ]] || continue
+  if [[ "$b" == *bench_latency* ]]; then
+    run "$b" --benchmark_min_time=0.01 > /dev/null
+  else
+    EFRB_BENCH_MS=20 run "$b" > /dev/null
+  fi
+done
+
+echo "=== tools ==="
+run ./build/tools/stress_tool --seconds 1 > /dev/null
+run ./build/tools/fuzz_lincheck --seconds 2 > /dev/null
+
+if [[ "$FAST" == "0" ]]; then
+  echo "=== ASan + UBSan ==="
+  run cmake -B build-asan -G Ninja -DEFRB_BUILD_BENCH=OFF -DEFRB_BUILD_EXAMPLES=OFF \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  run cmake --build build-asan
+  run ctest --test-dir build-asan --output-on-failure --timeout 600
+
+  echo "=== TSan ==="
+  run cmake -B build-tsan -G Ninja -DEFRB_BUILD_BENCH=OFF -DEFRB_BUILD_EXAMPLES=OFF \
+      -DEFRB_SANITIZE_THREAD=ON
+  run cmake --build build-tsan
+  run ctest --test-dir build-tsan --output-on-failure --timeout 900
+fi
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,128 @@
+// Coarse-grained locked leaf-oriented BST.
+//
+// Same external tree shape as the EFRB tree (sentinels ∞₁/∞₂, keys in leaves)
+// but guarded by a single reader-writer lock: lookups take the shared lock,
+// updates the exclusive lock. This is the "one big lock" point in the design
+// space that §2's lock-based trees improve on and §3's non-blocking protocol
+// eliminates; it is the simplest correct baseline for the E1 experiments.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/bounded_key.hpp"
+#include "util/assert.hpp"
+
+namespace efrb {
+
+template <typename Key, typename Compare = std::less<Key>>
+class CoarseLockBst {
+ public:
+  using key_type = Key;
+  static constexpr const char* kName = "coarse-lock-bst";
+
+  explicit CoarseLockBst(Compare cmp = Compare{}) : cmp_(std::move(cmp)) {
+    root_ = new Node(BKey::inf2(), new Node(BKey::inf1(), nullptr, nullptr),
+                     new Node(BKey::inf2(), nullptr, nullptr));
+  }
+
+  CoarseLockBst(const CoarseLockBst&) = delete;
+  CoarseLockBst& operator=(const CoarseLockBst&) = delete;
+
+  ~CoarseLockBst() {
+    std::vector<Node*> stack{root_};
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      if (n->left != nullptr) stack.push_back(n->left);
+      if (n->right != nullptr) stack.push_back(n->right);
+      delete n;
+    }
+  }
+
+  bool contains(const Key& k) const {
+    std::shared_lock lock(mu_);
+    const Node* l = descend(k).l;
+    return cmp_.equals(k, l->key);
+  }
+
+  bool insert(const Key& k) {
+    std::unique_lock lock(mu_);
+    const Window w = descend(k);
+    if (cmp_.equals(k, w.l->key)) return false;
+    auto* new_leaf = new Node(BKey::real(k), nullptr, nullptr);
+    auto* new_sibling = new Node(w.l->key, nullptr, nullptr);
+    Node* new_internal =
+        cmp_.less(k, w.l->key)
+            ? new Node(w.l->key, new_leaf, new_sibling)
+            : new Node(BKey::real(k), new_sibling, new_leaf);
+    (w.p->left == w.l ? w.p->left : w.p->right) = new_internal;
+    delete w.l;
+    return true;
+  }
+
+  bool erase(const Key& k) {
+    std::unique_lock lock(mu_);
+    const Window w = descend(k);
+    if (!cmp_.equals(k, w.l->key)) return false;
+    EFRB_DCHECK(w.gp != nullptr);  // real-keyed leaves sit at depth >= 2
+    Node* sibling = (w.p->left == w.l) ? w.p->right : w.p->left;
+    (w.gp->left == w.p ? w.gp->left : w.gp->right) = sibling;
+    delete w.l;
+    delete w.p;
+    return true;
+  }
+
+  std::size_t size() const {
+    std::shared_lock lock(mu_);
+    std::size_t n = 0;
+    std::vector<const Node*> stack{root_};
+    while (!stack.empty()) {
+      const Node* node = stack.back();
+      stack.pop_back();
+      if (node->left == nullptr) {
+        if (node->key.is_real()) ++n;
+      } else {
+        stack.push_back(node->left);
+        stack.push_back(node->right);
+      }
+    }
+    return n;
+  }
+
+ private:
+  using BKey = BoundedKey<Key>;
+
+  struct Node {
+    BKey key;
+    Node* left;
+    Node* right;
+    Node(BKey k, Node* l, Node* r) : key(std::move(k)), left(l), right(r) {}
+  };
+
+  struct Window {
+    Node* gp;
+    Node* p;
+    Node* l;
+  };
+
+  Window descend(const Key& k) const {
+    Node* gp = nullptr;
+    Node* p = nullptr;
+    Node* l = root_;
+    while (l->left != nullptr) {  // internal nodes always have two children
+      gp = p;
+      p = l;
+      l = cmp_.less(k, l->key) ? l->left : l->right;
+    }
+    return Window{gp, p, l};
+  }
+
+  BoundedCompare<Key, Compare> cmp_;
+  mutable std::shared_mutex mu_;
+  Node* root_;
+};
+
+}  // namespace efrb

@@ -1,0 +1,203 @@
+// Copy-on-write (path-copying) BST with a single root CAS — the §2
+// "universal construction" approach made concrete.
+//
+// §2: "a process copies the data structure (or the parts of it that will
+// change and any parts that directly or indirectly point to them), applies
+// its operation to the copy, and then tries to update the relevant part of
+// the shared data structure to point to its copy. In a BST, the root points
+// indirectly to every node, so no concurrency is possible using this
+// approach, even for updates on separate parts of the tree."
+//
+// This implementation is the strongest practical member of that family:
+// updates copy only the root-to-leaf path (O(depth), not O(n)) into fresh
+// immutable nodes and CAS the root pointer. It is linearizable and lock-free,
+// and lookups are wait-free reads of an immutable snapshot — but every
+// update, no matter how disjoint from others, races on the ONE root word, so
+// conflicting updates re-copy whole paths and update throughput cannot scale.
+// Experiment E3 quantifies this against the EFRB tree's per-node flags.
+//
+// Reclamation: a successful root swap retires the replaced path (still
+// readable by pinned snapshot readers); a failed attempt deletes its
+// unpublished copies immediately (tracked explicitly — fresh copies share
+// subtrees with the live tree, so structural walks must not be used to free).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "core/bounded_key.hpp"
+#include "reclaim/epoch.hpp"
+#include "util/assert.hpp"
+
+namespace efrb {
+
+template <typename Key, typename Compare = std::less<Key>>
+class CowBst {
+ public:
+  using key_type = Key;
+  static constexpr const char* kName = "cow-root-cas-bst";
+
+  explicit CowBst(Compare cmp = Compare{}) : cmp_(std::move(cmp)) {
+    root_.store(new Node(BKey::inf2(), new Node(BKey::inf1(), nullptr, nullptr),
+                         new Node(BKey::inf2(), nullptr, nullptr)),
+                std::memory_order_release);
+  }
+
+  CowBst(const CowBst&) = delete;
+  CowBst& operator=(const CowBst&) = delete;
+
+  ~CowBst() {
+    std::vector<Node*> stack{root_.load(std::memory_order_relaxed)};
+    while (!stack.empty()) {
+      Node* x = stack.back();
+      stack.pop_back();
+      if (x->left != nullptr) {
+        stack.push_back(x->left);
+        stack.push_back(x->right);
+      }
+      delete x;
+    }
+  }
+
+  /// Wait-free: one atomic load, then a walk over an immutable snapshot.
+  bool contains(const Key& k) const {
+    auto guard = ebr_.pin();
+    const Node* l = root_.load(std::memory_order_acquire);
+    while (l->left != nullptr) {
+      l = cmp_.less(k, l->key) ? l->left : l->right;
+    }
+    return cmp_.equals(k, l->key);
+  }
+
+  bool insert(const Key& k) {
+    auto guard = ebr_.pin();
+    std::vector<Node*> path;
+    std::vector<Node*> fresh;
+    for (;;) {
+      path.clear();
+      fresh.clear();
+      Node* old_root = root_.load(std::memory_order_acquire);
+      Node* l = old_root;
+      while (l->left != nullptr) {
+        path.push_back(l);
+        l = cmp_.less(k, l->key) ? l->left : l->right;
+      }
+      if (cmp_.equals(k, l->key)) return false;
+
+      // Fig. 1 surgery, applied to copies.
+      Node* new_leaf = make(fresh, BKey::real(k), nullptr, nullptr);
+      Node* new_sibling = make(fresh, l->key, nullptr, nullptr);
+      Node* replacement =
+          cmp_.less(k, l->key)
+              ? make(fresh, l->key, new_leaf, new_sibling)
+              : make(fresh, BKey::real(k), new_sibling, new_leaf);
+      Node* new_root = rebuild_path(path, fresh, replacement, l);
+      if (try_swap(old_root, new_root, path, fresh, l, nullptr)) return true;
+    }
+  }
+
+  bool erase(const Key& k) {
+    auto guard = ebr_.pin();
+    std::vector<Node*> path;
+    std::vector<Node*> fresh;
+    for (;;) {
+      path.clear();
+      fresh.clear();
+      Node* old_root = root_.load(std::memory_order_acquire);
+      Node* l = old_root;
+      while (l->left != nullptr) {
+        path.push_back(l);
+        l = cmp_.less(k, l->key) ? l->left : l->right;
+      }
+      if (!cmp_.equals(k, l->key)) return false;
+      EFRB_DCHECK(path.size() >= 2);  // real leaves sit at depth >= 2
+
+      // Fig. 2 surgery: the leaf's sibling subtree (shared, NOT copied)
+      // replaces the parent; the path above the parent is copied.
+      Node* parent = path.back();
+      path.pop_back();
+      Node* sibling = (parent->left == l) ? parent->right : parent->left;
+      Node* new_root = rebuild_path(path, fresh, sibling, parent);
+      if (try_swap(old_root, new_root, path, fresh, l, parent)) return true;
+    }
+  }
+
+  std::size_t size() const {  // quiescent use only
+    std::size_t n = 0;
+    std::vector<const Node*> stack{root_.load(std::memory_order_acquire)};
+    while (!stack.empty()) {
+      const Node* x = stack.back();
+      stack.pop_back();
+      if (x->left != nullptr) {
+        stack.push_back(x->left);
+        stack.push_back(x->right);
+      } else if (x->key.is_real()) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  EpochReclaimer& reclaimer() noexcept { return ebr_; }
+
+ private:
+  using BKey = BoundedKey<Key>;
+
+  /// Immutable after publication (children are const): versions share
+  /// untouched subtrees. Leaves have left == right == nullptr.
+  struct Node {
+    const BKey key;
+    Node* const left;
+    Node* const right;
+    Node(BKey k, Node* l, Node* r) : key(std::move(k)), left(l), right(r) {}
+  };
+
+  template <typename... Args>
+  static Node* make(std::vector<Node*>& fresh, Args&&... args) {
+    auto* n = new Node(std::forward<Args>(args)...);
+    fresh.push_back(n);
+    return n;
+  }
+
+  /// Copies `path` bottom-up, substituting `replacement` for `replaced` at
+  /// the bottom; returns the new root. Copies are recorded in `fresh`.
+  Node* rebuild_path(const std::vector<Node*>& path, std::vector<Node*>& fresh,
+                     Node* replacement, const Node* replaced) {
+    Node* child = replacement;
+    const Node* old_child = replaced;
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      Node* old_node = *it;
+      child = (old_node->left == old_child)
+                  ? make(fresh, old_node->key, child, old_node->right)
+                  : make(fresh, old_node->key, old_node->left, child);
+      old_child = old_node;
+    }
+    return child;
+  }
+
+  /// CAS the root. Success: retire the displaced originals (copied path plus
+  /// the structurally removed nodes). Failure: delete exactly the fresh,
+  /// never-published copies.
+  bool try_swap(Node* old_root, Node* new_root, const std::vector<Node*>& path,
+                const std::vector<Node*>& fresh, Node* dead_leaf,
+                Node* dead_parent) {
+    Node* expected = old_root;
+    if (root_.compare_exchange_strong(expected, new_root,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      for (Node* n : path) ebr_.retire(n);
+      ebr_.retire(dead_leaf);
+      if (dead_parent != nullptr) ebr_.retire(dead_parent);
+      return true;
+    }
+    for (Node* n : fresh) delete n;
+    return false;
+  }
+
+  BoundedCompare<Key, Compare> cmp_;
+  mutable EpochReclaimer ebr_;
+  std::atomic<Node*> root_;
+};
+
+}  // namespace efrb

@@ -1,0 +1,146 @@
+// Fine-grained (hand-over-hand / lock-coupling) leaf-oriented BST.
+//
+// Represents the lock-based concurrent trees of §2 (Kung & Lehman; Nurmi &
+// Soisalon-Soininen): every operation — including lookups — locks nodes along
+// its root-to-leaf path, holding a sliding window of at most two locked
+// internal nodes (grandparent, parent). Updates operate on the window exactly
+// as Figures 1/2 prescribe.
+//
+// Why deletion is safe: the deleter holds locks on both gp and p. Any thread
+// waiting to lock p must already hold gp's lock (hand-over-hand acquisition
+// order) — impossible, the deleter holds it — so when p is spliced out there
+// are no waiters on p's lock and no thread positioned at or below p; p and
+// the deleted leaf can be freed immediately.
+//
+// This baseline makes the contrast the paper draws concrete: each operation
+// serializes on the lock path near the root, and lookups are writers on the
+// lock words even when the tree is unchanged.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "core/bounded_key.hpp"
+#include "util/assert.hpp"
+
+namespace efrb {
+
+template <typename Key, typename Compare = std::less<Key>>
+class FineLockBst {
+ public:
+  using key_type = Key;
+  static constexpr const char* kName = "finelock-bst";
+
+  explicit FineLockBst(Compare cmp = Compare{}) : cmp_(std::move(cmp)) {
+    root_ = new Node(BKey::inf2(), new Node(BKey::inf1(), nullptr, nullptr),
+                     new Node(BKey::inf2(), nullptr, nullptr));
+  }
+
+  FineLockBst(const FineLockBst&) = delete;
+  FineLockBst& operator=(const FineLockBst&) = delete;
+
+  ~FineLockBst() {
+    std::vector<Node*> stack{root_};
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      if (n->left != nullptr) stack.push_back(n->left);
+      if (n->right != nullptr) stack.push_back(n->right);
+      delete n;
+    }
+  }
+
+  bool contains(const Key& k) const {
+    Window w = descend(k);
+    const bool found = cmp_.equals(k, w.l->key);
+    w.unlock();
+    return found;
+  }
+
+  bool insert(const Key& k) {
+    Window w = descend(k);
+    if (cmp_.equals(k, w.l->key)) {
+      w.unlock();
+      return false;
+    }
+    auto* new_leaf = new Node(BKey::real(k), nullptr, nullptr);
+    auto* new_sibling = new Node(w.l->key, nullptr, nullptr);
+    Node* new_internal =
+        cmp_.less(k, w.l->key)
+            ? new Node(w.l->key, new_leaf, new_sibling)
+            : new Node(BKey::real(k), new_sibling, new_leaf);
+    (w.p->left == w.l ? w.p->left : w.p->right) = new_internal;
+    Node* old_leaf = w.l;
+    w.unlock();
+    delete old_leaf;
+    return true;
+  }
+
+  bool erase(const Key& k) {
+    Window w = descend(k);
+    if (!cmp_.equals(k, w.l->key)) {
+      w.unlock();
+      return false;
+    }
+    EFRB_DCHECK(w.gp != nullptr);  // real-keyed leaves sit at depth >= 2
+    Node* sibling = (w.p->left == w.l) ? w.p->right : w.p->left;
+    (w.gp->left == w.p ? w.gp->left : w.gp->right) = sibling;
+    Node* dead_parent = w.p;
+    Node* dead_leaf = w.l;
+    w.unlock();  // no thread can reach or be waiting on dead_parent (see top)
+    delete dead_parent;
+    delete dead_leaf;
+    return true;
+  }
+
+ private:
+  using BKey = BoundedKey<Key>;
+
+  struct Node {
+    BKey key;
+    // Immutable: nodes are replaced, never converted between leaf/internal.
+    // descend() tests this on a node whose lock it does not yet hold, which is
+    // only race-free because the field never changes.
+    const bool is_leaf;
+    Node* left;
+    Node* right;
+    std::mutex mu;  // internal nodes only (leaves are never locked)
+    Node(BKey k, Node* l, Node* r)
+        : key(std::move(k)), is_leaf(l == nullptr), left(l), right(r) {}
+  };
+
+  /// Sliding locked window: gp (may be null at depth 1) and p are internal and
+  /// locked; l is the reached leaf (stable while p is locked).
+  struct Window {
+    Node* gp = nullptr;
+    Node* p = nullptr;
+    Node* l = nullptr;
+    void unlock() {
+      if (gp != nullptr) gp->mu.unlock();
+      if (p != nullptr) p->mu.unlock();
+      gp = p = nullptr;
+    }
+  };
+
+  Window descend(const Key& k) const {
+    Node* gp = nullptr;
+    Node* p = root_;
+    p->mu.lock();
+    for (;;) {
+      Node* next = cmp_.less(k, p->key) ? p->left : p->right;
+      if (next->is_leaf) {
+        return Window{gp, p, next};
+      }
+      next->mu.lock();  // acquire child before releasing grandparent
+      if (gp != nullptr) gp->mu.unlock();
+      gp = p;
+      p = next;
+    }
+  }
+
+  BoundedCompare<Key, Compare> cmp_;
+  Node* root_;
+};
+
+}  // namespace efrb

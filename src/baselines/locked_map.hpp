@@ -1,0 +1,44 @@
+// std::map (red-black tree) behind a reader-writer lock — the "use the
+// standard library sequential BST and wrap it" baseline a practitioner would
+// reach for first.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+
+namespace efrb {
+
+template <typename Key, typename Compare = std::less<Key>>
+class LockedStdSet {
+ public:
+  using key_type = Key;
+  static constexpr const char* kName = "locked-std-map";
+
+  bool contains(const Key& k) const {
+    std::shared_lock lock(mu_);
+    return set_.count(k) != 0;
+  }
+
+  bool insert(const Key& k) {
+    std::unique_lock lock(mu_);
+    return set_.emplace(k, true).second;
+  }
+
+  bool erase(const Key& k) {
+    std::unique_lock lock(mu_);
+    return set_.erase(k) != 0;
+  }
+
+  std::size_t size() const {
+    std::shared_lock lock(mu_);
+    return set_.size();
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<Key, bool, Compare> set_;
+};
+
+}  // namespace efrb

@@ -1,0 +1,192 @@
+// INTENTIONALLY INCORRECT — the strawman of Figure 3.
+//
+// "Simply using a CAS on the one child pointer that an update must change
+// would lead to problems if there are concurrent updates" (§3). This class is
+// that strawman: a leaf-oriented BST whose Insert/Delete perform exactly one
+// child-pointer CAS with no flagging and no marking. It exists to reproduce
+// the two anomalies of Figure 3 deterministically:
+//
+//   (b) concurrent Delete(C) / Delete(E): both CAS steps succeed, E's delete
+//       is acknowledged, yet E is still reachable — a lost delete;
+//   (c) concurrent Delete(E) / Insert(F): both CAS steps succeed, F's insert
+//       is acknowledged, yet F is unreachable — a lost insert.
+//
+// The prepare/commit API splits an operation at precisely the point the paper
+// considers — after the window (gp, p, l) has been read, before the single
+// CAS — so tests can replay the exact schedules of Fig. 3 with no timing
+// dependence. Never use this type for real data; it also leaks removed nodes
+// (reclamation is pointless for a structure that corrupts itself).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "core/bounded_key.hpp"
+#include "util/assert.hpp"
+
+namespace efrb {
+
+template <typename Key, typename Compare = std::less<Key>>
+class NaiveCasBst {
+ public:
+  using key_type = Key;
+  static constexpr const char* kName = "naive-cas-bst(BROKEN)";
+
+ private:
+  using BKey = BoundedKey<Key>;
+
+ public:
+  struct Node {
+    const BKey key;
+    const bool is_internal;
+    std::atomic<Node*> left;
+    std::atomic<Node*> right;
+    Node(BKey k, Node* l, Node* r)
+        : key(std::move(k)), is_internal(l != nullptr), left(l), right(r) {}
+  };
+
+  explicit NaiveCasBst(Compare cmp = Compare{}) : cmp_(std::move(cmp)) {
+    root_ = new Node(BKey::inf2(), new Node(BKey::inf1(), nullptr, nullptr),
+                     new Node(BKey::inf2(), nullptr, nullptr));
+  }
+
+  NaiveCasBst(const NaiveCasBst&) = delete;
+  NaiveCasBst& operator=(const NaiveCasBst&) = delete;
+
+  ~NaiveCasBst() {
+    // Frees the reachable tree only; nodes detached by erase() are leaked by
+    // design (see header comment).
+    std::vector<Node*> stack{root_};
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      if (n->is_internal) {
+        stack.push_back(n->left.load(std::memory_order_relaxed));
+        stack.push_back(n->right.load(std::memory_order_relaxed));
+      }
+      delete n;
+    }
+  }
+
+  /// A planned single-CAS update: everything the operation decided from its
+  /// read of the tree, not yet published.
+  struct Ticket {
+    std::atomic<Node*>* target = nullptr;  // the one child word to change
+    Node* expected = nullptr;
+    Node* desired = nullptr;
+    bool applicable = false;  // key present/absent check passed
+  };
+
+  /// Phase 1 of Insert(k): read the window and build the replacement subtree.
+  Ticket prepare_insert(const Key& k) {
+    const Window w = descend(k);
+    Ticket t;
+    if (cmp_.equals(k, w.l->key)) return t;  // duplicate
+    auto* new_leaf = new Node(BKey::real(k), nullptr, nullptr);
+    auto* new_sibling = new Node(w.l->key, nullptr, nullptr);
+    Node* new_internal =
+        cmp_.less(k, w.l->key)
+            ? new Node(w.l->key, new_leaf, new_sibling)
+            : new Node(BKey::real(k), new_sibling, new_leaf);
+    t.target = (w.p->left.load(std::memory_order_acquire) == w.l) ? &w.p->left
+                                                                  : &w.p->right;
+    t.expected = w.l;
+    t.desired = new_internal;
+    t.applicable = true;
+    return t;
+  }
+
+  /// Phase 1 of Delete(k): read the window, find the sibling.
+  Ticket prepare_erase(const Key& k) {
+    const Window w = descend(k);
+    Ticket t;
+    if (!cmp_.equals(k, w.l->key)) return t;  // absent
+    EFRB_DCHECK(w.gp != nullptr);
+    Node* sibling = (w.p->left.load(std::memory_order_acquire) == w.l)
+                        ? w.p->right.load(std::memory_order_acquire)
+                        : w.p->left.load(std::memory_order_acquire);
+    t.target = (w.gp->left.load(std::memory_order_acquire) == w.p)
+                   ? &w.gp->left
+                   : &w.gp->right;
+    t.expected = w.p;
+    t.desired = sibling;
+    t.applicable = true;
+    return t;
+  }
+
+  /// Phase 2: the single CAS the strawman performs. Returns its success.
+  bool commit(const Ticket& t) {
+    EFRB_DCHECK(t.applicable);
+    Node* expected = t.expected;
+    return t.target->compare_exchange_strong(expected, t.desired,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire);
+  }
+
+  // Conventional API (retry loops over prepare/commit), for stress demos.
+  bool insert(const Key& k) {
+    for (;;) {
+      Ticket t = prepare_insert(k);
+      if (!t.applicable) return false;
+      if (commit(t)) return true;
+    }
+  }
+
+  bool erase(const Key& k) {
+    for (;;) {
+      Ticket t = prepare_erase(k);
+      if (!t.applicable) return false;
+      if (commit(t)) return true;
+    }
+  }
+
+  bool contains(const Key& k) const {
+    const Window w = descend(k);
+    return cmp_.equals(k, w.l->key);
+  }
+
+  /// All real keys currently reachable, in order (quiescent use).
+  std::vector<Key> keys() const {
+    std::vector<Key> out;
+    std::vector<Node*> stack{root_};
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      if (n->is_internal) {
+        stack.push_back(n->left.load(std::memory_order_relaxed));
+        stack.push_back(n->right.load(std::memory_order_relaxed));
+      } else if (n->key.is_real()) {
+        out.push_back(n->key.key);
+      }
+    }
+    std::sort(out.begin(), out.end(), cmp_.user_compare());
+    return out;
+  }
+
+ private:
+  struct Window {
+    Node* gp;
+    Node* p;
+    Node* l;
+  };
+
+  Window descend(const Key& k) const {
+    Node* gp = nullptr;
+    Node* p = nullptr;
+    Node* l = root_;
+    while (l->is_internal) {
+      gp = p;
+      p = l;
+      l = cmp_.less(k, l->key) ? l->left.load(std::memory_order_acquire)
+                               : l->right.load(std::memory_order_acquire);
+    }
+    return Window{gp, p, l};
+  }
+
+  BoundedCompare<Key, Compare> cmp_;
+  Node* root_;
+};
+
+}  // namespace efrb

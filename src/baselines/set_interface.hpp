@@ -1,0 +1,23 @@
+// The common concept every dictionary implementation in this repository
+// models, so tests and benchmarks can be written once and instantiated over
+// all of them (the EFRB tree, the lock-based baselines of §2, and the
+// list/skiplist families of §1's related work).
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+
+namespace efrb {
+
+// clang-format off
+template <typename S, typename Key = typename S::key_type>
+concept ConcurrentSet = requires(S s, const S cs, const Key& k) {
+  typename S::key_type;
+  { s.insert(k) } -> std::convertible_to<bool>;   // false iff already present
+  { s.erase(k) } -> std::convertible_to<bool>;    // false iff absent
+  { cs.contains(k) } -> std::convertible_to<bool>;
+  { S::kName } -> std::convertible_to<const char*>;
+};
+// clang-format on
+
+}  // namespace efrb

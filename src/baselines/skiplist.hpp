@@ -1,0 +1,264 @@
+// Lock-free skiplist set (Fraser-style; the formulation in Herlihy & Shavit,
+// "The Art of Multiprocessor Programming", ch. 14 — the paper's reference
+// [14]). This is the data structure behind java.util.concurrent's
+// ConcurrentSkipListMap, i.e. the dictionary Lea's quote in §1 contrasts with
+// a hypothetical non-blocking search tree. It is the main non-blocking
+// competitor in experiments E1/E2.
+//
+// Every forward pointer packs a mark bit (bit 0). Deletion marks the victim's
+// pointers from the top level down, then the bottom level (the linearization
+// point), then calls find() to physically snip it at every level; the thread
+// whose CAS marked the bottom level retires the node. Reclamation is
+// epoch-based: every operation runs pinned, so a snipped node cannot be freed
+// while any traversal that might still reach it is in progress.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "reclaim/epoch.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace efrb {
+
+template <typename Key, typename Compare = std::less<Key>>
+class LockFreeSkipList {
+ public:
+  using key_type = Key;
+  static constexpr const char* kName = "lockfree-skiplist";
+  static constexpr int kMaxLevel = 20;  // supports ~2^20 keys at p = 1/2
+
+  explicit LockFreeSkipList(Compare cmp = Compare{}) : cmp_(std::move(cmp)) {
+    head_ = new SNode(Key{}, kMaxLevel - 1);
+  }
+
+  LockFreeSkipList(const LockFreeSkipList&) = delete;
+  LockFreeSkipList& operator=(const LockFreeSkipList&) = delete;
+
+  ~LockFreeSkipList() {
+    SNode* n = head_;
+    while (n != nullptr) {
+      SNode* next = unmark(n->next[0].load(std::memory_order_relaxed));
+      delete n;
+      n = next;
+    }
+  }
+
+  bool contains(const Key& k) const {
+    auto guard = ebr_.pin();
+    const SNode* pred = head_;
+    const SNode* curr = nullptr;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+      curr = unmark(pred->next[level].load(std::memory_order_acquire));
+      for (;;) {
+        if (curr == nullptr) break;
+        const std::uintptr_t succ_word =
+            curr->next[level].load(std::memory_order_acquire);
+        if (is_marked(succ_word)) {  // skip logically deleted nodes
+          curr = unmark(succ_word);
+          continue;
+        }
+        if (cmp_(curr->key, k)) {
+          pred = curr;
+          curr = unmark(succ_word);
+          continue;
+        }
+        break;
+      }
+    }
+    return curr != nullptr && equals(curr->key, k);
+  }
+
+  bool insert(const Key& k) {
+    auto guard = ebr_.pin();
+    const int top = random_level();
+    SNode* preds[kMaxLevel];
+    SNode* succs[kMaxLevel];
+    SNode* node = nullptr;
+    for (;;) {
+      if (find(k, preds, succs)) {
+        delete node;  // (possibly) built on a previous iteration; unpublished
+        return false;
+      }
+      if (node == nullptr) node = new SNode(k, top);
+      for (int level = 0; level <= top; ++level) {
+        node->next[level].store(pack(succs[level], false),
+                                std::memory_order_relaxed);
+      }
+      // Linearization point of a successful insert: the bottom-level link.
+      std::uintptr_t expected = pack(succs[0], false);
+      if (!preds[0]->next[0].compare_exchange_strong(
+              expected, pack(node, false), std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        continue;  // bottom link contended; recompute the window
+      }
+      // Link the upper levels. A concurrent erase may mark `node` while we
+      // are doing this; in that case abandon the remaining levels.
+      for (int level = 1; level <= top; ++level) {
+        bool abandoned = false;
+        for (;;) {
+          const std::uintptr_t my_word =
+              node->next[level].load(std::memory_order_acquire);
+          if (is_marked(my_word)) {  // being deleted already
+            abandoned = true;
+            break;
+          }
+          if (unmark(my_word) != succs[level]) {
+            // Refresh our forward pointer to the current window successor.
+            std::uintptr_t exp = my_word;
+            if (!node->next[level].compare_exchange_strong(
+                    exp, pack(succs[level], false), std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+              continue;
+            }
+          }
+          std::uintptr_t link_exp = pack(succs[level], false);
+          if (preds[level]->next[level].compare_exchange_strong(
+                  link_exp, pack(node, false), std::memory_order_acq_rel,
+                  std::memory_order_acquire)) {
+            break;  // this level linked
+          }
+          // Window stale: recompute. Our node is linked at the bottom level,
+          // so find() reports "present" with the refreshed window.
+          find(k, preds, succs);
+        }
+        if (abandoned) break;
+      }
+      // Close the insert/erase race: an upper-level link CAS of ours may have
+      // landed *after* the concurrent eraser's find() finished snipping, which
+      // would leave the (already retired) node reachable at that level. The
+      // eraser marks the bottom level before its find(), so if the bottom is
+      // unmarked here, any future eraser's find() runs after all our links
+      // and snips them. If it is marked, we must guarantee unlinking
+      // ourselves before this pinned region — which is what blocks the
+      // node's reclamation — ends.
+      if (is_marked(node->next[0].load(std::memory_order_acquire))) {
+        find(k, preds, succs);
+      }
+      return true;
+    }
+  }
+
+  bool erase(const Key& k) {
+    auto guard = ebr_.pin();
+    SNode* preds[kMaxLevel];
+    SNode* succs[kMaxLevel];
+    if (!find(k, preds, succs)) return false;
+    SNode* victim = succs[0];
+    // Mark the upper levels (top-down); other threads may help via snipping
+    // but only the bottom-level marker owns the deletion.
+    for (int level = victim->top_level; level >= 1; --level) {
+      std::uintptr_t w = victim->next[level].load(std::memory_order_acquire);
+      while (!is_marked(w)) {
+        victim->next[level].compare_exchange_weak(w, w | 1,
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire);
+      }
+    }
+    // Bottom level: the linearization point of a successful erase.
+    std::uintptr_t w = victim->next[0].load(std::memory_order_acquire);
+    for (;;) {
+      if (is_marked(w)) return false;  // another eraser won
+      if (victim->next[0].compare_exchange_strong(w, w | 1,
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+        // Physically snip at every level, then retire: after find() returns,
+        // a fully marked node is no longer linked at any level.
+        find(k, preds, succs);
+        ebr_.retire(victim);
+        return true;
+      }
+    }
+  }
+
+  std::size_t size() const {  // quiescent use only
+    std::size_t n = 0;
+    for (SNode* cur = unmark(head_->next[0].load(std::memory_order_acquire));
+         cur != nullptr;
+         cur = unmark(cur->next[0].load(std::memory_order_acquire))) {
+      if (!is_marked(cur->next[0].load(std::memory_order_acquire))) ++n;
+    }
+    return n;
+  }
+
+  EpochReclaimer& reclaimer() noexcept { return ebr_; }
+
+ private:
+  struct SNode {
+    const Key key;
+    const int top_level;
+    // next[0..top_level]; bit 0 of each word is the level's mark.
+    std::atomic<std::uintptr_t> next[kMaxLevel];
+    SNode(Key k, int top) : key(std::move(k)), top_level(top) {
+      for (int i = 0; i <= top_level; ++i) {
+        next[i].store(0, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  static constexpr bool is_marked(std::uintptr_t w) noexcept { return (w & 1) != 0; }
+  static SNode* unmark(std::uintptr_t w) noexcept {
+    return reinterpret_cast<SNode*>(w & ~std::uintptr_t{1});
+  }
+  static std::uintptr_t pack(SNode* n, bool mark) noexcept {
+    return reinterpret_cast<std::uintptr_t>(n) | (mark ? 1 : 0);
+  }
+
+  bool equals(const Key& a, const Key& b) const {
+    return !cmp_(a, b) && !cmp_(b, a);
+  }
+
+  /// Geometric level with p = 1/2, capped at kMaxLevel - 1.
+  static int random_level() {
+    thread_local Xoshiro256 rng(
+        0x9e3779b97f4a7c15ULL ^
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    const std::uint64_t r = rng.next() | (std::uint64_t{1} << (kMaxLevel - 1));
+    return __builtin_ctzll(r);
+  }
+
+  /// Positions preds/succs around k at every level, physically unlinking
+  /// (snipping) marked nodes it passes. Returns true iff succs[0] carries k.
+  bool find(const Key& k, SNode** preds, SNode** succs) const {
+  retry:
+    SNode* pred = head_;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+      SNode* curr = unmark(pred->next[level].load(std::memory_order_acquire));
+      for (;;) {
+        if (curr == nullptr) break;
+        const std::uintptr_t succ_word =
+            curr->next[level].load(std::memory_order_acquire);
+        SNode* succ = unmark(succ_word);
+        if (is_marked(succ_word)) {
+          // Snip curr out of this level.
+          std::uintptr_t expected = pack(curr, false);
+          if (!pred->next[level].compare_exchange_strong(
+                  expected, pack(succ, false), std::memory_order_acq_rel,
+                  std::memory_order_acquire)) {
+            goto retry;
+          }
+          curr = succ;
+          continue;
+        }
+        if (cmp_(curr->key, k)) {
+          pred = curr;
+          curr = succ;
+          continue;
+        }
+        break;
+      }
+      preds[level] = pred;
+      succs[level] = curr;
+    }
+    return succs[0] != nullptr && equals(succs[0]->key, k);
+  }
+
+  Compare cmp_;
+  mutable EpochReclaimer ebr_;
+  SNode* head_;  // full-height sentinel; key never examined
+};
+
+}  // namespace efrb

@@ -1,0 +1,67 @@
+// Keys extended with the paper's two sentinel values ∞₁ < ∞₂.
+//
+// §4.1/Fig. 6: "we append two special values ∞₁ < ∞₂ to the universe Key of
+// keys (where every real key is less than ∞₁) and initialize the tree so that
+// it contains two dummy keys ∞₁ and ∞₂". This removes every special case for
+// trees with fewer than three nodes: the tree always has at least one internal
+// node and two leaves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace efrb {
+
+enum class KeyClass : std::uint8_t {
+  kReal = 0,
+  kInf1 = 1,  // ∞₁: greater than every real key
+  kInf2 = 2,  // ∞₂: greater than ∞₁ (key of the permanent root)
+};
+
+/// A key from Key ∪ {∞₁, ∞₂}. Sentinel-classed values ignore `key` (it is
+/// value-initialized); ordering is by class first, then by the user comparator.
+template <typename Key>
+struct BoundedKey {
+  Key key{};
+  KeyClass cls = KeyClass::kReal;
+
+  static BoundedKey real(Key k) { return BoundedKey{std::move(k), KeyClass::kReal}; }
+  static BoundedKey inf1() { return BoundedKey{Key{}, KeyClass::kInf1}; }
+  static BoundedKey inf2() { return BoundedKey{Key{}, KeyClass::kInf2}; }
+
+  bool is_real() const noexcept { return cls == KeyClass::kReal; }
+};
+
+/// Strict weak order over BoundedKey lifting the user's comparator; all real
+/// keys < ∞₁ < ∞₂, two equal-class sentinels compare equal.
+template <typename Key, typename Compare = std::less<Key>>
+class BoundedCompare {
+ public:
+  explicit BoundedCompare(Compare cmp = Compare{}) : cmp_(std::move(cmp)) {}
+
+  bool operator()(const BoundedKey<Key>& a, const BoundedKey<Key>& b) const {
+    if (a.cls != b.cls) return a.cls < b.cls;
+    if (a.cls != KeyClass::kReal) return false;  // same sentinel: equal
+    return cmp_(a.key, b.key);
+  }
+
+  /// Compare a real search key against a node key (the hot-path comparison in
+  /// Search, line 32: "if k < l.key then go left else go right").
+  bool less(const Key& k, const BoundedKey<Key>& node_key) const {
+    if (node_key.cls != KeyClass::kReal) return true;  // k < any sentinel
+    return cmp_(k, node_key.key);
+  }
+
+  /// True iff the node key is the real key k.
+  bool equals(const Key& k, const BoundedKey<Key>& node_key) const {
+    return node_key.cls == KeyClass::kReal && !cmp_(k, node_key.key) &&
+           !cmp_(node_key.key, k);
+  }
+
+  const Compare& user_compare() const noexcept { return cmp_; }
+
+ private:
+  Compare cmp_;
+};
+
+}  // namespace efrb

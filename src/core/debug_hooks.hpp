@@ -1,0 +1,120 @@
+// Instrumentation traits for the EFRB tree.
+//
+// The tree is parameterized on a Traits type exposing two static hooks:
+//
+//   Traits::on_cas(CasStep step, bool success, const void* node)
+//     — invoked after every protocol CAS with its outcome; lets tests verify
+//       that the update-field state machine follows exactly the edges of the
+//       paper's Figure 4 and lets benchmarks count helps/retries.
+//
+//   Traits::at(HookPoint point)
+//     — invoked at named points between protocol steps; lets tests pause a
+//       thread mid-operation (via thread_local state in the callback) to
+//       drive deterministic interleavings: forcing helping branches (lines
+//       51, 61, 77, 78, 85 of the pseudocode), the backtrack path (line 98),
+//       and the Figure 3 schedules.
+//
+// The default (NoopTraits) compiles to nothing; instrumented builds pay only
+// inside their own template instantiation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace efrb {
+
+/// The eight CAS step kinds of the protocol (paper §3, Fig. 4).
+enum class CasStep : std::uint8_t {
+  kIFlag,      // Insert: flag the parent (line 56)
+  kIChild,     // Insert: swing the parent's child pointer (line 66 / 115/117)
+  kIUnflag,    // Insert: clean the parent (line 67)
+  kDFlag,      // Delete: flag the grandparent (line 81)
+  kMark,       // Delete: mark the parent (line 91)
+  kDChild,     // Delete: splice the parent out (line 105)
+  kDUnflag,    // Delete: clean the grandparent (line 106)
+  kBacktrack,  // Delete: remove the flag after a failed mark (line 98)
+};
+
+inline const char* to_string(CasStep s) noexcept {
+  switch (s) {
+    case CasStep::kIFlag: return "iflag";
+    case CasStep::kIChild: return "ichild";
+    case CasStep::kIUnflag: return "iunflag";
+    case CasStep::kDFlag: return "dflag";
+    case CasStep::kMark: return "mark";
+    case CasStep::kDChild: return "dchild";
+    case CasStep::kDUnflag: return "dunflag";
+    case CasStep::kBacktrack: return "backtrack";
+  }
+  return "?";
+}
+
+/// Pause points between protocol steps.
+enum class HookPoint : std::uint8_t {
+  kAfterSearch,      // Search returned (Insert/Delete/Find attempt)
+  kAfterIFlag,       // successful iflag, before HelpInsert
+  kBeforeIChild,     // inside HelpInsert, before the ichild CAS
+  kBeforeIUnflag,    // inside HelpInsert, before the iunflag CAS
+  kAfterDFlag,       // successful dflag, before HelpDelete
+  kBeforeMark,       // inside HelpDelete, before the mark CAS
+  kBeforeDChild,     // inside HelpMarked, before the dchild CAS
+  kBeforeDUnflag,    // inside HelpMarked, before the dunflag CAS
+  kBeforeBacktrack,  // inside HelpDelete, failed mark, before backtrack CAS
+  kBeforeHelp,       // about to help another operation
+  kInsertRetry,      // Insert attempt failed; looping
+  kDeleteRetry,      // Delete attempt failed; looping
+};
+
+/// Zero-cost default: all hooks are empty and statistics are disabled.
+/// kSearchHelpsMarked selects the paper's §6 Search variant: a Search that
+/// encounters a marked internal node helps complete the deletion's dchild
+/// CAS (splicing the node out) and restarts. The paper proposes this
+/// modification as the precondition for hazard-pointer reclamation — a
+/// marked-but-linked node must not outlive the deleter indefinitely. The
+/// trade-off: Find is no longer read-only under this variant.
+struct NoopTraits {
+  static constexpr bool kCountStats = false;
+  static constexpr bool kSearchHelpsMarked = false;
+  static void on_cas(CasStep, bool, const void*) noexcept {}
+  static void at(HookPoint) noexcept {}
+};
+
+/// §6 variant: searches splice out marked nodes they encounter.
+struct HelpingSearchTraits : NoopTraits {
+  static constexpr bool kSearchHelpsMarked = true;
+};
+
+/// Test traits: hooks dispatch to (re)settable global std::functions. Distinct
+/// template instantiations do not interfere with trees using NoopTraits; gtest
+/// runs test bodies serially, so tests install/reset these around themselves.
+struct CallbackTraits {
+  static constexpr bool kCountStats = true;
+  static constexpr bool kSearchHelpsMarked = false;
+
+  // NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
+  static inline std::function<void(CasStep, bool, const void*)> on_cas_fn;
+  // NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
+  static inline std::function<void(HookPoint)> at_fn;
+
+  static void on_cas(CasStep s, bool ok, const void* node) {
+    if (on_cas_fn) on_cas_fn(s, ok, node);
+  }
+  static void at(HookPoint p) {
+    if (at_fn) at_fn(p);
+  }
+
+  static void reset() {
+    on_cas_fn = nullptr;
+    at_fn = nullptr;
+  }
+};
+
+/// Statistics-only traits for benchmarks (E5): counters on, hooks empty.
+struct StatsTraits {
+  static constexpr bool kCountStats = true;
+  static constexpr bool kSearchHelpsMarked = false;
+  static void on_cas(CasStep, bool, const void*) noexcept {}
+  static void at(HookPoint) noexcept {}
+};
+
+}  // namespace efrb

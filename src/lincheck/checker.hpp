@@ -1,0 +1,151 @@
+// Linearizability checker (Wing & Gong's algorithm with Lowe-style
+// memoization of failed configurations), generic over a sequential
+// specification.
+//
+// A Spec provides:
+//   * Operation — the recorded op type, with .invoke/.response logical times;
+//   * State     — compact hashable abstract state;
+//   * empty_state();
+//   * apply(state, op, next) — true iff op's recorded results are legal in
+//     `state`, with `next` the post-state;
+//   * optionally final_state(window, state) — the (unique) abstract state
+//     after a quiescent point, enabling windowed checking of long histories.
+//     Specs whose overlapping operations can leave an ambiguous final state
+//     (e.g. maps with racing assigns) omit it and check whole histories.
+//
+// Search: an operation may be linearized first iff no other pending op's
+// response precedes its invocation; try each legal candidate and recurse,
+// memoizing failed (remaining-set, state) configurations. Exponential in the
+// worst case; the histories our tests record (≤ kMaxWindow ops per window)
+// check in microseconds.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "lincheck/history.hpp"
+#include "lincheck/set_spec.hpp"
+#include "util/assert.hpp"
+
+namespace efrb::lincheck {
+
+struct CheckResult {
+  bool linearizable = true;
+  std::size_t windows_checked = 0;
+  std::size_t windows_skipped = 0;  // larger than the tractable bound
+};
+
+template <typename Spec>
+class BasicChecker {
+ public:
+  using Operation = typename Spec::Operation;
+  using History = std::vector<Operation>;
+  using State = typename Spec::State;
+
+  /// Max ops per window the exhaustive search accepts (mask fits in u32).
+  static constexpr std::size_t kMaxWindow = 24;
+
+  /// Checks a single window starting from `initial` abstract state.
+  static bool check(const History& h, State initial = Spec::empty_state()) {
+    EFRB_ASSERT(h.size() <= kMaxWindow);
+    const auto n = static_cast<std::uint32_t>(h.size());
+    if (n == 0) return true;
+    Memo memo;
+    return dfs(h, (std::uint32_t{1} << n) - 1, initial, memo);
+  }
+
+  /// Splits `h` at quiescent points and checks each window, threading the
+  /// abstract state across the cuts via Spec::final_state. Windows larger
+  /// than kMaxWindow are skipped and counted — tests shape their workloads
+  /// (bursts separated by joins) so windows stay small.
+  static CheckResult check_windowed(History h)
+    requires requires(const History& w, State s) {
+      { Spec::final_state(w, s) } -> std::convertible_to<State>;
+    }
+  {
+    CheckResult r;
+    std::sort(h.begin(), h.end(), [](const Operation& a, const Operation& b) {
+      return a.invoke < b.invoke;
+    });
+    std::size_t begin = 0;
+    std::uint64_t max_response = 0;
+    State state = Spec::empty_state();
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      if (i > begin && h[i].invoke > max_response) {
+        step_window(h, begin, i, state, r);
+        begin = i;
+      }
+      max_response = std::max(max_response, h[i].response);
+    }
+    if (begin < h.size()) step_window(h, begin, h.size(), state, r);
+    return r;
+  }
+
+ private:
+  struct Config {
+    std::uint32_t mask;
+    State state;
+    bool operator==(const Config& o) const noexcept {
+      return mask == o.mask && state == o.state;
+    }
+  };
+  struct ConfigHash {
+    std::size_t operator()(const Config& c) const noexcept {
+      std::uint64_t x =
+          static_cast<std::uint64_t>(c.state) * 0x9e3779b97f4a7c15ULL ^ c.mask;
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdULL;
+      x ^= x >> 33;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  using Memo = std::unordered_set<Config, ConfigHash>;
+
+  static bool dfs(const History& h, std::uint32_t remaining, State state,
+                  Memo& memo) {
+    if (remaining == 0) return true;
+    if (memo.count(Config{remaining, state}) != 0) return false;
+    // An op may be linearized first iff no other remaining op completed
+    // before it was invoked.
+    std::uint64_t min_response = ~std::uint64_t{0};
+    for (std::uint32_t m = remaining; m != 0; m &= m - 1) {
+      const auto i = static_cast<std::uint32_t>(__builtin_ctz(m));
+      min_response = std::min(min_response, h[i].response);
+    }
+    for (std::uint32_t m = remaining; m != 0; m &= m - 1) {
+      const auto i = static_cast<std::uint32_t>(__builtin_ctz(m));
+      if (h[i].invoke > min_response) continue;  // someone finished before it
+      State next;
+      if (!Spec::apply(state, h[i], next)) continue;
+      if (dfs(h, remaining & ~(std::uint32_t{1} << i), next, memo)) {
+        return true;
+      }
+    }
+    memo.insert(Config{remaining, state});
+    return false;
+  }
+
+  static void step_window(const History& h, std::size_t begin, std::size_t end,
+                          State& state, CheckResult& r)
+    requires requires(const History& w, State s) {
+      { Spec::final_state(w, s) } -> std::convertible_to<State>;
+    }
+  {
+    History window(h.begin() + static_cast<std::ptrdiff_t>(begin),
+                   h.begin() + static_cast<std::ptrdiff_t>(end));
+    if (window.size() > kMaxWindow) {
+      ++r.windows_skipped;
+    } else {
+      ++r.windows_checked;
+      if (!check(window, state)) r.linearizable = false;
+    }
+    state = Spec::final_state(window, state);
+  }
+};
+
+/// The default checker over the set specification (paper's dictionary ADT).
+using Checker = BasicChecker<BitmaskSetSpec>;
+
+}  // namespace efrb::lincheck

@@ -1,0 +1,63 @@
+// Concurrent-history recording for linearizability checking.
+//
+// §5 of the paper proves linearizability; this module lets the test suite
+// check the claim empirically on real executions: each thread timestamps its
+// operations with a shared logical clock (an atomic counter, so invocation
+// and response orders are total and unique), and the checker searches for a
+// valid linearization (see checker.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "workload/op_mix.hpp"
+
+namespace efrb::lincheck {
+
+/// One completed operation: what was called, what it returned, and the
+/// logical-time interval [invoke, response] during which it was pending.
+struct Operation {
+  OpType type;
+  std::uint64_t key;
+  bool result;
+  std::uint64_t invoke;
+  std::uint64_t response;
+  unsigned thread;
+};
+
+using History = std::vector<Operation>;
+
+/// Shared logical clock + per-thread recorders. Usage per thread:
+///   auto t0 = rec.now();
+///   bool r = set.insert(k);
+///   rec.record(tid, OpType::kInsert, k, r, t0);
+class Recorder {
+ public:
+  explicit Recorder(unsigned threads) : logs_(threads) {}
+
+  std::uint64_t now() noexcept {
+    return clock_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  void record(unsigned tid, OpType type, std::uint64_t key, bool result,
+              std::uint64_t invoke) {
+    logs_[tid].push_back(
+        Operation{type, key, result, invoke, now(), tid});
+  }
+
+  /// Merge all per-thread logs (call after joining the worker threads).
+  History collect() const {
+    History all;
+    for (const auto& log : logs_) {
+      all.insert(all.end(), log.begin(), log.end());
+    }
+    return all;
+  }
+
+ private:
+  std::atomic<std::uint64_t> clock_{0};
+  std::vector<History> logs_;
+};
+
+}  // namespace efrb::lincheck

@@ -1,0 +1,87 @@
+// Sequential specification of the *map* abstract data type (keys with
+// auxiliary data, §3) — used to check linearizability of the value-carrying
+// operations including the insert_or_assign extension.
+//
+// Compact state for memoization: 8 keys x 4-bit values packed in a uint64;
+// nibble 0xF means "absent", so checked histories draw keys from [0,8) and
+// values from [0,15).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace efrb::lincheck {
+
+enum class MapOpType : std::uint8_t {
+  kGet,     // result: ok = present, value_out = stored value when present
+  kPut,     // insert(k,v): ok iff k was absent (no overwrite)
+  kAssign,  // insert_or_assign(k,v): ok iff k was absent; always stores v
+  kErase,   // erase(k): ok iff k was present
+};
+
+struct MapOperation {
+  MapOpType type;
+  std::uint64_t key;
+  std::uint64_t value_arg = 0;  // for kPut/kAssign
+  bool ok = false;              // boolean result
+  std::uint64_t value_out = 0;  // for kGet when ok
+  std::uint64_t invoke = 0;
+  std::uint64_t response = 0;
+  unsigned thread = 0;
+};
+
+struct NibbleMapSpec {
+  using Operation = MapOperation;
+  using State = std::uint64_t;  // 8 x 4-bit slots; 0xF = absent
+  static constexpr std::uint64_t kMaxKey = 8;
+  static constexpr std::uint64_t kAbsent = 0xF;
+  static constexpr std::uint64_t kMaxValue = 0xE;
+
+  static constexpr State empty_state() noexcept {
+    return ~std::uint64_t{0};  // all nibbles 0xF
+  }
+
+  static std::uint64_t nibble(State s, std::uint64_t k) noexcept {
+    return (s >> (k * 4)) & 0xF;
+  }
+  static State with_nibble(State s, std::uint64_t k, std::uint64_t v) noexcept {
+    const unsigned shift = static_cast<unsigned>(k * 4);
+    return (s & ~(std::uint64_t{0xF} << shift)) | (v << shift);
+  }
+
+  /// True iff `op` applied in `state` could return the recorded results;
+  /// sets `next` to the post-state.
+  static bool apply(State state, const Operation& op, State& next) {
+    EFRB_ASSERT_MSG(op.key < kMaxKey, "map-lincheck keys must be < 8");
+    const std::uint64_t cur = nibble(state, op.key);
+    const bool present = cur != kAbsent;
+    switch (op.type) {
+      case MapOpType::kGet:
+        next = state;
+        if (op.ok != present) return false;
+        return !present || op.value_out == cur;
+      case MapOpType::kPut:
+        EFRB_ASSERT(op.value_arg <= kMaxValue);
+        next = present ? state : with_nibble(state, op.key, op.value_arg);
+        return op.ok == !present;
+      case MapOpType::kAssign:
+        EFRB_ASSERT(op.value_arg <= kMaxValue);
+        next = with_nibble(state, op.key, op.value_arg);
+        return op.ok == !present;  // "true iff newly inserted"
+      case MapOpType::kErase:
+        next = present ? with_nibble(state, op.key, kAbsent) : state;
+        return op.ok == present;
+    }
+    return false;
+  }
+
+  // NOTE: no final_state() — overlapping assigns make the post-quiescence
+  // value order-dependent, so windowed checking is unavailable for maps;
+  // check whole (small) histories instead.
+};
+
+using MapHistory = std::vector<MapOperation>;
+
+}  // namespace efrb::lincheck

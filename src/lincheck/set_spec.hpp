@@ -1,0 +1,57 @@
+// Sequential specification of the dictionary (set) abstract data type used by
+// the linearizability checker. The state is a 64-bit key-presence bitmask, so
+// checked histories must draw keys from [0, 64) — plenty for targeted
+// concurrency tests, and it makes memoized state comparisons O(1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lincheck/history.hpp"
+#include "util/assert.hpp"
+
+namespace efrb::lincheck {
+
+struct BitmaskSetSpec {
+  using Operation = lincheck::Operation;
+  using State = std::uint64_t;  // bit k set <=> key k present
+  static constexpr std::uint64_t kMaxKey = 64;
+
+  static constexpr State empty_state() noexcept { return 0; }
+
+  /// If `op` applied in `state` would return op.result, returns true and sets
+  /// `next` to the post-state; otherwise returns false.
+  static bool apply(State state, const Operation& op, State& next) {
+    EFRB_ASSERT_MSG(op.key < kMaxKey, "lincheck keys must be < 64");
+    const std::uint64_t bit = std::uint64_t{1} << op.key;
+    const bool present = (state & bit) != 0;
+    switch (op.type) {
+      case OpType::kFind:
+        next = state;
+        return op.result == present;
+      case OpType::kInsert:
+        next = state | bit;
+        return op.result == !present;
+      case OpType::kErase:
+        next = state & ~bit;
+        return op.result == present;
+    }
+    return false;
+  }
+
+  /// Post-quiescence state. Every *successful* insert/erase flips its key's
+  /// presence (in any valid linearization successful updates on one key
+  /// strictly alternate), so the state after the cut is the state before it
+  /// with each key flipped once per successful modifying operation —
+  /// independent of which valid linearization was chosen. This well-defined
+  /// final state is what enables windowed checking for the set spec.
+  static State final_state(const std::vector<Operation>& window, State state) {
+    for (const Operation& op : window) {
+      if (op.type == OpType::kFind || !op.result) continue;
+      state ^= std::uint64_t{1} << op.key;
+    }
+    return state;
+  }
+};
+
+}  // namespace efrb::lincheck

@@ -1,0 +1,230 @@
+// Hazard pointers (Michael, IEEE TPDS 2004) — the reclamation scheme the
+// paper's §6 singles out as applicable to (a slightly modified version of)
+// the tree. This is a generic domain usable by any pointer-linked structure;
+// in this repository it backs the Harris linked list and is stress-tested on
+// its own. See DESIGN.md §6 for why the tree's default policy is EBR.
+//
+// Protocol recap: before dereferencing a shared pointer, a thread publishes it
+// in one of its hazard slots and re-validates the source; a retired object is
+// freed only when a scan of all published hazards does not find it. Unlike
+// EBR, a stalled thread delays at most the objects it has published, not the
+// whole retire stream.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/cacheline.hpp"
+
+namespace efrb {
+
+class HazardPointerDomain {
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  struct Slot {
+    // Shared: scanned by reclaiming threads.
+    std::vector<std::atomic<void*>> hazards;
+    std::atomic<bool> in_use{false};
+    // Owner-thread only.
+    std::vector<Retired> retired;
+    std::size_t next_scan = 0;  // retired.size() triggering the next scan
+
+    explicit Slot(std::size_t k) : hazards(k) {
+      for (auto& h : hazards) h.store(nullptr, std::memory_order_relaxed);
+    }
+  };
+
+  struct Registry {
+    Registry(std::size_t max_threads, std::size_t k) : hazards_per_thread(k) {
+      slots.reserve(max_threads);
+      for (std::size_t i = 0; i < max_threads; ++i) {
+        slots.push_back(std::make_unique<Slot>(k));
+      }
+    }
+
+    ~Registry() {
+      for (auto& s : slots) {
+        for (const Retired& r : s->retired) r.deleter(r.ptr);
+        s->retired.clear();
+      }
+    }
+
+    Slot* acquire_slot() {
+      for (auto& s : slots) {
+        bool expected = false;
+        if (!s->in_use.load(std::memory_order_relaxed) &&
+            s->in_use.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
+          return s.get();
+        }
+      }
+      EFRB_ASSERT_MSG(false, "HazardPointerDomain: slot capacity exhausted");
+    }
+
+    const std::size_t hazards_per_thread;
+    std::vector<std::unique_ptr<Slot>> slots;
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> freed_total{0};
+  };
+
+ public:
+  /// Per-operation handle over the calling thread's hazard slots. Slots are
+  /// cleared when the handle is destroyed. Cheap to construct after the
+  /// thread's first use of the domain.
+  class Handle {
+   public:
+    Handle(Registry* reg, Slot* slot) noexcept : reg_(reg), slot_(slot) {}
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { clear_all(); }
+
+    /// Publish-and-validate loop: returns a pointer read from `src` that is
+    /// guaranteed protected (cannot be freed) until the slot is overwritten
+    /// or the handle dies. The loop terminates because a change of `src`
+    /// between read and re-read means another thread made progress.
+    template <typename T>
+    T* protect(std::size_t index, const std::atomic<T*>& src) noexcept {
+      EFRB_DCHECK(index < slot_->hazards.size());
+      T* p = src.load(std::memory_order_acquire);
+      for (;;) {
+        slot_->hazards[index].store(const_cast<std::remove_const_t<T>*>(p),
+                                    std::memory_order_seq_cst);
+        T* q = src.load(std::memory_order_seq_cst);
+        if (q == p) return p;
+        p = q;
+      }
+    }
+
+    /// Publish an already-validated pointer (caller proves protection by other
+    /// means, e.g. it is reachable only via an already-protected node).
+    template <typename T>
+    void set(std::size_t index, T* p) noexcept {
+      EFRB_DCHECK(index < slot_->hazards.size());
+      slot_->hazards[index].store(const_cast<std::remove_const_t<T>*>(p),
+                                  std::memory_order_seq_cst);
+    }
+
+    void clear(std::size_t index) noexcept {
+      slot_->hazards[index].store(nullptr, std::memory_order_release);
+    }
+
+    void clear_all() noexcept {
+      for (auto& h : slot_->hazards) {
+        h.store(nullptr, std::memory_order_release);
+      }
+    }
+
+   private:
+    [[maybe_unused]] Registry* reg_;
+    Slot* slot_;
+  };
+
+  explicit HazardPointerDomain(std::size_t max_threads = 64,
+                               std::size_t hazards_per_thread = 4,
+                               std::size_t retire_batch = 128)
+      : reg_(std::make_shared<Registry>(max_threads, hazards_per_thread)),
+        retire_batch_(retire_batch) {}
+
+  Handle make_handle() { return Handle(reg_.get(), local_slot()); }
+
+  template <typename T>
+  void retire(T* p) {
+    EFRB_DCHECK(p != nullptr);
+    Slot* slot = local_slot();
+    slot->retired.push_back(
+        Retired{p, [](void* q) { delete static_cast<T*>(q); }});
+    // Size-scheduled scans (amortized O(1) per retire even when many
+    // entries stay protected; see the epoch reclaimer for the rationale).
+    if (slot->retired.size() >= std::max(slot->next_scan, retire_batch_)) {
+      scan(slot);
+      slot->next_scan = slot->retired.size() + retire_batch_;
+    }
+  }
+
+  std::uint64_t freed_count() const noexcept {
+    return reg_->freed_total.load(std::memory_order_relaxed);
+  }
+
+  /// Best-effort drain at quiescent points.
+  void flush() { scan(local_slot()); }
+
+ private:
+  void scan(Slot* slot) {
+    // Snapshot every published hazard pointer across all slots.
+    std::vector<void*> protected_ptrs;
+    protected_ptrs.reserve(reg_->slots.size() * reg_->hazards_per_thread);
+    for (const auto& s : reg_->slots) {
+      if (!s->in_use.load(std::memory_order_acquire)) continue;
+      for (const auto& h : s->hazards) {
+        void* p = h.load(std::memory_order_seq_cst);
+        if (p != nullptr) protected_ptrs.push_back(p);
+      }
+    }
+    std::sort(protected_ptrs.begin(), protected_ptrs.end());
+
+    auto& list = slot->retired;
+    std::size_t kept = 0;
+    std::uint64_t freed = 0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (std::binary_search(protected_ptrs.begin(), protected_ptrs.end(),
+                             list[i].ptr)) {
+        list[kept++] = list[i];
+      } else {
+        list[i].deleter(list[i].ptr);
+        ++freed;
+      }
+    }
+    list.resize(kept);
+    if (freed != 0) {
+      reg_->freed_total.fetch_add(freed, std::memory_order_relaxed);
+    }
+  }
+
+  struct Lease {
+    struct Entry {
+      std::shared_ptr<Registry> reg;
+      Slot* slot;
+    };
+    std::vector<Entry> entries;
+    ~Lease() {
+      for (auto& e : entries) {
+        for (auto& h : e.slot->hazards) {
+          h.store(nullptr, std::memory_order_release);
+        }
+        e.slot->in_use.store(false, std::memory_order_release);
+      }
+    }
+  };
+
+  Slot* local_slot() {
+    thread_local Lease lease;
+    thread_local Registry* cached_reg = nullptr;
+    thread_local Slot* cached_slot = nullptr;
+    Registry* reg = reg_.get();
+    if (cached_reg == reg) return cached_slot;
+    for (const auto& e : lease.entries) {
+      if (e.reg.get() == reg) {
+        cached_reg = reg;
+        cached_slot = e.slot;
+        return e.slot;
+      }
+    }
+    Slot* slot = reg->acquire_slot();
+    lease.entries.push_back(Lease::Entry{reg_, slot});
+    cached_reg = reg;
+    cached_slot = slot;
+    return slot;
+  }
+
+  std::shared_ptr<Registry> reg_;
+  std::size_t retire_batch_;
+};
+
+}  // namespace efrb

@@ -1,0 +1,57 @@
+// Reclamation policy interface + the trivial leaky policy.
+//
+// The paper (§4.1) assumes nodes and Info records "are always allocated new
+// memory locations" and defers reclamation to a safe-GC environment (§6). In
+// C++ we must supply that substrate. Data structures in this library are
+// parameterized on a Reclaimer policy with this contract:
+//
+//   * guard = reclaimer.pin()    — RAII region; every shared-memory traversal
+//                                  must happen inside a pinned region.
+//   * reclaimer.retire<T>(p)     — hand over an object that has been made
+//                                  unreachable from the structure's roots; the
+//                                  policy frees it once no pinned region that
+//                                  could still reach it remains.
+//
+// The safety obligation matches the paper's condition verbatim: "a memory
+// location is not reallocated while any process could reach that location by
+// following a chain of pointers."
+#pragma once
+
+#include <concepts>
+#include <utility>
+
+namespace efrb {
+
+// clang-format off
+template <typename R>
+concept ReclaimerPolicy = requires(R r) {
+  { r.pin() };                       // returns a movable RAII guard
+  { r.template retire<int>(static_cast<int*>(nullptr)) };
+};
+// clang-format on
+
+/// Never frees anything. This is the paper's own memory model ("assume fresh
+/// allocations") and the baseline for reclamation-cost ablations (E4). Only
+/// suitable for bounded runs; memory use grows with the number of updates.
+class LeakyReclaimer {
+ public:
+  class Guard {
+   public:
+    Guard() = default;
+  };
+
+  Guard pin() noexcept { return Guard{}; }
+
+  template <typename T>
+  void retire(T* /*p*/) noexcept {
+    // Intentionally leaked; freed only when the process exits.
+  }
+
+  /// Number of objects handed to retire() and leaked. Always 0 here because we
+  /// do not track them; provided so ablation code compiles across policies.
+  std::size_t retired_count() const noexcept { return 0; }
+};
+
+static_assert(ReclaimerPolicy<LeakyReclaimer>);
+
+}  // namespace efrb

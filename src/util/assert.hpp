@@ -1,0 +1,39 @@
+// Always-on invariant checks.
+//
+// Standard assert() vanishes in release builds, but the invariants guarded in
+// this library (tree shape, CAS-protocol state) are cheap relative to the
+// operations they guard and catastrophic when violated — EFRB_ASSERT stays on
+// in every build type. EFRB_DCHECK compiles out with NDEBUG for hot-path-only
+// checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace efrb::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "EFRB_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace efrb::detail
+
+#define EFRB_ASSERT(expr)                                                  \
+  (static_cast<bool>(expr)                                                 \
+       ? static_cast<void>(0)                                              \
+       : ::efrb::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define EFRB_ASSERT_MSG(expr, msg)                                         \
+  (static_cast<bool>(expr)                                                 \
+       ? static_cast<void>(0)                                              \
+       : ::efrb::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)))
+
+#ifdef NDEBUG
+#define EFRB_DCHECK(expr) static_cast<void>(0)
+#else
+#define EFRB_DCHECK(expr) EFRB_ASSERT(expr)
+#endif

@@ -1,0 +1,51 @@
+// Contention backoff.
+//
+// On a failed CAS, immediately retrying maximizes coherence traffic. The
+// standard remedy is truncated exponential backoff. Because this library must
+// behave well even when threads outnumber cores (and on single-core hosts,
+// where pure spinning starves the lock/flag holder), the backoff escalates
+// from pause instructions to std::this_thread::yield().
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace efrb {
+
+/// One relaxing spin iteration (PAUSE on x86, ISB on ARM, no-op otherwise).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("isb" ::: "memory");
+#endif
+}
+
+/// Truncated exponential backoff: spins for 2^k relax-iterations up to a cap,
+/// then yields the timeslice on every call. Reset on success.
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t spin_cap = 1024) noexcept : cap_(spin_cap) {}
+
+  void operator()() noexcept {
+    if (limit_ <= cap_) {
+      for (std::uint32_t i = 0; i < limit_; ++i) cpu_relax();
+      limit_ *= 2;
+    } else {
+      // Oversubscribed or long conflict: let the obstructing thread run.
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { limit_ = 1; }
+
+ private:
+  std::uint32_t limit_ = 1;
+  std::uint32_t cap_;
+};
+
+}  // namespace efrb

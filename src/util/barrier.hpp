@@ -1,0 +1,42 @@
+// Reusable thread barrier that yields while waiting.
+//
+// std::barrier spins aggressively in some implementations; on oversubscribed
+// or single-core hosts that inflates measured time and can livelock test
+// schedules. This barrier is sense-reversing and yields after a short spin.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "util/backoff.hpp"
+
+namespace efrb {
+
+class YieldingBarrier {
+ public:
+  explicit YieldingBarrier(std::uint32_t parties) noexcept
+      : parties_(parties), waiting_(0), sense_(false) {}
+
+  YieldingBarrier(const YieldingBarrier&) = delete;
+  YieldingBarrier& operator=(const YieldingBarrier&) = delete;
+
+  /// Blocks until all `parties` threads have arrived. Reusable.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      waiting_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);  // release the cohort
+    } else {
+      Backoff backoff(64);
+      while (sense_.load(std::memory_order_acquire) != my_sense) backoff();
+    }
+  }
+
+ private:
+  const std::uint32_t parties_;
+  std::atomic<std::uint32_t> waiting_;
+  std::atomic<bool> sense_;
+};
+
+}  // namespace efrb

@@ -1,0 +1,79 @@
+// Small, fast, seedable PRNGs for workloads and tests.
+//
+// std::mt19937_64 is too heavy to sit inside a throughput-measurement loop
+// (large state, poor cache behaviour). SplitMix64 seeds; xoshiro256++ runs the
+// hot path. Both are public-domain algorithms (Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace efrb {
+
+/// SplitMix64: tiny generator used to expand a 64-bit seed into stream state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ 1.0 — the workhorse generator. Satisfies
+/// std::uniform_random_bit_generator so it plugs into <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(bound);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace efrb

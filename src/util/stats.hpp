@@ -1,0 +1,63 @@
+// Summary statistics for benchmark reporting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace efrb {
+
+/// Accumulates samples; computes mean/min/max/percentiles on demand.
+class Summary {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  double sum() const noexcept {
+    double s = 0;
+    for (double x : samples_) s += x;
+    return s;
+  }
+
+  double mean() const noexcept {
+    return samples_.empty() ? 0.0 : sum() / static_cast<double>(samples_.size());
+  }
+
+  double min() const noexcept {
+    return samples_.empty() ? 0.0
+                            : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double max() const noexcept {
+    return samples_.empty() ? 0.0
+                            : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  double stddev() const noexcept {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0;
+    for (double x : samples_) acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  }
+
+  /// p in [0,100]; nearest-rank on a sorted copy.
+  double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace efrb

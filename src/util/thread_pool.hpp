@@ -1,0 +1,45 @@
+// Fork/join helpers for tests and benchmarks.
+//
+// `run_threads(n, fn)` launches n threads running fn(thread_index) and joins
+// them all, propagating the first exception. Threads start behind a barrier so
+// measurement loops begin simultaneously.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/barrier.hpp"
+
+namespace efrb {
+
+/// Run fn(tid) on `n` threads; all threads pass a start barrier before fn runs.
+/// Rethrows (one of) the exception(s) thrown by worker threads after joining.
+template <typename Fn>
+void run_threads(std::size_t n, Fn&& fn) {
+  YieldingBarrier start(static_cast<std::uint32_t>(n));
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (std::size_t tid = 0; tid < n; ++tid) {
+    threads.emplace_back([&, tid] {
+      start.arrive_and_wait();
+      try {
+        fn(tid);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace efrb

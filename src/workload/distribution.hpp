@@ -1,0 +1,73 @@
+// Key distributions for workloads: uniform and Zipfian.
+//
+// The Zipfian generator is the YCSB formulation (Gray et al.'s rejection-free
+// method with precomputed zeta), so skewed-contention experiments (E2) hammer
+// a small hot set the way real caching workloads do.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace efrb {
+
+/// Uniform over [0, range).
+class UniformKeys {
+ public:
+  explicit UniformKeys(std::uint64_t range) : range_(range) {
+    EFRB_ASSERT(range > 0);
+  }
+  std::uint64_t operator()(Xoshiro256& rng) const {
+    return rng.next_below(range_);
+  }
+  std::uint64_t range() const noexcept { return range_; }
+
+ private:
+  std::uint64_t range_;
+};
+
+/// Zipf over [0, range) with exponent theta (0.99 is the YCSB default).
+/// Construction is O(range) once; sampling is O(1).
+class ZipfKeys {
+ public:
+  ZipfKeys(std::uint64_t range, double theta = 0.99)
+      : range_(range), theta_(theta) {
+    EFRB_ASSERT(range > 0);
+    zetan_ = zeta(range, theta);
+    zeta2_ = zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(range_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  std::uint64_t operator()(Xoshiro256& rng) const {
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto v = static_cast<std::uint64_t>(
+        static_cast<double>(range_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= range_ ? range_ - 1 : v;
+  }
+
+  std::uint64_t range() const noexcept { return range_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t range_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace efrb

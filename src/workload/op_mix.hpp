@@ -1,0 +1,45 @@
+// Operation mixes: the insert/delete/find percentages that parameterize the
+// throughput experiments (E1..E5). Standard points in the literature:
+// read-only (0i/0d), read-mostly (9i/1d/90f), and update-heavy (50i/50d).
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace efrb {
+
+enum class OpType : std::uint8_t { kFind = 0, kInsert = 1, kErase = 2 };
+
+struct OpMix {
+  unsigned insert_pct = 0;
+  unsigned erase_pct = 0;
+  // find_pct is the remainder.
+
+  constexpr unsigned find_pct() const noexcept {
+    return 100 - insert_pct - erase_pct;
+  }
+
+  OpType sample(Xoshiro256& rng) const {
+    const auto r = static_cast<unsigned>(rng.next_below(100));
+    if (r < insert_pct) return OpType::kInsert;
+    if (r < insert_pct + erase_pct) return OpType::kErase;
+    return OpType::kFind;
+  }
+};
+
+inline constexpr OpMix kReadOnly{0, 0};
+inline constexpr OpMix kReadMostly{9, 1};
+inline constexpr OpMix kBalanced{20, 10};
+inline constexpr OpMix kUpdateHeavy{50, 50};
+
+inline const char* mix_name(const OpMix& m) {
+  if (m.insert_pct == 0 && m.erase_pct == 0) return "0i/0d/100f";
+  if (m.insert_pct == 9 && m.erase_pct == 1) return "9i/1d/90f";
+  if (m.insert_pct == 20 && m.erase_pct == 10) return "20i/10d/70f";
+  if (m.insert_pct == 50 && m.erase_pct == 50) return "50i/50d/0f";
+  return "custom";
+}
+
+}  // namespace efrb

@@ -1,0 +1,143 @@
+// Fixed-duration throughput harness.
+//
+// Prefills the structure to a target occupancy, then runs N threads for a
+// fixed wall-clock window, each sampling (operation, key) pairs from the
+// configured mix/distribution. Results report per-type counts and Mops/s.
+//
+// Single-core note: on a 1-CPU host the threads interleave preemptively; the
+// harness still measures the cost structure of each implementation (lock
+// convoying, helping overhead, path length) but not parallel speedup.
+// EXPERIMENTS.md interprets the outputs accordingly.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/barrier.hpp"
+#include "util/cacheline.hpp"
+#include "util/rng.hpp"
+#include "workload/distribution.hpp"
+#include "workload/op_mix.hpp"
+
+namespace efrb {
+
+struct WorkloadConfig {
+  std::size_t threads = 4;
+  std::uint64_t key_range = std::uint64_t{1} << 16;
+  OpMix mix = kBalanced;
+  std::chrono::milliseconds duration{200};
+  double prefill_fraction = 0.5;  // of key_range
+  std::uint64_t seed = 42;
+  bool zipf = false;
+  double zipf_theta = 0.99;
+};
+
+struct WorkloadResult {
+  std::uint64_t finds = 0;
+  std::uint64_t inserts = 0;     // attempts
+  std::uint64_t erases = 0;      // attempts
+  std::uint64_t ok_finds = 0;    // returned true (also defeats dead-code
+                                 // elimination of pure lookup paths)
+  std::uint64_t ok_inserts = 0;  // returned true
+  std::uint64_t ok_erases = 0;
+  double seconds = 0;
+
+  std::uint64_t total_ops() const noexcept { return finds + inserts + erases; }
+  double mops() const noexcept {
+    return seconds > 0 ? static_cast<double>(total_ops()) / seconds / 1e6 : 0;
+  }
+};
+
+/// Insert uniformly random keys until the structure holds ~fraction*range
+/// keys; gives every run the same expected occupancy and (for trees) the
+/// random shape whose expected depth is logarithmic (§6's cited analysis).
+template <typename Set>
+void prefill(Set& set, std::uint64_t key_range, double fraction,
+             std::uint64_t seed) {
+  const auto target = static_cast<std::uint64_t>(
+      fraction * static_cast<double>(key_range));
+  Xoshiro256 rng(seed ^ 0xabcdef1234567890ULL);
+  std::uint64_t inserted = 0;
+  while (inserted < target) {
+    if (set.insert(static_cast<typename Set::key_type>(
+            rng.next_below(key_range)))) {
+      ++inserted;
+    }
+  }
+}
+
+template <typename Set>
+WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
+  EFRB_ASSERT(cfg.threads > 0);
+  using Key = typename Set::key_type;
+
+  std::atomic<bool> stop{false};
+  YieldingBarrier start(static_cast<std::uint32_t>(cfg.threads) + 1);
+  std::vector<CachePadded<WorkloadResult>> per_thread(cfg.threads);
+
+  // Constructing the Zipf table is O(range); do it once, shared (read-only).
+  const UniformKeys uniform(cfg.key_range);
+  const ZipfKeys* zipf = nullptr;
+  ZipfKeys zipf_storage = cfg.zipf ? ZipfKeys(cfg.key_range, cfg.zipf_theta)
+                                   : ZipfKeys(1, 0.5);
+  if (cfg.zipf) zipf = &zipf_storage;
+
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.threads);
+  for (std::size_t tid = 0; tid < cfg.threads; ++tid) {
+    threads.emplace_back([&, tid] {
+      Xoshiro256 rng(cfg.seed + 0x1234 * (tid + 1));
+      WorkloadResult& local = per_thread[tid].value;
+      start.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        // A small batch per stop-flag check keeps the check off the hot path.
+        for (int batch = 0; batch < 64; ++batch) {
+          const std::uint64_t raw = zipf ? (*zipf)(rng) : uniform(rng);
+          const Key k = static_cast<Key>(raw);
+          switch (cfg.mix.sample(rng)) {
+            case OpType::kFind:
+              // The result must flow into state the compiler cannot discard,
+              // or a lock-guarded pure traversal gets dead-code-eliminated
+              // and the benchmark measures only the lock.
+              local.ok_finds += set.contains(k) ? 1 : 0;
+              ++local.finds;
+              break;
+            case OpType::kInsert:
+              local.ok_inserts += set.insert(k) ? 1 : 0;
+              ++local.inserts;
+              break;
+            case OpType::kErase:
+              local.ok_erases += set.erase(k) ? 1 : 0;
+              ++local.erases;
+              break;
+          }
+        }
+      }
+    });
+  }
+
+  start.arrive_and_wait();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(cfg.duration);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  WorkloadResult total;
+  for (const auto& p : per_thread) {
+    total.finds += p.value.finds;
+    total.inserts += p.value.inserts;
+    total.erases += p.value.erases;
+    total.ok_finds += p.value.ok_finds;
+    total.ok_inserts += p.value.ok_inserts;
+    total.ok_erases += p.value.ok_erases;
+  }
+  total.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return total;
+}
+
+}  // namespace efrb

@@ -1,0 +1,102 @@
+// Tests for BoundedKey / BoundedCompare: the paper's ∞₁/∞₂ key extension
+// (§4.1, Fig. 6). Every real key < ∞₁ < ∞₂; equal sentinels compare equal.
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <functional>
+#include <string>
+
+#include "core/bounded_key.hpp"
+
+namespace efrb {
+namespace {
+
+using IntKey = BoundedKey<int>;
+using IntCmp = BoundedCompare<int>;
+
+TEST(BoundedKeyTest, FactoryClasses) {
+  EXPECT_TRUE(IntKey::real(5).is_real());
+  EXPECT_FALSE(IntKey::inf1().is_real());
+  EXPECT_FALSE(IntKey::inf2().is_real());
+  EXPECT_EQ(IntKey::inf1().cls, KeyClass::kInf1);
+  EXPECT_EQ(IntKey::inf2().cls, KeyClass::kInf2);
+}
+
+TEST(BoundedCompareTest, RealKeysUseUserOrder) {
+  IntCmp cmp;
+  EXPECT_TRUE(cmp(IntKey::real(1), IntKey::real(2)));
+  EXPECT_FALSE(cmp(IntKey::real(2), IntKey::real(1)));
+  EXPECT_FALSE(cmp(IntKey::real(2), IntKey::real(2)));
+}
+
+TEST(BoundedCompareTest, EveryRealKeyBelowInf1) {
+  IntCmp cmp;
+  for (int k : {-1000000, -1, 0, 1, 1000000, INT_MAX}) {
+    EXPECT_TRUE(cmp(IntKey::real(k), IntKey::inf1())) << k;
+    EXPECT_FALSE(cmp(IntKey::inf1(), IntKey::real(k))) << k;
+  }
+}
+
+TEST(BoundedCompareTest, Inf1BelowInf2) {
+  IntCmp cmp;
+  EXPECT_TRUE(cmp(IntKey::inf1(), IntKey::inf2()));
+  EXPECT_FALSE(cmp(IntKey::inf2(), IntKey::inf1()));
+}
+
+TEST(BoundedCompareTest, EqualSentinelsCompareEqual) {
+  IntCmp cmp;
+  EXPECT_FALSE(cmp(IntKey::inf1(), IntKey::inf1()));
+  EXPECT_FALSE(cmp(IntKey::inf2(), IntKey::inf2()));
+}
+
+TEST(BoundedCompareTest, SearchKeyLess) {
+  IntCmp cmp;
+  EXPECT_TRUE(cmp.less(1, IntKey::real(2)));
+  EXPECT_FALSE(cmp.less(2, IntKey::real(2)));  // equal goes right
+  EXPECT_FALSE(cmp.less(3, IntKey::real(2)));
+  EXPECT_TRUE(cmp.less(INT_MAX, IntKey::inf1()));
+  EXPECT_TRUE(cmp.less(INT_MAX, IntKey::inf2()));
+}
+
+TEST(BoundedCompareTest, SearchKeyEquals) {
+  IntCmp cmp;
+  EXPECT_TRUE(cmp.equals(7, IntKey::real(7)));
+  EXPECT_FALSE(cmp.equals(7, IntKey::real(8)));
+  EXPECT_FALSE(cmp.equals(7, IntKey::inf1()));
+  EXPECT_FALSE(cmp.equals(7, IntKey::inf2()));
+}
+
+TEST(BoundedCompareTest, CustomComparatorIsRespected) {
+  // Reverse order: with greater<int>, 9 < 1 in tree order.
+  BoundedCompare<int, std::greater<int>> cmp;
+  EXPECT_TRUE(cmp(BoundedKey<int>::real(9), BoundedKey<int>::real(1)));
+  EXPECT_TRUE(cmp.less(9, BoundedKey<int>::real(1)));
+  // Sentinels still dominate regardless of the user order.
+  EXPECT_TRUE(cmp(BoundedKey<int>::real(-100), BoundedKey<int>::inf1()));
+}
+
+TEST(BoundedCompareTest, WorksWithStringKeys) {
+  BoundedCompare<std::string> cmp;
+  using SKey = BoundedKey<std::string>;
+  EXPECT_TRUE(cmp(SKey::real("apple"), SKey::real("banana")));
+  EXPECT_TRUE(cmp(SKey::real("zzzzz"), SKey::inf1()));
+  EXPECT_TRUE(cmp.equals("kiwi", SKey::real("kiwi")));
+}
+
+TEST(BoundedCompareTest, IsStrictWeakOrderOnSamples) {
+  IntCmp cmp;
+  const IntKey samples[] = {IntKey::real(-5), IntKey::real(0), IntKey::real(5),
+                            IntKey::inf1(), IntKey::inf2()};
+  for (const auto& a : samples) {
+    EXPECT_FALSE(cmp(a, a));  // irreflexive
+    for (const auto& b : samples) {
+      EXPECT_FALSE(cmp(a, b) && cmp(b, a));  // asymmetric
+      for (const auto& c : samples) {
+        if (cmp(a, b) && cmp(b, c)) { EXPECT_TRUE(cmp(a, c)); }  // transitive
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace efrb

@@ -1,0 +1,289 @@
+// Sequential semantics of the EFRB tree: the dictionary contract of §3
+// (insert returns false on duplicates, delete returns false on absent keys,
+// find reports membership), plus the map extension, ordered queries and
+// traversal. Typed across reclamation policies and key types.
+#include <gtest/gtest.h>
+
+#include "leak_check_opt_out.hpp"  // LeakyReclaimer / NaiveCasBst leak by design
+
+#include <algorithm>
+#include <climits>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/efrb_tree.hpp"
+#include "reclaim/reclaimer.hpp"
+#include "util/rng.hpp"
+
+namespace efrb {
+namespace {
+
+template <typename Reclaimer>
+class EfrbSequentialTest : public ::testing::Test {
+ protected:
+  EfrbTreeSet<int, std::less<int>, Reclaimer> tree_;
+};
+
+using Reclaimers = ::testing::Types<LeakyReclaimer, EpochReclaimer>;
+TYPED_TEST_SUITE(EfrbSequentialTest, Reclaimers);
+
+TYPED_TEST(EfrbSequentialTest, EmptyTreeBehaviour) {
+  EXPECT_TRUE(this->tree_.empty());
+  EXPECT_EQ(this->tree_.size(), 0u);
+  EXPECT_FALSE(this->tree_.contains(42));
+  EXPECT_FALSE(this->tree_.erase(42));
+  EXPECT_EQ(this->tree_.min_key(), std::nullopt);
+  EXPECT_EQ(this->tree_.max_key(), std::nullopt);
+}
+
+TYPED_TEST(EfrbSequentialTest, InsertThenFind) {
+  EXPECT_TRUE(this->tree_.insert(10));
+  EXPECT_TRUE(this->tree_.contains(10));
+  EXPECT_FALSE(this->tree_.contains(9));
+  EXPECT_FALSE(this->tree_.contains(11));
+  EXPECT_FALSE(this->tree_.empty());
+}
+
+TYPED_TEST(EfrbSequentialTest, DuplicateInsertReturnsFalse) {
+  EXPECT_TRUE(this->tree_.insert(5));
+  EXPECT_FALSE(this->tree_.insert(5));
+  EXPECT_EQ(this->tree_.size(), 1u);
+}
+
+TYPED_TEST(EfrbSequentialTest, EraseRemovesExactlyTheKey) {
+  for (int k : {3, 1, 4, 1, 5, 9, 2, 6}) this->tree_.insert(k);
+  EXPECT_TRUE(this->tree_.erase(4));
+  EXPECT_FALSE(this->tree_.contains(4));
+  EXPECT_FALSE(this->tree_.erase(4));  // second time: absent
+  for (int k : {3, 1, 5, 9, 2, 6}) EXPECT_TRUE(this->tree_.contains(k)) << k;
+}
+
+TYPED_TEST(EfrbSequentialTest, InsertEraseSingleKeyRepeatedly) {
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_TRUE(this->tree_.insert(7));
+    EXPECT_TRUE(this->tree_.contains(7));
+    EXPECT_TRUE(this->tree_.erase(7));
+    EXPECT_FALSE(this->tree_.contains(7));
+  }
+  EXPECT_TRUE(this->tree_.empty());
+  EXPECT_TRUE(this->tree_.validate().ok);
+}
+
+TYPED_TEST(EfrbSequentialTest, DrainToEmptyRestoresInitialShape) {
+  for (int k = 0; k < 32; ++k) this->tree_.insert(k);
+  for (int k = 0; k < 32; ++k) EXPECT_TRUE(this->tree_.erase(k));
+  EXPECT_TRUE(this->tree_.empty());
+  // Fig. 6(a): empty tree is root(∞₂) with leaves ∞₁, ∞₂ — one internal node.
+  const auto v = this->tree_.validate();
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.internals, 1u);
+  EXPECT_EQ(v.real_leaves, 0u);
+}
+
+TYPED_TEST(EfrbSequentialTest, AscendingInsertionStaysValid) {
+  for (int k = 0; k < 500; ++k) ASSERT_TRUE(this->tree_.insert(k));
+  const auto v = this->tree_.validate();
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.real_leaves, 500u);
+  // Leaf-oriented invariant: #internals = #leaves - 1 (counting sentinels).
+  EXPECT_EQ(v.internals, (500u + 2u) - 1u);
+}
+
+TYPED_TEST(EfrbSequentialTest, DescendingInsertionStaysValid) {
+  for (int k = 499; k >= 0; --k) ASSERT_TRUE(this->tree_.insert(k));
+  const auto v = this->tree_.validate();
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.real_leaves, 500u);
+}
+
+TYPED_TEST(EfrbSequentialTest, MinMaxTrackUpdates) {
+  this->tree_.insert(50);
+  this->tree_.insert(10);
+  this->tree_.insert(90);
+  EXPECT_EQ(this->tree_.min_key(), std::optional<int>(10));
+  EXPECT_EQ(this->tree_.max_key(), std::optional<int>(90));
+  this->tree_.erase(10);
+  EXPECT_EQ(this->tree_.min_key(), std::optional<int>(50));
+  this->tree_.erase(90);
+  EXPECT_EQ(this->tree_.max_key(), std::optional<int>(50));
+  this->tree_.erase(50);
+  EXPECT_EQ(this->tree_.min_key(), std::nullopt);
+}
+
+TYPED_TEST(EfrbSequentialTest, ForEachVisitsInOrder) {
+  const std::vector<int> keys = {42, 17, 99, 3, 64, 50, 8};
+  for (int k : keys) this->tree_.insert(k);
+  std::vector<int> visited;
+  this->tree_.for_each(
+      [&](const int& k, const auto&) { visited.push_back(k); });
+  std::vector<int> expected(keys);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(visited, expected);
+}
+
+TYPED_TEST(EfrbSequentialTest, NegativeAndExtremeKeys) {
+  for (int k : {INT_MIN, -100, 0, 100, INT_MAX}) {
+    EXPECT_TRUE(this->tree_.insert(k));
+  }
+  for (int k : {INT_MIN, -100, 0, 100, INT_MAX}) {
+    EXPECT_TRUE(this->tree_.contains(k));
+  }
+  EXPECT_EQ(this->tree_.min_key(), std::optional<int>(INT_MIN));
+  EXPECT_EQ(this->tree_.max_key(), std::optional<int>(INT_MAX));
+  EXPECT_TRUE(this->tree_.validate().ok);
+}
+
+TYPED_TEST(EfrbSequentialTest, RandomAgainstStdSetOracle) {
+  std::set<int> oracle;
+  Xoshiro256 rng(2024);
+  for (int i = 0; i < 10000; ++i) {
+    const int k = static_cast<int>(rng.next_below(300));
+    switch (rng.next_below(3)) {
+      case 0:
+        EXPECT_EQ(this->tree_.insert(k), oracle.insert(k).second);
+        break;
+      case 1:
+        EXPECT_EQ(this->tree_.erase(k), oracle.erase(k) != 0);
+        break;
+      default:
+        EXPECT_EQ(this->tree_.contains(k), oracle.count(k) != 0);
+    }
+  }
+  EXPECT_EQ(this->tree_.size(), oracle.size());
+  std::vector<int> visited;
+  this->tree_.for_each([&](const int& k, const auto&) { visited.push_back(k); });
+  EXPECT_TRUE(std::equal(visited.begin(), visited.end(), oracle.begin(),
+                         oracle.end()));
+  EXPECT_TRUE(this->tree_.validate().ok);
+}
+
+// ---------------------------------------------------------------------------
+// Generic key types and custom comparators.
+// ---------------------------------------------------------------------------
+
+TEST(EfrbKeyGenericityTest, StringKeys) {
+  EfrbTreeSet<std::string> tree;
+  EXPECT_TRUE(tree.insert("banana"));
+  EXPECT_TRUE(tree.insert("apple"));
+  EXPECT_TRUE(tree.insert("cherry"));
+  EXPECT_FALSE(tree.insert("apple"));
+  EXPECT_TRUE(tree.contains("banana"));
+  EXPECT_TRUE(tree.erase("banana"));
+  EXPECT_FALSE(tree.contains("banana"));
+  EXPECT_EQ(tree.min_key(), std::optional<std::string>("apple"));
+  EXPECT_EQ(tree.max_key(), std::optional<std::string>("cherry"));
+}
+
+TEST(EfrbKeyGenericityTest, ReverseComparator) {
+  EfrbTreeSet<int, std::greater<int>> tree;
+  for (int k : {1, 5, 3}) tree.insert(k);
+  // With greater<>, "min_key" is the first in tree order = the largest int.
+  EXPECT_EQ(tree.min_key(), std::optional<int>(5));
+  EXPECT_EQ(tree.max_key(), std::optional<int>(1));
+  EXPECT_TRUE(tree.validate().ok);
+}
+
+TEST(EfrbKeyGenericityTest, UnsignedKeys) {
+  EfrbTreeSet<std::uint64_t> tree;
+  tree.insert(0);
+  tree.insert(~std::uint64_t{0});
+  EXPECT_TRUE(tree.contains(0));
+  EXPECT_TRUE(tree.contains(~std::uint64_t{0}));
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Map semantics (auxiliary data in leaves, §3).
+// ---------------------------------------------------------------------------
+
+TEST(EfrbMapTest, GetReturnsStoredValue) {
+  EfrbTreeMap<int, std::string> map;
+  EXPECT_TRUE(map.insert(1, "one"));
+  EXPECT_TRUE(map.insert(2, "two"));
+  EXPECT_EQ(map.get(1), std::optional<std::string>("one"));
+  EXPECT_EQ(map.get(2), std::optional<std::string>("two"));
+  EXPECT_EQ(map.get(3), std::nullopt);
+}
+
+TEST(EfrbMapTest, InsertDoesNotOverwrite) {
+  EfrbTreeMap<int, int> map;
+  EXPECT_TRUE(map.insert(7, 100));
+  EXPECT_FALSE(map.insert(7, 200));
+  EXPECT_EQ(map.get(7), std::optional<int>(100));
+}
+
+TEST(EfrbMapTest, InsertOrAssignOverwrites) {
+  EfrbTreeMap<int, int> map;
+  EXPECT_TRUE(map.insert_or_assign(7, 100));   // new key
+  EXPECT_FALSE(map.insert_or_assign(7, 200));  // replaced
+  EXPECT_EQ(map.get(7), std::optional<int>(200));
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.validate().ok);
+}
+
+TEST(EfrbMapTest, EraseDropsValue) {
+  EfrbTreeMap<int, int> map;
+  map.insert(1, 11);
+  EXPECT_TRUE(map.erase(1));
+  EXPECT_EQ(map.get(1), std::nullopt);
+}
+
+TEST(EfrbMapTest, ValueSurvivesNeighbourChurn) {
+  EfrbTreeMap<int, int> map;
+  map.insert(500, 5000);
+  for (int i = 0; i < 200; ++i) {
+    map.insert(i, i);
+    map.insert(1000 - i, i);
+  }
+  for (int i = 0; i < 200; i += 2) {
+    map.erase(i);
+    map.erase(1000 - i);
+  }
+  EXPECT_EQ(map.get(500), std::optional<int>(5000));
+  EXPECT_TRUE(map.validate().ok);
+}
+
+TEST(EfrbMapTest, MoveOnlyFriendlyValueTypes) {
+  EfrbTreeMap<int, std::vector<int>> map;
+  map.insert(1, std::vector<int>{1, 2, 3});
+  auto v = map.get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Structural validation of validate() itself.
+// ---------------------------------------------------------------------------
+
+TEST(EfrbValidateTest, CountsAndHeight) {
+  EfrbTreeSet<int> tree;
+  const auto v0 = tree.validate();
+  EXPECT_TRUE(v0.ok);
+  EXPECT_EQ(v0.internals, 1u);
+  EXPECT_EQ(v0.real_leaves, 0u);
+  EXPECT_EQ(v0.height, 2u);  // root + leaves
+
+  for (int k = 0; k < 100; ++k) tree.insert(k);
+  const auto v = tree.validate();
+  EXPECT_TRUE(v.ok);
+  EXPECT_EQ(v.real_leaves, 100u);
+  EXPECT_EQ(v.internals, 101u);
+  EXPECT_GE(v.height, 8u);  // at least ceil(log2) + sentinel levels
+}
+
+TEST(EfrbValidateTest, RandomShapeHasLogarithmicExpectedHeight) {
+  EfrbTreeSet<int> tree;
+  Xoshiro256 rng(7);
+  int inserted = 0;
+  while (inserted < 4096) inserted += tree.insert(static_cast<int>(rng.next())) ? 1 : 0;
+  const auto v = tree.validate();
+  EXPECT_TRUE(v.ok);
+  // Random BSTs have expected height ~ 2.99 log2(n) (§6 cites [19]); allow
+  // generous slack while still catching degenerate (linear) shapes.
+  EXPECT_LT(v.height, 60u);
+}
+
+}  // namespace
+}  // namespace efrb

@@ -1,0 +1,171 @@
+// Property-based sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P): random operation
+// sequences over a grid of (key range, operation count, seed) parameters,
+// checking after every batch that
+//   * the tree agrees with a std::set oracle on every probe,
+//   * the structural invariants hold (BST order, leaf-oriented arithmetic),
+//   * for_each enumerates exactly the oracle in order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/efrb_tree.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace efrb {
+namespace {
+
+struct SweepParam {
+  std::uint64_t key_range;
+  int ops;
+  std::uint64_t seed;
+};
+
+class RandomOpsSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RandomOpsSweep, OracleAndInvariantsHold) {
+  const SweepParam p = GetParam();
+  EfrbTreeSet<int> tree;
+  std::set<int> oracle;
+  Xoshiro256 rng(p.seed);
+
+  const int check_every = std::max(p.ops / 8, 1);
+  for (int i = 0; i < p.ops; ++i) {
+    const int k = static_cast<int>(rng.next_below(p.key_range));
+    switch (rng.next_below(3)) {
+      case 0:
+        ASSERT_EQ(tree.insert(k), oracle.insert(k).second)
+            << "op " << i << " key " << k;
+        break;
+      case 1:
+        ASSERT_EQ(tree.erase(k), oracle.erase(k) != 0)
+            << "op " << i << " key " << k;
+        break;
+      default:
+        ASSERT_EQ(tree.contains(k), oracle.count(k) != 0)
+            << "op " << i << " key " << k;
+    }
+    if (i % check_every == check_every - 1) {
+      const auto v = tree.validate();
+      ASSERT_TRUE(v.ok) << "after op " << i << ": " << v.error;
+      ASSERT_EQ(v.real_leaves, oracle.size());
+      ASSERT_EQ(v.internals, v.real_leaves + 1);
+    }
+  }
+
+  std::vector<int> enumerated;
+  tree.for_each([&](const int& k, const auto&) { enumerated.push_back(k); });
+  ASSERT_EQ(enumerated.size(), oracle.size());
+  EXPECT_TRUE(std::equal(enumerated.begin(), enumerated.end(), oracle.begin()));
+  if (!oracle.empty()) {
+    EXPECT_EQ(tree.min_key(), std::optional<int>(*oracle.begin()));
+    EXPECT_EQ(tree.max_key(), std::optional<int>(*oracle.rbegin()));
+  } else {
+    EXPECT_EQ(tree.min_key(), std::nullopt);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KeyRangeGrid, RandomOpsSweep,
+    ::testing::Values(
+        SweepParam{2, 2000, 1},      // pathological: near-constant collisions
+        SweepParam{8, 4000, 2},      //
+        SweepParam{64, 6000, 3},     //
+        SweepParam{64, 6000, 4},     // same range, different seed
+        SweepParam{1024, 8000, 5},   //
+        SweepParam{1024, 8000, 6},   //
+        SweepParam{65536, 8000, 7},  // sparse: mostly misses
+        SweepParam{65536, 8000, 8}),
+    [](const auto& info) {
+      return "range" + std::to_string(info.param.key_range) + "_ops" +
+             std::to_string(info.param.ops) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+// ---------------------------------------------------------------------------
+// Concurrent parameter sweep: thread count x key range, parity oracle.
+// ---------------------------------------------------------------------------
+
+struct ConcParam {
+  unsigned threads;
+  std::uint64_t key_range;
+};
+
+class ConcurrentSweep : public ::testing::TestWithParam<ConcParam> {};
+
+TEST_P(ConcurrentSweep, ParityOracleAcrossGrid) {
+  const ConcParam p = GetParam();
+  EfrbTreeSet<int> tree;
+  std::vector<std::atomic<std::uint64_t>> flips(p.key_range);
+
+  run_threads(p.threads, [&](std::size_t tid) {
+    Xoshiro256 rng(tid * 1000003 + p.key_range);
+    const int ops = 24000 / static_cast<int>(p.threads);
+    for (int i = 0; i < ops; ++i) {
+      const auto k = rng.next_below(p.key_range);
+      if (rng.next_below(2) == 0) {
+        if (tree.insert(static_cast<int>(k))) flips[k].fetch_add(1);
+      } else {
+        if (tree.erase(static_cast<int>(k))) flips[k].fetch_add(1);
+      }
+    }
+  });
+
+  for (std::uint64_t k = 0; k < p.key_range; ++k) {
+    ASSERT_EQ(tree.contains(static_cast<int>(k)), (flips[k].load() % 2) == 1)
+        << "key " << k;
+  }
+  const auto v = tree.validate();
+  ASSERT_TRUE(v.ok) << v.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsByRange, ConcurrentSweep,
+    ::testing::Values(ConcParam{2, 4}, ConcParam{2, 256}, ConcParam{4, 4},
+                      ConcParam{4, 64}, ConcParam{4, 1024}, ConcParam{8, 16},
+                      ConcParam{8, 512}),
+    [](const auto& info) {
+      return "t" + std::to_string(info.param.threads) + "_range" +
+             std::to_string(info.param.key_range);
+    });
+
+// ---------------------------------------------------------------------------
+// Idempotence / inverse properties.
+// ---------------------------------------------------------------------------
+
+class KeyRangeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KeyRangeProperty, InsertEraseIsIdentity) {
+  const std::uint64_t range = GetParam();
+  EfrbTreeSet<int> tree;
+  Xoshiro256 rng(range);
+  // Start from a random base population.
+  std::set<int> base;
+  for (int i = 0; i < 200; ++i) {
+    const int k = static_cast<int>(rng.next_below(range));
+    if (tree.insert(k)) base.insert(k);
+  }
+  const auto v_before = tree.validate();
+  // Do-and-undo 500 random fresh keys: final membership must equal the base.
+  for (int i = 0; i < 500; ++i) {
+    const int k = static_cast<int>(rng.next_below(range));
+    const bool was_new = tree.insert(k);
+    if (was_new) { ASSERT_TRUE(tree.erase(k)); }
+  }
+  const auto v_after = tree.validate();
+  ASSERT_TRUE(v_after.ok) << v_after.error;
+  EXPECT_EQ(v_after.real_leaves, v_before.real_leaves);
+  for (int k : base) EXPECT_TRUE(tree.contains(k)) << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, KeyRangeProperty,
+                         ::testing::Values(4, 16, 256, 4096, 1 << 20));
+
+}  // namespace
+}  // namespace efrb

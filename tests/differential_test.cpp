@@ -1,0 +1,100 @@
+// Differential testing: every dictionary implementation in the repository is
+// driven through the SAME pseudo-random operation sequence and must return
+// bit-identical results at every step. A divergence pins the bug to a single
+// implementation rather than to the harness or the oracle.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "baselines/coarse_bst.hpp"
+#include "baselines/cow_bst.hpp"
+#include "baselines/finelock_bst.hpp"
+#include "baselines/harris_list.hpp"
+#include "baselines/locked_map.hpp"
+#include "baselines/skiplist.hpp"
+#include "core/debug_hooks.hpp"
+#include "core/efrb_tree.hpp"
+#include "util/rng.hpp"
+
+namespace efrb {
+namespace {
+
+struct Step {
+  int op;  // 0 = insert, 1 = erase, 2 = contains
+  int key;
+};
+
+std::vector<Step> make_script(std::uint64_t seed, int n,
+                              std::uint64_t range) {
+  std::vector<Step> script;
+  script.reserve(static_cast<std::size_t>(n));
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < n; ++i) {
+    script.push_back(Step{static_cast<int>(rng.next_below(3)),
+                          static_cast<int>(rng.next_below(range))});
+  }
+  return script;
+}
+
+template <typename Set>
+std::vector<bool> run_script(const std::vector<Step>& script) {
+  Set s;
+  std::vector<bool> results;
+  results.reserve(script.size());
+  for (const Step& step : script) {
+    switch (step.op) {
+      case 0: results.push_back(s.insert(step.key)); break;
+      case 1: results.push_back(s.erase(step.key)); break;
+      default: results.push_back(s.contains(step.key));
+    }
+  }
+  return results;
+}
+
+class DifferentialSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(DifferentialSweep, AllImplementationsAgreeStepByStep) {
+  const auto [seed, range] = GetParam();
+  const auto script = make_script(seed, 4000, range);
+
+  const auto reference = run_script<EfrbTreeSet<int>>(script);
+  const struct {
+    const char* name;
+    std::vector<bool> results;
+  } others[] = {
+      {"efrb-helping-search",
+       run_script<EfrbTreeSet<int, std::less<int>, EpochReclaimer,
+                              HelpingSearchTraits>>(script)},
+      {"coarse", run_script<CoarseLockBst<int>>(script)},
+      {"finelock", run_script<FineLockBst<int>>(script)},
+      {"stdmap", run_script<LockedStdSet<int>>(script)},
+      {"harris", run_script<HarrisList<int>>(script)},
+      {"skiplist", run_script<LockFreeSkipList<int>>(script)},
+      {"cow", run_script<CowBst<int>>(script)},
+  };
+
+  for (const auto& other : others) {
+    ASSERT_EQ(other.results.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(other.results[i], reference[i])
+          << other.name << " diverges at step " << i << " (op "
+          << script[i].op << " key " << script[i].key << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByRange, DifferentialSweep,
+    ::testing::Values(std::make_tuple(1, 8), std::make_tuple(2, 8),
+                      std::make_tuple(3, 128), std::make_tuple(4, 128),
+                      std::make_tuple(5, 4096), std::make_tuple(6, 4096)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_range" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace efrb

@@ -1,0 +1,221 @@
+// Deterministic tests of the helping protocol (§3's "conservative helping
+// strategy"): each test freezes one operation between two of its CAS steps
+// (via the pause hooks) and lets a second operation run into the flag/mark,
+// forcing the specific helping branch of the pseudocode:
+//
+//   * line 51:  Insert helps an in-flight Insert holding the parent's IFlag
+//   * line 77:  Delete helps an in-flight Delete holding the grandparent's DFlag
+//   * line 78:  Delete/Insert help a Mark (completing the removal)
+//   * line 92-98: a Delete whose mark CAS fails backtracks and retries
+//     (the doomed-Delete scenario of Fig. 5)
+//
+// The frozen thread then resumes; its remaining CAS steps must fail benignly
+// (the helper already performed them) and its operation still reports success.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/debug_hooks.hpp"
+#include "core/efrb_tree.hpp"
+#include "util/barrier.hpp"
+
+namespace efrb {
+namespace {
+
+using HookedTree = EfrbTreeSet<int, std::less<int>, EpochReclaimer, CallbackTraits>;
+
+/// Per-thread role so the global hook can target one thread only.
+thread_local int g_role = 0;
+
+/// Pause `role` at `point` (first hit only): releases `reached`, then blocks
+/// until `resume`.
+struct PausePlan {
+  int role;
+  HookPoint point;
+  YieldingBarrier reached{2};
+  YieldingBarrier resume{2};
+  std::atomic<bool> armed{true};
+
+  void install() {
+    CallbackTraits::at_fn = [this](HookPoint p) {
+      if (g_role == role && p == point &&
+          armed.exchange(false, std::memory_order_acq_rel)) {
+        reached.arrive_and_wait();
+        resume.arrive_and_wait();
+      }
+    };
+  }
+  ~PausePlan() { CallbackTraits::reset(); }
+};
+
+TEST(HelpingTest, InsertHelpsBlockedInsert_Line51) {
+  HookedTree t;
+  PausePlan plan{.role = 1, .point = HookPoint::kAfterIFlag};
+  plan.install();
+
+  std::thread frozen([&] {
+    g_role = 1;
+    EXPECT_TRUE(t.insert(10));  // freezes right after its iflag CAS
+    g_role = 0;
+  });
+
+  plan.reached.arrive_and_wait();  // tree root now flagged IFlag by `frozen`
+  // This insert reaches the same parent, sees the IFlag (line 51), helps the
+  // frozen insert to completion, then performs its own.
+  EXPECT_TRUE(t.insert(20));
+  EXPECT_TRUE(t.contains(10)) << "helper must have completed the frozen insert";
+  plan.resume.arrive_and_wait();
+  frozen.join();
+
+  EXPECT_TRUE(t.contains(10));
+  EXPECT_TRUE(t.contains(20));
+  const auto v = t.validate();
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.real_leaves, 2u);
+  EXPECT_GE(t.stats().helps, 1u);
+}
+
+TEST(HelpingTest, DeleteHelpsBlockedDelete_Line77) {
+  HookedTree t;
+  t.insert(10);
+  t.insert(20);
+  PausePlan plan{.role = 1, .point = HookPoint::kAfterDFlag};
+  plan.install();
+
+  std::thread frozen([&] {
+    g_role = 1;
+    EXPECT_TRUE(t.erase(10));  // freezes holding the grandparent's DFlag
+    g_role = 0;
+  });
+
+  plan.reached.arrive_and_wait();
+  // erase(20) shares the flagged grandparent on its path; gpupdate != Clean
+  // (line 77) forces it to help the frozen delete first.
+  EXPECT_TRUE(t.erase(20));
+  EXPECT_FALSE(t.contains(10)) << "helper must have completed the frozen delete";
+  plan.resume.arrive_and_wait();
+  frozen.join();
+
+  EXPECT_FALSE(t.contains(10));
+  EXPECT_FALSE(t.contains(20));
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.validate().ok);
+  EXPECT_GE(t.stats().helps, 1u);
+}
+
+TEST(HelpingTest, InsertHelpsMarkedNode_Line78Path) {
+  HookedTree t;
+  t.insert(10);
+  t.insert(20);
+  // Freeze the delete after its mark CAS, before the dchild CAS: the parent
+  // of leaf 10 is now terminally marked but still in the tree.
+  PausePlan plan{.role = 1, .point = HookPoint::kBeforeDChild};
+  plan.install();
+
+  std::thread frozen([&] {
+    g_role = 1;
+    EXPECT_TRUE(t.erase(10));
+    g_role = 0;
+  });
+
+  plan.reached.arrive_and_wait();
+  // insert(15) searches through the marked internal node; its parent check
+  // finds a non-Clean update word and helps complete the splice.
+  EXPECT_TRUE(t.insert(15));
+  plan.resume.arrive_and_wait();
+  frozen.join();
+
+  EXPECT_FALSE(t.contains(10));
+  EXPECT_TRUE(t.contains(15));
+  EXPECT_TRUE(t.contains(20));
+  EXPECT_TRUE(t.validate().ok);
+}
+
+TEST(HelpingTest, DoomedDeleteBacktracksAndRetries_Fig5) {
+  HookedTree t;
+  t.insert(10);
+  t.insert(20);
+  // Freeze erase(10) after its dflag on the grandparent but before the mark
+  // CAS on the parent. A concurrent insert(15) then flags/changes the parent,
+  // so the frozen delete's mark CAS must fail (its pupdate snapshot is stale)
+  // -> backtrack CAS -> retry from scratch (lines 92-98); the retry succeeds.
+  PausePlan plan{.role = 1, .point = HookPoint::kAfterDFlag};
+  plan.install();
+
+  std::thread frozen([&] {
+    g_role = 1;
+    EXPECT_TRUE(t.erase(10));  // must still succeed via its retry
+    g_role = 0;
+  });
+
+  plan.reached.arrive_and_wait();
+  // The parent of leaf 10 (key-20 internal) is NOT flagged — only the
+  // grandparent is. insert(15) lands on that parent and wins it.
+  EXPECT_TRUE(t.insert(15));
+  plan.resume.arrive_and_wait();
+  frozen.join();
+
+  EXPECT_FALSE(t.contains(10));
+  EXPECT_TRUE(t.contains(15));
+  EXPECT_TRUE(t.contains(20));
+  EXPECT_TRUE(t.validate().ok);
+  EXPECT_GE(t.stats().backtracks, 1u)
+      << "the doomed delete should have taken the backtrack edge of Fig. 4";
+}
+
+TEST(HelpingTest, FrozenThreadsRemainingStepsFailBenignly) {
+  // After being helped, the frozen operation performs its ichild/iunflag CAS
+  // steps against already-changed words: they must fail without corrupting
+  // the tree and without double-retiring (ASan would catch a double free).
+  for (int round = 0; round < 10; ++round) {
+    HookedTree t;
+    PausePlan plan{.role = 1, .point = HookPoint::kAfterIFlag};
+    plan.install();
+    std::thread frozen([&] {
+      g_role = 1;
+      EXPECT_TRUE(t.insert(1));
+      g_role = 0;
+    });
+    plan.reached.arrive_and_wait();
+    EXPECT_TRUE(t.insert(2));
+    EXPECT_TRUE(t.erase(1));  // even delete what the helper just inserted
+    plan.resume.arrive_and_wait();
+    frozen.join();
+    EXPECT_FALSE(t.contains(1));
+    EXPECT_TRUE(t.contains(2));
+    EXPECT_TRUE(t.validate().ok);
+    CallbackTraits::reset();
+  }
+}
+
+TEST(HelpingTest, FindNeverHelps) {
+  // §3: "Find operations ... never help any other operation." Freeze an
+  // insert mid-flight; a Find through the flagged region must complete and
+  // must not perform the frozen op's remaining steps.
+  HookedTree t;
+  t.insert(5);
+  PausePlan plan{.role = 1, .point = HookPoint::kAfterIFlag};
+  plan.install();
+
+  std::thread frozen([&] {
+    g_role = 1;
+    EXPECT_TRUE(t.insert(10));
+    g_role = 0;
+  });
+
+  plan.reached.arrive_and_wait();
+  // The insert's iflag is installed but its ichild CAS has not run: the key
+  // must NOT be visible, and this lookup must terminate without helping.
+  EXPECT_FALSE(t.contains(10));
+  EXPECT_TRUE(t.contains(5));
+  const auto helps_before = t.stats().helps;
+  EXPECT_FALSE(t.contains(10));
+  EXPECT_EQ(t.stats().helps, helps_before);
+  plan.resume.arrive_and_wait();
+  frozen.join();
+  EXPECT_TRUE(t.contains(10));
+}
+
+}  // namespace
+}  // namespace efrb

@@ -1,0 +1,252 @@
+// Linearizability checking: first unit-test the checker itself on hand-built
+// histories with known verdicts, then record real concurrent histories from
+// the EFRB tree (and, as a control, from the intentionally broken naive tree)
+// and check them.
+#include <gtest/gtest.h>
+
+#include "leak_check_opt_out.hpp"  // LeakyReclaimer / NaiveCasBst leak by design
+
+#include <atomic>
+#include <vector>
+
+#include "baselines/naive_cas_bst.hpp"
+#include "core/efrb_tree.hpp"
+#include "lincheck/checker.hpp"
+#include "lincheck/history.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace efrb {
+namespace {
+
+using lincheck::Checker;
+using lincheck::History;
+using lincheck::Operation;
+using lincheck::Recorder;
+
+Operation op(OpType t, std::uint64_t k, bool r, std::uint64_t inv,
+             std::uint64_t res, unsigned thread = 0) {
+  return Operation{t, k, r, inv, res, thread};
+}
+
+TEST(CheckerUnitTest, EmptyHistoryIsLinearizable) {
+  EXPECT_TRUE(Checker::check({}));
+}
+
+TEST(CheckerUnitTest, SequentialLegalHistory) {
+  History h = {
+      op(OpType::kInsert, 1, true, 0, 1),
+      op(OpType::kFind, 1, true, 2, 3),
+      op(OpType::kErase, 1, true, 4, 5),
+      op(OpType::kFind, 1, false, 6, 7),
+  };
+  EXPECT_TRUE(Checker::check(h));
+}
+
+TEST(CheckerUnitTest, SequentialIllegalHistory) {
+  // Find(1)=true before any insert: not linearizable from the empty set.
+  History h = {
+      op(OpType::kFind, 1, true, 0, 1),
+      op(OpType::kInsert, 1, true, 2, 3),
+  };
+  EXPECT_FALSE(Checker::check(h));
+}
+
+TEST(CheckerUnitTest, RealTimeOrderIsRespected) {
+  // Insert(1) completed strictly before Find(1) started; Find must see it.
+  History h = {
+      op(OpType::kInsert, 1, true, 0, 1, 0),
+      op(OpType::kFind, 1, false, 2, 3, 1),
+  };
+  EXPECT_FALSE(Checker::check(h));
+}
+
+TEST(CheckerUnitTest, OverlapPermitsEitherOrder) {
+  // Find overlaps the Insert: both outcomes are linearizable.
+  History sees = {
+      op(OpType::kInsert, 1, true, 0, 3, 0),
+      op(OpType::kFind, 1, true, 1, 2, 1),
+  };
+  History misses = {
+      op(OpType::kInsert, 1, true, 0, 3, 0),
+      op(OpType::kFind, 1, false, 1, 2, 1),
+  };
+  EXPECT_TRUE(Checker::check(sees));
+  EXPECT_TRUE(Checker::check(misses));
+}
+
+TEST(CheckerUnitTest, DoubleSuccessfulInsertNotLinearizable) {
+  // Two non-overlapping successful inserts of the same key with no erase
+  // between them cannot be linearized.
+  History h = {
+      op(OpType::kInsert, 5, true, 0, 1, 0),
+      op(OpType::kInsert, 5, true, 2, 3, 1),
+  };
+  EXPECT_FALSE(Checker::check(h));
+}
+
+TEST(CheckerUnitTest, ConcurrentInsertsOneMustFail) {
+  // Overlapping: one true one false is fine; both true is not.
+  History ok = {
+      op(OpType::kInsert, 5, true, 0, 3, 0),
+      op(OpType::kInsert, 5, false, 1, 2, 1),
+  };
+  History bad = {
+      op(OpType::kInsert, 5, true, 0, 3, 0),
+      op(OpType::kInsert, 5, true, 1, 2, 1),
+  };
+  EXPECT_TRUE(Checker::check(ok));
+  EXPECT_FALSE(Checker::check(bad));
+}
+
+TEST(CheckerUnitTest, LostDeleteShapeIsRejected) {
+  // The Fig. 3(b) anomaly expressed as a history: Delete(E)=true completes,
+  // then a later Find(E)=true with nothing re-inserting E.
+  History h = {
+      op(OpType::kInsert, 4, true, 0, 1, 0),
+      op(OpType::kErase, 4, true, 2, 3, 0),
+      op(OpType::kFind, 4, true, 4, 5, 1),
+  };
+  EXPECT_FALSE(Checker::check(h));
+}
+
+TEST(CheckerUnitTest, InitialStatePropagates) {
+  // With key 3 initially present, Find(3)=true is legal without an insert.
+  History h = {op(OpType::kFind, 3, true, 0, 1)};
+  EXPECT_TRUE(Checker::check(h, /*initial=*/std::uint64_t{1} << 3));
+  EXPECT_FALSE(Checker::check(h, /*initial=*/0));
+}
+
+TEST(CheckerUnitTest, TrickyInterleavingNeedsSearch) {
+  // Three overlapping ops where only one ordering is legal:
+  // Erase(2)=true requires Insert(2) first; Find(2)=false must go before the
+  // insert or after the erase.
+  History h = {
+      op(OpType::kInsert, 2, true, 0, 10, 0),
+      op(OpType::kErase, 2, true, 1, 9, 1),
+      op(OpType::kFind, 2, false, 2, 8, 2),
+  };
+  EXPECT_TRUE(Checker::check(h));
+}
+
+TEST(CheckerWindowTest, SplitsAtQuiescence) {
+  // Three bursts separated by quiescent gaps; 30 ops total exceeds kMaxWindow
+  // but each burst fits. Each burst inserts then erases keys 0..4, leaving
+  // the state empty at every cut.
+  History h;
+  std::uint64_t ts = 0;
+  for (int burst = 0; burst < 3; ++burst) {
+    for (std::uint64_t k = 0; k < 5; ++k) {
+      h.push_back(op(OpType::kInsert, k, true, ts, ts + 1));
+      ts += 2;
+      h.push_back(op(OpType::kErase, k, true, ts, ts + 1));
+      ts += 2;
+    }
+  }
+  ASSERT_GT(h.size(), Checker::kMaxWindow);
+  const auto r = Checker::check_windowed(h);
+  EXPECT_EQ(r.windows_skipped, 0u);
+  EXPECT_GE(r.windows_checked, 3u);
+  EXPECT_TRUE(r.linearizable);
+}
+
+TEST(CheckerWindowTest, StateThreadsAcrossWindows) {
+  History h = {
+      op(OpType::kInsert, 1, true, 0, 1),   // window 1
+      op(OpType::kFind, 1, true, 10, 11),   // window 2: must see the insert
+  };
+  EXPECT_TRUE(Checker::check_windowed(h).linearizable);
+  History bad = {
+      op(OpType::kInsert, 1, true, 0, 1),
+      op(OpType::kFind, 1, false, 10, 11),
+  };
+  EXPECT_FALSE(Checker::check_windowed(bad).linearizable);
+}
+
+// ---------------------------------------------------------------------------
+// Recorded histories from the real tree.
+// ---------------------------------------------------------------------------
+
+template <typename SetT>
+History record_bursts(SetT& set, unsigned threads, int bursts,
+                      int ops_per_burst, std::uint64_t key_range,
+                      std::uint64_t seed) {
+  Recorder rec(threads);
+  for (int b = 0; b < bursts; ++b) {
+    run_threads(threads, [&](std::size_t tid) {
+      Xoshiro256 rng(seed + tid * 101 + static_cast<std::uint64_t>(b) * 7);
+      for (int i = 0; i < ops_per_burst; ++i) {
+        const std::uint64_t k = rng.next_below(key_range);
+        const auto t0 = rec.now();
+        switch (rng.next_below(3)) {
+          case 0:
+            rec.record(static_cast<unsigned>(tid), OpType::kInsert, k,
+                       set.insert(static_cast<int>(k)), t0);
+            break;
+          case 1:
+            rec.record(static_cast<unsigned>(tid), OpType::kErase, k,
+                       set.erase(static_cast<int>(k)), t0);
+            break;
+          default:
+            rec.record(static_cast<unsigned>(tid), OpType::kFind, k,
+                       set.contains(static_cast<int>(k)), t0);
+        }
+      }
+    });  // join = quiescent point between bursts
+  }
+  return rec.collect();
+}
+
+TEST(EfrbLinearizabilityTest, RecordedHistoriesAreLinearizable) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    EfrbTreeSet<int> t;
+    History h = record_bursts(t, /*threads=*/3, /*bursts=*/60,
+                              /*ops_per_burst=*/4, /*key_range=*/6, seed);
+    const auto r = Checker::check_windowed(h);
+    EXPECT_TRUE(r.linearizable) << "seed " << seed;
+    EXPECT_EQ(r.windows_skipped, 0u);
+    EXPECT_GE(r.windows_checked, 1u);
+  }
+}
+
+TEST(EfrbLinearizabilityTest, HighContentionSingleKey) {
+  EfrbTreeSet<int> t;
+  History h = record_bursts(t, /*threads=*/4, /*bursts=*/40,
+                            /*ops_per_burst=*/3, /*key_range=*/1, 99);
+  const auto r = Checker::check_windowed(h);
+  EXPECT_TRUE(r.linearizable);
+}
+
+TEST(NaiveLinearizabilityTest, BrokenScheduleProducesNonLinearizableHistory) {
+  // Drive the naive tree through the Fig. 3(b) schedule while recording; the
+  // checker must reject the resulting history. (The two "concurrent" deletes
+  // are made to overlap by recording their invocations before both commits.)
+  NaiveCasBst<int> t;
+  Recorder rec(2);
+  for (int k : {1, 3, 5, 8}) {  // recorded so the checker knows the prefill
+    const auto inv = rec.now();
+    rec.record(0, OpType::kInsert, static_cast<std::uint64_t>(k), t.insert(k),
+               inv);
+  }
+
+  auto del_c = t.prepare_erase(3);
+  auto del_e = t.prepare_erase(5);
+  const auto inv_c = rec.now();
+  const auto inv_e = rec.now();
+  const bool ok_c = t.commit(del_c);
+  const bool ok_e = t.commit(del_e);
+  rec.record(0, OpType::kErase, 3, ok_c, inv_c);
+  rec.record(1, OpType::kErase, 5, ok_e, inv_e);
+  // Post-quiescence find observes the anomaly.
+  const auto inv_f = rec.now();
+  rec.record(0, OpType::kFind, 5, t.contains(5), inv_f);
+
+  ASSERT_TRUE(ok_c);
+  ASSERT_TRUE(ok_e);
+  const auto r = Checker::check_windowed(rec.collect());
+  EXPECT_FALSE(r.linearizable)
+      << "the lost-delete history must be rejected by the checker";
+}
+
+}  // namespace
+}  // namespace efrb

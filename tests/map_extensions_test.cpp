@@ -1,0 +1,121 @@
+// Tests for the map extensions beyond the paper: replace() (atomic
+// compare-and-replace on a value) and get_or_insert(). The concurrent
+// replace() test is the classic CAS-counter: the final value must equal the
+// number of successful replacements — any lost or phantom update breaks the
+// equality.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "core/efrb_tree.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace efrb {
+namespace {
+
+TEST(ReplaceTest, SequentialSemantics) {
+  EfrbTreeMap<int, int> m;
+  EXPECT_FALSE(m.replace(1, 0, 10)) << "absent key";
+  m.insert(1, 5);
+  EXPECT_FALSE(m.replace(1, 4, 10)) << "wrong expected value";
+  EXPECT_EQ(m.get(1), std::optional<int>(5));
+  EXPECT_TRUE(m.replace(1, 5, 10));
+  EXPECT_EQ(m.get(1), std::optional<int>(10));
+  EXPECT_FALSE(m.replace(1, 5, 99)) << "stale expected value";
+  EXPECT_EQ(m.get(1), std::optional<int>(10));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.validate().ok);
+}
+
+TEST(ReplaceTest, StringValues) {
+  EfrbTreeMap<int, std::string> m;
+  m.insert(7, "alpha");
+  EXPECT_TRUE(m.replace(7, "alpha", "beta"));
+  EXPECT_FALSE(m.replace(7, "alpha", "gamma"));
+  EXPECT_EQ(m.get(7), std::optional<std::string>("beta"));
+}
+
+TEST(ReplaceTest, ConcurrentCasCounter) {
+  // Each thread increments the value at key 0 via read + replace; the final
+  // value must equal the total number of successful replacements — the
+  // defining property of an atomic compare-and-swap.
+  EfrbTreeMap<int, std::uint64_t> m;
+  m.insert(0, 0);
+  std::atomic<std::uint64_t> successes{0};
+  run_threads(6, [&](std::size_t) {
+    for (int i = 0; i < 2000; ++i) {
+      const auto cur = m.get(0);
+      ASSERT_TRUE(cur.has_value());
+      if (m.replace(0, *cur, *cur + 1)) {
+        successes.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EXPECT_EQ(m.get(0), std::optional<std::uint64_t>(successes.load()));
+  EXPECT_TRUE(m.validate().ok);
+}
+
+TEST(ReplaceTest, ConcurrentWithEraseNeverCorrupts) {
+  // replace() racing erase/insert on the same key: any outcome is fine per
+  // call, but the stored value must always be one that some thread wrote.
+  EfrbTreeMap<int, std::uint64_t> m;
+  constexpr std::uint64_t kTag = 0x5000000000000000ULL;
+  run_threads(4, [&](std::size_t tid) {
+    Xoshiro256 rng(tid + 2);
+    for (int i = 0; i < 4000; ++i) {
+      switch (rng.next_below(4)) {
+        case 0:
+          m.insert(3, kTag | rng.next_below(1000));
+          break;
+        case 1:
+          m.erase(3);
+          break;
+        case 2: {
+          const auto cur = m.get(3);
+          if (cur.has_value()) m.replace(3, *cur, kTag | rng.next_below(1000));
+          break;
+        }
+        default: {
+          const auto v = m.get(3);
+          if (v.has_value()) {
+            ASSERT_EQ(*v & 0xF000000000000000ULL, kTag) << "phantom value";
+          }
+        }
+      }
+    }
+  });
+  EXPECT_TRUE(m.validate().ok);
+}
+
+TEST(GetOrInsertTest, SequentialSemantics) {
+  EfrbTreeMap<int, int> m;
+  EXPECT_EQ(m.get_or_insert(1, 100), 100);  // inserted
+  EXPECT_EQ(m.get_or_insert(1, 200), 100);  // existing wins
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(GetOrInsertTest, ConcurrentSingleWinnerPerKey) {
+  // Threads race get_or_insert with distinct values; all callers for a key
+  // must observe the SAME value while the key is never erased.
+  EfrbTreeMap<int, std::uint64_t> m;
+  constexpr int kKeys = 16;
+  std::atomic<std::uint64_t> observed[kKeys] = {};
+  run_threads(6, [&](std::size_t tid) {
+    Xoshiro256 rng(tid + 9);
+    for (int i = 0; i < 3000; ++i) {
+      const int k = static_cast<int>(rng.next_below(kKeys));
+      const std::uint64_t mine = (tid + 1) * 1000 + static_cast<std::uint64_t>(k);
+      const std::uint64_t got = m.get_or_insert(k, mine);
+      std::uint64_t expected = 0;
+      if (!observed[k].compare_exchange_strong(expected, got)) {
+        ASSERT_EQ(got, expected) << "two different winners for key " << k;
+      }
+    }
+  });
+  EXPECT_TRUE(m.validate().ok);
+}
+
+}  // namespace
+}  // namespace efrb

@@ -1,0 +1,83 @@
+// Tests for the benchmark table printer (workload/report.hpp): alignment,
+// formatting, and robustness to ragged rows — the experiment binaries' output
+// contract that EXPERIMENTS.md quotes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "workload/report.hpp"
+
+namespace efrb {
+namespace {
+
+std::string render(const Table& table) {
+  std::FILE* f = std::tmpfile();
+  table.print(f);
+  std::fflush(f);
+  std::rewind(f);
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+TEST(TableTest, HeaderAndSeparatorPresent) {
+  Table t({"alpha", "beta"});
+  t.add_row({"1", "2"});
+  const std::string out = render(t);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find('1'), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAlignAcrossRows) {
+  Table t({"name", "value"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-name", "22"});
+  const std::string out = render(t);
+  // Find the column offset of "value" in the header; "1" and "22" must start
+  // at the same offset on their rows.
+  std::size_t line_start = 0;
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i <= out.size(); ++i) {
+    if (i == out.size() || out[i] == '\n') {
+      lines.push_back(out.substr(line_start, i - line_start));
+      line_start = i + 1;
+    }
+  }
+  ASSERT_GE(lines.size(), 4u);
+  const std::size_t value_col = lines[0].find("value");
+  EXPECT_EQ(lines[2].find('1'), value_col);
+  EXPECT_EQ(lines[3].find("22"), value_col);
+}
+
+TEST(TableTest, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.14159, 0), "3");
+  EXPECT_EQ(Table::fmt(1234.5, 1), "1234.5");
+  EXPECT_EQ(Table::fmt(0.0, 2), "0.00");
+}
+
+TEST(TableTest, EmptyTablePrintsHeaderOnly) {
+  Table t({"only", "headers"});
+  const std::string out = render(t);
+  EXPECT_NE(out.find("only"), std::string::npos);
+  EXPECT_EQ(out.find("no such cell"), std::string::npos);
+}
+
+TEST(TableTest, RaggedRowsDoNotCrash) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});            // fewer cells than headers
+  t.add_row({"1", "2", "3"});
+  const std::string out = render(t);
+  EXPECT_NE(out.find('3'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace efrb

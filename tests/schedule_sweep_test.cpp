@@ -1,0 +1,204 @@
+// Systematic two-thread schedule exploration.
+//
+// The pause hooks fire at every boundary between protocol steps. For a fixed
+// initial tree and a fixed operation A, the sequence of hook hits A produces
+// when run alone is deterministic — call its length H. For every N in 1..H we
+// rebuild the identical tree, freeze A at its N-th hook hit, run operation B
+// to completion, resume A, and verify the outcome against the per-key parity
+// oracle computed from the two operations' actual return values. This covers
+// every "A is preempted between steps i and i+1" schedule for the chosen op
+// pairs — a poor man's model checker over the step boundaries the paper's
+// proof reasons about.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/debug_hooks.hpp"
+#include "core/efrb_tree.hpp"
+#include "util/barrier.hpp"
+
+namespace efrb {
+namespace {
+
+using HookedTree = EfrbTreeSet<int, std::less<int>, EpochReclaimer, CallbackTraits>;
+
+thread_local bool g_counting = false;
+
+/// Hook hits produced by `op` when run alone on a tree prefilled with `keys`.
+template <typename OpFn>
+int count_hook_hits(const std::vector<int>& keys, OpFn&& op) {
+  HookedTree t;
+  for (int k : keys) t.insert(k);
+  std::atomic<int> hits{0};
+  CallbackTraits::at_fn = [&](HookPoint) {
+    if (g_counting) hits.fetch_add(1);
+  };
+  g_counting = true;
+  op(t);
+  g_counting = false;
+  CallbackTraits::reset();
+  return hits.load();
+}
+
+thread_local bool g_is_op_a = false;
+
+struct SweepOutcome {
+  bool a_result;
+  bool b_result;
+  bool valid;
+  std::set<int> final_keys;
+};
+
+/// Freeze A at its n-th hook hit, run B, resume A; return all results.
+SweepOutcome run_schedule(const std::vector<int>& keys,
+                          const std::function<bool(HookedTree&)>& op_a,
+                          const std::function<bool(HookedTree&)>& op_b,
+                          int pause_at) {
+  HookedTree t;
+  for (int k : keys) t.insert(k);
+
+  YieldingBarrier reached(2), resume(2);
+  std::atomic<int> hits{0};
+  CallbackTraits::at_fn = [&](HookPoint) {
+    if (!g_is_op_a) return;
+    if (hits.fetch_add(1) + 1 == pause_at) {
+      reached.arrive_and_wait();
+      resume.arrive_and_wait();
+    }
+  };
+
+  SweepOutcome out{};
+  std::thread a([&] {
+    g_is_op_a = true;
+    out.a_result = op_a(t);
+    g_is_op_a = false;
+  });
+  reached.arrive_and_wait();  // A is parked exactly after its N-th boundary
+  out.b_result = op_b(t);     // B runs to completion against the frozen state
+  resume.arrive_and_wait();
+  a.join();
+  CallbackTraits::reset();
+
+  out.valid = t.validate().ok;
+  t.for_each([&](const int& k, const auto&) { out.final_keys.insert(k); });
+  return out;
+}
+
+/// Sweeps all of A's pause points for an (A, B) pair and checks the per-key
+/// parity oracle with the actually returned booleans.
+void sweep_pair(const std::vector<int>& initial,
+                const std::function<bool(HookedTree&)>& op_a, int key_a,
+                bool a_is_insert,
+                const std::function<bool(HookedTree&)>& op_b, int key_b,
+                bool b_is_insert) {
+  const int hits = count_hook_hits(initial, op_a);
+  ASSERT_GT(hits, 0);
+  for (int n = 1; n <= hits; ++n) {
+    SCOPED_TRACE("pause at hook hit " + std::to_string(n) + "/" +
+                 std::to_string(hits));
+    const SweepOutcome out = run_schedule(initial, op_a, op_b, n);
+    ASSERT_TRUE(out.valid);
+
+    // Expected membership: initial presence flipped by each successful op.
+    std::set<int> keys_touched = {key_a, key_b};
+    for (int k : keys_touched) {
+      bool present =
+          std::count(initial.begin(), initial.end(), k) > 0;
+      if (k == key_a && out.a_result) present = a_is_insert;
+      if (k == key_b && out.b_result) present = b_is_insert;
+      // (For k touched by both with both succeeding, the later writer's kind
+      // decides — but an (insert, insert) or (erase, erase) pair on one key
+      // cannot both succeed, and insert+erase both succeeding means final
+      // state depends on order; those pairs are asserted separately below.)
+      if (k == key_a && k == key_b && out.a_result && out.b_result) continue;
+      EXPECT_EQ(out.final_keys.count(k) > 0, present) << "key " << k;
+    }
+    // Untouched initial keys must survive every schedule.
+    for (int k : initial) {
+      if (k == key_a || k == key_b) continue;
+      EXPECT_EQ(out.final_keys.count(k), 1u) << "bystander key " << k;
+    }
+  }
+}
+
+// The Fig. 3(a)-style neighbourhood: enough structure that gp/p/sibling
+// relationships between the two operations' windows take every shape as the
+// pause point moves.
+const std::vector<int> kInitial = {10, 30, 50, 70};
+
+TEST(ScheduleSweepTest, DeleteVsDeleteAdjacent) {
+  // The Fig. 3(b) pair: deletes of keys whose windows overlap (one's parent
+  // is the other's grandparent at some shapes).
+  sweep_pair(
+      kInitial, [](HookedTree& t) { return t.erase(30); }, 30, false,
+      [](HookedTree& t) { return t.erase(50); }, 50, false);
+}
+
+TEST(ScheduleSweepTest, DeleteVsInsertAdjacent) {
+  // The Fig. 3(c) pair: delete racing an insert landing in the same window.
+  sweep_pair(
+      kInitial, [](HookedTree& t) { return t.erase(50); }, 50, false,
+      [](HookedTree& t) { return t.insert(40); }, 40, true);
+}
+
+TEST(ScheduleSweepTest, InsertVsInsertSameLeaf) {
+  // Both inserts replace the same leaf: the second must help the first.
+  sweep_pair(
+      kInitial, [](HookedTree& t) { return t.insert(31); }, 31, true,
+      [](HookedTree& t) { return t.insert(32); }, 32, true);
+}
+
+TEST(ScheduleSweepTest, InsertVsDeleteOfSameKey) {
+  // B deletes the key A is inserting: both may succeed (order-dependent
+  // final state) or B may miss A's key; every schedule must stay valid and
+  // bystanders untouched. Final presence of 40: if both succeeded the order
+  // was insert-then-delete (a delete can only succeed on a present key), so
+  // 40 must be absent.
+  const int hits = count_hook_hits(kInitial, [](HookedTree& t) {
+    return t.insert(40);
+  });
+  for (int n = 1; n <= hits; ++n) {
+    SCOPED_TRACE("pause at " + std::to_string(n));
+    const SweepOutcome out = run_schedule(
+        kInitial, [](HookedTree& t) { return t.insert(40); },
+        [](HookedTree& t) { return t.erase(40); }, n);
+    ASSERT_TRUE(out.valid);
+    ASSERT_TRUE(out.a_result) << "insert of an absent key must succeed";
+    if (out.b_result) {
+      EXPECT_EQ(out.final_keys.count(40), 0u)
+          << "insert+delete both succeeded => delete linearized after";
+    } else {
+      EXPECT_EQ(out.final_keys.count(40), 1u)
+          << "delete failed => the inserted key must remain";
+    }
+    for (int k : kInitial) EXPECT_EQ(out.final_keys.count(k), 1u);
+  }
+}
+
+TEST(ScheduleSweepTest, DeleteVsReinsertOfSameKey) {
+  // A deletes 30 while B re-inserts 30. If B succeeded, it linearized after
+  // A's delete (30 was present initially, so insert can succeed only once
+  // it is gone) => 30 present at the end. If B failed, A's delete linearized
+  // after => 30 absent.
+  const int hits = count_hook_hits(kInitial, [](HookedTree& t) {
+    return t.erase(30);
+  });
+  for (int n = 1; n <= hits; ++n) {
+    SCOPED_TRACE("pause at " + std::to_string(n));
+    const SweepOutcome out = run_schedule(
+        kInitial, [](HookedTree& t) { return t.erase(30); },
+        [](HookedTree& t) { return t.insert(30); }, n);
+    ASSERT_TRUE(out.valid);
+    ASSERT_TRUE(out.a_result) << "delete of a present key must succeed";
+    EXPECT_EQ(out.final_keys.count(30) > 0, out.b_result);
+    for (int k : {10, 50, 70}) EXPECT_EQ(out.final_keys.count(k), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace efrb

@@ -1,0 +1,226 @@
+// Reproduction of Figure 4: "The effects of successful CAS operations."
+//
+// Every internal node's update word must move only along the edges of the
+// paper's state machine:
+//
+//          dflag            mark(child)      iflag
+//   Clean ------> DFlag     Clean -----> Mark (terminal)
+//   DFlag --backtrack--> Clean
+//   DFlag --dchild,dunflag--> Clean      IFlag --ichild,iunflag--> Clean
+//
+// We instrument the tree with CallbackTraits, record every *successful* CAS
+// per node under a mutex, and validate each node's whole history against the
+// automaton. Run single- and multi-threaded: helping must not create extra
+// successful steps (the paper proves each step of a circuit succeeds at most
+// once).
+#include <gtest/gtest.h>
+
+#include "leak_check_opt_out.hpp"  // LeakyReclaimer / NaiveCasBst leak by design
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/debug_hooks.hpp"
+#include "core/efrb_tree.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace efrb {
+namespace {
+
+// LeakyReclaimer: the log is keyed by node address, so addresses must never
+// be recycled during a test (epoch reclamation would reuse freed nodes and
+// make one address carry two nodes' histories).
+using HookedTree = EfrbTreeSet<int, std::less<int>, LeakyReclaimer, CallbackTraits>;
+
+/// Collects per-node sequences of successful CAS steps.
+class StepLog {
+ public:
+  void install() {
+    CallbackTraits::on_cas_fn = [this](CasStep s, bool ok, const void* node) {
+      if (!ok) return;
+      std::lock_guard<std::mutex> lock(mu_);
+      log_[node].push_back(s);
+      ++counts_[static_cast<int>(s)];
+    };
+  }
+
+  ~StepLog() { CallbackTraits::reset(); }
+
+  std::uint64_t count(CasStep s) const { return counts_[static_cast<int>(s)]; }
+
+  /// Validates one node's history against the Fig. 4 automaton. Returns an
+  /// empty string on success, a diagnostic otherwise.
+  static std::string validate_node(const std::vector<CasStep>& steps) {
+    enum class S { kClean, kIFlag, kIFlagChildDone, kDFlag, kDFlagChildDone, kMark };
+    S s = S::kClean;
+    for (CasStep step : steps) {
+      switch (s) {
+        case S::kClean:
+          if (step == CasStep::kIFlag) s = S::kIFlag;
+          else if (step == CasStep::kDFlag) s = S::kDFlag;
+          else if (step == CasStep::kMark) s = S::kMark;
+          else if (step == CasStep::kIChild || step == CasStep::kDChild)
+            return "child CAS on an unflagged node";
+          else return std::string("illegal step from Clean: ") + to_string(step);
+          break;
+        case S::kIFlag:
+          if (step == CasStep::kIChild) s = S::kIFlagChildDone;
+          else return std::string("in IFlag expected ichild, got ") + to_string(step);
+          break;
+        case S::kIFlagChildDone:
+          if (step == CasStep::kIUnflag) s = S::kClean;
+          else return std::string("after ichild expected iunflag, got ") + to_string(step);
+          break;
+        case S::kDFlag:
+          if (step == CasStep::kDChild) s = S::kDFlagChildDone;
+          else if (step == CasStep::kBacktrack) s = S::kClean;
+          else return std::string("in DFlag expected dchild/backtrack, got ") + to_string(step);
+          break;
+        case S::kDFlagChildDone:
+          if (step == CasStep::kDUnflag) s = S::kClean;
+          else return std::string("after dchild expected dunflag, got ") + to_string(step);
+          break;
+        case S::kMark:
+          return std::string("step after terminal Mark: ") + to_string(step);
+      }
+    }
+    return "";
+  }
+
+  void expect_all_nodes_legal() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [node, steps] : log_) {
+      const std::string err = validate_node(steps);
+      EXPECT_TRUE(err.empty()) << "node " << node << ": " << err;
+    }
+  }
+
+  /// Order-independent Fig. 4 laws, checkable even when the concurrent log
+  /// interleaves entries out of CAS order (see the concurrent test).
+  void expect_count_invariants() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [node, steps] : log_) {
+      std::uint64_t n[8] = {};
+      for (CasStep s : steps) ++n[static_cast<int>(s)];
+      const auto c = [&](CasStep s) { return n[static_cast<int>(s)]; };
+      // iflag/ichild/iunflag all target the insertion's parent node.
+      EXPECT_EQ(c(CasStep::kIFlag), c(CasStep::kIChild)) << "node " << node;
+      EXPECT_EQ(c(CasStep::kIFlag), c(CasStep::kIUnflag)) << "node " << node;
+      // dflag/dchild/dunflag/backtrack all target the deletion's grandparent.
+      EXPECT_EQ(c(CasStep::kDFlag),
+                c(CasStep::kDUnflag) + c(CasStep::kBacktrack))
+          << "node " << node;
+      EXPECT_EQ(c(CasStep::kDChild), c(CasStep::kDUnflag)) << "node " << node;
+      // mark targets the deletion's parent; Mark is terminal.
+      EXPECT_LE(c(CasStep::kMark), 1u) << "node " << node << " marked twice";
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<const void*, std::vector<CasStep>> log_;
+  std::uint64_t counts_[8] = {};
+};
+
+TEST(StateMachineTest, SequentialOpsFollowFig4) {
+  StepLog log;
+  log.install();
+  {
+    HookedTree t;
+    for (int k : {5, 3, 8, 1, 4, 7, 9}) ASSERT_TRUE(t.insert(k));
+    for (int k : {3, 8}) ASSERT_TRUE(t.erase(k));
+    ASSERT_FALSE(t.erase(42));   // failing ops make no successful CAS steps
+    ASSERT_FALSE(t.insert(5));
+  }
+  log.expect_all_nodes_legal();
+  // Insertion circuit ran 7 times, deletion circuit twice, no backtracks
+  // (no contention single-threaded).
+  EXPECT_EQ(log.count(CasStep::kIFlag), 7u);
+  EXPECT_EQ(log.count(CasStep::kIChild), 7u);
+  EXPECT_EQ(log.count(CasStep::kIUnflag), 7u);
+  EXPECT_EQ(log.count(CasStep::kDFlag), 2u);
+  EXPECT_EQ(log.count(CasStep::kMark), 2u);
+  EXPECT_EQ(log.count(CasStep::kDChild), 2u);
+  EXPECT_EQ(log.count(CasStep::kDUnflag), 2u);
+  EXPECT_EQ(log.count(CasStep::kBacktrack), 0u);
+}
+
+TEST(StateMachineTest, LinearizationPointCountsMatchReturns) {
+  // §5: every Insert/Delete that returns True has exactly one successful
+  // child CAS — so totals must match exactly, even with helping.
+  StepLog log;
+  log.install();
+  std::atomic<std::uint64_t> ok_inserts{0}, ok_erases{0};
+  {
+    HookedTree t;
+    run_threads(4, [&](std::size_t tid) {
+      Xoshiro256 rng(tid + 99);
+      for (int i = 0; i < 3000; ++i) {
+        const int k = static_cast<int>(rng.next_below(64));
+        if (rng.next_below(2) == 0) {
+          ok_inserts += t.insert(k) ? 1 : 0;
+        } else {
+          ok_erases += t.erase(k) ? 1 : 0;
+        }
+      }
+    });
+    log.expect_count_invariants();
+    EXPECT_EQ(log.count(CasStep::kIChild), ok_inserts.load());
+    EXPECT_EQ(log.count(CasStep::kDChild), ok_erases.load());
+    // Flag steps equal their circuit counts too (one circuit per success).
+    EXPECT_EQ(log.count(CasStep::kIFlag), ok_inserts.load());
+    EXPECT_EQ(log.count(CasStep::kDFlag),
+              ok_erases.load() + log.count(CasStep::kBacktrack));
+  }
+}
+
+TEST(StateMachineTest, ConcurrentChurnSatisfiesFig4CountInvariants) {
+  // Under concurrency the log cannot witness the *order* of steps reliably
+  // (the hook runs after its CAS, so two threads' entries can invert), but
+  // the Fig. 4 circuits impose order-independent per-node counting laws:
+  //   #iflag == #ichild == #iunflag          (insertion circuit completes)
+  //   #dflag == #dunflag + #backtrack        (every DFlag is resolved)
+  //   #mark  == #dchild == #dunflag          (marked parent: spliced once)
+  //   each node is marked at most once       (Mark is terminal)
+  StepLog log;
+  log.install();
+  {
+    HookedTree t;
+    run_threads(6, [&](std::size_t tid) {
+      Xoshiro256 rng(tid * 31 + 1);
+      for (int i = 0; i < 4000; ++i) {
+        const int k = static_cast<int>(rng.next_below(32));  // high contention
+        switch (rng.next_below(3)) {
+          case 0: t.insert(k); break;
+          case 1: t.erase(k); break;
+          default: t.contains(k);
+        }
+      }
+    });
+    EXPECT_TRUE(t.validate().ok);
+  }
+  log.expect_count_invariants();
+}
+
+TEST(StateMachineTest, ValidatorRejectsIllegalHistories) {
+  // Sanity-check the checker itself.
+  using V = std::vector<CasStep>;
+  EXPECT_EQ(StepLog::validate_node(V{CasStep::kIFlag, CasStep::kIChild,
+                                     CasStep::kIUnflag}),
+            "");
+  EXPECT_EQ(StepLog::validate_node(V{CasStep::kDFlag, CasStep::kBacktrack,
+                                     CasStep::kDFlag, CasStep::kDChild,
+                                     CasStep::kDUnflag, CasStep::kMark}),
+            "");
+  EXPECT_NE(StepLog::validate_node(V{CasStep::kIChild}), "");
+  EXPECT_NE(StepLog::validate_node(V{CasStep::kIFlag, CasStep::kIUnflag}), "");
+  EXPECT_NE(StepLog::validate_node(V{CasStep::kMark, CasStep::kIFlag}), "");
+  EXPECT_NE(StepLog::validate_node(V{CasStep::kDFlag, CasStep::kDChild,
+                                     CasStep::kBacktrack}),
+            "");
+}
+
+}  // namespace
+}  // namespace efrb

@@ -1,0 +1,111 @@
+// Tests for the per-tree operation counters (StatsTraits / stats_snapshot):
+// the observability surface benchmarks E3/E5 rely on. Verifies counting laws
+// rather than absolute values, which are schedule-dependent.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/debug_hooks.hpp"
+#include "core/efrb_tree.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace efrb {
+namespace {
+
+using StatsTree =
+    EfrbTreeSet<int, std::less<int>, EpochReclaimer, StatsTraits>;
+
+TEST(StatsTest, DefaultTraitsReportZeros) {
+  EfrbTreeSet<int> t;  // NoopTraits: counters compiled out
+  for (int k = 0; k < 100; ++k) t.insert(k);
+  const auto s = t.stats();
+  EXPECT_EQ(s.insert_attempts, 0u);
+  EXPECT_EQ(s.helps, 0u);
+}
+
+TEST(StatsTest, SequentialRunHasNoCoordinationTraffic) {
+  StatsTree t;
+  for (int k = 0; k < 500; ++k) ASSERT_TRUE(t.insert(k));
+  for (int k = 0; k < 500; k += 2) ASSERT_TRUE(t.erase(k));
+  const auto s = t.stats();
+  EXPECT_EQ(s.insert_attempts, 500u);  // one iflag per successful insert
+  EXPECT_EQ(s.delete_attempts, 250u);
+  EXPECT_EQ(s.insert_retries, 0u);     // nobody to conflict with
+  EXPECT_EQ(s.delete_retries, 0u);
+  EXPECT_EQ(s.helps, 0u);
+  EXPECT_EQ(s.backtracks, 0u);
+}
+
+TEST(StatsTest, FailedOperationsMakeNoAttempts) {
+  StatsTree t;
+  t.insert(1);
+  const auto before = t.stats();
+  EXPECT_FALSE(t.insert(1));  // duplicate: returns before any flag CAS
+  EXPECT_FALSE(t.erase(2));   // absent: returns before any flag CAS
+  const auto after = t.stats();
+  EXPECT_EQ(after.insert_attempts, before.insert_attempts);
+  EXPECT_EQ(after.delete_attempts, before.delete_attempts);
+}
+
+TEST(StatsTest, CountingLawsUnderContention) {
+  StatsTree t;
+  std::atomic<std::uint64_t> ok_inserts{0}, ok_erases{0};
+  run_threads(6, [&](std::size_t tid) {
+    Xoshiro256 rng(tid * 3 + 11);
+    for (int i = 0; i < 4000; ++i) {
+      const int k = static_cast<int>(rng.next_below(8));  // hot
+      if (rng.next_below(2) == 0) {
+        ok_inserts += t.insert(k) ? 1 : 0;
+      } else {
+        ok_erases += t.erase(k) ? 1 : 0;
+      }
+    }
+  });
+  const auto s = t.stats();
+  // insert_attempts counts every iflag CAS, successful or not. A successful
+  // iflag always completes the insert, so the surplus over ok_inserts is
+  // exactly the failed iflag CASes — each of which also logged a retry.
+  EXPECT_GE(s.insert_attempts, ok_inserts.load());
+  EXPECT_LE(s.insert_attempts - ok_inserts.load(), s.insert_retries);
+  // Every *successful* dflag resolves to a completed delete or a backtrack;
+  // the surplus is failed dflag CASes, each of which also logged a retry.
+  EXPECT_GE(s.delete_attempts, ok_erases.load() + s.backtracks);
+  EXPECT_LE(s.delete_attempts - (ok_erases.load() + s.backtracks),
+            s.delete_retries);
+}
+
+TEST(StatsTest, DisjointInteriorChurnNeverHelps) {
+  // §1: "Updates to different parts of the tree do not interfere." A delete
+  // flags the leaf's grandparent, whose subtree spans only keys adjacent (in
+  // sorted order of *present* keys) to the deleted one. So if the tree is
+  // prefilled and each thread churns only keys whose neighbours stay present
+  // and in-stripe, no update ever touches another thread's flag: helps,
+  // retries and backtracks must all be exactly zero. (Building the tree
+  // concurrently from empty WOULD conflict — every first insert fights over
+  // the ∞₁ leaf — hence the sequential prefill.)
+  StatsTree t;
+  constexpr int kThreads = 4;
+  constexpr int kStripe = 100;
+  for (int k = 0; k < kThreads * kStripe; ++k) ASSERT_TRUE(t.insert(k));
+
+  run_threads(kThreads, [&](std::size_t tid) {
+    const int base = static_cast<int>(tid) * kStripe;
+    for (int round = 0; round < 40; ++round) {
+      // Interior keys only: margin of 10 from each stripe boundary.
+      for (int i = 10; i < kStripe - 10; i += 2) {
+        ASSERT_TRUE(t.erase(base + i));
+        ASSERT_TRUE(t.insert(base + i));
+      }
+    }
+  });
+  const auto s = t.stats();
+  EXPECT_EQ(s.helps, 0u)
+      << "conservative helping must not fire without conflicts (§3)";
+  EXPECT_EQ(s.backtracks, 0u);
+  EXPECT_EQ(s.insert_retries, 0u);
+  EXPECT_EQ(s.delete_retries, 0u);
+}
+
+}  // namespace
+}  // namespace efrb

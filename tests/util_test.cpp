@@ -1,0 +1,182 @@
+// Unit tests for src/util/: PRNGs, backoff, barrier, fork/join helper,
+// summary statistics, cache-line padding.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/backoff.hpp"
+#include "util/barrier.hpp"
+#include "util/cacheline.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace efrb {
+namespace {
+
+TEST(SplitMix64Test, DeterministicForSameSeed) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256Test, DeterministicForSameSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256Test, NextBelowRespectsBound) {
+  Xoshiro256 rng(42);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256Test, NextBelowZeroBoundReturnsZero) {
+  Xoshiro256 rng(42);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Xoshiro256Test, NextBelowCoversSmallRange) {
+  Xoshiro256 rng(42);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);  // all residues hit
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextDoubleMeanNearHalf) {
+  Xoshiro256 rng(42);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256Test, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  SUCCEED();
+}
+
+TEST(BackoffTest, ResetRestartsEscalation) {
+  Backoff b(16);
+  for (int i = 0; i < 20; ++i) b();  // escalate past the cap (yields)
+  b.reset();
+  b();  // must not hang or crash after reset
+  SUCCEED();
+}
+
+TEST(CachePaddedTest, SizeAndAlignment) {
+  EXPECT_EQ(sizeof(CachePadded<int>), kCacheLineSize);
+  EXPECT_EQ(alignof(CachePadded<int>), kCacheLineSize);
+  // A type bigger than one line still gets line-aligned, line-multiple size.
+  struct Big {
+    char data[100];
+  };
+  EXPECT_EQ(sizeof(CachePadded<Big>) % kCacheLineSize, 0u);
+}
+
+TEST(CachePaddedTest, ElementsOfArrayDoNotShareLines) {
+  std::vector<CachePadded<std::uint64_t>> v(4);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&v[i - 1].value);
+    const auto b = reinterpret_cast<std::uintptr_t>(&v[i].value);
+    EXPECT_GE(b - a, kCacheLineSize);
+  }
+}
+
+TEST(CachePaddedTest, AccessorsWork) {
+  CachePadded<int> p(41);
+  EXPECT_EQ(*p, 41);
+  *p += 1;
+  EXPECT_EQ(p.value, 42);
+}
+
+TEST(YieldingBarrierTest, SingleThreadPassesImmediately) {
+  YieldingBarrier b(1);
+  b.arrive_and_wait();
+  b.arrive_and_wait();  // reusable
+  SUCCEED();
+}
+
+TEST(YieldingBarrierTest, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 50;
+  YieldingBarrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  std::vector<int> observed(kThreads, 0);
+  run_threads(kThreads, [&](std::size_t tid) {
+    for (int p = 0; p < kPhases; ++p) {
+      phase_counter.fetch_add(1);
+      barrier.arrive_and_wait();
+      // After the barrier, all kThreads increments of this phase are visible.
+      EXPECT_GE(phase_counter.load(), (p + 1) * kThreads);
+      barrier.arrive_and_wait();
+      observed[tid] = p;
+    }
+  });
+  for (int o : observed) EXPECT_EQ(o, kPhases - 1);
+}
+
+TEST(RunThreadsTest, AllThreadsRunWithDistinctIds) {
+  std::atomic<std::uint64_t> id_bits{0};
+  run_threads(8, [&](std::size_t tid) {
+    id_bits.fetch_or(std::uint64_t{1} << tid);
+  });
+  EXPECT_EQ(id_bits.load(), 0xFFu);
+}
+
+TEST(RunThreadsTest, PropagatesWorkerException) {
+  EXPECT_THROW(
+      run_threads(3,
+                  [&](std::size_t tid) {
+                    if (tid == 1) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(SummaryTest, Percentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1.0);
+}
+
+TEST(SummaryTest, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(50), 0.0);
+}
+
+}  // namespace
+}  // namespace efrb

@@ -1,0 +1,142 @@
+// Tests for the workload engine: distribution shapes, op-mix proportions,
+// prefill occupancy, and an end-to-end harness run.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "core/efrb_tree.hpp"
+#include "workload/distribution.hpp"
+#include "workload/op_mix.hpp"
+#include "workload/runner.hpp"
+
+namespace efrb {
+namespace {
+
+TEST(UniformKeysTest, StaysInRange) {
+  UniformKeys d(100);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(d(rng), 100u);
+}
+
+TEST(UniformKeysTest, RoughlyFlatHistogram) {
+  UniformKeys d(10);
+  Xoshiro256 rng(2);
+  std::array<int, 10> histo{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++histo[d(rng)];
+  for (int count : histo) {
+    EXPECT_NEAR(count, n / 10, n / 10 * 0.15);
+  }
+}
+
+TEST(ZipfKeysTest, StaysInRange) {
+  ZipfKeys d(1000, 0.99);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(d(rng), 1000u);
+}
+
+TEST(ZipfKeysTest, HeadIsHot) {
+  // With theta=0.99 over 1000 keys, the top key draws a large share and the
+  // top-10 dominate the tail — the defining property of the distribution.
+  ZipfKeys d(1000, 0.99);
+  Xoshiro256 rng(4);
+  std::array<int, 1000> histo{};
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++histo[d(rng)];
+  EXPECT_GT(histo[0], histo[500] * 10) << "rank-0 must dwarf mid-tail keys";
+  int top10 = 0;
+  for (int i = 0; i < 10; ++i) top10 += histo[i];
+  EXPECT_GT(top10, n / 4) << "top-10 keys should draw >25% of accesses";
+}
+
+TEST(ZipfKeysTest, LowThetaApproachesUniform) {
+  ZipfKeys d(100, 0.01);
+  Xoshiro256 rng(5);
+  std::array<int, 100> histo{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++histo[d(rng)];
+  EXPECT_LT(histo[0], n / 100 * 4);  // no extreme head
+}
+
+TEST(OpMixTest, FindPctIsRemainder) {
+  EXPECT_EQ(kReadOnly.find_pct(), 100u);
+  EXPECT_EQ(kReadMostly.find_pct(), 90u);
+  EXPECT_EQ(kBalanced.find_pct(), 70u);
+  EXPECT_EQ(kUpdateHeavy.find_pct(), 0u);
+}
+
+TEST(OpMixTest, SampleProportionsMatch) {
+  Xoshiro256 rng(6);
+  const OpMix mix = kBalanced;  // 20i/10d/70f
+  int counts[3] = {0, 0, 0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<int>(mix.sample(rng))];
+  EXPECT_NEAR(counts[static_cast<int>(OpType::kInsert)], n * 0.20, n * 0.02);
+  EXPECT_NEAR(counts[static_cast<int>(OpType::kErase)], n * 0.10, n * 0.02);
+  EXPECT_NEAR(counts[static_cast<int>(OpType::kFind)], n * 0.70, n * 0.02);
+}
+
+TEST(OpMixTest, ReadOnlyNeverUpdates) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(kReadOnly.sample(rng), OpType::kFind);
+  }
+}
+
+TEST(PrefillTest, ReachesTargetOccupancy) {
+  EfrbTreeSet<std::uint64_t> t;
+  prefill(t, /*key_range=*/1024, /*fraction=*/0.5, /*seed=*/1);
+  EXPECT_EQ(t.size(), 512u);
+  EXPECT_TRUE(t.validate().ok);
+}
+
+TEST(RunnerTest, ExecutesAndCounts) {
+  EfrbTreeSet<std::uint64_t> t;
+  WorkloadConfig cfg;
+  cfg.threads = 3;
+  cfg.key_range = 256;
+  cfg.mix = kBalanced;
+  cfg.duration = std::chrono::milliseconds(50);
+  prefill(t, cfg.key_range, cfg.prefill_fraction, cfg.seed);
+  const auto r = run_workload(t, cfg);
+  EXPECT_GT(r.total_ops(), 0u);
+  EXPECT_GT(r.finds, 0u);
+  EXPECT_GT(r.inserts, 0u);
+  EXPECT_GT(r.erases, 0u);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.mops(), 0.0);
+  EXPECT_TRUE(t.validate().ok);
+}
+
+TEST(RunnerTest, ZipfWorkloadRuns) {
+  EfrbTreeSet<std::uint64_t> t;
+  WorkloadConfig cfg;
+  cfg.threads = 2;
+  cfg.key_range = 128;
+  cfg.zipf = true;
+  cfg.duration = std::chrono::milliseconds(30);
+  prefill(t, cfg.key_range, 0.5, 1);
+  const auto r = run_workload(t, cfg);
+  EXPECT_GT(r.total_ops(), 0u);
+  EXPECT_TRUE(t.validate().ok);
+}
+
+TEST(RunnerTest, SuccessCountsAreSane) {
+  EfrbTreeSet<std::uint64_t> t;
+  WorkloadConfig cfg;
+  cfg.threads = 2;
+  cfg.key_range = 64;
+  cfg.mix = kUpdateHeavy;
+  cfg.duration = std::chrono::milliseconds(40);
+  prefill(t, cfg.key_range, 0.5, 2);
+  const auto r = run_workload(t, cfg);
+  EXPECT_LE(r.ok_inserts, r.inserts);
+  EXPECT_LE(r.ok_erases, r.erases);
+  // Steady state on a 50/50 mix: successes on both sides, roughly balanced.
+  EXPECT_GT(r.ok_inserts, 0u);
+  EXPECT_GT(r.ok_erases, 0u);
+}
+
+}  // namespace
+}  // namespace efrb

@@ -1,0 +1,176 @@
+// fuzz_lincheck — randomized linearizability fuzzing.
+//
+//   ./fuzz_lincheck [--seconds S] [--threads N] [--keys K] [--ops-per-burst B]
+//
+// Generates random short concurrent bursts against a fresh EFRB set and map,
+// records complete histories with a shared logical clock, and checks each
+// burst with the Wing-Gong checker. Any non-linearizable history is dumped in
+// a replayable form and the tool exits non-zero. Runs until the time budget
+// is exhausted; prints the number of histories checked.
+//
+// This is the open-ended complement to the fixed-seed tests in
+// tests/lincheck_test.cpp / tests/map_lincheck_test.cpp.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "core/efrb_tree.hpp"
+#include "lincheck/checker.hpp"
+#include "lincheck/map_spec.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using efrb::EfrbTreeMap;
+using efrb::EfrbTreeSet;
+using efrb::OpType;
+using efrb::Xoshiro256;
+using efrb::lincheck::Checker;
+using efrb::lincheck::History;
+using MapChecker =
+    efrb::lincheck::BasicChecker<efrb::lincheck::NibbleMapSpec>;
+
+struct Options {
+  double seconds = 5.0;
+  unsigned threads = 3;
+  std::uint64_t keys = 6;
+  int ops_per_burst = 6;
+};
+
+void dump_set_history(const History& h) {
+  std::fprintf(stderr, "--- non-linearizable set history ---\n");
+  for (const auto& op : h) {
+    const char* name = op.type == OpType::kInsert  ? "insert"
+                       : op.type == OpType::kErase ? "erase"
+                                                   : "find";
+    std::fprintf(stderr, "t%u %s(%llu) -> %s  [%llu, %llu]\n", op.thread,
+                 name, static_cast<unsigned long long>(op.key),
+                 op.result ? "true" : "false",
+                 static_cast<unsigned long long>(op.invoke),
+                 static_cast<unsigned long long>(op.response));
+  }
+}
+
+bool fuzz_set_burst(std::uint64_t seed, const Options& o) {
+  EfrbTreeSet<int> set;
+  efrb::lincheck::Recorder rec(o.threads);
+  efrb::run_threads(o.threads, [&](std::size_t tid) {
+    Xoshiro256 rng(seed * 7919 + tid);
+    for (int i = 0; i < o.ops_per_burst; ++i) {
+      const std::uint64_t k = rng.next_below(o.keys);
+      const auto t0 = rec.now();
+      switch (rng.next_below(3)) {
+        case 0:
+          rec.record(static_cast<unsigned>(tid), OpType::kInsert, k,
+                     set.insert(static_cast<int>(k)), t0);
+          break;
+        case 1:
+          rec.record(static_cast<unsigned>(tid), OpType::kErase, k,
+                     set.erase(static_cast<int>(k)), t0);
+          break;
+        default:
+          rec.record(static_cast<unsigned>(tid), OpType::kFind, k,
+                     set.contains(static_cast<int>(k)), t0);
+      }
+    }
+  });
+  const History h = rec.collect();
+  if (!Checker::check(h)) {
+    std::fprintf(stderr, "SET VIOLATION at seed %llu\n",
+                 static_cast<unsigned long long>(seed));
+    dump_set_history(h);
+    return false;
+  }
+  return true;
+}
+
+bool fuzz_map_burst(std::uint64_t seed, const Options& o) {
+  using efrb::lincheck::MapHistory;
+  using efrb::lincheck::MapOperation;
+  using efrb::lincheck::MapOpType;
+
+  EfrbTreeMap<int, int> map;
+  std::atomic<std::uint64_t> clock{0};
+  std::vector<MapHistory> logs(o.threads);
+  efrb::run_threads(o.threads, [&](std::size_t tid) {
+    Xoshiro256 rng(seed * 104729 + tid);
+    for (int i = 0; i < o.ops_per_burst; ++i) {
+      MapOperation op;
+      op.thread = static_cast<unsigned>(tid);
+      op.key = rng.next_below(std::min<std::uint64_t>(o.keys, 8));
+      op.invoke = clock.fetch_add(1);
+      const int k = static_cast<int>(op.key);
+      switch (rng.next_below(4)) {
+        case 0: {
+          op.type = MapOpType::kGet;
+          const auto v = map.get(k);
+          op.ok = v.has_value();
+          op.value_out = v.has_value() ? static_cast<std::uint64_t>(*v) : 0;
+          break;
+        }
+        case 1:
+          op.type = MapOpType::kPut;
+          op.value_arg = rng.next_below(14);
+          op.ok = map.insert(k, static_cast<int>(op.value_arg));
+          break;
+        case 2:
+          op.type = MapOpType::kAssign;
+          op.value_arg = rng.next_below(14);
+          op.ok = map.insert_or_assign(k, static_cast<int>(op.value_arg));
+          break;
+        default:
+          op.type = MapOpType::kErase;
+          op.ok = map.erase(k);
+      }
+      op.response = clock.fetch_add(1);
+      logs[tid].push_back(op);
+    }
+  });
+  efrb::lincheck::MapHistory all;
+  for (const auto& log : logs) all.insert(all.end(), log.begin(), log.end());
+  if (!MapChecker::check(all)) {
+    std::fprintf(stderr, "MAP VIOLATION at seed %llu (%zu ops)\n",
+                 static_cast<unsigned long long>(seed), all.size());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    auto val = [&](const char*) { return argv[++i]; };
+    if (std::strcmp(argv[i], "--seconds") == 0) o.seconds = std::atof(val(""));
+    else if (std::strcmp(argv[i], "--threads") == 0)
+      o.threads = static_cast<unsigned>(std::atoi(val("")));
+    else if (std::strcmp(argv[i], "--keys") == 0)
+      o.keys = static_cast<std::uint64_t>(std::atoll(val("")));
+    else if (std::strcmp(argv[i], "--ops-per-burst") == 0)
+      o.ops_per_burst = std::atoi(val(""));
+  }
+  if (o.threads * static_cast<unsigned>(o.ops_per_burst) > Checker::kMaxWindow) {
+    std::fprintf(stderr, "threads*ops_per_burst must be <= %zu\n",
+                 Checker::kMaxWindow);
+    return 2;
+  }
+  if (o.keys > 64) o.keys = 64;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t seed = 0, checked = 0;
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+             .count() < o.seconds) {
+    ++seed;
+    if (!fuzz_set_burst(seed, o)) return 1;
+    if (!fuzz_map_burst(seed, o)) return 1;
+    checked += 2;
+  }
+  std::printf("fuzz_lincheck: %llu histories checked, all linearizable\n",
+              static_cast<unsigned long long>(checked));
+  return 0;
+}

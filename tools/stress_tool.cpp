@@ -1,0 +1,196 @@
+// stress_tool — command-line correctness & endurance harness.
+//
+//   ./stress_tool [--impl NAME] [--threads N] [--range K] [--seconds S]
+//                 [--insert PCT] [--erase PCT] [--zipf] [--seed X]
+//
+// Runs the configured mixed workload, then verifies:
+//   * the parity oracle (presence == odd count of successful updates per key,
+//     tracked with per-key atomic counters during the run),
+//   * structural validation (EFRB trees only),
+//   * reports throughput and, for the EFRB tree, reclamation statistics.
+//
+// Exit code 0 iff every check passed — suitable for soak-testing in CI loops:
+//   while ./stress_tool --seconds 10; do :; done
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/coarse_bst.hpp"
+#include "baselines/cow_bst.hpp"
+#include "baselines/finelock_bst.hpp"
+#include "baselines/harris_list.hpp"
+#include "baselines/locked_map.hpp"
+#include "baselines/skiplist.hpp"
+#include "core/efrb_tree.hpp"
+#include "util/barrier.hpp"
+#include "util/cacheline.hpp"
+#include "util/rng.hpp"
+#include "workload/distribution.hpp"
+
+namespace {
+
+struct Options {
+  std::string impl = "efrb";
+  std::size_t threads = 4;
+  std::uint64_t range = 1 << 12;
+  double seconds = 2.0;
+  unsigned insert_pct = 30;
+  unsigned erase_pct = 30;
+  bool zipf = false;
+  std::uint64_t seed = 1;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--impl efrb|efrb-helping-search|coarse|finelock|stdmap|cow|"
+      "harris|skiplist]\n"
+      "          [--threads N] [--range K] [--seconds S] [--insert PCT]\n"
+      "          [--erase PCT] [--zipf] [--seed X]\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--impl") == 0) o.impl = need("--impl");
+    else if (std::strcmp(argv[i], "--threads") == 0)
+      o.threads = std::strtoul(need("--threads"), nullptr, 10);
+    else if (std::strcmp(argv[i], "--range") == 0)
+      o.range = std::strtoull(need("--range"), nullptr, 10);
+    else if (std::strcmp(argv[i], "--seconds") == 0)
+      o.seconds = std::strtod(need("--seconds"), nullptr);
+    else if (std::strcmp(argv[i], "--insert") == 0)
+      o.insert_pct = static_cast<unsigned>(std::strtoul(need("--insert"), nullptr, 10));
+    else if (std::strcmp(argv[i], "--erase") == 0)
+      o.erase_pct = static_cast<unsigned>(std::strtoul(need("--erase"), nullptr, 10));
+    else if (std::strcmp(argv[i], "--zipf") == 0) o.zipf = true;
+    else if (std::strcmp(argv[i], "--seed") == 0)
+      o.seed = std::strtoull(need("--seed"), nullptr, 10);
+    else usage(argv[0]);
+  }
+  if (o.threads == 0 || o.range == 0 || o.insert_pct + o.erase_pct > 100) {
+    usage(argv[0]);
+  }
+  return o;
+}
+
+/// Runs the soak and checks the parity oracle. Returns true iff consistent.
+template <typename Set>
+bool soak(const Options& o) {
+  Set set;
+  std::vector<std::atomic<std::uint64_t>> flips(o.range);
+  std::atomic<bool> stop{false};
+  efrb::YieldingBarrier start(static_cast<std::uint32_t>(o.threads) + 1);
+  std::vector<efrb::CachePadded<std::uint64_t>> ops(o.threads);
+
+  std::vector<std::thread> workers;
+  for (std::size_t tid = 0; tid < o.threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      efrb::Xoshiro256 rng(o.seed + tid * 7919);
+      const efrb::ZipfKeys zipf_dist(o.range, 0.99);
+      std::uint64_t n = 0;
+      start.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int b = 0; b < 32; ++b, ++n) {
+          const std::uint64_t raw =
+              o.zipf ? zipf_dist(rng) : rng.next_below(o.range);
+          const auto k = static_cast<typename Set::key_type>(raw);
+          const auto dice = static_cast<unsigned>(rng.next_below(100));
+          if (dice < o.insert_pct) {
+            if (set.insert(k)) flips[raw].fetch_add(1, std::memory_order_relaxed);
+          } else if (dice < o.insert_pct + o.erase_pct) {
+            if (set.erase(k)) flips[raw].fetch_add(1, std::memory_order_relaxed);
+          } else {
+            set.contains(k);
+          }
+        }
+      }
+      ops[tid].value = n;
+    });
+  }
+  start.arrive_and_wait();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(o.seconds));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::uint64_t total_ops = 0;
+  for (const auto& c : ops) total_ops += c.value;
+  std::printf("impl=%s threads=%zu range=%llu mix=%ui/%ud/%uf %s\n",
+              Set::kName, o.threads, static_cast<unsigned long long>(o.range),
+              o.insert_pct, o.erase_pct, 100 - o.insert_pct - o.erase_pct,
+              o.zipf ? "zipf" : "uniform");
+  std::printf("ops=%llu (%.2f Mops/s over %.2fs)\n",
+              static_cast<unsigned long long>(total_ops),
+              static_cast<double>(total_ops) / secs / 1e6, secs);
+
+  std::uint64_t divergent = 0;
+  for (std::uint64_t k = 0; k < o.range; ++k) {
+    const bool expected = (flips[k].load() % 2) == 1;
+    if (set.contains(static_cast<typename Set::key_type>(k)) != expected) {
+      ++divergent;
+    }
+  }
+  std::printf("parity oracle: %llu divergent keys\n",
+              static_cast<unsigned long long>(divergent));
+
+  bool structure_ok = true;
+  if constexpr (requires { set.validate(); }) {
+    const auto v = set.validate();
+    structure_ok = v.ok;
+    std::printf("structure: %s (keys=%zu height=%zu)\n",
+                v.ok ? "OK" : v.error.c_str(), v.real_leaves, v.height);
+  }
+  if constexpr (requires { set.reclaimer().freed_count(); }) {
+    std::printf("reclaimed objects: %llu\n",
+                static_cast<unsigned long long>(set.reclaimer().freed_count()));
+  }
+  return divergent == 0 && structure_ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  bool ok = false;
+  if (o.impl == "efrb") {
+    ok = soak<efrb::EfrbTreeSet<std::uint64_t>>(o);
+  } else if (o.impl == "efrb-helping-search") {
+    ok = soak<efrb::EfrbTreeSet<std::uint64_t, std::less<std::uint64_t>,
+                                efrb::EpochReclaimer,
+                                efrb::HelpingSearchTraits>>(o);
+  } else if (o.impl == "coarse") {
+    ok = soak<efrb::CoarseLockBst<std::uint64_t>>(o);
+  } else if (o.impl == "finelock") {
+    ok = soak<efrb::FineLockBst<std::uint64_t>>(o);
+  } else if (o.impl == "stdmap") {
+    ok = soak<efrb::LockedStdSet<std::uint64_t>>(o);
+  } else if (o.impl == "harris") {
+    ok = soak<efrb::HarrisList<std::uint64_t>>(o);
+  } else if (o.impl == "skiplist") {
+    ok = soak<efrb::LockFreeSkipList<std::uint64_t>>(o);
+  } else if (o.impl == "cow") {
+    ok = soak<efrb::CowBst<std::uint64_t>>(o);
+  } else {
+    usage(argv[0]);
+  }
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
