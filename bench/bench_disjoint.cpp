@@ -44,13 +44,14 @@ double run_update_stripes(Set& set, bool disjoint,
       const std::uint64_t base = disjoint ? tid * kStripe : 0;
       const std::uint64_t width = disjoint ? kStripe : kThreads * kStripe;
       efrb::Xoshiro256 rng(tid * 77 + 1);
+      auto h = efrb::make_handle(set);  // per-thread handle (or proxy)
       start.arrive_and_wait();
       std::uint64_t n = 0;
       while (!stop.load(std::memory_order_relaxed)) {
         for (int i = 0; i < 64; ++i) {
           const Key k = base + rng.next_below(width);
-          if ((rng.next() & 1) != 0) set.insert(k);
-          else set.erase(k);
+          if ((rng.next() & 1) != 0) h.insert(k);
+          else h.erase(k);
           ++n;
         }
       }

@@ -28,9 +28,10 @@ void fill_random(Set& s, std::int64_t n, std::uint64_t seed) {
 void BM_EfrbFind(benchmark::State& state) {
   efrb::EfrbTreeSet<Key> t;
   fill_random(t, state.range(0), 42);
+  auto h = t.handle();  // measured loops use the per-thread handle path
   efrb::Xoshiro256 rng(7);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(t.contains(rng.next() >> 1));
+    benchmark::DoNotOptimize(h.contains(rng.next() >> 1));
   }
   state.SetComplexityN(state.range(0));
 }
@@ -39,11 +40,12 @@ BENCHMARK(BM_EfrbFind)->Range(1 << 8, 1 << 18)->Complexity(benchmark::oLogN);
 void BM_EfrbInsertErase(benchmark::State& state) {
   efrb::EfrbTreeSet<Key> t;
   fill_random(t, state.range(0), 42);
+  auto h = t.handle();
   efrb::Xoshiro256 rng(7);
   for (auto _ : state) {
     const Key k = rng.next() >> 1;
-    benchmark::DoNotOptimize(t.insert(k));
-    benchmark::DoNotOptimize(t.erase(k));
+    benchmark::DoNotOptimize(h.insert(k));
+    benchmark::DoNotOptimize(h.erase(k));
   }
   state.SetComplexityN(state.range(0));
 }

@@ -28,6 +28,13 @@ constexpr std::uint64_t kRange = 1 << 16;
 /// Locked std::map with a range-scan API, as the reference point.
 class LockedMapRange {
  public:
+  using key_type = Key;
+  static constexpr const char* kName = "locked-map-range";
+
+  bool contains(Key k) const {
+    std::shared_lock lock(mu_);
+    return map_.count(k) != 0;
+  }
   bool insert(Key k) {
     std::unique_lock lock(mu_);
     return map_.emplace(k, 0).second;
@@ -77,10 +84,11 @@ std::pair<double, double> scan_vs_churn(SetT& set, std::uint64_t width,
   for (int u = 0; u < updaters; ++u) {
     threads.emplace_back([&, u] {
       efrb::Xoshiro256 rng(100 + static_cast<std::uint64_t>(u));
+      auto h = efrb::make_handle(set);
       while (!stop.load(std::memory_order_relaxed)) {
         const Key k = rng.next_below(kRange);
-        if ((rng.next() & 1) != 0) set.insert(k);
-        else set.erase(k);
+        if ((rng.next() & 1) != 0) h.insert(k);
+        else h.erase(k);
         updates.fetch_add(1, std::memory_order_relaxed);
       }
     });
@@ -139,10 +147,11 @@ int main() {
   });
   std::thread churn([&] {
     efrb::Xoshiro256 rng(9);
+    auto h = tree.handle();
     while (!stop.load(std::memory_order_relaxed)) {
       const Key k = rng.next_below(kRange);
-      tree.insert(k);
-      tree.erase(k);
+      h.insert(k);
+      h.erase(k);
     }
   });
   const auto dur = efrb::bench::cell_duration();

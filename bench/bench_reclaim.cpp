@@ -4,11 +4,13 @@
 //                  unbounded memory; the upper bound on throughput.
 //   * epoch      — the default: pin/unpin per op + batched sweeps.
 //   * epoch-small— retire_batch=8: more frequent epoch scans (worst case).
-// Also reports objects freed, to show the epoch policies actually reclaim.
+//   * hazard     — grace-round reclamation (coarse per-thread hazard seq).
+// Also reports objects freed, to show the reclaiming policies actually do.
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "core/efrb_tree.hpp"
+#include "reclaim/hazard.hpp"
 #include "workload/report.hpp"
 
 namespace {
@@ -62,6 +64,13 @@ int main() {
     efrb::prefill(t, config().key_range, 0.5, config().seed);
     const auto r = efrb::run_workload(t, config());
     table.add_row({"epoch (batch 512)", Table::fmt(r.mops()),
+                   std::to_string(t.reclaimer().freed_count())});
+  }
+  {
+    efrb::EfrbTreeSet<Key, std::less<Key>, efrb::HazardReclaimer> t;
+    efrb::prefill(t, config().key_range, 0.5, config().seed);
+    const auto r = efrb::run_workload(t, config());
+    table.add_row({"hazard (grace rounds)", Table::fmt(r.mops()),
                    std::to_string(t.reclaimer().freed_count())});
   }
   table.print();

@@ -51,6 +51,35 @@ void run_grid(const OpMix& mix, std::uint64_t range,
   std::printf("\n");
 }
 
+// E1b — the handle-path ablation backing docs/API.md: the same tree measured
+// through tree-level methods (thread_local lease per op, shared counters)
+// and through per-thread handles (attached slot, sharded counters), with
+// stats disabled and enabled.
+void run_handle_ablation(const std::vector<std::size_t>& threads) {
+  using Plain = efrb::EfrbTreeSet<Key>;
+  using Stats = efrb::EfrbTreeSet<Key, std::less<Key>, efrb::EpochReclaimer,
+                                  efrb::StatsTraits>;
+  std::printf("-- handle ablation: balanced mix, key range 2^16 --\n");
+  Table table({"threads", "tree-methods", "handles", "stats+tree-methods",
+               "stats+handles"});
+  for (std::size_t t : threads) {
+    WorkloadConfig handle_cfg;
+    handle_cfg.threads = t;
+    handle_cfg.key_range = std::uint64_t{1} << 16;
+    handle_cfg.mix = efrb::kBalanced;
+    handle_cfg.duration = efrb::bench::cell_duration();
+    WorkloadConfig tree_cfg = handle_cfg;
+    tree_cfg.use_handles = false;
+    table.add_row({std::to_string(t),
+                   Table::fmt(mops_for<Plain>(tree_cfg)),
+                   Table::fmt(mops_for<Plain>(handle_cfg)),
+                   Table::fmt(mops_for<Stats>(tree_cfg)),
+                   Table::fmt(mops_for<Stats>(handle_cfg))});
+  }
+  table.print();
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main() {
@@ -69,5 +98,6 @@ int main() {
       run_grid(mix, range, threads);
     }
   }
+  run_handle_ablation(threads);
   return 0;
 }

@@ -32,9 +32,10 @@ int main() {
 
   std::thread reader([&] {
     find_ns.reserve(1 << 20);
+    auto h = tree.handle();  // handle path: no per-call registry lookup
     while (!stop.load(std::memory_order_relaxed)) {
       const auto t0 = std::chrono::steady_clock::now();
-      const bool present = tree.contains(2);
+      const bool present = h.contains(2);
       const auto t1 = std::chrono::steady_clock::now();
       if (!present) {
         std::fprintf(stderr, "key 2 vanished — impossible\n");
@@ -48,14 +49,15 @@ int main() {
   });
 
   // The §6 adversary: delete 1, re-insert 1, delete 3, re-insert 3, forever.
+  auto adv = tree.handle();
   std::uint64_t cycles = 0;
   const auto t0 = std::chrono::steady_clock::now();
   while (std::chrono::steady_clock::now() - t0 <
          std::chrono::milliseconds(400)) {
-    tree.erase(1);
-    tree.insert(1);
-    tree.erase(3);
-    tree.insert(3);
+    adv.erase(1);
+    adv.insert(1);
+    adv.erase(3);
+    adv.insert(3);
     ++cycles;
   }
   stop.store(true);

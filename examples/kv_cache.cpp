@@ -44,8 +44,9 @@ int main() {
     // Continuously evicts random keys, forcing re-computation and exercising
     // deletion (and reclamation) concurrently with lookups.
     efrb::Xoshiro256 rng(999);
+    auto h = cache.handle();  // per-thread handle: registration paid once
     while (!stop.load(std::memory_order_relaxed)) {
-      if (cache.erase(rng.next_below(kKeySpace))) {
+      if (h.erase(rng.next_below(kKeySpace))) {
         evictions.fetch_add(1, std::memory_order_relaxed);
       }
       std::this_thread::yield();
@@ -55,9 +56,10 @@ int main() {
   const auto t0 = std::chrono::steady_clock::now();
   efrb::run_threads(kWorkers, [&](std::size_t tid) {
     efrb::Xoshiro256 rng(tid + 1);
+    auto h = cache.handle();
     for (int i = 0; i < 20000; ++i) {
       const std::uint64_t key = rng.next_below(kKeySpace);
-      if (const auto cached = cache.get(key)) {
+      if (const auto cached = h.get(key)) {
         hits.fetch_add(1, std::memory_order_relaxed);
         // Memoized values must be the true function value, always.
         if (*cached != slow_digest(key ^ 0x5bd1e995)) {
@@ -67,7 +69,7 @@ int main() {
         }
       } else {
         misses.fetch_add(1, std::memory_order_relaxed);
-        cache.insert(key, slow_digest(key ^ 0x5bd1e995));
+        h.insert(key, slow_digest(key ^ 0x5bd1e995));
       }
     }
   });

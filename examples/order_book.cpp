@@ -42,9 +42,12 @@ int main() {
     efrb::Xoshiro256 rng(tid * 31 + 7);
     if (tid < 2) {
       // Market data: add/replace/cancel levels strictly inside the fences.
+      // One handle per book per writer thread — the hot-path access point.
+      auto bid_h = bids.handle();
+      auto ask_h = asks.handle();
       for (int i = 0; i < 30000; ++i) {
         const bool bid_side = rng.next_below(2) == 0;
-        Book& book = bid_side ? bids : asks;
+        auto& book = bid_side ? bid_h : ask_h;
         // Bids live in (fence-500, fence]; asks in [fence, fence+500).
         const Price px = bid_side ? kBidFence - 1 - rng.next_below(500)
                                   : kAskFence + 1 + rng.next_below(500);

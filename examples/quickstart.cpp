@@ -54,13 +54,18 @@ int main() {
   std::printf("inventory[plums]  = %s\n",
               inventory.get("plums").has_value() ? "?" : "(none)");
 
-  // ---- Concurrency: just use it from many threads --------------------
+  // ---- Concurrency: per-thread handles on the hot path ---------------
+  // tree.handle() returns a thread-affine access point that amortizes the
+  // reclaimer registration once per thread instead of per operation (the
+  // tree-level methods above remain valid from any thread — they are
+  // convenience wrappers that re-resolve a thread_local lease each call).
   efrb::EfrbTreeSet<long> shared;
   efrb::run_threads(4, [&](std::size_t tid) {
+    auto h = shared.handle();  // one handle per worker thread
     // Each thread inserts a disjoint stripe; no locks, no interference
     // (updates to different parts of the tree run completely concurrently).
     for (long i = 0; i < 10000; ++i) {
-      shared.insert(static_cast<long>(tid) * 10000 + i);
+      h.insert(static_cast<long>(tid) * 10000 + i);
     }
   });
   std::printf("\n4 threads inserted 40000 distinct keys -> size %zu\n",

@@ -35,10 +35,11 @@ int main() {
     if (tid < 2) {
       // Producers: monotonically increasing timestamps, jittered per thread.
       efrb::Xoshiro256 rng(tid + 1);
+      auto h = index.handle();  // per-thread handle for the insert hot loop
       for (int i = 0; i < 30000; ++i) {
         const Timestamp t =
             now.fetch_add(1 + rng.next_below(3), std::memory_order_relaxed);
-        index.insert(t, static_cast<double>(rng.next_below(1000)) / 10.0);
+        h.insert(t, static_cast<double>(rng.next_below(1000)) / 10.0);
         produced.fetch_add(1, std::memory_order_relaxed);
       }
       if (tid == 0) stop.store(true);
@@ -60,7 +61,10 @@ int main() {
         windows.fetch_add(1, std::memory_order_relaxed);
       }
     } else {
-      // Retention: expire points older than now - kRetention.
+      // Retention: expire points older than now - kRetention. Ordered
+      // navigation (min_key) stays on the tree; the erase hot path goes
+      // through a handle.
+      auto h = index.handle();
       while (!stop.load(std::memory_order_relaxed)) {
         const Timestamp cutoff =
             now.load(std::memory_order_relaxed) - kRetention;
@@ -68,7 +72,7 @@ int main() {
         for (int batch = 0; batch < 64; ++batch) {
           const auto oldest = index.min_key();
           if (!oldest.has_value() || *oldest >= cutoff) break;
-          if (index.erase(*oldest)) {
+          if (h.erase(*oldest)) {
             expired.fetch_add(1, std::memory_order_relaxed);
           }
         }

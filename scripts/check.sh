@@ -49,6 +49,16 @@ if [[ "$FAST" == "0" ]]; then
       -DEFRB_SANITIZE_THREAD=ON
   run cmake --build build-tsan
   run ctest --test-dir build-tsan --output-on-failure --timeout 900
+
+  echo "=== TSan + forced stats (kCountStats=true shards under the race detector) ==="
+  # EFRB_TEST_FORCE_STATS switches the concurrent suites to StatsTraits so the
+  # per-handle stat shards and the shared counter block race under TSan too.
+  run cmake -B build-tsan-stats -G Ninja -DEFRB_BUILD_BENCH=OFF -DEFRB_BUILD_EXAMPLES=OFF \
+      -DEFRB_SANITIZE_THREAD=ON \
+      -DCMAKE_CXX_FLAGS="-DEFRB_TEST_FORCE_STATS"
+  run cmake --build build-tsan-stats
+  run ctest --test-dir build-tsan-stats --output-on-failure --timeout 900 \
+      -R 'Handle|Stats|Concurrent|Chaos'
 fi
 
 echo "ALL CHECKS PASSED"

@@ -1,12 +1,17 @@
 // std::map (red-black tree) behind a reader-writer lock — the "use the
 // standard library sequential BST and wrap it" baseline a practitioner would
-// reach for first.
+// reach for first. LockedStdSet is the membership flavour; LockedStdMap adds
+// mapped values and models the ConcurrentMap concept so the map-level
+// differential and semantics suites can compare the EFRB tree against an
+// obviously-correct oracle.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
+#include <utility>
 
 namespace efrb {
 
@@ -39,6 +44,69 @@ class LockedStdSet {
  private:
   mutable std::shared_mutex mu_;
   std::map<Key, bool, Compare> set_;
+};
+
+/// Map flavour with the EFRB map's operation semantics: insert is first-write
+/// -wins, insert_or_assign reports whether the key was new, replace is an
+/// atomic value compare-and-swap. Each operation is one critical section, so
+/// every result is trivially linearizable at the lock.
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class LockedStdMap {
+ public:
+  using key_type = Key;
+  using mapped_type = Value;
+  static constexpr const char* kName = "locked-std-kvmap";
+
+  bool contains(const Key& k) const {
+    std::shared_lock lock(mu_);
+    return map_.count(k) != 0;
+  }
+
+  std::optional<Value> get(const Key& k) const {
+    std::shared_lock lock(mu_);
+    auto it = map_.find(k);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool insert(const Key& k, Value v = Value{}) {
+    std::unique_lock lock(mu_);
+    return map_.emplace(k, std::move(v)).second;
+  }
+
+  /// Returns true iff k was newly inserted (false: existing value replaced).
+  bool insert_or_assign(const Key& k, Value v) {
+    std::unique_lock lock(mu_);
+    return map_.insert_or_assign(k, std::move(v)).second;
+  }
+
+  /// Atomic value CAS: true iff k was present with value == expected.
+  bool replace(const Key& k, const Value& expected, Value desired) {
+    std::unique_lock lock(mu_);
+    auto it = map_.find(k);
+    if (it == map_.end() || !(it->second == expected)) return false;
+    it->second = std::move(desired);
+    return true;
+  }
+
+  Value get_or_insert(const Key& k, Value v) {
+    std::unique_lock lock(mu_);
+    return map_.emplace(k, std::move(v)).first->second;
+  }
+
+  bool erase(const Key& k) {
+    std::unique_lock lock(mu_);
+    return map_.erase(k) != 0;
+  }
+
+  std::size_t size() const {
+    std::shared_lock lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<Key, Value, Compare> map_;
 };
 
 }  // namespace efrb

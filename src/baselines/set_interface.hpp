@@ -1,11 +1,21 @@
-// The common concept every dictionary implementation in this repository
+// The common concepts every dictionary implementation in this repository
 // models, so tests and benchmarks can be written once and instantiated over
 // all of them (the EFRB tree, the lock-based baselines of §2, and the
 // list/skiplist families of §1's related work).
+//
+// Two tiers:
+//   * ConcurrentSet — membership only (insert/erase/contains).
+//   * ConcurrentMap — adds mapped values (get/insert_or_assign/replace).
+// Plus the handle layer: HasOpHandle detects implementations exposing
+// per-thread operation handles (see EfrbTreeMap::Handle); make_handle() gives
+// generic code one spelling that resolves to a real handle when available and
+// to a zero-cost forwarding proxy (SetRef) otherwise.
 #pragma once
 
 #include <concepts>
 #include <cstddef>
+#include <optional>
+#include <utility>
 
 namespace efrb {
 
@@ -18,6 +28,55 @@ concept ConcurrentSet = requires(S s, const S cs, const Key& k) {
   { cs.contains(k) } -> std::convertible_to<bool>;
   { S::kName } -> std::convertible_to<const char*>;
 };
+
+template <typename M, typename Key = typename M::key_type,
+          typename Value = typename M::mapped_type>
+concept ConcurrentMap = ConcurrentSet<M> &&
+    requires(M m, const M cm, const Key& k, const Value& v) {
+  typename M::mapped_type;
+  { m.insert(k, v) } -> std::convertible_to<bool>;           // false iff present
+  { m.insert_or_assign(k, v) } -> std::convertible_to<bool>; // true iff new key
+  { m.replace(k, v, v) } -> std::convertible_to<bool>;       // value CAS
+  { cm.get(k) } -> std::same_as<std::optional<Value>>;
+};
+
+/// Implementations exposing per-thread operation handles (amortized reclaimer
+/// pinning, contention-free stats). The handle supports at least the
+/// ConcurrentSet operations; it is thread-affine and must not outlive `s`.
+template <typename S>
+concept HasOpHandle = requires(S s) {
+  { s.handle() };
+};
 // clang-format on
+
+/// Zero-cost stand-in for a handle on implementations without one: forwards
+/// the set operations to the underlying object so generic per-thread loops
+/// can be written against "a handle" unconditionally.
+template <typename S>
+class SetRef {
+ public:
+  using key_type = typename S::key_type;
+  static constexpr const char* kName = S::kName;
+
+  explicit SetRef(S& s) noexcept : s_(&s) {}
+
+  bool contains(const key_type& k) const { return s_->contains(k); }
+  bool insert(const key_type& k) { return s_->insert(k); }
+  bool erase(const key_type& k) { return s_->erase(k); }
+
+ private:
+  S* s_;
+};
+
+/// Per-thread access point: a real handle when S has one, a SetRef proxy
+/// otherwise. Call once per worker thread, outside the hot loop.
+template <typename S>
+auto make_handle(S& s) {
+  if constexpr (HasOpHandle<S>) {
+    return s.handle();
+  } else {
+    return SetRef<S>(s);
+  }
+}
 
 }  // namespace efrb

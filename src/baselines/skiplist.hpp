@@ -211,11 +211,23 @@ class LockFreeSkipList {
     return !cmp_(a, b) && !cmp_(b, a);
   }
 
+  /// Seed for a thread's level RNG. A global counter fed through SplitMix64,
+  /// NOT std::hash<std::thread::id>: that hash is the identity on libstdc++,
+  /// and thread ids are small consecutive integers (often recycled), so
+  /// id-derived seeds give highly correlated xoshiro streams — correlated
+  /// tower heights across threads skew the skiplist toward its worst shapes.
+  /// The counter guarantees a distinct, well-mixed seed per thread for the
+  /// process lifetime, including across recycled thread ids.
+  static std::uint64_t level_seed() {
+    static std::atomic<std::uint64_t> counter{0};
+    SplitMix64 sm(0x9e3779b97f4a7c15ULL +
+                  counter.fetch_add(1, std::memory_order_relaxed));
+    return sm.next();
+  }
+
   /// Geometric level with p = 1/2, capped at kMaxLevel - 1.
   static int random_level() {
-    thread_local Xoshiro256 rng(
-        0x9e3779b97f4a7c15ULL ^
-        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    thread_local Xoshiro256 rng(level_seed());
     const std::uint64_t r = rng.next() | (std::uint64_t{1} << (kMaxLevel - 1));
     return __builtin_ctzll(r);
   }

@@ -39,11 +39,13 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -53,6 +55,9 @@
 #include "reclaim/epoch.hpp"
 #include "reclaim/reclaimer.hpp"
 #include "util/assert.hpp"
+#include "util/backoff.hpp"
+#include "util/cacheline.hpp"
+#include "util/rng.hpp"
 
 namespace efrb {
 
@@ -120,29 +125,346 @@ class EfrbTreeMap {
     }
   }
 
+ private:
+  // ---------------- stats plumbing ----------------
+
+  struct Counters {
+    std::atomic<std::uint64_t> insert_attempts{0};
+    std::atomic<std::uint64_t> insert_retries{0};
+    std::atomic<std::uint64_t> delete_attempts{0};
+    std::atomic<std::uint64_t> delete_retries{0};
+    std::atomic<std::uint64_t> helps{0};
+    std::atomic<std::uint64_t> backtracks{0};
+  };
+
+  static void accumulate(TreeStats& s, const Counters& c) noexcept {
+    s.insert_attempts += c.insert_attempts.load(std::memory_order_relaxed);
+    s.insert_retries += c.insert_retries.load(std::memory_order_relaxed);
+    s.delete_attempts += c.delete_attempts.load(std::memory_order_relaxed);
+    s.delete_retries += c.delete_retries.load(std::memory_order_relaxed);
+    s.helps += c.helps.load(std::memory_order_relaxed);
+    s.backtracks += c.backtracks.load(std::memory_order_relaxed);
+  }
+
+  // Handles count into a cacheline-padded shard each, so stats-enabled
+  // counting never contends on a shared line; stats_snapshot() sums the
+  // shared block (tree-level path) plus every shard. A released shard keeps
+  // its counts — they are lifetime totals, and the next handle to recycle
+  // the shard simply keeps adding.
+  struct StatShard {
+    Counters counters;
+    std::atomic<bool> in_use{false};
+  };
+
+  struct ShardPool {
+    static constexpr std::size_t kMaxHandles = 128;
+    std::vector<CachePadded<StatShard>> shards;
+
+    ShardPool() : shards(kMaxHandles) {}
+
+    StatShard* acquire() {
+      for (auto& padded : shards) {
+        StatShard& s = padded.value;
+        bool expected = false;
+        if (!s.in_use.load(std::memory_order_relaxed) &&
+            s.in_use.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+          return &s;
+        }
+      }
+      EFRB_ASSERT_MSG(false,
+                      "EfrbTreeMap: stat-shard capacity exhausted "
+                      "(more than kMaxHandles live handles)");
+    }
+
+    static void release(StatShard* s) noexcept {
+      s->in_use.store(false, std::memory_order_release);
+    }
+  };
+
+  /// Stats disabled: no shard storage at all; handles carry a null shard.
+  struct EmptyShardPool {
+    StatShard* acquire() noexcept { return nullptr; }
+    static void release(StatShard*) noexcept {}
+  };
+
+  using Shards =
+      std::conditional_t<Traits::kCountStats, ShardPool, EmptyShardPool>;
+
+  // ---------------- per-op execution context ----------------
+  //
+  // Threads the retire sink (whole reclaimer or per-handle attachment), the
+  // stat counters (shared block or per-handle shard), and optional backoff
+  // state through the op/help machinery. Resolved statically — no virtual
+  // dispatch; the tree-level instantiation compiles to the pre-handle code
+  // (null backoff folds retry_pause() away).
+  template <typename RetireTarget>
+  class ExecCtx {
+   public:
+    ExecCtx(RetireTarget& rt, Counters* counters,
+            Backoff* backoff = nullptr) noexcept
+        : rt_(rt), counters_(counters), backoff_(backoff) {}
+
+    template <typename T>
+    void retire(T* p) {
+      rt_.retire(p);
+    }
+
+    void begin_op() noexcept {
+      if (backoff_ != nullptr) backoff_->reset();
+    }
+    void retry_pause() noexcept {
+      if (backoff_ != nullptr) (*backoff_)();
+    }
+
+    void count_insert_attempt() noexcept {
+      if constexpr (Traits::kCountStats)
+        counters_->insert_attempts.fetch_add(1, std::memory_order_relaxed);
+    }
+    void count_insert_retry() noexcept {
+      if constexpr (Traits::kCountStats)
+        counters_->insert_retries.fetch_add(1, std::memory_order_relaxed);
+    }
+    void count_delete_attempt() noexcept {
+      if constexpr (Traits::kCountStats)
+        counters_->delete_attempts.fetch_add(1, std::memory_order_relaxed);
+    }
+    void count_delete_retry() noexcept {
+      if constexpr (Traits::kCountStats)
+        counters_->delete_retries.fetch_add(1, std::memory_order_relaxed);
+    }
+    void count_help() noexcept {
+      if constexpr (Traits::kCountStats)
+        counters_->helps.fetch_add(1, std::memory_order_relaxed);
+    }
+    void count_backtrack() noexcept {
+      if constexpr (Traits::kCountStats)
+        counters_->backtracks.fetch_add(1, std::memory_order_relaxed);
+    }
+
+   private:
+    RetireTarget& rt_;
+    [[maybe_unused]] Counters* counters_;
+    Backoff* backoff_;
+  };
+
+  /// Context for the tree-level convenience methods: retires through the
+  /// reclaimer's thread_local lease, counts into the shared block, no backoff
+  /// (matching the original per-call behaviour exactly).
+  ExecCtx<Reclaimer> tree_ctx() const noexcept {
+    return ExecCtx<Reclaimer>(reclaimer_, &counters_);
+  }
+
+  /// Distinct splitmix-derived seed per handle (never thread-id based; see
+  /// the skiplist level-RNG bug this repository once had).
+  static std::uint64_t next_handle_seed() noexcept {
+    static std::atomic<std::uint64_t> counter{0};
+    SplitMix64 sm(0x8f1bbcdcbfa53e0bULL +
+                  counter.fetch_add(1, std::memory_order_relaxed));
+    return sm.next();
+  }
+
+ public:
+  // ------------------------------------------------------------------
+  // Per-thread operation handles
+  // ------------------------------------------------------------------
+
+  /// The fast path for repeated operations. A Handle owns (a) an explicit
+  /// reclaimer attachment, so pin() is a plain member access instead of a
+  /// thread_local registry lookup, (b) a cacheline-padded stats shard when
+  /// Traits::kCountStats, so counting never contends on a shared line, and
+  /// (c) private backoff/RNG state for retry pacing and randomized
+  /// workloads.
+  ///
+  /// Rules: a Handle is movable but thread-affine — it must be used by one
+  /// thread at a time (a move is a hand-off, with whatever external
+  /// synchronization the hand-off itself needs), and it must not outlive its
+  /// tree. Each live handle occupies one reclaimer slot (counting against
+  /// the reclaimer's max_threads) and one stat shard; destruction or
+  /// detach() releases both. Ordered queries (min_key/find_ge/range/...)
+  /// remain on the tree itself.
+  class Handle {
+   public:
+    /// Invalid handle; usable only as a move target. Obtain real ones from
+    /// EfrbTreeMap::handle().
+    Handle() = default;
+
+    Handle(Handle&& other) noexcept
+        : tree_(other.tree_),
+          att_(std::move(other.att_)),
+          shard_(other.shard_),
+          shard_base_(other.shard_base_),
+          backoff_(other.backoff_),
+          rng_(other.rng_) {
+      other.tree_ = nullptr;
+      other.shard_ = nullptr;
+    }
+
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        detach();
+        tree_ = other.tree_;
+        att_ = std::move(other.att_);
+        shard_ = other.shard_;
+        shard_base_ = other.shard_base_;
+        backoff_ = other.backoff_;
+        rng_ = other.rng_;
+        other.tree_ = nullptr;
+        other.shard_ = nullptr;
+      }
+      return *this;
+    }
+
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    ~Handle() { detach(); }
+
+    bool valid() const noexcept { return tree_ != nullptr; }
+
+    /// Release the reclaimer slot and stat shard early (also done by the
+    /// destructor). The handle becomes invalid; operations on it are UB.
+    void detach() noexcept {
+      if (tree_ != nullptr && shard_ != nullptr) Shards::release(shard_);
+      shard_ = nullptr;
+      att_.detach();
+      tree_ = nullptr;
+    }
+
+    /// Find(k) through this handle's attachment.
+    bool contains(const Key& k) const {
+      EFRB_DCHECK(valid());
+      [[maybe_unused]] auto guard = att_.pin();
+      auto ctx = make_ctx();
+      return tree_->contains_with(k, ctx);
+    }
+
+    std::optional<Value> get(const Key& k) const {
+      EFRB_DCHECK(valid());
+      [[maybe_unused]] auto guard = att_.pin();
+      auto ctx = make_ctx();
+      return tree_->get_with(k, ctx);
+    }
+
+    bool insert(const Key& k, Value v = Value{}) {
+      EFRB_DCHECK(valid());
+      [[maybe_unused]] auto guard = att_.pin();
+      auto ctx = make_ctx();
+      return tree_->do_insert(k, std::move(v), /*assign_if_present=*/false,
+                              ctx) != InsertOutcome::kDuplicate;
+    }
+
+    bool insert_or_assign(const Key& k, Value v) {
+      EFRB_DCHECK(valid());
+      [[maybe_unused]] auto guard = att_.pin();
+      auto ctx = make_ctx();
+      return tree_->do_insert(k, std::move(v), /*assign_if_present=*/true,
+                              ctx) == InsertOutcome::kInserted;
+    }
+
+    bool replace(const Key& k, const Value& expected, Value desired) {
+      EFRB_DCHECK(valid());
+      [[maybe_unused]] auto guard = att_.pin();
+      auto ctx = make_ctx();
+      return tree_->do_replace(k, expected, std::move(desired), ctx);
+    }
+
+    Value get_or_insert(const Key& k, Value v) {
+      for (;;) {
+        if (auto cur = get(k)) return *cur;
+        if (insert(k, v)) return v;
+      }
+    }
+
+    bool erase(const Key& k) {
+      EFRB_DCHECK(valid());
+      [[maybe_unused]] auto guard = att_.pin();
+      auto ctx = make_ctx();
+      return tree_->do_erase(k, ctx);
+    }
+
+    /// Drain this handle's retire backlog. Call while not pinned.
+    void flush() { att_.flush(); }
+
+    /// Exactly this handle's own operations (zeros when stats are disabled).
+    /// Shards are recycled with their lifetime totals intact, so the shard's
+    /// value at acquisition is subtracted out.
+    TreeStats local_stats() const noexcept {
+      TreeStats s;
+      if (shard_ != nullptr) {
+        accumulate(s, shard_->counters);
+        s.insert_attempts -= shard_base_.insert_attempts;
+        s.insert_retries -= shard_base_.insert_retries;
+        s.delete_attempts -= shard_base_.delete_attempts;
+        s.delete_retries -= shard_base_.delete_retries;
+        s.helps -= shard_base_.helps;
+        s.backtracks -= shard_base_.backtracks;
+      }
+      return s;
+    }
+
+    /// Per-handle PRNG: splitmix-seeded, a distinct stream per handle.
+    Xoshiro256& rng() noexcept { return rng_; }
+    Backoff& backoff() noexcept { return backoff_; }
+
+   private:
+    friend class EfrbTreeMap;
+
+    explicit Handle(EfrbTreeMap* t)
+        : tree_(t),
+          att_(t->reclaimer_.attach()),
+          shard_(t->shards_.acquire()),
+          rng_(next_handle_seed()) {
+      if (shard_ != nullptr) accumulate(shard_base_, shard_->counters);
+    }
+
+    ExecCtx<typename Reclaimer::Attachment> make_ctx() const noexcept {
+      return ExecCtx<typename Reclaimer::Attachment>(
+          att_, shard_ != nullptr ? &shard_->counters : nullptr, &backoff_);
+    }
+
+    EfrbTreeMap* tree_ = nullptr;
+    mutable typename Reclaimer::Attachment att_;
+    StatShard* shard_ = nullptr;
+    TreeStats shard_base_;  // recycled shard's totals at acquisition
+    mutable Backoff backoff_;
+    mutable Xoshiro256 rng_{0};
+  };
+
+  /// Create a per-thread operation handle bound to this tree. See Handle for
+  /// the ownership and thread-affinity rules.
+  Handle handle() { return Handle(this); }
+
   // ------------------------------------------------------------------
   // Dictionary operations (Fig. 8/9)
+  //
+  // These tree-level methods are convenience wrappers over the same
+  // machinery the Handle drives: correct from any thread with zero setup,
+  // but each call re-resolves the reclaimer's thread_local lease (a registry
+  // lookup the handle pays once at attach) and, when stats are enabled,
+  // counts into one shared cache line. Hot loops should go through handle().
   // ------------------------------------------------------------------
 
   /// Find(k), lines 36-40. Read-only: never writes shared memory, never helps.
   bool contains(const Key& k) const {
     [[maybe_unused]] auto guard = reclaimer_.pin();
-    const SearchResult s = search(k);
-    return cmp_.equals(k, s.l->key);
+    auto ctx = tree_ctx();
+    return contains_with(k, ctx);
   }
 
   /// Map lookup: returns the value stored with k, if present. The value in a
   /// leaf is immutable after publication, so copying it under the pin is safe.
   std::optional<Value> get(const Key& k) const {
     [[maybe_unused]] auto guard = reclaimer_.pin();
-    const SearchResult s = search(k);
-    if (!cmp_.equals(k, s.l->key)) return std::nullopt;
-    return s.l->value;
+    auto ctx = tree_ctx();
+    return get_with(k, ctx);
   }
 
   /// Insert(k), lines 42-62. Returns false iff k was already present.
   bool insert(const Key& k, Value v = Value{}) {
-    return do_insert(k, std::move(v), /*assign_if_present=*/false) !=
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    auto ctx = tree_ctx();
+    return do_insert(k, std::move(v), /*assign_if_present=*/false, ctx) !=
            InsertOutcome::kDuplicate;
   }
 
@@ -155,7 +477,9 @@ class EfrbTreeMap {
   /// Returns true if k was newly inserted, false if an existing value was
   /// replaced.
   bool insert_or_assign(const Key& k, Value v) {
-    return do_insert(k, std::move(v), /*assign_if_present=*/true) ==
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    auto ctx = tree_ctx();
+    return do_insert(k, std::move(v), /*assign_if_present=*/true, ctx) ==
            InsertOutcome::kInserted;
   }
 
@@ -174,23 +498,8 @@ class EfrbTreeMap {
   /// failure.
   bool replace(const Key& k, const Value& expected, Value desired) {
     [[maybe_unused]] auto guard = reclaimer_.pin();
-    Leaf* new_leaf = nullptr;
-    for (;;) {
-      const SearchResult s = search(k);
-      Traits::at(HookPoint::kAfterSearch);
-      if (!cmp_.equals(k, s.l->key) || !(s.l->value == expected)) {
-        delete new_leaf;  // never published
-        return false;
-      }
-      if (s.pupdate.state() != UpdateState::kClean) {
-        help(s.pupdate);
-        count_insert_retry();
-        Traits::at(HookPoint::kInsertRetry);
-        continue;
-      }
-      if (new_leaf == nullptr) new_leaf = new Leaf(BKey::real(k), std::move(desired));
-      if (try_install(s, new_leaf)) return true;
-    }
+    auto ctx = tree_ctx();
+    return do_replace(k, expected, std::move(desired), ctx);
   }
 
   /// Extension: returns the value stored at k, inserting `v` first if absent.
@@ -209,49 +518,8 @@ class EfrbTreeMap {
   /// Delete(k), lines 69-87. Returns false iff k was absent.
   bool erase(const Key& k) {
     [[maybe_unused]] auto guard = reclaimer_.pin();
-    for (;;) {
-      const SearchResult s = search(k);  // line 75
-      Traits::at(HookPoint::kAfterSearch);
-      if (!cmp_.equals(k, s.l->key)) return false;  // line 76
-      if (s.gpupdate.state() != UpdateState::kClean) {  // line 77
-        help(s.gpupdate);
-        count_delete_retry();
-        Traits::at(HookPoint::kDeleteRetry);
-        continue;
-      }
-      if (s.pupdate.state() != UpdateState::kClean) {  // line 78
-        help(s.pupdate);
-        count_delete_retry();
-        Traits::at(HookPoint::kDeleteRetry);
-        continue;
-      }
-      // gp is null only when the reached leaf is the ∞₁ sentinel at depth 1,
-      // and sentinels never compare equal to a real key, so the line-76
-      // check above guarantees a real (depth >= 2) leaf here.
-      EFRB_DCHECK(s.gp != nullptr);
-      // line 80: op := new DInfo(gp, p, l, pupdate)
-      auto* op = new DInfo(s.gp, s.p, s.l, s.pupdate);
-      Update expected = s.gpupdate;
-      const Update flagged = Update::make(UpdateState::kDFlag, op);
-      const bool ok = s.gp->update.compare_exchange(expected, flagged);
-      Traits::on_cas(CasStep::kDFlag, ok, s.gp);  // line 81: dflag CAS
-      count_delete_attempt();
-      if (ok) {
-        // Last shared reference to the record behind gp's old Clean word.
-        if (Info* prev = s.gpupdate.info()) reclaimer_.retire(prev);
-        Traits::at(HookPoint::kAfterDFlag);
-        if (help_delete(op)) return true;  // line 83
-        // Mark failed; the DFlag has been backtracked and op retired by the
-        // backtrack winner. Retry from scratch (line 98's False return).
-        count_delete_retry();
-        Traits::at(HookPoint::kDeleteRetry);
-      } else {
-        delete op;        // never published; safe to free immediately
-        help(expected);   // line 85: help whoever owns gp now
-        count_delete_retry();
-        Traits::at(HookPoint::kDeleteRetry);
-      }
-    }
+    auto ctx = tree_ctx();
+    return do_erase(k, ctx);
   }
 
   // ------------------------------------------------------------------
@@ -406,16 +674,16 @@ class EfrbTreeMap {
 
   TreeStats stats() const noexcept { return stats_snapshot(); }
 
-  /// Combined relaxed-read snapshot of per-tree counters (Traits-gated).
+  /// Combined relaxed-read snapshot of per-tree counters (Traits-gated):
+  /// the shared block written by the tree-level path plus every handle
+  /// shard, live or released (shards hold lifetime totals).
   TreeStats stats_snapshot() const noexcept {
     TreeStats s;
     if constexpr (Traits::kCountStats) {
-      s.insert_attempts = counters_.insert_attempts.load(std::memory_order_relaxed);
-      s.insert_retries = counters_.insert_retries.load(std::memory_order_relaxed);
-      s.delete_attempts = counters_.delete_attempts.load(std::memory_order_relaxed);
-      s.delete_retries = counters_.delete_retries.load(std::memory_order_relaxed);
-      s.helps = counters_.helps.load(std::memory_order_relaxed);
-      s.backtracks = counters_.backtracks.load(std::memory_order_relaxed);
+      accumulate(s, counters_);
+      for (const auto& padded : shards_.shards) {
+        accumulate(s, padded.value.counters);
+      }
     }
     return s;
   }
@@ -482,7 +750,8 @@ class EfrbTreeMap {
   // whose child pointer contained l; pupdate/gpupdate were read from p/gp
   // *before* following the edge towards l (that read order is what makes the
   // flag-check-then-CAS protocol sound).
-  SearchResult search(const Key& k) const {
+  template <typename RT>
+  SearchResult search(const Key& k, ExecCtx<RT>& ctx) const {
     Internal* gp = nullptr;
     Internal* p = nullptr;
     Update gpupdate, pupdate;
@@ -500,7 +769,7 @@ class EfrbTreeMap {
         // being helped already passed its linearization-enabling mark).
         if (pupdate.state() == UpdateState::kMark) {
           const_cast<EfrbTreeMap*>(this)->help_marked(
-              static_cast<DInfo*>(pupdate.info()));
+              static_cast<DInfo*>(pupdate.info()), ctx);
           gp = nullptr;
           p = nullptr;
           gpupdate = Update{};
@@ -516,15 +785,32 @@ class EfrbTreeMap {
     return SearchResult{gp, p, static_cast<Leaf*>(l), pupdate, gpupdate};
   }
 
+  /// Find(k) body, shared by the tree-level wrapper and Handle::contains.
+  /// Caller must hold a pinned region on ctx's retire target.
+  template <typename RT>
+  bool contains_with(const Key& k, ExecCtx<RT>& ctx) const {
+    const SearchResult s = search(k, ctx);
+    return cmp_.equals(k, s.l->key);
+  }
+
+  template <typename RT>
+  std::optional<Value> get_with(const Key& k, ExecCtx<RT>& ctx) const {
+    const SearchResult s = search(k, ctx);
+    if (!cmp_.equals(k, s.l->key)) return std::nullopt;
+    return s.l->value;
+  }
+
   // ---------------- Insert (lines 42-62) ----------------
 
   enum class InsertOutcome { kInserted, kAssigned, kDuplicate };
 
-  InsertOutcome do_insert(const Key& k, Value v, bool assign_if_present) {
-    [[maybe_unused]] auto guard = reclaimer_.pin();
+  template <typename RT>
+  InsertOutcome do_insert(const Key& k, Value v, bool assign_if_present,
+                          ExecCtx<RT>& ctx) {
     auto* new_leaf = new Leaf(BKey::real(k), std::move(v));  // line 45
+    ctx.begin_op();
     for (;;) {
-      const SearchResult s = search(k);  // line 49
+      const SearchResult s = search(k, ctx);  // line 49
       Traits::at(HookPoint::kAfterSearch);
       if (cmp_.equals(k, s.l->key)) {  // line 50: duplicate key
         if (!assign_if_present) {
@@ -535,18 +821,21 @@ class EfrbTreeMap {
         // flag/child/unflag protocol. As in the paper's line 51, the parent
         // must be Clean before we may attempt to flag it.
         if (s.pupdate.state() != UpdateState::kClean) {
-          help(s.pupdate);
-          count_insert_retry();
+          help(s.pupdate, ctx);
+          ctx.count_insert_retry();
           Traits::at(HookPoint::kInsertRetry);
+          ctx.retry_pause();
           continue;
         }
-        if (try_install(s, new_leaf)) return InsertOutcome::kAssigned;
+        if (try_install(s, new_leaf, ctx)) return InsertOutcome::kAssigned;
+        ctx.retry_pause();
         continue;
       }
       if (s.pupdate.state() != UpdateState::kClean) {  // line 51
-        help(s.pupdate);
-        count_insert_retry();
+        help(s.pupdate, ctx);
+        ctx.count_insert_retry();
         Traits::at(HookPoint::kInsertRetry);
+        ctx.retry_pause();
         continue;
       }
       // lines 53-54: build the replacement subtree. The new internal node's
@@ -558,40 +847,125 @@ class EfrbTreeMap {
       } else {
         new_internal = new Internal(BKey::real(k), new_sibling, new_leaf);
       }
-      if (try_install(s, new_internal)) return InsertOutcome::kInserted;
+      if (try_install(s, new_internal, ctx)) return InsertOutcome::kInserted;
       // iflag failed: dismantle the unpublished subtree (new_leaf is reused).
       delete new_sibling;
       delete new_internal;
+      ctx.retry_pause();
     }
   }
 
   /// Common tail of Insert and insert_or_assign: flag s.p, then complete via
   /// HelpInsert. On iflag failure, helps the obstructor and returns false
   /// (caller owns dismantling `new_node`'s unpublished parts and retrying).
-  bool try_install(const SearchResult& s, Node* new_node) {
+  template <typename RT>
+  bool try_install(const SearchResult& s, Node* new_node, ExecCtx<RT>& ctx) {
     auto* op = new IInfo(s.p, s.l, new_node);  // line 55
     Update expected = s.pupdate;
     const Update flagged = Update::make(UpdateState::kIFlag, op);
     const bool ok = s.p->update.compare_exchange(expected, flagged);
     Traits::on_cas(CasStep::kIFlag, ok, s.p);  // line 56: iflag CAS
-    count_insert_attempt();
+    ctx.count_insert_attempt();
     if (ok) {
       // This CAS removed the last shared reference to the Info record that
       // the previous (Clean) word pointed to: retire it now.
-      if (Info* prev = s.pupdate.info()) reclaimer_.retire(prev);
+      if (Info* prev = s.pupdate.info()) ctx.retire(prev);
       Traits::at(HookPoint::kAfterIFlag);
-      help_insert(op);  // line 58
-      return true;      // line 59
+      help_insert(op, ctx);  // line 58
+      return true;           // line 59
     }
-    delete op;       // never published
-    help(expected);  // line 61: the witnessed value blocked us
-    count_insert_retry();
+    delete op;            // never published
+    help(expected, ctx);  // line 61: the witnessed value blocked us
+    ctx.count_insert_retry();
     Traits::at(HookPoint::kInsertRetry);
     return false;
   }
 
+  // ---------------- Delete (lines 69-87) ----------------
+
+  template <typename RT>
+  bool do_erase(const Key& k, ExecCtx<RT>& ctx) {
+    ctx.begin_op();
+    for (;;) {
+      const SearchResult s = search(k, ctx);  // line 75
+      Traits::at(HookPoint::kAfterSearch);
+      if (!cmp_.equals(k, s.l->key)) return false;  // line 76
+      if (s.gpupdate.state() != UpdateState::kClean) {  // line 77
+        help(s.gpupdate, ctx);
+        ctx.count_delete_retry();
+        Traits::at(HookPoint::kDeleteRetry);
+        ctx.retry_pause();
+        continue;
+      }
+      if (s.pupdate.state() != UpdateState::kClean) {  // line 78
+        help(s.pupdate, ctx);
+        ctx.count_delete_retry();
+        Traits::at(HookPoint::kDeleteRetry);
+        ctx.retry_pause();
+        continue;
+      }
+      // gp is null only when the reached leaf is the ∞₁ sentinel at depth 1,
+      // and sentinels never compare equal to a real key, so the line-76
+      // check above guarantees a real (depth >= 2) leaf here.
+      EFRB_DCHECK(s.gp != nullptr);
+      // line 80: op := new DInfo(gp, p, l, pupdate)
+      auto* op = new DInfo(s.gp, s.p, s.l, s.pupdate);
+      Update expected = s.gpupdate;
+      const Update flagged = Update::make(UpdateState::kDFlag, op);
+      const bool ok = s.gp->update.compare_exchange(expected, flagged);
+      Traits::on_cas(CasStep::kDFlag, ok, s.gp);  // line 81: dflag CAS
+      ctx.count_delete_attempt();
+      if (ok) {
+        // Last shared reference to the record behind gp's old Clean word.
+        if (Info* prev = s.gpupdate.info()) ctx.retire(prev);
+        Traits::at(HookPoint::kAfterDFlag);
+        if (help_delete(op, ctx)) return true;  // line 83
+        // Mark failed; the DFlag has been backtracked and op retired by the
+        // backtrack winner. Retry from scratch (line 98's False return).
+        ctx.count_delete_retry();
+        Traits::at(HookPoint::kDeleteRetry);
+        ctx.retry_pause();
+      } else {
+        delete op;            // never published; safe to free immediately
+        help(expected, ctx);  // line 85: help whoever owns gp now
+        ctx.count_delete_retry();
+        Traits::at(HookPoint::kDeleteRetry);
+        ctx.retry_pause();
+      }
+    }
+  }
+
+  /// Body of replace() / Handle::replace (see the wrapper's soundness note).
+  template <typename RT>
+  bool do_replace(const Key& k, const Value& expected, Value desired,
+                  ExecCtx<RT>& ctx) {
+    Leaf* new_leaf = nullptr;
+    ctx.begin_op();
+    for (;;) {
+      const SearchResult s = search(k, ctx);
+      Traits::at(HookPoint::kAfterSearch);
+      if (!cmp_.equals(k, s.l->key) || !(s.l->value == expected)) {
+        delete new_leaf;  // never published
+        return false;
+      }
+      if (s.pupdate.state() != UpdateState::kClean) {
+        help(s.pupdate, ctx);
+        ctx.count_insert_retry();
+        Traits::at(HookPoint::kInsertRetry);
+        ctx.retry_pause();
+        continue;
+      }
+      if (new_leaf == nullptr) {
+        new_leaf = new Leaf(BKey::real(k), std::move(desired));
+      }
+      if (try_install(s, new_leaf, ctx)) return true;
+      ctx.retry_pause();
+    }
+  }
+
   // ---------------- HelpInsert (lines 64-68) ----------------
-  void help_insert(IInfo* op) {
+  template <typename RT>
+  void help_insert(IInfo* op, ExecCtx<RT>& ctx) {
     EFRB_DCHECK(op != nullptr);
     Traits::at(HookPoint::kBeforeIChild);
     cas_child(op->p, op->l, op->new_node, CasStep::kIChild);  // line 66
@@ -606,12 +980,13 @@ class EfrbTreeMap {
       // retired here: the Clean word keeps pointing at it (so the update
       // field never repeats a value, §4.2) — it is retired by whichever CAS
       // later overwrites that word, or freed by the tree destructor.
-      reclaimer_.retire(op->l);
+      ctx.retire(op->l);
     }
   }
 
   // ---------------- HelpDelete (lines 88-99) ----------------
-  bool help_delete(DInfo* op) {
+  template <typename RT>
+  bool help_delete(DInfo* op, ExecCtx<RT>& ctx) {
     EFRB_DCHECK(op != nullptr);
     Traits::at(HookPoint::kBeforeMark);
     Update expected = op->pupdate;
@@ -620,28 +995,29 @@ class EfrbTreeMap {
     Traits::on_cas(CasStep::kMark, ok, op->p);  // line 91: mark CAS
     if (ok) {
       // The mark overwrote p's Clean word — retire the record it referenced.
-      if (Info* prev = op->pupdate.info()) reclaimer_.retire(prev);
+      if (Info* prev = op->pupdate.info()) ctx.retire(prev);
     }
     if (ok || expected == marked) {  // line 92
-      help_marked(op);  // line 93
-      return true;      // line 94
+      help_marked(op, ctx);  // line 93
+      return true;           // line 94
     }
     // Mark failed because of a conflicting operation on p (e.g. a concurrent
     // Insert replaced the leaf — the scenario in Fig. 5's doomed Delete).
-    help(expected);  // line 97
+    help(expected, ctx);  // line 97
     Traits::at(HookPoint::kBeforeBacktrack);
     Update exp2 = Update::make(UpdateState::kDFlag, op);
     const Update clean = Update::make(UpdateState::kClean, op);
     const bool back = op->gp->update.compare_exchange(exp2, clean);
     Traits::on_cas(CasStep::kBacktrack, back, op->gp);  // line 98
-    if (back) count_backtrack();
+    if (back) ctx.count_backtrack();
     // `op` stays referenced by gp's (Clean, op) word; whichever CAS later
     // overwrites that word retires it.
     return false;  // line 99: tell Delete to try again
   }
 
   // ---------------- HelpMarked (lines 100-106) ----------------
-  void help_marked(DInfo* op) {
+  template <typename RT>
+  void help_marked(DInfo* op, ExecCtx<RT>& ctx) {
     EFRB_DCHECK(op != nullptr);
     // line 103-104: the sibling of the leaf being deleted. p is marked, so its
     // child pointers are frozen; these reads are stable.
@@ -664,27 +1040,28 @@ class EfrbTreeMap {
       // gp's (Clean, op) word (and by the dead parent's Mark word); it is
       // retired by whichever CAS later overwrites gp's word, or freed by the
       // tree destructor.
-      reclaimer_.retire(op->p);
-      reclaimer_.retire(op->l);
+      ctx.retire(op->p);
+      ctx.retire(op->l);
     }
   }
 
   // ---------------- Help (lines 107-112) ----------------
   // The state tag selects the Info record's concrete type. Clean is a no-op:
   // callers pass witnessed values that may have turned Clean meanwhile.
-  void help(Update u) {
+  template <typename RT>
+  void help(Update u, ExecCtx<RT>& ctx) {
     if (u.state() == UpdateState::kClean) return;
-    count_help();
+    ctx.count_help();
     Traits::at(HookPoint::kBeforeHelp);
     switch (u.state()) {
       case UpdateState::kIFlag:
-        help_insert(static_cast<IInfo*>(u.info()));
+        help_insert(static_cast<IInfo*>(u.info()), ctx);
         break;
       case UpdateState::kMark:
-        help_marked(static_cast<DInfo*>(u.info()));
+        help_marked(static_cast<DInfo*>(u.info()), ctx);
         break;
       case UpdateState::kDFlag:
-        help_delete(static_cast<DInfo*>(u.info()));
+        help_delete(static_cast<DInfo*>(u.info()), ctx);
         break;
       case UpdateState::kClean:
         break;
@@ -847,46 +1224,13 @@ class EfrbTreeMap {
     }
   }
 
-  // ---------------- stats plumbing ----------------
-
-  struct Counters {
-    std::atomic<std::uint64_t> insert_attempts{0};
-    std::atomic<std::uint64_t> insert_retries{0};
-    std::atomic<std::uint64_t> delete_attempts{0};
-    std::atomic<std::uint64_t> delete_retries{0};
-    std::atomic<std::uint64_t> helps{0};
-    std::atomic<std::uint64_t> backtracks{0};
-  };
-
-  void count_insert_attempt() noexcept {
-    if constexpr (Traits::kCountStats)
-      counters_.insert_attempts.fetch_add(1, std::memory_order_relaxed);
-  }
-  void count_insert_retry() noexcept {
-    if constexpr (Traits::kCountStats)
-      counters_.insert_retries.fetch_add(1, std::memory_order_relaxed);
-  }
-  void count_delete_attempt() noexcept {
-    if constexpr (Traits::kCountStats)
-      counters_.delete_attempts.fetch_add(1, std::memory_order_relaxed);
-  }
-  void count_delete_retry() noexcept {
-    if constexpr (Traits::kCountStats)
-      counters_.delete_retries.fetch_add(1, std::memory_order_relaxed);
-  }
-  void count_help() noexcept {
-    if constexpr (Traits::kCountStats)
-      counters_.helps.fetch_add(1, std::memory_order_relaxed);
-  }
-  void count_backtrack() noexcept {
-    if constexpr (Traits::kCountStats)
-      counters_.backtracks.fetch_add(1, std::memory_order_relaxed);
-  }
-
   BoundedCompare<Key, Compare> cmp_;
   mutable Reclaimer reclaimer_;
   Internal* root_;  // line 19: the Root pointer is never changed
+  // Shared counter block for the tree-level (non-handle) path.
   [[no_unique_address]] mutable Counters counters_;
+  // Per-handle counter shards (empty type when stats are disabled).
+  [[no_unique_address]] mutable Shards shards_;
 };
 
 /// Set flavour: keys only, no mapped values.

@@ -11,7 +11,9 @@
 //  * One Registry per reclaimer instance: a fixed array of cache-line padded
 //    slots plus the global epoch counter. Threads acquire a slot on first use
 //    (thread_local lease, released at thread exit) so pin() is wait-free after
-//    the first operation.
+//    the first operation. Alternatively, attach() hands out an explicit
+//    Attachment owning a slot outright — the per-thread-handle fast path where
+//    pin() is a plain member access with no thread_local lookup at all.
 //  * Retire lists are single-owner (the slot holder); only the epoch
 //    announcement word is shared, so pin/unpin cost one store + one fence.
 //  * The Registry is shared_ptr-owned by the reclaimer and by every thread
@@ -131,6 +133,77 @@ class EpochReclaimer {
     Slot* slot_ = nullptr;
   };
 
+  /// Explicit slot registration (the fast path behind per-thread operation
+  /// handles): owns one Slot for its whole lifetime, so pin()/retire() are
+  /// plain member accesses with no thread_local registry lookup. Movable, not
+  /// copyable; thread-affine (the owning thread only — the slot's retire list
+  /// is single-owner). detach() (or destruction) releases the slot for reuse;
+  /// any retired-but-unfreed entries stay in the slot and are drained by its
+  /// next owner or by the Registry destructor, exactly as with the
+  /// thread-exit lease path.
+  class Attachment {
+   public:
+    Attachment() = default;
+    Attachment(Attachment&& other) noexcept
+        : reg_(std::move(other.reg_)),
+          slot_(other.slot_),
+          retire_batch_(other.retire_batch_) {
+      other.slot_ = nullptr;
+    }
+    Attachment& operator=(Attachment&& other) noexcept {
+      if (this != &other) {
+        detach();
+        reg_ = std::move(other.reg_);
+        slot_ = other.slot_;
+        retire_batch_ = other.retire_batch_;
+        other.slot_ = nullptr;
+      }
+      return *this;
+    }
+    Attachment(const Attachment&) = delete;
+    Attachment& operator=(const Attachment&) = delete;
+    ~Attachment() { detach(); }
+
+    bool attached() const noexcept { return slot_ != nullptr; }
+
+    /// Releases the slot back to the registry. No pin (Guard) may be alive.
+    void detach() noexcept {
+      if (slot_ != nullptr) {
+        EFRB_DCHECK(slot_->depth == 0);
+        slot_->in_use.store(false, std::memory_order_release);
+        slot_ = nullptr;
+        reg_.reset();
+      }
+    }
+
+    Guard pin() {
+      EFRB_DCHECK(slot_ != nullptr);
+      return pin_slot(reg_.get(), slot_);
+    }
+
+    template <typename T>
+    void retire(T* p) {
+      EFRB_DCHECK(slot_ != nullptr);
+      retire_slot(reg_.get(), slot_, retire_batch_, p);
+    }
+
+    /// Best-effort drain of this attachment's retire list (quiescent points).
+    void flush() {
+      EFRB_DCHECK(slot_ != nullptr);
+      flush_slot(reg_.get(), slot_);
+    }
+
+   private:
+    friend class EpochReclaimer;
+    Attachment(std::shared_ptr<Registry> reg, Slot* slot,
+               std::size_t retire_batch) noexcept
+        : reg_(std::move(reg)), slot_(slot), retire_batch_(retire_batch) {}
+
+    std::shared_ptr<Registry> reg_;
+    Slot* slot_ = nullptr;
+    std::size_t retire_batch_ = 0;
+  };
+
   /// @param max_threads   capacity of the slot table (threads that concurrently
   ///                      use this instance; slots are recycled at thread exit).
   /// @param retire_batch  per-thread retire-list length that triggers an epoch
@@ -144,40 +217,18 @@ class EpochReclaimer {
       : reg_(std::make_shared<Registry>(max_threads)),
         retire_batch_(retire_batch) {}
 
-  Guard pin() {
-    Slot* slot = local_slot();
-    if (slot->depth++ == 0) {
-      std::uint64_t e = reg_->global.load(std::memory_order_acquire);
-      // Publish, then re-check: the announcement must equal the global epoch
-      // observed *after* publishing, otherwise an advance racing with us could
-      // treat this thread as caught-up when it is not.
-      for (;;) {
-        slot->epoch.store(e, std::memory_order_seq_cst);
-        const std::uint64_t g = reg_->global.load(std::memory_order_seq_cst);
-        if (g == e) break;
-        e = g;
-      }
-    }
-    return Guard(reg_.get(), slot);
+  /// Acquire a dedicated slot (released by Attachment::detach / destruction).
+  /// Counts against max_threads like a thread lease; a thread that uses both
+  /// an attachment and the implicit thread_local path occupies two slots.
+  Attachment attach() {
+    return Attachment(reg_, reg_->acquire_slot(), retire_batch_);
   }
+
+  Guard pin() { return pin_slot(reg_.get(), local_slot()); }
 
   template <typename T>
   void retire(T* p) {
-    EFRB_DCHECK(p != nullptr);
-    Slot* slot = local_slot();
-    slot->retired.push_back(Retired{
-        p, [](void* q) { delete static_cast<T*>(q); },
-        reg_->global.load(std::memory_order_acquire)});
-    // Sweep on a size *schedule*, not a fixed threshold: when a pinned-but-
-    // descheduled thread stalls the epoch, entries pile up past the batch
-    // size, and re-sweeping the whole list on every retire would be
-    // quadratic. Resetting the trigger to size+batch after each sweep keeps
-    // the amortized cost per retire O(1).
-    if (slot->retired.size() >= std::max(slot->next_sweep, retire_batch_)) {
-      reg_->try_advance();
-      sweep(slot);
-      slot->next_sweep = slot->retired.size() + retire_batch_;
-    }
+    retire_slot(reg_.get(), local_slot(), retire_batch_, p);
   }
 
   /// Objects freed so far (for tests asserting reclamation actually happens).
@@ -191,17 +242,53 @@ class EpochReclaimer {
 
   /// Best-effort drain for tests/benchmarks at quiescent points: repeatedly
   /// advance and sweep the calling thread's list.
-  void flush() {
-    Slot* slot = local_slot();
-    for (int i = 0; i < 3 && !slot->retired.empty(); ++i) {
-      reg_->try_advance();
-      sweep(slot);
+  void flush() { flush_slot(reg_.get(), local_slot()); }
+
+ private:
+  static Guard pin_slot(Registry* reg, Slot* slot) {
+    if (slot->depth++ == 0) {
+      std::uint64_t e = reg->global.load(std::memory_order_acquire);
+      // Publish, then re-check: the announcement must equal the global epoch
+      // observed *after* publishing, otherwise an advance racing with us could
+      // treat this thread as caught-up when it is not.
+      for (;;) {
+        slot->epoch.store(e, std::memory_order_seq_cst);
+        const std::uint64_t g = reg->global.load(std::memory_order_seq_cst);
+        if (g == e) break;
+        e = g;
+      }
+    }
+    return Guard(reg, slot);
+  }
+
+  template <typename T>
+  static void retire_slot(Registry* reg, Slot* slot, std::size_t retire_batch,
+                          T* p) {
+    EFRB_DCHECK(p != nullptr);
+    slot->retired.push_back(Retired{
+        p, [](void* q) { delete static_cast<T*>(q); },
+        reg->global.load(std::memory_order_acquire)});
+    // Sweep on a size *schedule*, not a fixed threshold: when a pinned-but-
+    // descheduled thread stalls the epoch, entries pile up past the batch
+    // size, and re-sweeping the whole list on every retire would be
+    // quadratic. Resetting the trigger to size+batch after each sweep keeps
+    // the amortized cost per retire O(1).
+    if (slot->retired.size() >= std::max(slot->next_sweep, retire_batch)) {
+      reg->try_advance();
+      sweep(reg, slot);
+      slot->next_sweep = slot->retired.size() + retire_batch;
     }
   }
 
- private:
-  void sweep(Slot* slot) {
-    const std::uint64_t e = reg_->global.load(std::memory_order_acquire);
+  static void flush_slot(Registry* reg, Slot* slot) {
+    for (int i = 0; i < 3 && !slot->retired.empty(); ++i) {
+      reg->try_advance();
+      sweep(reg, slot);
+    }
+  }
+
+  static void sweep(Registry* reg, Slot* slot) {
+    const std::uint64_t e = reg->global.load(std::memory_order_acquire);
     auto& list = slot->retired;
     std::size_t kept = 0;
     std::uint64_t freed = 0;
@@ -216,7 +303,7 @@ class EpochReclaimer {
     }
     list.resize(kept);
     if (freed != 0) {
-      reg_->freed_total.fetch_add(freed, std::memory_order_relaxed);
+      reg->freed_total.fetch_add(freed, std::memory_order_relaxed);
     }
   }
 

@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -198,6 +199,293 @@ class HazardPointerDomain {
         for (auto& h : e.slot->hazards) {
           h.store(nullptr, std::memory_order_release);
         }
+        e.slot->in_use.store(false, std::memory_order_release);
+      }
+    }
+  };
+
+  Slot* local_slot() {
+    thread_local Lease lease;
+    thread_local Registry* cached_reg = nullptr;
+    thread_local Slot* cached_slot = nullptr;
+    Registry* reg = reg_.get();
+    if (cached_reg == reg) return cached_slot;
+    for (const auto& e : lease.entries) {
+      if (e.reg.get() == reg) {
+        cached_reg = reg;
+        cached_slot = e.slot;
+        return e.slot;
+      }
+    }
+    Slot* slot = reg->acquire_slot();
+    lease.entries.push_back(Lease::Entry{reg_, slot});
+    cached_reg = reg;
+    cached_slot = slot;
+    return slot;
+  }
+
+  std::shared_ptr<Registry> reg_;
+  std::size_t retire_batch_;
+};
+
+// ---------------------------------------------------------------------------
+// HazardReclaimer — the hazard-side ReclaimerPolicy for pin()-style users
+// (the EFRB tree and the skiplist), companion to EpochReclaimer.
+//
+// True per-pointer hazard protection of the tree would require the §6-modified
+// Search (publish-and-revalidate every edge crossed); the blanket pin()/
+// retire() contract gives the reclaimer no per-pointer information to
+// publish. This policy therefore publishes the coarsest possible hazard: a
+// per-thread activity sequence number that is odd exactly while the owner is
+// inside a pinned region. Reclamation proceeds in *grace rounds*: when a
+// thread's retire list fills, it snapshots every slot that is currently
+// pinned (odd sequence, including itself — freeing inside the retiring pin
+// would reopen the update-word ABA the tree's pinning argument rules out) and
+// moves the list to a pending set; the pending set is freed once every
+// snapshotted slot's sequence has moved on, i.e. every reader that could have
+// held a reference has passed through a quiescent state. Unlike EBR there is
+// no global epoch for a stalled thread to wedge for *everyone else's* future
+// rounds — a round waits only on the readers that were active when it began.
+// ---------------------------------------------------------------------------
+class HazardReclaimer {
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  struct Slot {
+    // Shared: odd while the owner is pinned; bumped on pin and on unpin.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<bool> in_use{false};
+    // Owner-thread only.
+    std::vector<Retired> retired;   // not yet covered by a grace round
+    std::vector<Retired> pending;   // awaiting the current round's readers
+    std::vector<std::pair<Slot*, std::uint64_t>> readers;  // round snapshot
+    unsigned depth = 0;             // pin() nesting
+    std::size_t next_round = 0;     // retired.size() triggering the next round
+  };
+
+  struct Registry {
+    explicit Registry(std::size_t max_threads) : slots(max_threads) {}
+
+    ~Registry() {
+      // Last reference dropped: nothing can be pinned; free all leftovers.
+      for (auto& padded : slots) {
+        for (const Retired& r : padded.value.retired) r.deleter(r.ptr);
+        for (const Retired& r : padded.value.pending) r.deleter(r.ptr);
+        padded.value.retired.clear();
+        padded.value.pending.clear();
+      }
+    }
+
+    Slot* acquire_slot() {
+      for (auto& padded : slots) {
+        Slot& s = padded.value;
+        bool expected = false;
+        if (!s.in_use.load(std::memory_order_relaxed) &&
+            s.in_use.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+          return &s;
+        }
+      }
+      EFRB_ASSERT_MSG(false, "HazardReclaimer: thread-slot capacity exhausted");
+    }
+
+    std::vector<CachePadded<Slot>> slots;
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> freed_total{0};
+  };
+
+ public:
+  /// RAII pinned region; nested pins are counted (outermost wins).
+  class Guard {
+   public:
+    Guard() = default;
+    explicit Guard(Slot* slot) noexcept : slot_(slot) {}
+    Guard(Guard&& other) noexcept : slot_(other.slot_) {
+      other.slot_ = nullptr;
+    }
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        release();
+        slot_ = other.slot_;
+        other.slot_ = nullptr;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { release(); }
+
+   private:
+    void release() noexcept {
+      if (slot_ != nullptr && --slot_->depth == 0) {
+        // Even again: readers-of-record for any in-flight grace round see
+        // this slot as quiescent from here on.
+        slot_->seq.fetch_add(1, std::memory_order_release);
+      }
+      slot_ = nullptr;
+    }
+    Slot* slot_ = nullptr;
+  };
+
+  /// Explicit slot registration — see EpochReclaimer::Attachment; identical
+  /// contract (movable, thread-affine, slot released on detach/destruction,
+  /// leftover retired entries inherited by the slot's next owner).
+  class Attachment {
+   public:
+    Attachment() = default;
+    Attachment(Attachment&& other) noexcept
+        : reg_(std::move(other.reg_)),
+          slot_(other.slot_),
+          retire_batch_(other.retire_batch_) {
+      other.slot_ = nullptr;
+    }
+    Attachment& operator=(Attachment&& other) noexcept {
+      if (this != &other) {
+        detach();
+        reg_ = std::move(other.reg_);
+        slot_ = other.slot_;
+        retire_batch_ = other.retire_batch_;
+        other.slot_ = nullptr;
+      }
+      return *this;
+    }
+    Attachment(const Attachment&) = delete;
+    Attachment& operator=(const Attachment&) = delete;
+    ~Attachment() { detach(); }
+
+    bool attached() const noexcept { return slot_ != nullptr; }
+
+    void detach() noexcept {
+      if (slot_ != nullptr) {
+        EFRB_DCHECK(slot_->depth == 0);
+        slot_->in_use.store(false, std::memory_order_release);
+        slot_ = nullptr;
+        reg_.reset();
+      }
+    }
+
+    Guard pin() {
+      EFRB_DCHECK(slot_ != nullptr);
+      return pin_slot(slot_);
+    }
+
+    template <typename T>
+    void retire(T* p) {
+      EFRB_DCHECK(slot_ != nullptr);
+      retire_slot(reg_.get(), slot_, retire_batch_, p);
+    }
+
+    void flush() {
+      EFRB_DCHECK(slot_ != nullptr);
+      flush_slot(reg_.get(), slot_);
+    }
+
+   private:
+    friend class HazardReclaimer;
+    Attachment(std::shared_ptr<Registry> reg, Slot* slot,
+               std::size_t retire_batch) noexcept
+        : reg_(std::move(reg)), slot_(slot), retire_batch_(retire_batch) {}
+
+    std::shared_ptr<Registry> reg_;
+    Slot* slot_ = nullptr;
+    std::size_t retire_batch_ = 0;
+  };
+
+  explicit HazardReclaimer(std::size_t max_threads = 64,
+                           std::size_t retire_batch = 128)
+      : reg_(std::make_shared<Registry>(max_threads)),
+        retire_batch_(retire_batch) {}
+
+  Attachment attach() {
+    return Attachment(reg_, reg_->acquire_slot(), retire_batch_);
+  }
+
+  Guard pin() { return pin_slot(local_slot()); }
+
+  template <typename T>
+  void retire(T* p) {
+    retire_slot(reg_.get(), local_slot(), retire_batch_, p);
+  }
+
+  std::uint64_t freed_count() const noexcept {
+    return reg_->freed_total.load(std::memory_order_relaxed);
+  }
+
+  /// Best-effort drain at quiescent points (must be called unpinned, or the
+  /// caller's own snapshot entry keeps its rounds open).
+  void flush() { flush_slot(reg_.get(), local_slot()); }
+
+ private:
+  static Guard pin_slot(Slot* slot) {
+    if (slot->depth++ == 0) {
+      // seq_cst RMW: the announcement is globally ordered against the
+      // snapshot loads in advance_round, mirroring the epoch announcement's
+      // publish-then-recheck fence role.
+      slot->seq.fetch_add(1, std::memory_order_seq_cst);
+    }
+    return Guard(slot);
+  }
+
+  template <typename T>
+  static void retire_slot(Registry* reg, Slot* slot, std::size_t retire_batch,
+                          T* p) {
+    EFRB_DCHECK(p != nullptr);
+    slot->retired.push_back(
+        Retired{p, [](void* q) { delete static_cast<T*>(q); }});
+    // Size-scheduled rounds (amortized O(1) per retire; see EpochReclaimer).
+    if (slot->retired.size() >= std::max(slot->next_round, retire_batch)) {
+      advance_round(reg, slot);
+      slot->next_round = slot->retired.size() + retire_batch;
+    }
+  }
+
+  static void flush_slot(Registry* reg, Slot* slot) {
+    for (int i = 0;
+         i < 3 && !(slot->retired.empty() && slot->pending.empty()); ++i) {
+      advance_round(reg, slot);
+    }
+  }
+
+  /// One grace-round step: clear snapshot entries whose reader moved on, free
+  /// the pending set once the snapshot empties, then start a new round for
+  /// the accumulated retired list.
+  static void advance_round(Registry* reg, Slot* slot) {
+    auto& readers = slot->readers;
+    std::size_t kept = 0;
+    for (const auto& [s, seq] : readers) {
+      // A recorded sequence is odd; any change means that pin ended (sequence
+      // numbers are monotone), including slot release/re-acquisition.
+      if (s->seq.load(std::memory_order_seq_cst) == seq) {
+        readers[kept++] = {s, seq};
+      }
+    }
+    readers.resize(kept);
+    if (readers.empty() && !slot->pending.empty()) {
+      for (const Retired& r : slot->pending) r.deleter(r.ptr);
+      reg->freed_total.fetch_add(slot->pending.size(),
+                                 std::memory_order_relaxed);
+      slot->pending.clear();
+    }
+    if (slot->pending.empty() && !slot->retired.empty()) {
+      std::swap(slot->pending, slot->retired);
+      for (auto& padded : reg->slots) {
+        Slot& s = padded.value;
+        if (!s.in_use.load(std::memory_order_acquire)) continue;
+        const std::uint64_t seq = s.seq.load(std::memory_order_seq_cst);
+        if ((seq & 1) != 0) readers.push_back({&s, seq});
+      }
+    }
+  }
+
+  struct Lease {
+    struct Entry {
+      std::shared_ptr<Registry> reg;
+      Slot* slot;
+    };
+    std::vector<Entry> entries;
+    ~Lease() {
+      for (auto& e : entries) {
         e.slot->in_use.store(false, std::memory_order_release);
       }
     }

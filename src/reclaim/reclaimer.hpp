@@ -28,6 +28,21 @@ concept ReclaimerPolicy = requires(R r) {
   { r.pin() };                       // returns a movable RAII guard
   { r.template retire<int>(static_cast<int*>(nullptr)) };
 };
+
+// Extension of ReclaimerPolicy for policies with explicit per-thread
+// registration: attach() hands out a movable, thread-affine Attachment whose
+// pin()/retire() skip the thread_local registry lookup entirely. This is the
+// fast path behind EfrbTreeMap::Handle; the implicit thread_local lease
+// remains the fallback behind the policy-level pin()/retire().
+template <typename R>
+concept AttachableReclaimerPolicy = ReclaimerPolicy<R> &&
+    requires(R r, typename R::Attachment a) {
+  { r.attach() } -> std::same_as<typename R::Attachment>;
+  { a.pin() };
+  { a.template retire<int>(static_cast<int*>(nullptr)) };
+  { a.attached() } -> std::convertible_to<bool>;
+  { a.detach() };
+};
 // clang-format on
 
 /// Never frees anything. This is the paper's own memory model ("assume fresh
@@ -40,7 +55,27 @@ class LeakyReclaimer {
     Guard() = default;
   };
 
+  /// State-free Attachment so leaky trees still expose the handle API; there
+  /// is no slot to register, so all members are no-ops.
+  class Attachment {
+   public:
+    Attachment() = default;
+    bool attached() const noexcept { return attached_; }
+    void detach() noexcept { attached_ = false; }
+    Guard pin() noexcept { return Guard{}; }
+    template <typename T>
+    void retire(T* /*p*/) noexcept {}
+    void flush() noexcept {}
+
+   private:
+    friend class LeakyReclaimer;
+    explicit Attachment(bool attached) noexcept : attached_(attached) {}
+    bool attached_ = false;
+  };
+
   Guard pin() noexcept { return Guard{}; }
+
+  Attachment attach() noexcept { return Attachment{true}; }
 
   template <typename T>
   void retire(T* /*p*/) noexcept {
@@ -53,5 +88,6 @@ class LeakyReclaimer {
 };
 
 static_assert(ReclaimerPolicy<LeakyReclaimer>);
+static_assert(AttachableReclaimerPolicy<LeakyReclaimer>);
 
 }  // namespace efrb

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "baselines/set_interface.hpp"
 #include "util/assert.hpp"
 #include "util/barrier.hpp"
 #include "util/cacheline.hpp"
@@ -34,6 +35,11 @@ struct WorkloadConfig {
   std::uint64_t seed = 42;
   bool zipf = false;
   double zipf_theta = 0.99;
+  // Route each worker's operations through a per-thread handle
+  // (make_handle(): real handle when the structure has one, forwarding proxy
+  // otherwise). Off = the tree-level convenience methods, kept for A/B
+  // measurement of the handle path itself.
+  bool use_handles = true;
 };
 
 struct WorkloadResult {
@@ -92,30 +98,41 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
     threads.emplace_back([&, tid] {
       Xoshiro256 rng(cfg.seed + 0x1234 * (tid + 1));
       WorkloadResult& local = per_thread[tid].value;
-      start.arrive_and_wait();
-      while (!stop.load(std::memory_order_relaxed)) {
-        // A small batch per stop-flag check keeps the check off the hot path.
-        for (int batch = 0; batch < 64; ++batch) {
-          const std::uint64_t raw = zipf ? (*zipf)(rng) : uniform(rng);
-          const Key k = static_cast<Key>(raw);
-          switch (cfg.mix.sample(rng)) {
-            case OpType::kFind:
-              // The result must flow into state the compiler cannot discard,
-              // or a lock-guarded pure traversal gets dead-code-eliminated
-              // and the benchmark measures only the lock.
-              local.ok_finds += set.contains(k) ? 1 : 0;
-              ++local.finds;
-              break;
-            case OpType::kInsert:
-              local.ok_inserts += set.insert(k) ? 1 : 0;
-              ++local.inserts;
-              break;
-            case OpType::kErase:
-              local.ok_erases += set.erase(k) ? 1 : 0;
-              ++local.erases;
-              break;
+      // Generic over the access point: a per-thread handle or the structure
+      // itself, chosen below (identical loop body either way).
+      auto run_loop = [&](auto&& target) {
+        start.arrive_and_wait();
+        while (!stop.load(std::memory_order_relaxed)) {
+          // A small batch per stop-flag check keeps the check off the hot
+          // path.
+          for (int batch = 0; batch < 64; ++batch) {
+            const std::uint64_t raw = zipf ? (*zipf)(rng) : uniform(rng);
+            const Key k = static_cast<Key>(raw);
+            switch (cfg.mix.sample(rng)) {
+              case OpType::kFind:
+                // The result must flow into state the compiler cannot
+                // discard, or a lock-guarded pure traversal gets
+                // dead-code-eliminated and the benchmark measures only the
+                // lock.
+                local.ok_finds += target.contains(k) ? 1 : 0;
+                ++local.finds;
+                break;
+              case OpType::kInsert:
+                local.ok_inserts += target.insert(k) ? 1 : 0;
+                ++local.inserts;
+                break;
+              case OpType::kErase:
+                local.ok_erases += target.erase(k) ? 1 : 0;
+                ++local.erases;
+                break;
+            }
           }
         }
+      };
+      if (cfg.use_handles) {
+        run_loop(make_handle(set));
+      } else {
+        run_loop(set);
       }
     });
   }

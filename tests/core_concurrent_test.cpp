@@ -12,12 +12,25 @@
 #include <vector>
 
 #include "core/efrb_tree.hpp"
+#include "reclaim/hazard.hpp"
 #include "reclaim/reclaimer.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace efrb {
 namespace {
+
+// The TSan stats stage (scripts/check.sh) rebuilds this suite with
+// -DEFRB_TEST_FORCE_STATS so every schedule also races the per-handle stat
+// shards and the shared counter block under the race detector.
+#ifdef EFRB_TEST_FORCE_STATS
+using TestTraits = StatsTraits;
+#else
+using TestTraits = NoopTraits;
+#endif
+
+template <typename Key, typename Reclaimer>
+using TestTreeSet = EfrbTreeSet<Key, std::less<Key>, Reclaimer, TestTraits>;
 
 /// Sets the stop flag when the scope exits — including early exits from a
 /// failed ASSERT_*, which would otherwise leave the churn threads spinning
@@ -30,12 +43,13 @@ struct StopOnExit {
 template <typename Reclaimer>
 class ConcurrentTreeTest : public ::testing::Test {};
 
-using Reclaimers = ::testing::Types<LeakyReclaimer, EpochReclaimer>;
+using Reclaimers =
+    ::testing::Types<LeakyReclaimer, EpochReclaimer, HazardReclaimer>;
 TYPED_TEST_SUITE(ConcurrentTreeTest, Reclaimers);
 
 TYPED_TEST(ConcurrentTreeTest, ParityOracleUnderContention) {
   // Presence of key k after quiescence == (successful flips of k) mod 2.
-  EfrbTreeSet<int, std::less<int>, TypeParam> t;
+  TestTreeSet<int, TypeParam> t;
   constexpr int kKeys = 48;
   constexpr int kThreads = 6;
   constexpr int kOpsPerThread = 6000;
@@ -70,7 +84,7 @@ TYPED_TEST(ConcurrentTreeTest, DisjointRangesNeverInterfere) {
   // §1: "Updates to different parts of the tree do not interfere" — each
   // thread owns a private key stripe; every one of its operations must
   // succeed exactly as in a single-threaded run.
-  EfrbTreeSet<int, std::less<int>, TypeParam> t;
+  TestTreeSet<int, TypeParam> t;
   constexpr int kThreads = 8;
   constexpr int kStripe = 512;
 
@@ -93,7 +107,7 @@ TYPED_TEST(ConcurrentTreeTest, ReadersSeeOnlyCommittedStates) {
   // the pair is not atomic the readers may see any prefix, but never a key
   // that was *never* inserted, and membership of an untouched pivot key is
   // stable throughout.
-  EfrbTreeSet<int, std::less<int>, TypeParam> t;
+  TestTreeSet<int, TypeParam> t;
   t.insert(500000);  // pivot, never touched again
   std::atomic<bool> stop{false};
 
