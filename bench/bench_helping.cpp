@@ -27,6 +27,7 @@ int main() {
 
   Table table({"key-range", "Mops/s", "helps/1k-ops", "backtracks/1k-ops",
                "ins-retries/1k-ops", "del-retries/1k-ops"});
+  efrb::TreeStats hottest;  // per-step breakdown of the smallest key range
   for (const std::uint64_t range : {4ULL, 16ULL, 64ULL, 1024ULL, 65536ULL}) {
     StatsTree t;
     efrb::WorkloadConfig cfg;
@@ -37,6 +38,7 @@ int main() {
     efrb::prefill(t, cfg.key_range, 0.5, cfg.seed);
     const auto r = efrb::run_workload(t, cfg);
     const auto s = t.stats();
+    if (range == 4) hottest = s;
     const double kops = static_cast<double>(r.total_ops()) / 1000.0;
     table.add_row(
         {efrb::bench::human_range(range), Table::fmt(r.mops()),
@@ -46,5 +48,8 @@ int main() {
          Table::fmt(static_cast<double>(s.delete_retries) / kops, 2)});
   }
   table.print();
+
+  std::printf("\n-- protocol-step breakdown at key-range 4 (Fig. 4 steps) --\n");
+  efrb::protocol_step_table(hottest).print();
   return 0;
 }

@@ -8,11 +8,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 
+#include "baselines/locked_map.hpp"
 #include "bench_common.hpp"
 #include "core/efrb_tree.hpp"
 #include "util/rng.hpp"
@@ -24,39 +22,6 @@ using Key = std::uint64_t;
 using efrb::Table;
 
 constexpr std::uint64_t kRange = 1 << 16;
-
-/// Locked std::map with a range-scan API, as the reference point.
-class LockedMapRange {
- public:
-  using key_type = Key;
-  static constexpr const char* kName = "locked-map-range";
-
-  bool contains(Key k) const {
-    std::shared_lock lock(mu_);
-    return map_.count(k) != 0;
-  }
-  bool insert(Key k) {
-    std::unique_lock lock(mu_);
-    return map_.emplace(k, 0).second;
-  }
-  bool erase(Key k) {
-    std::unique_lock lock(mu_);
-    return map_.erase(k) != 0;
-  }
-  std::size_t count_range(Key lo, Key hi) const {
-    std::shared_lock lock(mu_);
-    std::size_t n = 0;
-    for (auto it = map_.lower_bound(lo); it != map_.end() && it->first <= hi;
-         ++it) {
-      ++n;
-    }
-    return n;
-  }
-
- private:
-  mutable std::shared_mutex mu_;
-  std::map<Key, int> map_;
-};
 
 // Sink so the scan result is observable (no dead-code elimination).
 std::atomic<std::uint64_t> g_sink{0};
@@ -119,7 +84,7 @@ int main() {
     efrb::prefill(tree, kRange, 0.5, 42);
     const auto [ts, tu] = scan_vs_churn(tree, width, 3);
 
-    LockedMapRange map;
+    efrb::LockedStdSet<Key> map;
     {
       efrb::Xoshiro256 rng(42 ^ 0xabcdef1234567890ULL);
       std::uint64_t inserted = 0;

@@ -17,6 +17,9 @@ run cmake -B build -G Ninja
 run cmake --build build
 run ctest --test-dir build --output-on-failure
 
+echo "=== header self-containment (each src/ header as a standalone TU) ==="
+run cmake --build build --target header_selfcontained
+
 echo "=== examples ==="
 for ex in quickstart kv_cache order_book adversarial_find; do
   run "./build/examples/${ex}" > /dev/null
@@ -59,6 +62,16 @@ if [[ "$FAST" == "0" ]]; then
   run cmake --build build-tsan-stats
   run ctest --test-dir build-tsan-stats --output-on-failure --timeout 900 \
       -R 'Handle|Stats|Concurrent|Chaos'
+
+  echo "=== debug-hooks instrumented build (live non-Noop on_cas/at callbacks) ==="
+  # EFRB_TEST_FORCE_HOOKS switches the concurrent suites to traits whose
+  # on_cas/at hooks run real code, proving every emission point in
+  # protocol.hpp survives refactors (NoopTraits compiles them away).
+  run cmake -B build-hooks -G Ninja -DEFRB_BUILD_BENCH=OFF -DEFRB_BUILD_EXAMPLES=OFF \
+      -DCMAKE_CXX_FLAGS="-DEFRB_TEST_FORCE_HOOKS"
+  run cmake --build build-hooks
+  run ctest --test-dir build-hooks --output-on-failure --timeout 600 \
+      -R 'Concurrent|Instrumented|StateMachine|Schedule'
 fi
 
 echo "ALL CHECKS PASSED"

@@ -11,6 +11,11 @@
 // structure it was originally designed for. A node is retired by the thread
 // whose CAS physically unlinks it.
 //
+// Retirement is routed through the same OpContext used by the tree: the
+// list-level convenience methods build a tree_level context (thread_local
+// hazard slot lease), while handle() returns a per-thread Handle owning a
+// HazardPointerDomain::Attachment, so handle users never touch the lease.
+//
 // Complexity is O(n) per operation — in the evaluation it is only competitive
 // at very small key ranges (experiment E2).
 #pragma once
@@ -18,7 +23,9 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <utility>
 
+#include "core/op_context.hpp"
 #include "reclaim/hazard.hpp"
 #include "util/assert.hpp"
 
@@ -47,60 +54,71 @@ class HarrisList {
     }
   }
 
+  /// Per-thread operation handle: owns a hazard slot Attachment, so its ops
+  /// skip the domain's thread_local lease lookup. Thread-affine and movable,
+  /// mirroring EfrbTreeMap::Handle (the list keeps no per-handle stats or
+  /// backoff — its retry loops are unlink sweeps, not contended flag CAS).
+  class Handle {
+   public:
+    Handle(Handle&&) noexcept = default;
+    Handle& operator=(Handle&&) noexcept = default;
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    bool valid() const noexcept { return att_.attached(); }
+
+    bool contains(const Key& k) const {
+      auto ctx = Ctx::attached(att_, nullptr, nullptr);
+      auto h = att_.make_handle();
+      typename HarrisList::Window w{};
+      return list_->find(k, w, h, ctx);
+    }
+
+    bool insert(const Key& k) {
+      auto ctx = Ctx::attached(att_, nullptr, nullptr);
+      auto h = att_.make_handle();
+      return list_->do_insert(k, h, ctx);
+    }
+
+    bool erase(const Key& k) {
+      auto ctx = Ctx::attached(att_, nullptr, nullptr);
+      auto h = att_.make_handle();
+      return list_->do_erase(k, h, ctx);
+    }
+
+    /// Drain this handle's retire list (quiescent points).
+    void flush() { att_.flush(); }
+
+   private:
+    friend class HarrisList;
+    explicit Handle(HarrisList& list)
+        : list_(&list), att_(list.hp_.attach()) {}
+
+    HarrisList* list_;
+    mutable HazardPointerDomain::Attachment att_;
+  };
+
+  /// Create a per-thread handle (see Handle). At most one per thread should
+  /// be live per kMaxThreads budget shared with lease users.
+  Handle handle() { return Handle(*this); }
+
   bool contains(const Key& k) const {
+    auto ctx = Ctx::tree_level(hp_, nullptr);
     auto h = hp_.make_handle();
     Window w{};
-    return find(k, w, h);
+    return find(k, w, h, ctx);
   }
 
   bool insert(const Key& k) {
+    auto ctx = Ctx::tree_level(hp_, nullptr);
     auto h = hp_.make_handle();
-    auto* node = new LNode(k);
-    for (;;) {
-      Window w{};
-      if (find(k, w, h)) {
-        delete node;  // never published
-        return false;
-      }
-      node->next.store(pack(w.curr, false), std::memory_order_relaxed);
-      std::uintptr_t expected = pack(w.curr, false);
-      if (w.prev->compare_exchange_strong(expected, pack(node, false),
-                                          std::memory_order_acq_rel,
-                                          std::memory_order_acquire)) {
-        return true;
-      }
-    }
+    return do_insert(k, h, ctx);
   }
 
   bool erase(const Key& k) {
+    auto ctx = Ctx::tree_level(hp_, nullptr);
     auto h = hp_.make_handle();
-    for (;;) {
-      Window w{};
-      if (!find(k, w, h)) return false;
-      // Logical deletion: set the mark bit on the victim's successor word.
-      // Only the thread whose CAS installs the mark owns the deletion.
-      const std::uintptr_t succ_word =
-          w.curr->next.load(std::memory_order_acquire);
-      if (is_marked(succ_word)) continue;  // already logically deleted; re-find
-      std::uintptr_t expected = succ_word;
-      if (!w.curr->next.compare_exchange_strong(expected, succ_word | 1,
-                                                std::memory_order_acq_rel,
-                                                std::memory_order_acquire)) {
-        continue;
-      }
-      // Physical unlink; on failure, a find() sweep performs it for us.
-      std::uintptr_t prev_expected = pack(w.curr, false);
-      if (w.prev->compare_exchange_strong(prev_expected,
-                                          pack(unmark(succ_word), false),
-                                          std::memory_order_acq_rel,
-                                          std::memory_order_acquire)) {
-        hp_.retire(w.curr);
-      } else {
-        Window scrap{};
-        find(k, scrap, h);  // unlinks (and retires) marked nodes in the way
-      }
-      return true;
-    }
+    return do_erase(k, h, ctx);
   }
 
   std::size_t size() const {  // quiescent use only
@@ -116,6 +134,8 @@ class HarrisList {
   HazardPointerDomain& reclaimer() noexcept { return hp_; }
 
  private:
+  using Ctx = OpContext<HazardPointerDomain, /*kCount=*/false>;
+
   static constexpr std::size_t kMaxThreads = 64;
   static constexpr std::size_t kHazardsPerOp = 3;  // prev node, curr, next
 
@@ -138,6 +158,54 @@ class HarrisList {
     LNode* curr;                        // first node with key >= k (or null)
   };
 
+  bool do_insert(const Key& k, HazardPointerDomain::Handle& h, Ctx& ctx) {
+    auto* node = new LNode(k);
+    for (;;) {
+      Window w{};
+      if (find(k, w, h, ctx)) {
+        delete node;  // never published
+        return false;
+      }
+      node->next.store(pack(w.curr, false), std::memory_order_relaxed);
+      std::uintptr_t expected = pack(w.curr, false);
+      if (w.prev->compare_exchange_strong(expected, pack(node, false),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        return true;
+      }
+    }
+  }
+
+  bool do_erase(const Key& k, HazardPointerDomain::Handle& h, Ctx& ctx) {
+    for (;;) {
+      Window w{};
+      if (!find(k, w, h, ctx)) return false;
+      // Logical deletion: set the mark bit on the victim's successor word.
+      // Only the thread whose CAS installs the mark owns the deletion.
+      const std::uintptr_t succ_word =
+          w.curr->next.load(std::memory_order_acquire);
+      if (is_marked(succ_word)) continue;  // already logically deleted; re-find
+      std::uintptr_t expected = succ_word;
+      if (!w.curr->next.compare_exchange_strong(expected, succ_word | 1,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+        continue;
+      }
+      // Physical unlink; on failure, a find() sweep performs it for us.
+      std::uintptr_t prev_expected = pack(w.curr, false);
+      if (w.prev->compare_exchange_strong(prev_expected,
+                                          pack(unmark(succ_word), false),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        ctx.retire(w.curr);
+      } else {
+        Window scrap{};
+        find(k, scrap, h, ctx);  // unlinks (and retires) marked nodes in the way
+      }
+      return true;
+    }
+  }
+
   // Michael's Find: positions the window at the first node with key >= k,
   // physically unlinking any marked node encountered (and retiring it if this
   // thread's CAS did the unlink). Hazard slots: 0 = node owning *prev,
@@ -146,7 +214,8 @@ class HarrisList {
   // Validation discipline: after publishing a hazard for curr we re-read
   // *prev; if it no longer points (unmarked) at curr, the snapshot is stale
   // and the traversal restarts from the head.
-  bool find(const Key& k, Window& w, HazardPointerDomain::Handle& h) const {
+  bool find(const Key& k, Window& w, HazardPointerDomain::Handle& h,
+            Ctx& ctx) const {
   try_again:
     std::atomic<std::uintptr_t>* prev = &head_->next;
     h.set(0, head_);
@@ -167,7 +236,7 @@ class HarrisList {
                                            std::memory_order_acquire)) {
           goto try_again;
         }
-        hp_.retire(curr);
+        ctx.retire(curr);
         h.set(1, succ);
         if (unmark(prev->load(std::memory_order_acquire)) != succ) goto try_again;
         curr = succ;

@@ -41,6 +41,20 @@ class LockedStdSet {
     return set_.size();
   }
 
+  /// Number of keys in [lo, hi]. One shared-lock critical section, so the
+  /// result is a consistent snapshot — and every writer waits out the scan
+  /// (the contrast bench_ordered measures against the EFRB tree's lock-free
+  /// weakly-consistent scans).
+  std::size_t count_range(const Key& lo, const Key& hi) const {
+    std::shared_lock lock(mu_);
+    std::size_t n = 0;
+    for (auto it = set_.lower_bound(lo);
+         it != set_.end() && !set_.key_comp()(hi, it->first); ++it) {
+      ++n;
+    }
+    return n;
+  }
+
  private:
   mutable std::shared_mutex mu_;
   std::map<Key, bool, Compare> set_;
@@ -102,6 +116,17 @@ class LockedStdMap {
   std::size_t size() const {
     std::shared_lock lock(mu_);
     return map_.size();
+  }
+
+  /// Number of keys in [lo, hi] under one shared lock (see LockedStdSet).
+  std::size_t count_range(const Key& lo, const Key& hi) const {
+    std::shared_lock lock(mu_);
+    std::size_t n = 0;
+    for (auto it = map_.lower_bound(lo);
+         it != map_.end() && !map_.key_comp()(hi, it->first); ++it) {
+      ++n;
+    }
+    return n;
   }
 
  private:

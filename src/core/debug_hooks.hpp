@@ -18,6 +18,7 @@
 // inside their own template instantiation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 
@@ -34,6 +35,10 @@ enum class CasStep : std::uint8_t {
   kDUnflag,    // Delete: clean the grandparent (line 106)
   kBacktrack,  // Delete: remove the flag after a failed mark (line 98)
 };
+
+/// Number of CasStep values; sizes the per-step counter arrays in
+/// op_context.hpp.
+inline constexpr std::size_t kNumCasSteps = 8;
 
 inline const char* to_string(CasStep s) noexcept {
   switch (s) {

@@ -2,61 +2,43 @@
 // (PODC 2010) — a linearizable, lock-free, leaf-oriented BST built from
 // single-word CAS.
 //
-// Code structure mirrors the paper's pseudocode (Figures 7, 8, 9); comments of
-// the form "line N" refer to its line numbers. The differences from the paper
-// are exactly the ones a C++ implementation must make:
+// This header is the public facade over the layered core:
 //
-//   * Memory reclamation. The paper assumes fresh allocations/GC (§4.1, §6).
-//     The tree is parameterized on a Reclaimer policy (default: epoch-based).
-//     Retirement protocol (see DESIGN.md §6 for the full argument):
-//       - Nodes: the winner of an unflag CAS retires the node(s) its
-//         operation made unreachable (the replaced leaf for Insert; the
-//         spliced-out parent and deleted leaf for Delete). This matches the
-//         retirement points §6 proposes.
-//       - Info records: a record stays referenced by the node's update word
-//         even after the unflag CAS (the Clean word keeps the pointer so that
-//         update-word values never repeat, §4.2). It is therefore retired by
-//         the winner of the NEXT CAS that overwrites a Clean word referencing
-//         it (an iflag/dflag/mark CAS), i.e. exactly when the last reference
-//         from shared memory disappears — the behaviour a tracing GC gives the
-//         paper for free. Retiring at the unflag CAS instead would permit an
-//         ABA on the update word: the record's memory could be recycled into
-//         a new record for the same node, making a stale (Clean, info)
-//         expected-value match again and a doomed Delete's mark CAS succeed —
-//         re-introducing the Fig. 3(c) lost-insert bug.
-//     Pinned regions then give full ABA protection: any value a thread ever
-//     compares against was read from a shared word while pinned, and the
-//     object it designates cannot be freed (hence recycled) until that pin is
-//     released.
-//   * Values. Leaves optionally carry a mapped value (§3: "Our implementation
-//     can also store auxiliary data with each key"); EfrbTreeSet aliases the
-//     map with an empty value type.
-//   * insert_or_assign is an extension beyond the paper (documented below).
+//   layout.hpp    — node/Info-record layout and update-word packing (Fig. 7)
+//   search.hpp    — the descent routines (Fig. 8 lines 23-35)
+//   protocol.hpp  — TreeCore: the eight-step CAS protocol + helping (Fig. 8/9)
+//   ordered.hpp   — min/max, bounds, range, for_each, validate
+//   op_context.hpp— OpContext + the stats substrate threaded through them all
+//
+// Code structure mirrors the paper's pseudocode (Figures 7, 8, 9); comments
+// of the form "line N" refer to its line numbers. The differences from the
+// paper are exactly the ones a C++ implementation must make: memory
+// reclamation (the paper assumes GC, §4.1/§6 — the tree is parameterized on
+// a Reclaimer policy, default epoch-based; the full retirement protocol is
+// documented at the top of protocol.hpp and in DESIGN.md §6), optional mapped
+// values in leaves (§3; EfrbTreeSet aliases the map with an empty value
+// type), and the insert_or_assign / replace extensions (soundness notes on
+// TreeCore::insert / TreeCore::replace).
 //
 // Progress: non-blocking (lock-free). Find never writes shared memory and
 // never helps; Insert/Delete help only operations that block them (§3,
 // "conservative helping strategy").
 #pragma once
 
-#include <algorithm>
-#include <atomic>
 #include <cstddef>
-#include <cstdint>
 #include <functional>
 #include <optional>
-#include <string>
 #include <type_traits>
 #include <utility>
-#include <vector>
 
-#include "core/bounded_key.hpp"
 #include "core/debug_hooks.hpp"
-#include "core/tagged_update.hpp"
+#include "core/op_context.hpp"
+#include "core/ordered.hpp"
+#include "core/protocol.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/reclaimer.hpp"
 #include "util/assert.hpp"
 #include "util/backoff.hpp"
-#include "util/cacheline.hpp"
 #include "util/rng.hpp"
 
 namespace efrb {
@@ -68,249 +50,66 @@ struct Unit {
 };
 }  // namespace detail
 
-/// Relaxed per-tree operation counters, collected when Traits::kCountStats.
-struct TreeStats {
-  std::uint64_t insert_attempts = 0;  // iflag CAS attempts
-  std::uint64_t insert_retries = 0;   // extra Search rounds inside Insert
-  std::uint64_t delete_attempts = 0;  // dflag CAS attempts
-  std::uint64_t delete_retries = 0;   // extra Search rounds inside Delete
-  std::uint64_t helps = 0;            // Help() dispatches on a non-Clean word
-  std::uint64_t backtracks = 0;       // successful backtrack CAS steps
-};
-
 template <typename Key, typename Value = detail::Unit,
           typename Compare = std::less<Key>,
           typename Reclaimer = EpochReclaimer, typename Traits = NoopTraits>
 class EfrbTreeMap {
+  // One OpContext instantiation serves both the tree-level path and the
+  // Handle fast path: they drive the SAME instantiation of the core.
+  using Ctx = OpContext<Reclaimer, Traits::kCountStats>;
+  using Core = TreeCore<Key, Value, Compare, Traits, Ctx>;
+  using Layout = typename Core::Layout;
+  using Shards =
+      std::conditional_t<Traits::kCountStats, ShardPool, EmptyShardPool>;
+
  public:
   using key_type = Key;
   using mapped_type = Value;
+  using ValidationResult = efrb::ValidationResult;
   static constexpr const char* kName = "efrb-tree";
 
-  explicit EfrbTreeMap(Compare cmp = Compare{}, Reclaimer reclaimer = Reclaimer{})
-      : cmp_(std::move(cmp)), reclaimer_(std::move(reclaimer)) {
-    // Initialization per Figure 7 (lines 19-22) / Figure 6(a): the permanent
-    // root has key ∞₂ and leaf children ∞₁, ∞₂. Root is never replaced.
-    auto* left = new Leaf(BKey::inf1(), Value{});
-    auto* right = new Leaf(BKey::inf2(), Value{});
-    root_ = new Internal(BKey::inf2(), left, right);
-  }
+  explicit EfrbTreeMap(Compare cmp = Compare{},
+                       Reclaimer reclaimer = Reclaimer{})
+      : reclaimer_(std::move(reclaimer)), core_(std::move(cmp)) {}
 
   EfrbTreeMap(const EfrbTreeMap&) = delete;
   EfrbTreeMap& operator=(const EfrbTreeMap&) = delete;
 
-  /// Requires quiescence (no concurrent operations), like all destructors.
-  ~EfrbTreeMap() {
-    std::vector<Node*> stack{root_};
-    while (!stack.empty()) {
-      Node* n = stack.back();
-      stack.pop_back();
-      if (n->is_internal) {
-        auto* in = static_cast<Internal*>(n);
-        stack.push_back(in->left.load(std::memory_order_relaxed));
-        stack.push_back(in->right.load(std::memory_order_relaxed));
-        // An Info record referenced by an in-tree Clean word was never
-        // overwritten, hence never retired — free it here. Each record is
-        // referenced by at most one in-tree Clean word (an IInfo by its p, a
-        // DInfo by its gp; a DInfo's Mark reference lives on a node already
-        // spliced out of the tree), so no double free is possible. At
-        // quiescence no in-tree word can be flagged or marked.
-        const Update u = in->update.load(std::memory_order_relaxed);
-        EFRB_DCHECK(u.state() == UpdateState::kClean);
-        if (u.state() == UpdateState::kClean) delete u.info();
-        delete in;
-      } else {
-        delete static_cast<Leaf*>(n);
-      }
-    }
-  }
-
- private:
-  // ---------------- stats plumbing ----------------
-
-  struct Counters {
-    std::atomic<std::uint64_t> insert_attempts{0};
-    std::atomic<std::uint64_t> insert_retries{0};
-    std::atomic<std::uint64_t> delete_attempts{0};
-    std::atomic<std::uint64_t> delete_retries{0};
-    std::atomic<std::uint64_t> helps{0};
-    std::atomic<std::uint64_t> backtracks{0};
-  };
-
-  static void accumulate(TreeStats& s, const Counters& c) noexcept {
-    s.insert_attempts += c.insert_attempts.load(std::memory_order_relaxed);
-    s.insert_retries += c.insert_retries.load(std::memory_order_relaxed);
-    s.delete_attempts += c.delete_attempts.load(std::memory_order_relaxed);
-    s.delete_retries += c.delete_retries.load(std::memory_order_relaxed);
-    s.helps += c.helps.load(std::memory_order_relaxed);
-    s.backtracks += c.backtracks.load(std::memory_order_relaxed);
-  }
-
-  // Handles count into a cacheline-padded shard each, so stats-enabled
-  // counting never contends on a shared line; stats_snapshot() sums the
-  // shared block (tree-level path) plus every shard. A released shard keeps
-  // its counts — they are lifetime totals, and the next handle to recycle
-  // the shard simply keeps adding.
-  struct StatShard {
-    Counters counters;
-    std::atomic<bool> in_use{false};
-  };
-
-  struct ShardPool {
-    static constexpr std::size_t kMaxHandles = 128;
-    std::vector<CachePadded<StatShard>> shards;
-
-    ShardPool() : shards(kMaxHandles) {}
-
-    StatShard* acquire() {
-      for (auto& padded : shards) {
-        StatShard& s = padded.value;
-        bool expected = false;
-        if (!s.in_use.load(std::memory_order_relaxed) &&
-            s.in_use.compare_exchange_strong(expected, true,
-                                             std::memory_order_acq_rel)) {
-          return &s;
-        }
-      }
-      EFRB_ASSERT_MSG(false,
-                      "EfrbTreeMap: stat-shard capacity exhausted "
-                      "(more than kMaxHandles live handles)");
-    }
-
-    static void release(StatShard* s) noexcept {
-      s->in_use.store(false, std::memory_order_release);
-    }
-  };
-
-  /// Stats disabled: no shard storage at all; handles carry a null shard.
-  struct EmptyShardPool {
-    StatShard* acquire() noexcept { return nullptr; }
-    static void release(StatShard*) noexcept {}
-  };
-
-  using Shards =
-      std::conditional_t<Traits::kCountStats, ShardPool, EmptyShardPool>;
-
-  // ---------------- per-op execution context ----------------
-  //
-  // Threads the retire sink (whole reclaimer or per-handle attachment), the
-  // stat counters (shared block or per-handle shard), and optional backoff
-  // state through the op/help machinery. Resolved statically — no virtual
-  // dispatch; the tree-level instantiation compiles to the pre-handle code
-  // (null backoff folds retry_pause() away).
-  template <typename RetireTarget>
-  class ExecCtx {
-   public:
-    ExecCtx(RetireTarget& rt, Counters* counters,
-            Backoff* backoff = nullptr) noexcept
-        : rt_(rt), counters_(counters), backoff_(backoff) {}
-
-    template <typename T>
-    void retire(T* p) {
-      rt_.retire(p);
-    }
-
-    void begin_op() noexcept {
-      if (backoff_ != nullptr) backoff_->reset();
-    }
-    void retry_pause() noexcept {
-      if (backoff_ != nullptr) (*backoff_)();
-    }
-
-    void count_insert_attempt() noexcept {
-      if constexpr (Traits::kCountStats)
-        counters_->insert_attempts.fetch_add(1, std::memory_order_relaxed);
-    }
-    void count_insert_retry() noexcept {
-      if constexpr (Traits::kCountStats)
-        counters_->insert_retries.fetch_add(1, std::memory_order_relaxed);
-    }
-    void count_delete_attempt() noexcept {
-      if constexpr (Traits::kCountStats)
-        counters_->delete_attempts.fetch_add(1, std::memory_order_relaxed);
-    }
-    void count_delete_retry() noexcept {
-      if constexpr (Traits::kCountStats)
-        counters_->delete_retries.fetch_add(1, std::memory_order_relaxed);
-    }
-    void count_help() noexcept {
-      if constexpr (Traits::kCountStats)
-        counters_->helps.fetch_add(1, std::memory_order_relaxed);
-    }
-    void count_backtrack() noexcept {
-      if constexpr (Traits::kCountStats)
-        counters_->backtracks.fetch_add(1, std::memory_order_relaxed);
-    }
-
-   private:
-    RetireTarget& rt_;
-    [[maybe_unused]] Counters* counters_;
-    Backoff* backoff_;
-  };
-
-  /// Context for the tree-level convenience methods: retires through the
-  /// reclaimer's thread_local lease, counts into the shared block, no backoff
-  /// (matching the original per-call behaviour exactly).
-  ExecCtx<Reclaimer> tree_ctx() const noexcept {
-    return ExecCtx<Reclaimer>(reclaimer_, &counters_);
-  }
-
-  /// Distinct splitmix-derived seed per handle (never thread-id based; see
-  /// the skiplist level-RNG bug this repository once had).
-  static std::uint64_t next_handle_seed() noexcept {
-    static std::atomic<std::uint64_t> counter{0};
-    SplitMix64 sm(0x8f1bbcdcbfa53e0bULL +
-                  counter.fetch_add(1, std::memory_order_relaxed));
-    return sm.next();
-  }
-
- public:
-  // ------------------------------------------------------------------
-  // Per-thread operation handles
-  // ------------------------------------------------------------------
+  /// Requires quiescence, like all destructors (~TreeCore frees the
+  /// remaining nodes and Clean-referenced Info records).
+  ~EfrbTreeMap() = default;
 
   /// The fast path for repeated operations. A Handle owns (a) an explicit
   /// reclaimer attachment, so pin() is a plain member access instead of a
   /// thread_local registry lookup, (b) a cacheline-padded stats shard when
-  /// Traits::kCountStats, so counting never contends on a shared line, and
-  /// (c) private backoff/RNG state for retry pacing and randomized
-  /// workloads.
+  /// Traits::kCountStats, and (c) private backoff/RNG state.
   ///
-  /// Rules: a Handle is movable but thread-affine — it must be used by one
-  /// thread at a time (a move is a hand-off, with whatever external
-  /// synchronization the hand-off itself needs), and it must not outlive its
-  /// tree. Each live handle occupies one reclaimer slot (counting against
-  /// the reclaimer's max_threads) and one stat shard; destruction or
-  /// detach() releases both. Ordered queries (min_key/find_ge/range/...)
-  /// remain on the tree itself.
+  /// Rules: a Handle is movable but thread-affine (a move is a hand-off) and
+  /// must not outlive its tree. Each live handle occupies one reclaimer slot
+  /// (counting against the reclaimer's max_threads) and one stat shard;
+  /// destruction or detach() releases both.
   class Handle {
    public:
-    /// Invalid handle; usable only as a move target. Obtain real ones from
-    /// EfrbTreeMap::handle().
+    /// Invalid; a move target only. Obtain real ones from handle().
     Handle() = default;
 
     Handle(Handle&& other) noexcept
-        : tree_(other.tree_),
+        : tree_(std::exchange(other.tree_, nullptr)),
           att_(std::move(other.att_)),
-          shard_(other.shard_),
+          shard_(std::exchange(other.shard_, nullptr)),
           shard_base_(other.shard_base_),
           backoff_(other.backoff_),
-          rng_(other.rng_) {
-      other.tree_ = nullptr;
-      other.shard_ = nullptr;
-    }
+          rng_(other.rng_) {}
 
     Handle& operator=(Handle&& other) noexcept {
       if (this != &other) {
         detach();
-        tree_ = other.tree_;
+        tree_ = std::exchange(other.tree_, nullptr);
         att_ = std::move(other.att_);
-        shard_ = other.shard_;
+        shard_ = std::exchange(other.shard_, nullptr);
         shard_base_ = other.shard_base_;
         backoff_ = other.backoff_;
         rng_ = other.rng_;
-        other.tree_ = nullptr;
-        other.shard_ = nullptr;
       }
       return *this;
     }
@@ -333,40 +132,33 @@ class EfrbTreeMap {
 
     /// Find(k) through this handle's attachment.
     bool contains(const Key& k) const {
-      EFRB_DCHECK(valid());
-      [[maybe_unused]] auto guard = att_.pin();
-      auto ctx = make_ctx();
-      return tree_->contains_with(k, ctx);
+      return with_ctx([&](Ctx& c) { return tree_->core_.contains(k, c); });
     }
 
     std::optional<Value> get(const Key& k) const {
-      EFRB_DCHECK(valid());
-      [[maybe_unused]] auto guard = att_.pin();
-      auto ctx = make_ctx();
-      return tree_->get_with(k, ctx);
+      return with_ctx([&](Ctx& c) { return tree_->core_.get(k, c); });
     }
 
     bool insert(const Key& k, Value v = Value{}) {
-      EFRB_DCHECK(valid());
-      [[maybe_unused]] auto guard = att_.pin();
-      auto ctx = make_ctx();
-      return tree_->do_insert(k, std::move(v), /*assign_if_present=*/false,
-                              ctx) != InsertOutcome::kDuplicate;
+      return with_ctx([&](Ctx& c) {
+        return tree_->core_.insert(k, std::move(v),
+                                   /*assign_if_present=*/false, c) !=
+               InsertOutcome::kDuplicate;
+      });
     }
 
     bool insert_or_assign(const Key& k, Value v) {
-      EFRB_DCHECK(valid());
-      [[maybe_unused]] auto guard = att_.pin();
-      auto ctx = make_ctx();
-      return tree_->do_insert(k, std::move(v), /*assign_if_present=*/true,
-                              ctx) == InsertOutcome::kInserted;
+      return with_ctx([&](Ctx& c) {
+        return tree_->core_.insert(k, std::move(v),
+                                   /*assign_if_present=*/true, c) ==
+               InsertOutcome::kInserted;
+      });
     }
 
     bool replace(const Key& k, const Value& expected, Value desired) {
-      EFRB_DCHECK(valid());
-      [[maybe_unused]] auto guard = att_.pin();
-      auto ctx = make_ctx();
-      return tree_->do_replace(k, expected, std::move(desired), ctx);
+      return with_ctx([&](Ctx& c) {
+        return tree_->core_.replace(k, expected, std::move(desired), c);
+      });
     }
 
     Value get_or_insert(const Key& k, Value v) {
@@ -377,10 +169,48 @@ class EfrbTreeMap {
     }
 
     bool erase(const Key& k) {
+      return with_ctx([&](Ctx& c) { return tree_->core_.erase(k, c); });
+    }
+
+    // Ordered queries through the handle's attachment: same weak-consistency
+    // contract (see ordered.hpp), no per-call thread_local lookup.
+
+    std::optional<Key> min_key() const {
       EFRB_DCHECK(valid());
       [[maybe_unused]] auto guard = att_.pin();
-      auto ctx = make_ctx();
-      return tree_->do_erase(k, ctx);
+      return ordered::min_key<Layout>(tree_->core_.root());
+    }
+
+    std::optional<Key> max_key() const {
+      EFRB_DCHECK(valid());
+      [[maybe_unused]] auto guard = att_.pin();
+      return ordered::max_key<Layout>(tree_->core_.root());
+    }
+
+    std::optional<Key> find_ge(const Key& k) const { return bound(k, false, true); }
+    std::optional<Key> find_gt(const Key& k) const { return bound(k, true, true); }
+    std::optional<Key> find_le(const Key& k) const { return bound(k, false, false); }
+    std::optional<Key> find_lt(const Key& k) const { return bound(k, true, false); }
+
+    template <typename Fn>
+    void range(const Key& lo, const Key& hi, Fn&& fn) const {
+      EFRB_DCHECK(valid());
+      [[maybe_unused]] auto guard = att_.pin();
+      ordered::range<Layout>(tree_->core_.root(), tree_->core_.cmp(), lo, hi,
+                             std::forward<Fn>(fn));
+    }
+
+    std::size_t count_range(const Key& lo, const Key& hi) const {
+      std::size_t n = 0;
+      range(lo, hi, [&n](const Key&, const Value&) { ++n; });
+      return n;
+    }
+
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+      EFRB_DCHECK(valid());
+      [[maybe_unused]] auto guard = att_.pin();
+      ordered::for_each<Layout>(tree_->core_.root(), std::forward<Fn>(fn));
     }
 
     /// Drain this handle's retire backlog. Call while not pinned.
@@ -393,12 +223,7 @@ class EfrbTreeMap {
       TreeStats s;
       if (shard_ != nullptr) {
         accumulate(s, shard_->counters);
-        s.insert_attempts -= shard_base_.insert_attempts;
-        s.insert_retries -= shard_base_.insert_retries;
-        s.delete_attempts -= shard_base_.delete_attempts;
-        s.delete_retries -= shard_base_.delete_retries;
-        s.helps -= shard_base_.helps;
-        s.backtracks -= shard_base_.backtracks;
+        subtract(s, shard_base_);
       }
       return s;
     }
@@ -418,9 +243,24 @@ class EfrbTreeMap {
       if (shard_ != nullptr) accumulate(shard_base_, shard_->counters);
     }
 
-    ExecCtx<typename Reclaimer::Attachment> make_ctx() const noexcept {
-      return ExecCtx<typename Reclaimer::Attachment>(
+    /// Pin through the attachment, build this handle's context (attachment
+    /// retire sink, stat shard, private backoff), run `fn`.
+    template <typename Fn>
+    decltype(auto) with_ctx(Fn&& fn) const {
+      EFRB_DCHECK(valid());
+      [[maybe_unused]] auto guard = att_.pin();
+      auto ctx = Ctx::attached(
           att_, shard_ != nullptr ? &shard_->counters : nullptr, &backoff_);
+      return fn(ctx);
+    }
+
+    std::optional<Key> bound(const Key& k, bool strict, bool up) const {
+      EFRB_DCHECK(valid());
+      [[maybe_unused]] auto guard = att_.pin();
+      return up ? ordered::bound_up<Layout>(tree_->core_.root(),
+                                            tree_->core_.cmp(), k, strict)
+                : ordered::bound_down<Layout>(tree_->core_.root(),
+                                              tree_->core_.cmp(), k, strict);
     }
 
     EfrbTreeMap* tree_ = nullptr;
@@ -431,191 +271,101 @@ class EfrbTreeMap {
     mutable Xoshiro256 rng_{0};
   };
 
-  /// Create a per-thread operation handle bound to this tree. See Handle for
-  /// the ownership and thread-affinity rules.
+  /// Create a per-thread operation handle bound to this tree (see Handle).
   Handle handle() { return Handle(this); }
 
   // ------------------------------------------------------------------
-  // Dictionary operations (Fig. 8/9)
-  //
-  // These tree-level methods are convenience wrappers over the same
-  // machinery the Handle drives: correct from any thread with zero setup,
-  // but each call re-resolves the reclaimer's thread_local lease (a registry
-  // lookup the handle pays once at attach) and, when stats are enabled,
-  // counts into one shared cache line. Hot loops should go through handle().
+  // Dictionary operations (Fig. 8/9): convenience wrappers over the same
+  // core the Handle drives — correct from any thread with zero setup, but
+  // each call re-resolves the reclaimer's thread_local lease and, when stats
+  // are enabled, counts into one shared cache line. Hot loops should go
+  // through handle().
   // ------------------------------------------------------------------
 
   /// Find(k), lines 36-40. Read-only: never writes shared memory, never helps.
   bool contains(const Key& k) const {
-    [[maybe_unused]] auto guard = reclaimer_.pin();
-    auto ctx = tree_ctx();
-    return contains_with(k, ctx);
+    return with_ctx([&](Ctx& c) { return core_.contains(k, c); });
   }
 
   /// Map lookup: returns the value stored with k, if present. The value in a
   /// leaf is immutable after publication, so copying it under the pin is safe.
   std::optional<Value> get(const Key& k) const {
-    [[maybe_unused]] auto guard = reclaimer_.pin();
-    auto ctx = tree_ctx();
-    return get_with(k, ctx);
+    return with_ctx([&](Ctx& c) { return core_.get(k, c); });
   }
 
   /// Insert(k), lines 42-62. Returns false iff k was already present.
   bool insert(const Key& k, Value v = Value{}) {
-    [[maybe_unused]] auto guard = reclaimer_.pin();
-    auto ctx = tree_ctx();
-    return do_insert(k, std::move(v), /*assign_if_present=*/false, ctx) !=
-           InsertOutcome::kDuplicate;
+    return with_ctx([&](Ctx& c) {
+      return core_.insert(k, std::move(v), /*assign_if_present=*/false, c) !=
+             InsertOutcome::kDuplicate;
+    });
   }
 
   /// Extension (not in the paper): insert k or replace the value of an
-  /// existing k. Replacement reuses the insertion machinery with the
-  /// replacement leaf in place of the three-node subtree: flag the parent
-  /// (iflag), CAS the child pointer from the old leaf to a fresh leaf with the
-  /// same key (ichild), unflag. Every proof obligation is preserved — the
-  /// child CAS still installs a never-before-seen node on the correct side.
-  /// Returns true if k was newly inserted, false if an existing value was
-  /// replaced.
+  /// existing k (soundness note on TreeCore::insert). Returns true if k was
+  /// newly inserted, false if an existing value was replaced.
   bool insert_or_assign(const Key& k, Value v) {
-    [[maybe_unused]] auto guard = reclaimer_.pin();
-    auto ctx = tree_ctx();
-    return do_insert(k, std::move(v), /*assign_if_present=*/true, ctx) ==
-           InsertOutcome::kInserted;
+    return with_ctx([&](Ctx& c) {
+      return core_.insert(k, std::move(v), /*assign_if_present=*/true, c) ==
+             InsertOutcome::kInserted;
+    });
   }
 
   /// Extension: atomic compare-and-replace on a key's value. Returns true iff
   /// k was present with a value equal to `expected`, in which case the value
-  /// is replaced by `desired` (as one linearizable step).
-  ///
-  /// Soundness: a leaf's value is immutable, so the value read after Search
-  /// belongs to that exact leaf forever; the iflag CAS succeeds only if the
-  /// parent's update word is unchanged since the Search read it, and child
-  /// pointers change only under a flag with a fresh record (word values never
-  /// repeat) — so iflag success certifies the examined leaf is still the
-  /// current leaf for k, making the subsequent ichild swap an atomic
-  /// value-CAS. Linearization: the ichild CAS on success; a point during the
-  /// Search where the leaf (or its absence) was on the search path on
-  /// failure.
+  /// is replaced by `desired` (as one linearizable step; soundness note on
+  /// TreeCore::replace).
   bool replace(const Key& k, const Value& expected, Value desired) {
-    [[maybe_unused]] auto guard = reclaimer_.pin();
-    auto ctx = tree_ctx();
-    return do_replace(k, expected, std::move(desired), ctx);
+    return with_ctx([&](Ctx& c) {
+      return core_.replace(k, expected, std::move(desired), c);
+    });
   }
 
   /// Extension: returns the value stored at k, inserting `v` first if absent.
   /// (Composite of get/insert; each step linearizable, the pair is not one
-  /// atomic step — a concurrent erase can interleave, in which case the loop
-  /// retries.)
+  /// atomic step — a concurrent erase can interleave; then the loop retries.)
   Value get_or_insert(const Key& k, Value v) {
     for (;;) {
       if (auto cur = get(k)) return *cur;
       if (insert(k, v)) return v;
-      // Lost both races (value erased between get and insert, or inserted by
-      // another thread and erased again): try again.
     }
   }
 
   /// Delete(k), lines 69-87. Returns false iff k was absent.
   bool erase(const Key& k) {
-    [[maybe_unused]] auto guard = reclaimer_.pin();
-    auto ctx = tree_ctx();
-    return do_erase(k, ctx);
+    return with_ctx([&](Ctx& c) { return core_.erase(k, c); });
   }
 
-  // ------------------------------------------------------------------
-  // Ordered queries (linearizable; see notes)
-  // ------------------------------------------------------------------
+  // --- Ordered queries (see ordered.hpp for the consistency contract) ---
 
-  /// Smallest key, or nullopt when empty. Walking left edges is exactly
-  /// Search(k) for a key below every real key, so the reached leaf was on that
-  /// search path at some time during the walk (§5's search-path lemma), making
-  /// the result linearizable like Find.
+  /// Smallest key, or nullopt when empty.
   std::optional<Key> min_key() const {
     [[maybe_unused]] auto guard = reclaimer_.pin();
-    Node* l = root_;
-    while (l->is_internal) {
-      l = static_cast<Internal*>(l)->left.load(std::memory_order_acquire);
-    }
-    const Leaf* leaf = static_cast<Leaf*>(l);
-    if (!leaf->key.is_real()) return std::nullopt;
-    return leaf->key.key;
+    return ordered::min_key<Layout>(core_.root());
   }
 
-  /// Largest key, or nullopt when empty. This is Search for a virtual key
-  /// lying strictly between every real key and ∞₁: at a sentinel-keyed node go
-  /// left, at a real-keyed node go right. The same search-path argument makes
-  /// it linearizable.
+  /// Largest key, or nullopt when empty.
   std::optional<Key> max_key() const {
     [[maybe_unused]] auto guard = reclaimer_.pin();
-    Node* l = root_;
-    while (l->is_internal) {
-      auto* in = static_cast<Internal*>(l);
-      l = in->key.is_real() ? in->right.load(std::memory_order_acquire)
-                            : in->left.load(std::memory_order_acquire);
-    }
-    const Leaf* leaf = static_cast<Leaf*>(l);
-    if (!leaf->key.is_real()) return std::nullopt;
-    return leaf->key.key;
+    return ordered::max_key<Layout>(core_.root());
   }
 
-  /// Smallest key >= k (lower bound), or nullopt. See the consistency note
-  /// on ordered navigation below.
-  std::optional<Key> find_ge(const Key& k) const {
-    return bound_up(k, /*strict=*/false);
-  }
-
+  /// Smallest key >= k (lower bound), or nullopt.
+  std::optional<Key> find_ge(const Key& k) const { return bound(k, false, true); }
   /// Smallest key > k, or nullopt.
-  std::optional<Key> find_gt(const Key& k) const {
-    return bound_up(k, /*strict=*/true);
-  }
-
+  std::optional<Key> find_gt(const Key& k) const { return bound(k, true, true); }
   /// Largest key <= k, or nullopt.
-  std::optional<Key> find_le(const Key& k) const {
-    return bound_down(k, /*strict=*/false);
-  }
-
+  std::optional<Key> find_le(const Key& k) const { return bound(k, false, false); }
   /// Largest key < k, or nullopt.
-  std::optional<Key> find_lt(const Key& k) const {
-    return bound_down(k, /*strict=*/true);
-  }
+  std::optional<Key> find_lt(const Key& k) const { return bound(k, true, false); }
 
   /// Visits every (key, value) with lo <= key <= hi in order, pruning
-  /// subtrees by the BST bounds.
-  ///
-  /// Consistency of ordered navigation (find_* above and range): exact on a
-  /// quiescent tree. Under concurrent updates these are weakly consistent
-  /// like for_each: every key reported was present at some time during the
-  /// call (each visited node is reached by a chain of child pointers from
-  /// the root, so it was on its search path at some time — §5's lemma), and
-  /// a key that is in the queried region for the whole call is reported;
-  /// keys inserted/removed mid-call may or may not be. Unlike contains(),
-  /// a find_ge/range result is not a single linearization point over the
-  /// whole region.
+  /// subtrees by the BST bounds. Weakly consistent under concurrency.
   template <typename Fn>
   void range(const Key& lo, const Key& hi, Fn&& fn) const {
-    if (cmp_.user_compare()(hi, lo)) return;  // empty interval
     [[maybe_unused]] auto guard = reclaimer_.pin();
-    std::vector<Node*> stack{root_};
-    while (!stack.empty()) {
-      Node* n = stack.back();
-      stack.pop_back();
-      if (n->is_internal) {
-        auto* in = static_cast<Internal*>(n);
-        // Left subtree holds keys < in->key: visit iff lo < in->key.
-        // Right subtree holds keys >= in->key: visit iff hi >= in->key.
-        const bool go_left = cmp_.less(lo, in->key);
-        const bool go_right = !cmp_.less(hi, in->key);
-        // Push right first so the left subtree pops first (in-order leaves).
-        if (go_right) stack.push_back(in->right.load(std::memory_order_acquire));
-        if (go_left) stack.push_back(in->left.load(std::memory_order_acquire));
-      } else {
-        auto* leaf = static_cast<Leaf*>(n);
-        if (leaf->key.is_real() && !cmp_.user_compare()(leaf->key.key, lo) &&
-            !cmp_.user_compare()(hi, leaf->key.key)) {
-          fn(leaf->key.key, leaf->value);
-        }
-      }
-    }
+    ordered::range<Layout>(core_.root(), core_.cmp(), lo, hi,
+                           std::forward<Fn>(fn));
   }
 
   /// Number of keys in [lo, hi] (weakly consistent; exact at quiescence).
@@ -625,19 +375,14 @@ class EfrbTreeMap {
     return n;
   }
 
-  // ------------------------------------------------------------------
-  // Traversal and diagnostics (weakly consistent under concurrency)
-  // ------------------------------------------------------------------
+  // --- Traversal and diagnostics (weakly consistent under concurrency) ---
 
-  /// Depth-first visit of every real (key, value) pair. Under concurrent
-  /// updates the visit is weakly consistent (not a snapshot): a key present
-  /// for the entire traversal is visited; keys inserted/removed mid-traversal
-  /// may or may not appear. On a quiescent tree this is an exact in-order
-  /// enumeration.
+  /// Depth-first visit of every real (key, value) pair; weakly consistent
+  /// under concurrency, an exact in-order enumeration on a quiescent tree.
   template <typename Fn>
   void for_each(Fn&& fn) const {
     [[maybe_unused]] auto guard = reclaimer_.pin();
-    for_each_rec(root_, fn);
+    ordered::for_each<Layout>(core_.root(), std::forward<Fn>(fn));
   }
 
   /// Number of real keys; exact only on a quiescent tree. O(n).
@@ -649,27 +394,11 @@ class EfrbTreeMap {
 
   bool empty() const { return !min_key().has_value(); }
 
-  /// Structural validation for tests (quiescent trees): checks the
-  /// leaf-oriented shape, the BST key order with sentinel placement (Fig. 6),
-  /// and that every internal node is Clean or terminally consistent.
-  struct ValidationResult {
-    bool ok = true;
-    std::string error;
-    std::size_t real_leaves = 0;
-    std::size_t internals = 0;
-    std::size_t height = 0;
-  };
-
+  /// Structural validation for tests (quiescent trees); see
+  /// ordered::validate.
   ValidationResult validate() const {
-    ValidationResult r;
     [[maybe_unused]] auto guard = reclaimer_.pin();
-    if (root_->key.cls == KeyClass::kInf2) {
-      validate_subtree(r);
-    } else {
-      r.ok = false;
-      r.error = "root key is not ∞₂";
-    }
-    return r;
+    return ordered::validate<Layout>(core_.root(), core_.cmp());
   }
 
   TreeStats stats() const noexcept { return stats_snapshot(); }
@@ -681,9 +410,7 @@ class EfrbTreeMap {
     TreeStats s;
     if constexpr (Traits::kCountStats) {
       accumulate(s, counters_);
-      for (const auto& padded : shards_.shards) {
-        accumulate(s, padded.value.counters);
-      }
+      shards_.accumulate_into(s);
     }
     return s;
   }
@@ -691,546 +418,27 @@ class EfrbTreeMap {
   Reclaimer& reclaimer() noexcept { return reclaimer_; }
 
  private:
-  using BKey = BoundedKey<Key>;
-
-  // ---------------- node & info record layout (Fig. 7) ----------------
-
-  struct Node {
-    const BKey key;
-    const bool is_internal;
-    Node(BKey k, bool internal) : key(std::move(k)), is_internal(internal) {}
-  };
-
-  struct Leaf final : Node {
-    [[no_unique_address]] Value value;
-    Leaf(BKey k, Value v) : Node(std::move(k), false), value(std::move(v)) {}
-  };
-
-  struct Internal final : Node {
-    AtomicUpdate update;  // lines 2-5: (state, Info*) in one CAS word
-    std::atomic<Node*> left;
-    std::atomic<Node*> right;
-    Internal(BKey k, Node* l, Node* r)
-        : Node(std::move(k), true), left(l), right(r) {}
-  };
-
-  // lines 12-14. new_node is Node* (not Internal*) to support the
-  // insert_or_assign extension, which installs a replacement Leaf.
-  struct IInfo final : Info {
-    Internal* p;
-    Leaf* l;
-    Node* new_node;
-    IInfo(Internal* p_, Leaf* l_, Node* n_) : p(p_), l(l_), new_node(n_) {}
-  };
-
-  // lines 15-18
-  struct DInfo final : Info {
-    Internal* gp;
-    Internal* p;
-    Leaf* l;
-    Update pupdate;
-    DInfo(Internal* gp_, Internal* p_, Leaf* l_, Update pu)
-        : gp(gp_), p(p_), l(l_), pupdate(pu) {}
-  };
-
-  static_assert(alignof(IInfo) >= 4 && alignof(DInfo) >= 4,
-                "two low pointer bits must be free for the state tag");
-
-  struct SearchResult {
-    Internal* gp;
-    Internal* p;
-    Leaf* l;
-    Update pupdate;
-    Update gpupdate;
-  };
-
-  // ---------------- Search (lines 23-35) ----------------
-  //
-  // Postconditions (paper lines 24-26): l is a leaf; p is the internal node
-  // whose child pointer contained l; pupdate/gpupdate were read from p/gp
-  // *before* following the edge towards l (that read order is what makes the
-  // flag-check-then-CAS protocol sound).
-  template <typename RT>
-  SearchResult search(const Key& k, ExecCtx<RT>& ctx) const {
-    Internal* gp = nullptr;
-    Internal* p = nullptr;
-    Update gpupdate, pupdate;
-    Node* l = root_;
-    while (l->is_internal) {
-      gp = p;                                           // line 28
-      p = static_cast<Internal*>(l);                    // line 29
-      gpupdate = pupdate;                               // line 30
-      pupdate = p->update.load();                       // line 31
-      if constexpr (Traits::kSearchHelpsMarked) {
-        // §6 variant: splice out a marked node before walking through it,
-        // then restart from the root (the spliced node is off the path).
-        // Helping mutates shared memory, so this Search variant is not
-        // read-only; the tree's logical state is unchanged (the deletion
-        // being helped already passed its linearization-enabling mark).
-        if (pupdate.state() == UpdateState::kMark) {
-          const_cast<EfrbTreeMap*>(this)->help_marked(
-              static_cast<DInfo*>(pupdate.info()), ctx);
-          gp = nullptr;
-          p = nullptr;
-          gpupdate = Update{};
-          pupdate = Update{};
-          l = root_;
-          continue;
-        }
-      }
-      l = cmp_.less(k, p->key)                          // line 32
-              ? p->left.load(std::memory_order_acquire)
-              : p->right.load(std::memory_order_acquire);
-    }
-    return SearchResult{gp, p, static_cast<Leaf*>(l), pupdate, gpupdate};
-  }
-
-  /// Find(k) body, shared by the tree-level wrapper and Handle::contains.
-  /// Caller must hold a pinned region on ctx's retire target.
-  template <typename RT>
-  bool contains_with(const Key& k, ExecCtx<RT>& ctx) const {
-    const SearchResult s = search(k, ctx);
-    return cmp_.equals(k, s.l->key);
-  }
-
-  template <typename RT>
-  std::optional<Value> get_with(const Key& k, ExecCtx<RT>& ctx) const {
-    const SearchResult s = search(k, ctx);
-    if (!cmp_.equals(k, s.l->key)) return std::nullopt;
-    return s.l->value;
-  }
-
-  // ---------------- Insert (lines 42-62) ----------------
-
-  enum class InsertOutcome { kInserted, kAssigned, kDuplicate };
-
-  template <typename RT>
-  InsertOutcome do_insert(const Key& k, Value v, bool assign_if_present,
-                          ExecCtx<RT>& ctx) {
-    auto* new_leaf = new Leaf(BKey::real(k), std::move(v));  // line 45
-    ctx.begin_op();
-    for (;;) {
-      const SearchResult s = search(k, ctx);  // line 49
-      Traits::at(HookPoint::kAfterSearch);
-      if (cmp_.equals(k, s.l->key)) {  // line 50: duplicate key
-        if (!assign_if_present) {
-          delete new_leaf;  // never published
-          return InsertOutcome::kDuplicate;
-        }
-        // Extension: replace the existing leaf with new_leaf via the same
-        // flag/child/unflag protocol. As in the paper's line 51, the parent
-        // must be Clean before we may attempt to flag it.
-        if (s.pupdate.state() != UpdateState::kClean) {
-          help(s.pupdate, ctx);
-          ctx.count_insert_retry();
-          Traits::at(HookPoint::kInsertRetry);
-          ctx.retry_pause();
-          continue;
-        }
-        if (try_install(s, new_leaf, ctx)) return InsertOutcome::kAssigned;
-        ctx.retry_pause();
-        continue;
-      }
-      if (s.pupdate.state() != UpdateState::kClean) {  // line 51
-        help(s.pupdate, ctx);
-        ctx.count_insert_retry();
-        Traits::at(HookPoint::kInsertRetry);
-        ctx.retry_pause();
-        continue;
-      }
-      // lines 53-54: build the replacement subtree. The new internal node's
-      // key is max(k, l->key); the leaf with the smaller key goes left.
-      auto* new_sibling = new Leaf(s.l->key, s.l->value);
-      Internal* new_internal;
-      if (cmp_.less(k, s.l->key)) {
-        new_internal = new Internal(s.l->key, new_leaf, new_sibling);
-      } else {
-        new_internal = new Internal(BKey::real(k), new_sibling, new_leaf);
-      }
-      if (try_install(s, new_internal, ctx)) return InsertOutcome::kInserted;
-      // iflag failed: dismantle the unpublished subtree (new_leaf is reused).
-      delete new_sibling;
-      delete new_internal;
-      ctx.retry_pause();
-    }
-  }
-
-  /// Common tail of Insert and insert_or_assign: flag s.p, then complete via
-  /// HelpInsert. On iflag failure, helps the obstructor and returns false
-  /// (caller owns dismantling `new_node`'s unpublished parts and retrying).
-  template <typename RT>
-  bool try_install(const SearchResult& s, Node* new_node, ExecCtx<RT>& ctx) {
-    auto* op = new IInfo(s.p, s.l, new_node);  // line 55
-    Update expected = s.pupdate;
-    const Update flagged = Update::make(UpdateState::kIFlag, op);
-    const bool ok = s.p->update.compare_exchange(expected, flagged);
-    Traits::on_cas(CasStep::kIFlag, ok, s.p);  // line 56: iflag CAS
-    ctx.count_insert_attempt();
-    if (ok) {
-      // This CAS removed the last shared reference to the Info record that
-      // the previous (Clean) word pointed to: retire it now.
-      if (Info* prev = s.pupdate.info()) ctx.retire(prev);
-      Traits::at(HookPoint::kAfterIFlag);
-      help_insert(op, ctx);  // line 58
-      return true;           // line 59
-    }
-    delete op;            // never published
-    help(expected, ctx);  // line 61: the witnessed value blocked us
-    ctx.count_insert_retry();
-    Traits::at(HookPoint::kInsertRetry);
-    return false;
-  }
-
-  // ---------------- Delete (lines 69-87) ----------------
-
-  template <typename RT>
-  bool do_erase(const Key& k, ExecCtx<RT>& ctx) {
-    ctx.begin_op();
-    for (;;) {
-      const SearchResult s = search(k, ctx);  // line 75
-      Traits::at(HookPoint::kAfterSearch);
-      if (!cmp_.equals(k, s.l->key)) return false;  // line 76
-      if (s.gpupdate.state() != UpdateState::kClean) {  // line 77
-        help(s.gpupdate, ctx);
-        ctx.count_delete_retry();
-        Traits::at(HookPoint::kDeleteRetry);
-        ctx.retry_pause();
-        continue;
-      }
-      if (s.pupdate.state() != UpdateState::kClean) {  // line 78
-        help(s.pupdate, ctx);
-        ctx.count_delete_retry();
-        Traits::at(HookPoint::kDeleteRetry);
-        ctx.retry_pause();
-        continue;
-      }
-      // gp is null only when the reached leaf is the ∞₁ sentinel at depth 1,
-      // and sentinels never compare equal to a real key, so the line-76
-      // check above guarantees a real (depth >= 2) leaf here.
-      EFRB_DCHECK(s.gp != nullptr);
-      // line 80: op := new DInfo(gp, p, l, pupdate)
-      auto* op = new DInfo(s.gp, s.p, s.l, s.pupdate);
-      Update expected = s.gpupdate;
-      const Update flagged = Update::make(UpdateState::kDFlag, op);
-      const bool ok = s.gp->update.compare_exchange(expected, flagged);
-      Traits::on_cas(CasStep::kDFlag, ok, s.gp);  // line 81: dflag CAS
-      ctx.count_delete_attempt();
-      if (ok) {
-        // Last shared reference to the record behind gp's old Clean word.
-        if (Info* prev = s.gpupdate.info()) ctx.retire(prev);
-        Traits::at(HookPoint::kAfterDFlag);
-        if (help_delete(op, ctx)) return true;  // line 83
-        // Mark failed; the DFlag has been backtracked and op retired by the
-        // backtrack winner. Retry from scratch (line 98's False return).
-        ctx.count_delete_retry();
-        Traits::at(HookPoint::kDeleteRetry);
-        ctx.retry_pause();
-      } else {
-        delete op;            // never published; safe to free immediately
-        help(expected, ctx);  // line 85: help whoever owns gp now
-        ctx.count_delete_retry();
-        Traits::at(HookPoint::kDeleteRetry);
-        ctx.retry_pause();
-      }
-    }
-  }
-
-  /// Body of replace() / Handle::replace (see the wrapper's soundness note).
-  template <typename RT>
-  bool do_replace(const Key& k, const Value& expected, Value desired,
-                  ExecCtx<RT>& ctx) {
-    Leaf* new_leaf = nullptr;
-    ctx.begin_op();
-    for (;;) {
-      const SearchResult s = search(k, ctx);
-      Traits::at(HookPoint::kAfterSearch);
-      if (!cmp_.equals(k, s.l->key) || !(s.l->value == expected)) {
-        delete new_leaf;  // never published
-        return false;
-      }
-      if (s.pupdate.state() != UpdateState::kClean) {
-        help(s.pupdate, ctx);
-        ctx.count_insert_retry();
-        Traits::at(HookPoint::kInsertRetry);
-        ctx.retry_pause();
-        continue;
-      }
-      if (new_leaf == nullptr) {
-        new_leaf = new Leaf(BKey::real(k), std::move(desired));
-      }
-      if (try_install(s, new_leaf, ctx)) return true;
-      ctx.retry_pause();
-    }
-  }
-
-  // ---------------- HelpInsert (lines 64-68) ----------------
-  template <typename RT>
-  void help_insert(IInfo* op, ExecCtx<RT>& ctx) {
-    EFRB_DCHECK(op != nullptr);
-    Traits::at(HookPoint::kBeforeIChild);
-    cas_child(op->p, op->l, op->new_node, CasStep::kIChild);  // line 66
-    Traits::at(HookPoint::kBeforeIUnflag);
-    Update expected = Update::make(UpdateState::kIFlag, op);
-    const Update clean = Update::make(UpdateState::kClean, op);
-    const bool ok = op->p->update.compare_exchange(expected, clean);
-    Traits::on_cas(CasStep::kIUnflag, ok, op->p);  // line 67: iunflag CAS
-    if (ok) {
-      // §6 retirement point: the unique iunflag winner retires the replaced
-      // leaf (now unreachable from the tree). The Info record `op` is NOT
-      // retired here: the Clean word keeps pointing at it (so the update
-      // field never repeats a value, §4.2) — it is retired by whichever CAS
-      // later overwrites that word, or freed by the tree destructor.
-      ctx.retire(op->l);
-    }
-  }
-
-  // ---------------- HelpDelete (lines 88-99) ----------------
-  template <typename RT>
-  bool help_delete(DInfo* op, ExecCtx<RT>& ctx) {
-    EFRB_DCHECK(op != nullptr);
-    Traits::at(HookPoint::kBeforeMark);
-    Update expected = op->pupdate;
-    const Update marked = Update::make(UpdateState::kMark, op);
-    const bool ok = op->p->update.compare_exchange(expected, marked);
-    Traits::on_cas(CasStep::kMark, ok, op->p);  // line 91: mark CAS
-    if (ok) {
-      // The mark overwrote p's Clean word — retire the record it referenced.
-      if (Info* prev = op->pupdate.info()) ctx.retire(prev);
-    }
-    if (ok || expected == marked) {  // line 92
-      help_marked(op, ctx);  // line 93
-      return true;           // line 94
-    }
-    // Mark failed because of a conflicting operation on p (e.g. a concurrent
-    // Insert replaced the leaf — the scenario in Fig. 5's doomed Delete).
-    help(expected, ctx);  // line 97
-    Traits::at(HookPoint::kBeforeBacktrack);
-    Update exp2 = Update::make(UpdateState::kDFlag, op);
-    const Update clean = Update::make(UpdateState::kClean, op);
-    const bool back = op->gp->update.compare_exchange(exp2, clean);
-    Traits::on_cas(CasStep::kBacktrack, back, op->gp);  // line 98
-    if (back) ctx.count_backtrack();
-    // `op` stays referenced by gp's (Clean, op) word; whichever CAS later
-    // overwrites that word retires it.
-    return false;  // line 99: tell Delete to try again
-  }
-
-  // ---------------- HelpMarked (lines 100-106) ----------------
-  template <typename RT>
-  void help_marked(DInfo* op, ExecCtx<RT>& ctx) {
-    EFRB_DCHECK(op != nullptr);
-    // line 103-104: the sibling of the leaf being deleted. p is marked, so its
-    // child pointers are frozen; these reads are stable.
-    Node* other;
-    if (op->p->right.load(std::memory_order_acquire) == op->l) {
-      other = op->p->left.load(std::memory_order_acquire);
-    } else {
-      other = op->p->right.load(std::memory_order_acquire);
-    }
-    Traits::at(HookPoint::kBeforeDChild);
-    cas_child(op->gp, op->p, other, CasStep::kDChild);  // line 105
-    Traits::at(HookPoint::kBeforeDUnflag);
-    Update expected = Update::make(UpdateState::kDFlag, op);
-    const Update clean = Update::make(UpdateState::kClean, op);
-    const bool ok = op->gp->update.compare_exchange(expected, clean);
-    Traits::on_cas(CasStep::kDUnflag, ok, op->gp);  // line 106
-    if (ok) {
-      // §6 retirement point: the unique dunflag winner retires the spliced-out
-      // parent and the deleted leaf. The DInfo `op` remains referenced by
-      // gp's (Clean, op) word (and by the dead parent's Mark word); it is
-      // retired by whichever CAS later overwrites gp's word, or freed by the
-      // tree destructor.
-      ctx.retire(op->p);
-      ctx.retire(op->l);
-    }
-  }
-
-  // ---------------- Help (lines 107-112) ----------------
-  // The state tag selects the Info record's concrete type. Clean is a no-op:
-  // callers pass witnessed values that may have turned Clean meanwhile.
-  template <typename RT>
-  void help(Update u, ExecCtx<RT>& ctx) {
-    if (u.state() == UpdateState::kClean) return;
-    ctx.count_help();
-    Traits::at(HookPoint::kBeforeHelp);
-    switch (u.state()) {
-      case UpdateState::kIFlag:
-        help_insert(static_cast<IInfo*>(u.info()), ctx);
-        break;
-      case UpdateState::kMark:
-        help_marked(static_cast<DInfo*>(u.info()), ctx);
-        break;
-      case UpdateState::kDFlag:
-        help_delete(static_cast<DInfo*>(u.info()), ctx);
-        break;
-      case UpdateState::kClean:
-        break;
-    }
-  }
-
-  // ---------------- CAS-Child (lines 113-118) ----------------
-  // Chooses the left or right child field by comparing the new node's key
-  // with the parent's key, then performs the single child CAS that is the
-  // linearization point of a successful update.
-  void cas_child(Internal* parent, Node* old_node, Node* new_node,
-                 CasStep step) {
-    EFRB_DCHECK(parent != nullptr && new_node != nullptr);
-    BoundedCompare<Key, Compare>& cmp = cmp_;
-    std::atomic<Node*>& child =
-        cmp(new_node->key, parent->key) ? parent->left : parent->right;
-    Node* expected = old_node;
-    const bool ok = child.compare_exchange_strong(
-        expected, new_node, std::memory_order_acq_rel,
-        std::memory_order_acquire);
-    Traits::on_cas(step, ok, parent);
-  }
-
-  // ---------------- ordered navigation helpers ----------------
-
-  /// Smallest key >= k (or > k when strict). Single pass: descend the search
-  /// path for k, remembering the right child captured at the last left turn;
-  /// if the reached leaf does not satisfy the bound, the answer is the
-  /// minimum of that captured subtree (in a leaf-oriented BST the reached
-  /// leaf's key is adjacent to k in key order, so any better answer must sit
-  /// in the first subtree to the right of the search path).
-  std::optional<Key> bound_up(const Key& k, bool strict) const {
-    [[maybe_unused]] auto guard = reclaimer_.pin();
-    Node* l = root_;
-    Node* last_right = nullptr;  // right sibling subtree of the search path
-    while (l->is_internal) {
-      auto* in = static_cast<Internal*>(l);
-      if (cmp_.less(k, in->key)) {
-        last_right = in->right.load(std::memory_order_acquire);
-        l = in->left.load(std::memory_order_acquire);
-      } else {
-        l = in->right.load(std::memory_order_acquire);
-      }
-    }
-    const Leaf* leaf = static_cast<Leaf*>(l);
-    if (leaf->key.is_real()) {
-      const bool ge = !cmp_.user_compare()(leaf->key.key, k);  // leaf >= k
-      const bool gt = cmp_.user_compare()(k, leaf->key.key);   // leaf >  k
-      if (strict ? gt : ge) return leaf->key.key;
-    }
-    if (last_right == nullptr) return std::nullopt;
-    // Minimum of the captured subtree: follow left edges.
-    Node* m = last_right;
-    while (m->is_internal) {
-      m = static_cast<Internal*>(m)->left.load(std::memory_order_acquire);
-    }
-    const Leaf* succ = static_cast<Leaf*>(m);
-    if (!succ->key.is_real()) return std::nullopt;  // only sentinels right of k
-    return succ->key.key;
-  }
-
-  /// Largest key <= k (or < k when strict); mirror image of bound_up. The
-  /// left sibling subtree of the search path never contains sentinel leaves
-  /// (sentinels live on the rightmost spine only), but we re-check is_real
-  /// for robustness.
-  std::optional<Key> bound_down(const Key& k, bool strict) const {
-    [[maybe_unused]] auto guard = reclaimer_.pin();
-    Node* l = root_;
-    Node* last_left = nullptr;  // left sibling subtree of the search path
-    while (l->is_internal) {
-      auto* in = static_cast<Internal*>(l);
-      if (cmp_.less(k, in->key)) {
-        l = in->left.load(std::memory_order_acquire);
-      } else {
-        last_left = in->left.load(std::memory_order_acquire);
-        l = in->right.load(std::memory_order_acquire);
-      }
-    }
-    const Leaf* leaf = static_cast<Leaf*>(l);
-    if (leaf->key.is_real()) {
-      const bool le = !cmp_.user_compare()(k, leaf->key.key);  // leaf <= k
-      const bool lt = cmp_.user_compare()(leaf->key.key, k);   // leaf <  k
-      if (strict ? lt : le) return leaf->key.key;
-    }
-    if (last_left == nullptr) return std::nullopt;
-    // Maximum of the captured subtree: follow right edges, but at
-    // sentinel-keyed internals the real keys are on the left (Fig. 6).
-    Node* m = last_left;
-    while (m->is_internal) {
-      auto* in = static_cast<Internal*>(m);
-      m = in->key.is_real() ? in->right.load(std::memory_order_acquire)
-                            : in->left.load(std::memory_order_acquire);
-    }
-    const Leaf* pred = static_cast<Leaf*>(m);
-    if (!pred->key.is_real()) return std::nullopt;
-    return pred->key.key;
-  }
-
-  // ---------------- diagnostics ----------------
-  //
-  // Both walks use explicit stacks: sequential insertion produces a
-  // path-shaped tree (the paper leaves balancing to future work, §6), so
-  // recursion depth would be O(n).
-
+  /// Pin through the reclaimer, build the tree-level context (thread_local
+  /// lease retire sink, shared counter block, no backoff — matching the
+  /// original per-call behaviour exactly), run `fn`.
   template <typename Fn>
-  void for_each_rec(Node* start, Fn& fn) const {
-    std::vector<Node*> stack{start};
-    while (!stack.empty()) {
-      Node* n = stack.back();
-      stack.pop_back();
-      if (n->is_internal) {
-        auto* in = static_cast<Internal*>(n);
-        // Right first so the left subtree pops first: in-order for leaves.
-        stack.push_back(in->right.load(std::memory_order_acquire));
-        stack.push_back(in->left.load(std::memory_order_acquire));
-      } else {
-        auto* leaf = static_cast<Leaf*>(n);
-        if (leaf->key.is_real()) fn(leaf->key.key, leaf->value);
-      }
-    }
+  decltype(auto) with_ctx(Fn&& fn) const {
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    auto ctx = Ctx::tree_level(reclaimer_, &counters_);
+    return fn(ctx);
   }
 
-  void validate_subtree(ValidationResult& r) const {
-    struct Frame {
-      Node* n;
-      const BKey* lower;  // inclusive (equal keys go right)
-      const BKey* upper;  // exclusive
-      std::size_t depth;
-    };
-    std::vector<Frame> stack{{root_, nullptr, nullptr, 1}};
-    while (!stack.empty() && r.ok) {
-      const Frame f = stack.back();
-      stack.pop_back();
-      r.height = std::max(r.height, f.depth);
-      if (f.lower != nullptr && cmp_(f.n->key, *f.lower)) {
-        r.ok = false;
-        r.error = "key below the lower bound inherited from an ancestor";
-        return;
-      }
-      if (f.upper != nullptr && !cmp_(f.n->key, *f.upper)) {
-        r.ok = false;
-        r.error = "key not strictly below the upper bound from an ancestor";
-        return;
-      }
-      if (!f.n->is_internal) {
-        if (static_cast<Leaf*>(f.n)->key.is_real()) ++r.real_leaves;
-        continue;
-      }
-      auto* in = static_cast<Internal*>(f.n);
-      ++r.internals;
-      Node* left = in->left.load(std::memory_order_acquire);
-      Node* right = in->right.load(std::memory_order_acquire);
-      if (left == nullptr || right == nullptr) {
-        r.ok = false;
-        r.error = "internal node with a null child (leaf-oriented shape broken)";
-        return;
-      }
-      stack.push_back(Frame{left, f.lower, &in->key, f.depth + 1});
-      stack.push_back(Frame{right, &in->key, f.upper, f.depth + 1});
-    }
+  std::optional<Key> bound(const Key& k, bool strict, bool up) const {
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    return up ? ordered::bound_up<Layout>(core_.root(), core_.cmp(), k, strict)
+              : ordered::bound_down<Layout>(core_.root(), core_.cmp(), k,
+                                            strict);
   }
 
-  BoundedCompare<Key, Compare> cmp_;
   mutable Reclaimer reclaimer_;
-  Internal* root_;  // line 19: the Root pointer is never changed
-  // Shared counter block for the tree-level (non-handle) path.
-  [[no_unique_address]] mutable Counters counters_;
-  // Per-handle counter shards (empty type when stats are disabled).
-  [[no_unique_address]] mutable Shards shards_;
+  Core core_;
+  mutable StatCounters counters_;  // tree-level (non-handle) counter block
+  [[no_unique_address]] mutable Shards shards_;  // per-handle counter shards
 };
 
 /// Set flavour: keys only, no mapped values.

@@ -1,0 +1,176 @@
+// Layer 1 of the EFRB core: memory layout.
+//
+// Everything the paper's Figure 7 declares lives here — the update word
+// (state + Info pointer packed into one CAS word), the Info records, and the
+// leaf-oriented node types — with no algorithm attached. The Search routine
+// (search.hpp), the CAS protocol (protocol.hpp), the ordered navigation
+// (ordered.hpp) and the public facade (efrb_tree.hpp) are all written against
+// these types.
+//
+// Update-word packing (paper §3/§4.1): "The pointer to the Info record is
+// stored in the same memory word as the state. (In typical 32-bit word
+// architectures, if items stored in memory are word-aligned, the two
+// lowest-order bits of a pointer can be used to store the state.)" We realize
+// exactly that packing on 64-bit: Info records are allocated with alignment
+// >= 4, so bits 0..1 of the pointer hold one of the four states {Clean,
+// DFlag, IFlag, Mark}.
+//
+// The packed word is what every update-field CAS in Figures 8/9 operates on;
+// equality of two packed words is equality of (state, info) pairs, which is
+// what gives the algorithm its "values never repeat" property (each flagging
+// installs a pointer to a freshly allocated Info record).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "core/bounded_key.hpp"
+#include "util/assert.hpp"
+
+namespace efrb {
+
+/// States of an internal node's update field (Fig. 4/7). Numeric values are
+/// the two tag bits stored in the packed word.
+enum class UpdateState : std::uintptr_t {
+  kClean = 0,  // no operation holds this node's child pointers
+  kDFlag = 1,  // a Delete intends to change a child pointer (grandparent role)
+  kIFlag = 2,  // an Insert intends to change a child pointer
+  kMark = 3,   // node is being spliced out; child pointers frozen forever
+};
+
+/// Base class of IInfo/DInfo. The state tag of a word that points to an Info
+/// record tells helpers the concrete type while the operation is in flight
+/// (IFlag -> IInfo, DFlag/Mark -> DInfo), mirroring the paper's Help routine
+/// (lines 107-112). The virtual destructor exists for reclamation only: a
+/// record is retired when a *Clean* word referencing it is overwritten, and at
+/// that point the tag no longer identifies the concrete type.
+struct Info {
+  virtual ~Info() = default;
+};
+
+/// Immutable snapshot of an update field: (state, Info*) in one word.
+class Update {
+ public:
+  constexpr Update() noexcept : bits_(0) {}  // {Clean, nullptr} — initial value
+
+  static Update make(UpdateState s, Info* info) noexcept {
+    const auto p = reinterpret_cast<std::uintptr_t>(info);
+    EFRB_DCHECK((p & kTagMask) == 0);
+    return Update(p | static_cast<std::uintptr_t>(s));
+  }
+
+  static constexpr Update from_bits(std::uintptr_t bits) noexcept {
+    return Update(bits);
+  }
+
+  UpdateState state() const noexcept {
+    return static_cast<UpdateState>(bits_ & kTagMask);
+  }
+
+  Info* info() const noexcept {
+    return reinterpret_cast<Info*>(bits_ & ~kTagMask);
+  }
+
+  std::uintptr_t bits() const noexcept { return bits_; }
+
+  friend bool operator==(Update a, Update b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(Update a, Update b) noexcept {
+    return a.bits_ != b.bits_;
+  }
+
+ private:
+  explicit constexpr Update(std::uintptr_t bits) noexcept : bits_(bits) {}
+  static constexpr std::uintptr_t kTagMask = 0x3;
+  std::uintptr_t bits_;
+};
+
+/// The atomic update field of an internal node.
+class AtomicUpdate {
+ public:
+  AtomicUpdate() noexcept : bits_(0) {}
+
+  Update load(std::memory_order order = std::memory_order_acquire) const noexcept {
+    return Update::from_bits(bits_.load(order));
+  }
+
+  /// Single-word CAS; on failure `expected` is refreshed with the witnessed
+  /// value (which callers pass to Help, per lines 61/85/97 of the paper).
+  bool compare_exchange(Update& expected, Update desired) noexcept {
+    std::uintptr_t exp = expected.bits();
+    const bool ok = bits_.compare_exchange_strong(
+        exp, desired.bits(), std::memory_order_acq_rel,
+        std::memory_order_acquire);
+    expected = Update::from_bits(exp);
+    return ok;
+  }
+
+ private:
+  std::atomic<std::uintptr_t> bits_;
+};
+
+static_assert(sizeof(AtomicUpdate) == sizeof(std::uintptr_t),
+              "update field must be one CAS word");
+
+/// The node and Info-record types of one tree instantiation (Fig. 7), bundled
+/// so every layer names them off a single `Layout` template argument.
+template <typename Key, typename Value>
+struct TreeLayout {
+  using key_type = Key;
+  using mapped_type = Value;
+  using BKey = BoundedKey<Key>;
+
+  struct Node {
+    const BKey key;
+    const bool is_internal;
+    Node(BKey k, bool internal) : key(std::move(k)), is_internal(internal) {}
+  };
+
+  struct Leaf final : Node {
+    [[no_unique_address]] Value value;
+    Leaf(BKey k, Value v) : Node(std::move(k), false), value(std::move(v)) {}
+  };
+
+  struct Internal final : Node {
+    AtomicUpdate update;  // lines 2-5: (state, Info*) in one CAS word
+    std::atomic<Node*> left;
+    std::atomic<Node*> right;
+    Internal(BKey k, Node* l, Node* r)
+        : Node(std::move(k), true), left(l), right(r) {}
+  };
+
+  // lines 12-14. new_node is Node* (not Internal*) to support the
+  // insert_or_assign extension, which installs a replacement Leaf.
+  struct IInfo final : Info {
+    Internal* p;
+    Leaf* l;
+    Node* new_node;
+    IInfo(Internal* p_, Leaf* l_, Node* n_) : p(p_), l(l_), new_node(n_) {}
+  };
+
+  // lines 15-18
+  struct DInfo final : Info {
+    Internal* gp;
+    Internal* p;
+    Leaf* l;
+    Update pupdate;
+    DInfo(Internal* gp_, Internal* p_, Leaf* l_, Update pu)
+        : gp(gp_), p(p_), l(l_), pupdate(pu) {}
+  };
+
+  static_assert(alignof(IInfo) >= 4 && alignof(DInfo) >= 4,
+                "two low pointer bits must be free for the state tag");
+
+  /// Postcondition bundle of the Search routine (paper lines 24-26).
+  struct SearchResult {
+    Internal* gp;
+    Internal* p;
+    Leaf* l;
+    Update pupdate;
+    Update gpupdate;
+  };
+};
+
+}  // namespace efrb

@@ -1,0 +1,226 @@
+// The per-operation execution context and the statistics substrate shared by
+// every layer of the core (and reused by the baseline structures).
+//
+// OpContext bundles the three per-operation concerns that used to be threaded
+// through the tree as a per-method `template <typename RT>`:
+//
+//   * the retire sink — either an explicit reclaimer Attachment (the
+//     per-thread handle fast path) or the reclaimer itself (thread_local
+//     lease fallback). One context type per structure instantiation, so the
+//     handle path and the tree-level path drive the SAME instantiation of
+//     search/protocol/ordered code rather than two parallel ones.
+//   * the stat counters — a cacheline-padded per-handle shard, or the
+//     structure's shared block, or null when stats are disabled (all counting
+//     is compiled out when kCount is false).
+//   * retry pacing — optional per-handle truncated-exponential backoff
+//     (null on the tree-level path, folding retry_pause() away).
+//
+// The stats model: StatCounters is the relaxed-atomic write side; TreeStats
+// is the plain snapshot/report side. Handles count into a StatShard from a
+// ShardPool so stats-enabled counting never contends on a shared line;
+// a released shard keeps its counts (lifetime totals) and the next handle to
+// recycle it simply keeps adding.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/debug_hooks.hpp"
+#include "util/assert.hpp"
+#include "util/backoff.hpp"
+#include "util/cacheline.hpp"
+#include "util/rng.hpp"
+
+namespace efrb {
+
+/// Relaxed per-structure operation counters, collected when
+/// Traits::kCountStats. The per-CasStep arrays give benchmarks a
+/// protocol-step breakdown (attempts and failed CAS per step of Fig. 4)
+/// without custom hook traits; see report.hpp for the table formatter.
+struct TreeStats {
+  std::uint64_t insert_attempts = 0;  // iflag CAS attempts
+  std::uint64_t insert_retries = 0;   // extra Search rounds inside Insert
+  std::uint64_t delete_attempts = 0;  // dflag CAS attempts
+  std::uint64_t delete_retries = 0;   // extra Search rounds inside Delete
+  std::uint64_t helps = 0;            // Help() dispatches on a non-Clean word
+  std::uint64_t backtracks = 0;       // successful backtrack CAS steps
+  std::array<std::uint64_t, kNumCasSteps> cas_attempts{};  // per CasStep
+  std::array<std::uint64_t, kNumCasSteps> cas_failures{};  // failed CAS per step
+};
+
+/// Atomic write side of TreeStats. All increments are relaxed: the counters
+/// are diagnostics, never synchronization.
+struct StatCounters {
+  std::atomic<std::uint64_t> insert_attempts{0};
+  std::atomic<std::uint64_t> insert_retries{0};
+  std::atomic<std::uint64_t> delete_attempts{0};
+  std::atomic<std::uint64_t> delete_retries{0};
+  std::atomic<std::uint64_t> helps{0};
+  std::atomic<std::uint64_t> backtracks{0};
+  std::array<std::atomic<std::uint64_t>, kNumCasSteps> cas_attempts{};
+  std::array<std::atomic<std::uint64_t>, kNumCasSteps> cas_failures{};
+};
+
+inline void accumulate(TreeStats& s, const StatCounters& c) noexcept {
+  s.insert_attempts += c.insert_attempts.load(std::memory_order_relaxed);
+  s.insert_retries += c.insert_retries.load(std::memory_order_relaxed);
+  s.delete_attempts += c.delete_attempts.load(std::memory_order_relaxed);
+  s.delete_retries += c.delete_retries.load(std::memory_order_relaxed);
+  s.helps += c.helps.load(std::memory_order_relaxed);
+  s.backtracks += c.backtracks.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kNumCasSteps; ++i) {
+    s.cas_attempts[i] += c.cas_attempts[i].load(std::memory_order_relaxed);
+    s.cas_failures[i] += c.cas_failures[i].load(std::memory_order_relaxed);
+  }
+}
+
+/// s -= base, fieldwise. Used to report a handle's own share out of a
+/// recycled shard whose counts are lifetime totals.
+inline void subtract(TreeStats& s, const TreeStats& base) noexcept {
+  s.insert_attempts -= base.insert_attempts;
+  s.insert_retries -= base.insert_retries;
+  s.delete_attempts -= base.delete_attempts;
+  s.delete_retries -= base.delete_retries;
+  s.helps -= base.helps;
+  s.backtracks -= base.backtracks;
+  for (std::size_t i = 0; i < kNumCasSteps; ++i) {
+    s.cas_attempts[i] -= base.cas_attempts[i];
+    s.cas_failures[i] -= base.cas_failures[i];
+  }
+}
+
+/// One handle's private counter block, cacheline-padded inside the pool.
+struct StatShard {
+  StatCounters counters;
+  std::atomic<bool> in_use{false};
+};
+
+/// Fixed pool of stat shards; one acquired per live handle.
+struct ShardPool {
+  static constexpr std::size_t kMaxHandles = 128;
+  std::vector<CachePadded<StatShard>> shards;
+
+  ShardPool() : shards(kMaxHandles) {}
+
+  StatShard* acquire() {
+    for (auto& padded : shards) {
+      StatShard& s = padded.value;
+      bool expected = false;
+      if (!s.in_use.load(std::memory_order_relaxed) &&
+          s.in_use.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+        return &s;
+      }
+    }
+    EFRB_ASSERT_MSG(false,
+                    "ShardPool: stat-shard capacity exhausted "
+                    "(more than kMaxHandles live handles)");
+  }
+
+  static void release(StatShard* s) noexcept {
+    s->in_use.store(false, std::memory_order_release);
+  }
+
+  void accumulate_into(TreeStats& s) const noexcept {
+    for (const auto& padded : shards) accumulate(s, padded.value.counters);
+  }
+};
+
+/// Stats disabled: no shard storage at all; handles carry a null shard.
+struct EmptyShardPool {
+  StatShard* acquire() noexcept { return nullptr; }
+  static void release(StatShard*) noexcept {}
+  void accumulate_into(TreeStats&) const noexcept {}
+};
+
+/// Distinct splitmix-derived seed per handle (never thread-id based; see the
+/// skiplist level-RNG bug this repository once had).
+inline std::uint64_t next_handle_seed() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  SplitMix64 sm(0x8f1bbcdcbfa53e0bULL +
+                counter.fetch_add(1, std::memory_order_relaxed));
+  return sm.next();
+}
+
+/// The single per-operation context threaded through search / protocol /
+/// ordered code. Resolved statically — no virtual dispatch; the only dynamic
+/// decision is the retire-sink branch, taken once per (rare) retire call.
+template <typename Reclaimer, bool kCount>
+class OpContext {
+ public:
+  using Attachment = typename Reclaimer::Attachment;
+
+  /// Context for structure-level convenience methods: retires through the
+  /// reclaimer's thread_local lease, counts into the shared block, no
+  /// backoff (matching the pre-handle behaviour exactly).
+  static OpContext tree_level(Reclaimer& r, StatCounters* counters) noexcept {
+    OpContext ctx;
+    ctx.rec_ = &r;
+    ctx.counters_ = counters;
+    return ctx;
+  }
+
+  /// Context for a per-thread handle: retires through the handle's
+  /// attachment, counts into its shard, paces retries with its backoff.
+  static OpContext attached(Attachment& a, StatCounters* counters,
+                            Backoff* backoff) noexcept {
+    OpContext ctx;
+    ctx.att_ = &a;
+    ctx.counters_ = counters;
+    ctx.backoff_ = backoff;
+    return ctx;
+  }
+
+  template <typename T>
+  void retire(T* p) {
+    if (att_ != nullptr) {
+      att_->retire(p);
+    } else {
+      rec_->retire(p);
+    }
+  }
+
+  void begin_op() noexcept {
+    if (backoff_ != nullptr) backoff_->reset();
+  }
+  void retry_pause() noexcept {
+    if (backoff_ != nullptr) (*backoff_)();
+  }
+
+  void count_insert_attempt() noexcept { bump(&StatCounters::insert_attempts); }
+  void count_insert_retry() noexcept { bump(&StatCounters::insert_retries); }
+  void count_delete_attempt() noexcept { bump(&StatCounters::delete_attempts); }
+  void count_delete_retry() noexcept { bump(&StatCounters::delete_retries); }
+  void count_help() noexcept { bump(&StatCounters::helps); }
+  void count_backtrack() noexcept { bump(&StatCounters::backtracks); }
+
+  /// Per-step protocol accounting, recorded at every Traits::on_cas point.
+  void count_cas(CasStep step, bool ok) noexcept {
+    if constexpr (kCount) {
+      const auto i = static_cast<std::size_t>(step);
+      counters_->cas_attempts[i].fetch_add(1, std::memory_order_relaxed);
+      if (!ok) {
+        counters_->cas_failures[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  OpContext() = default;
+
+  void bump(std::atomic<std::uint64_t> StatCounters::* field) noexcept {
+    if constexpr (kCount) {
+      (counters_->*field).fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  Attachment* att_ = nullptr;
+  Reclaimer* rec_ = nullptr;
+  [[maybe_unused]] StatCounters* counters_ = nullptr;
+  Backoff* backoff_ = nullptr;
+};
+
+}  // namespace efrb

@@ -1,0 +1,432 @@
+// Layer 3 of the EFRB core: the CAS protocol.
+//
+// TreeCore owns the root and implements the paper's update machinery — the
+// iflag/ichild/iunflag steps of Insert (Fig. 8), the dflag/mark/dchild/
+// dunflag/backtrack steps of Delete (Fig. 9), and the Help dispatch — as a
+// reusable state machine over the types in layout.hpp and the descent in
+// search.hpp. Comments of the form "line N" refer to the paper's pseudocode
+// line numbers.
+//
+// Every protocol CAS emits Traits::on_cas(step, ok, node) immediately after
+// executing and Traits::at(point) at the named pause points — these are the
+// exact hook points the schedule-sweep and state-machine suites pin down.
+// Each on_cas site is paired with ctx.count_cas(step, ok), the per-step
+// breakdown counters (compiled out when Traits::kCountStats is false).
+//
+// Callers hold a pinned region for the duration of every call (the facade and
+// its handles do this); `Ctx` is the OpContext instantiation threading the
+// retire sink, stat counters and retry backoff through each operation.
+//
+// Retirement protocol (see DESIGN.md §6 for the full argument):
+//   - Nodes: the winner of an unflag CAS retires the node(s) its operation
+//     made unreachable (the replaced leaf for Insert; the spliced-out parent
+//     and deleted leaf for Delete). This matches the retirement points the
+//     paper's §6 proposes. Marked "§6 retirement point" below.
+//   - Info records: a record stays referenced by the node's update word even
+//     after the unflag CAS (the Clean word keeps the pointer so that
+//     update-word values never repeat, §4.2). It is therefore retired by the
+//     winner of the NEXT CAS that overwrites a Clean word referencing it (an
+//     iflag/dflag/mark CAS), i.e. exactly when the last reference from shared
+//     memory disappears — the behaviour a tracing GC gives the paper for
+//     free. Retiring at the unflag CAS instead would permit an ABA on the
+//     update word: the record's memory could be recycled into a new record
+//     for the same node, making a stale (Clean, info) expected-value match
+//     again and a doomed Delete's mark CAS succeed — re-introducing the
+//     Fig. 3(c) lost-insert bug.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/bounded_key.hpp"
+#include "core/debug_hooks.hpp"
+#include "core/layout.hpp"
+#include "core/search.hpp"
+#include "util/assert.hpp"
+
+namespace efrb {
+
+/// Result of the insert machinery (shared by insert / insert_or_assign).
+enum class InsertOutcome { kInserted, kAssigned, kDuplicate };
+
+template <typename Key, typename Value, typename Compare, typename Traits,
+          typename Ctx>
+class TreeCore {
+ public:
+  using Layout = TreeLayout<Key, Value>;
+  using BKey = typename Layout::BKey;
+  using Node = typename Layout::Node;
+  using Leaf = typename Layout::Leaf;
+  using Internal = typename Layout::Internal;
+  using IInfo = typename Layout::IInfo;
+  using DInfo = typename Layout::DInfo;
+  using SearchResult = typename Layout::SearchResult;
+
+  explicit TreeCore(Compare cmp) : cmp_(std::move(cmp)) {
+    // Initialization per Figure 7 (lines 19-22) / Figure 6(a): the permanent
+    // root has key ∞₂ and leaf children ∞₁, ∞₂. Root is never replaced.
+    auto* left = new Leaf(BKey::inf1(), Value{});
+    auto* right = new Leaf(BKey::inf2(), Value{});
+    root_ = new Internal(BKey::inf2(), left, right);
+  }
+
+  TreeCore(const TreeCore&) = delete;
+  TreeCore& operator=(const TreeCore&) = delete;
+
+  /// Requires quiescence (no concurrent operations), like all destructors.
+  ~TreeCore() {
+    std::vector<Node*> stack{root_};
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      if (n->is_internal) {
+        auto* in = static_cast<Internal*>(n);
+        stack.push_back(in->left.load(std::memory_order_relaxed));
+        stack.push_back(in->right.load(std::memory_order_relaxed));
+        // An Info record referenced by an in-tree Clean word was never
+        // overwritten, hence never retired — free it here. Each record is
+        // referenced by at most one in-tree Clean word (an IInfo by its p, a
+        // DInfo by its gp; a DInfo's Mark reference lives on a node already
+        // spliced out of the tree), so no double free is possible. At
+        // quiescence no in-tree word can be flagged or marked.
+        const Update u = in->update.load(std::memory_order_relaxed);
+        EFRB_DCHECK(u.state() == UpdateState::kClean);
+        if (u.state() == UpdateState::kClean) delete u.info();
+        delete in;
+      } else {
+        delete static_cast<Leaf*>(n);
+      }
+    }
+  }
+
+  const BoundedCompare<Key, Compare>& cmp() const noexcept { return cmp_; }
+  Internal* root() const noexcept { return root_; }
+
+  // ---------------- Search (lines 23-35) ----------------
+
+  SearchResult search(const Key& k, Ctx& ctx) const {
+    // Under the §6 Traits::kSearchHelpsMarked variant the descent splices out
+    // marked nodes it meets; otherwise the callback is compiled away inside
+    // search_path and the Search is read-only.
+    auto splice_marked = [this, &ctx](DInfo* op) {
+      const_cast<TreeCore*>(this)->help_marked(op, ctx);
+    };
+    return search_path<Traits, Layout>(root_, k, cmp_, splice_marked);
+  }
+
+  /// Find(k), lines 36-40. Caller must hold a pinned region.
+  bool contains(const Key& k, Ctx& ctx) const {
+    const SearchResult s = search(k, ctx);
+    return cmp_.equals(k, s.l->key);
+  }
+
+  std::optional<Value> get(const Key& k, Ctx& ctx) const {
+    const SearchResult s = search(k, ctx);
+    if (!cmp_.equals(k, s.l->key)) return std::nullopt;
+    return s.l->value;
+  }
+
+  // ---------------- Insert (lines 42-62) ----------------
+
+  /// With assign_if_present (the insert_or_assign extension, not in the
+  /// paper): a duplicate key replaces the existing leaf with new_leaf via the
+  /// same flag/child/unflag protocol — flag the parent (iflag), CAS the child
+  /// pointer from the old leaf to a fresh leaf with the same key (ichild),
+  /// unflag. Every proof obligation is preserved: the child CAS still
+  /// installs a never-before-seen node on the correct side.
+  InsertOutcome insert(const Key& k, Value v, bool assign_if_present,
+                       Ctx& ctx) {
+    auto* new_leaf = new Leaf(BKey::real(k), std::move(v));  // line 45
+    ctx.begin_op();
+    for (;;) {
+      const SearchResult s = search(k, ctx);  // line 49
+      Traits::at(HookPoint::kAfterSearch);
+      if (cmp_.equals(k, s.l->key)) {  // line 50: duplicate key
+        if (!assign_if_present) {
+          delete new_leaf;  // never published
+          return InsertOutcome::kDuplicate;
+        }
+        // Extension: replace the existing leaf with new_leaf via the same
+        // flag/child/unflag protocol. As in the paper's line 51, the parent
+        // must be Clean before we may attempt to flag it.
+        if (s.pupdate.state() != UpdateState::kClean) {
+          help(s.pupdate, ctx);
+          ctx.count_insert_retry();
+          Traits::at(HookPoint::kInsertRetry);
+          ctx.retry_pause();
+          continue;
+        }
+        if (try_install(s, new_leaf, ctx)) return InsertOutcome::kAssigned;
+        ctx.retry_pause();
+        continue;
+      }
+      if (s.pupdate.state() != UpdateState::kClean) {  // line 51
+        help(s.pupdate, ctx);
+        ctx.count_insert_retry();
+        Traits::at(HookPoint::kInsertRetry);
+        ctx.retry_pause();
+        continue;
+      }
+      // lines 53-54: build the replacement subtree. The new internal node's
+      // key is max(k, l->key); the leaf with the smaller key goes left.
+      auto* new_sibling = new Leaf(s.l->key, s.l->value);
+      Internal* new_internal;
+      if (cmp_.less(k, s.l->key)) {
+        new_internal = new Internal(s.l->key, new_leaf, new_sibling);
+      } else {
+        new_internal = new Internal(BKey::real(k), new_sibling, new_leaf);
+      }
+      if (try_install(s, new_internal, ctx)) return InsertOutcome::kInserted;
+      // iflag failed: dismantle the unpublished subtree (new_leaf is reused).
+      delete new_sibling;
+      delete new_internal;
+      ctx.retry_pause();
+    }
+  }
+
+  /// Atomic compare-and-replace on a key's value (extension, not in the
+  /// paper). Soundness: a leaf's value is immutable, so the value read after
+  /// Search belongs to that exact leaf forever; the iflag CAS succeeds only
+  /// if the parent's update word is unchanged since the Search read it, and
+  /// child pointers change only under a flag with a fresh record (word values
+  /// never repeat) — so iflag success certifies the examined leaf is still
+  /// the current leaf for k, making the subsequent ichild swap an atomic
+  /// value-CAS. Linearization: the ichild CAS on success; a point during the
+  /// Search where the leaf (or its absence) was on the search path on
+  /// failure.
+  bool replace(const Key& k, const Value& expected, Value desired, Ctx& ctx) {
+    Leaf* new_leaf = nullptr;
+    ctx.begin_op();
+    for (;;) {
+      const SearchResult s = search(k, ctx);
+      Traits::at(HookPoint::kAfterSearch);
+      if (!cmp_.equals(k, s.l->key) || !(s.l->value == expected)) {
+        delete new_leaf;  // never published
+        return false;
+      }
+      if (s.pupdate.state() != UpdateState::kClean) {
+        help(s.pupdate, ctx);
+        ctx.count_insert_retry();
+        Traits::at(HookPoint::kInsertRetry);
+        ctx.retry_pause();
+        continue;
+      }
+      if (new_leaf == nullptr) {
+        new_leaf = new Leaf(BKey::real(k), std::move(desired));
+      }
+      if (try_install(s, new_leaf, ctx)) return true;
+      ctx.retry_pause();
+    }
+  }
+
+  // ---------------- Delete (lines 69-87) ----------------
+
+  bool erase(const Key& k, Ctx& ctx) {
+    ctx.begin_op();
+    for (;;) {
+      const SearchResult s = search(k, ctx);  // line 75
+      Traits::at(HookPoint::kAfterSearch);
+      if (!cmp_.equals(k, s.l->key)) return false;  // line 76
+      if (s.gpupdate.state() != UpdateState::kClean) {  // line 77
+        help(s.gpupdate, ctx);
+        ctx.count_delete_retry();
+        Traits::at(HookPoint::kDeleteRetry);
+        ctx.retry_pause();
+        continue;
+      }
+      if (s.pupdate.state() != UpdateState::kClean) {  // line 78
+        help(s.pupdate, ctx);
+        ctx.count_delete_retry();
+        Traits::at(HookPoint::kDeleteRetry);
+        ctx.retry_pause();
+        continue;
+      }
+      // gp is null only when the reached leaf is the ∞₁ sentinel at depth 1,
+      // and sentinels never compare equal to a real key, so the line-76
+      // check above guarantees a real (depth >= 2) leaf here.
+      EFRB_DCHECK(s.gp != nullptr);
+      // line 80: op := new DInfo(gp, p, l, pupdate)
+      auto* op = new DInfo(s.gp, s.p, s.l, s.pupdate);
+      Update expected = s.gpupdate;
+      const Update flagged = Update::make(UpdateState::kDFlag, op);
+      const bool ok = s.gp->update.compare_exchange(expected, flagged);
+      Traits::on_cas(CasStep::kDFlag, ok, s.gp);  // line 81: dflag CAS
+      ctx.count_cas(CasStep::kDFlag, ok);
+      ctx.count_delete_attempt();
+      if (ok) {
+        // Last shared reference to the record behind gp's old Clean word.
+        if (Info* prev = s.gpupdate.info()) ctx.retire(prev);
+        Traits::at(HookPoint::kAfterDFlag);
+        if (help_delete(op, ctx)) return true;  // line 83
+        // Mark failed; the DFlag has been backtracked and op retired by the
+        // backtrack winner. Retry from scratch (line 98's False return).
+        ctx.count_delete_retry();
+        Traits::at(HookPoint::kDeleteRetry);
+        ctx.retry_pause();
+      } else {
+        delete op;            // never published; safe to free immediately
+        help(expected, ctx);  // line 85: help whoever owns gp now
+        ctx.count_delete_retry();
+        Traits::at(HookPoint::kDeleteRetry);
+        ctx.retry_pause();
+      }
+    }
+  }
+
+ private:
+  /// Common tail of Insert and insert_or_assign: flag s.p, then complete via
+  /// HelpInsert. On iflag failure, helps the obstructor and returns false
+  /// (caller owns dismantling `new_node`'s unpublished parts and retrying).
+  bool try_install(const SearchResult& s, Node* new_node, Ctx& ctx) {
+    auto* op = new IInfo(s.p, s.l, new_node);  // line 55
+    Update expected = s.pupdate;
+    const Update flagged = Update::make(UpdateState::kIFlag, op);
+    const bool ok = s.p->update.compare_exchange(expected, flagged);
+    Traits::on_cas(CasStep::kIFlag, ok, s.p);  // line 56: iflag CAS
+    ctx.count_cas(CasStep::kIFlag, ok);
+    ctx.count_insert_attempt();
+    if (ok) {
+      // This CAS removed the last shared reference to the Info record that
+      // the previous (Clean) word pointed to: retire it now.
+      if (Info* prev = s.pupdate.info()) ctx.retire(prev);
+      Traits::at(HookPoint::kAfterIFlag);
+      help_insert(op, ctx);  // line 58
+      return true;           // line 59
+    }
+    delete op;            // never published
+    help(expected, ctx);  // line 61: the witnessed value blocked us
+    ctx.count_insert_retry();
+    Traits::at(HookPoint::kInsertRetry);
+    return false;
+  }
+
+  // ---------------- HelpInsert (lines 64-68) ----------------
+  void help_insert(IInfo* op, Ctx& ctx) {
+    EFRB_DCHECK(op != nullptr);
+    Traits::at(HookPoint::kBeforeIChild);
+    cas_child(op->p, op->l, op->new_node, CasStep::kIChild, ctx);  // line 66
+    Traits::at(HookPoint::kBeforeIUnflag);
+    Update expected = Update::make(UpdateState::kIFlag, op);
+    const Update clean = Update::make(UpdateState::kClean, op);
+    const bool ok = op->p->update.compare_exchange(expected, clean);
+    Traits::on_cas(CasStep::kIUnflag, ok, op->p);  // line 67: iunflag CAS
+    ctx.count_cas(CasStep::kIUnflag, ok);
+    if (ok) {
+      // §6 retirement point: the unique iunflag winner retires the replaced
+      // leaf (now unreachable from the tree). The Info record `op` is NOT
+      // retired here: the Clean word keeps pointing at it (so the update
+      // field never repeats a value, §4.2) — it is retired by whichever CAS
+      // later overwrites that word, or freed by the tree destructor.
+      ctx.retire(op->l);
+    }
+  }
+
+  // ---------------- HelpDelete (lines 88-99) ----------------
+  bool help_delete(DInfo* op, Ctx& ctx) {
+    EFRB_DCHECK(op != nullptr);
+    Traits::at(HookPoint::kBeforeMark);
+    Update expected = op->pupdate;
+    const Update marked = Update::make(UpdateState::kMark, op);
+    const bool ok = op->p->update.compare_exchange(expected, marked);
+    Traits::on_cas(CasStep::kMark, ok, op->p);  // line 91: mark CAS
+    ctx.count_cas(CasStep::kMark, ok);
+    if (ok) {
+      // The mark overwrote p's Clean word — retire the record it referenced.
+      if (Info* prev = op->pupdate.info()) ctx.retire(prev);
+    }
+    if (ok || expected == marked) {  // line 92
+      help_marked(op, ctx);  // line 93
+      return true;           // line 94
+    }
+    // Mark failed because of a conflicting operation on p (e.g. a concurrent
+    // Insert replaced the leaf — the scenario in Fig. 5's doomed Delete).
+    help(expected, ctx);  // line 97
+    Traits::at(HookPoint::kBeforeBacktrack);
+    Update exp2 = Update::make(UpdateState::kDFlag, op);
+    const Update clean = Update::make(UpdateState::kClean, op);
+    const bool back = op->gp->update.compare_exchange(exp2, clean);
+    Traits::on_cas(CasStep::kBacktrack, back, op->gp);  // line 98
+    ctx.count_cas(CasStep::kBacktrack, back);
+    if (back) ctx.count_backtrack();
+    // `op` stays referenced by gp's (Clean, op) word; whichever CAS later
+    // overwrites that word retires it.
+    return false;  // line 99: tell Delete to try again
+  }
+
+  // ---------------- HelpMarked (lines 100-106) ----------------
+  void help_marked(DInfo* op, Ctx& ctx) {
+    EFRB_DCHECK(op != nullptr);
+    // line 103-104: the sibling of the leaf being deleted. p is marked, so its
+    // child pointers are frozen; these reads are stable.
+    Node* other;
+    if (op->p->right.load(std::memory_order_acquire) == op->l) {
+      other = op->p->left.load(std::memory_order_acquire);
+    } else {
+      other = op->p->right.load(std::memory_order_acquire);
+    }
+    Traits::at(HookPoint::kBeforeDChild);
+    cas_child(op->gp, op->p, other, CasStep::kDChild, ctx);  // line 105
+    Traits::at(HookPoint::kBeforeDUnflag);
+    Update expected = Update::make(UpdateState::kDFlag, op);
+    const Update clean = Update::make(UpdateState::kClean, op);
+    const bool ok = op->gp->update.compare_exchange(expected, clean);
+    Traits::on_cas(CasStep::kDUnflag, ok, op->gp);  // line 106
+    ctx.count_cas(CasStep::kDUnflag, ok);
+    if (ok) {
+      // §6 retirement point: the unique dunflag winner retires the spliced-out
+      // parent and the deleted leaf. The DInfo `op` remains referenced by
+      // gp's (Clean, op) word (and by the dead parent's Mark word); it is
+      // retired by whichever CAS later overwrites gp's word, or freed by the
+      // tree destructor.
+      ctx.retire(op->p);
+      ctx.retire(op->l);
+    }
+  }
+
+  // ---------------- Help (lines 107-112) ----------------
+  // The state tag selects the Info record's concrete type. Clean is a no-op:
+  // callers pass witnessed values that may have turned Clean meanwhile.
+  void help(Update u, Ctx& ctx) {
+    if (u.state() == UpdateState::kClean) return;
+    ctx.count_help();
+    Traits::at(HookPoint::kBeforeHelp);
+    switch (u.state()) {
+      case UpdateState::kIFlag:
+        help_insert(static_cast<IInfo*>(u.info()), ctx);
+        break;
+      case UpdateState::kMark:
+        help_marked(static_cast<DInfo*>(u.info()), ctx);
+        break;
+      case UpdateState::kDFlag:
+        help_delete(static_cast<DInfo*>(u.info()), ctx);
+        break;
+      case UpdateState::kClean:
+        break;
+    }
+  }
+
+  // ---------------- CAS-Child (lines 113-118) ----------------
+  // Chooses the left or right child field by comparing the new node's key
+  // with the parent's key, then performs the single child CAS that is the
+  // linearization point of a successful update.
+  void cas_child(Internal* parent, Node* old_node, Node* new_node,
+                 CasStep step, Ctx& ctx) {
+    EFRB_DCHECK(parent != nullptr && new_node != nullptr);
+    const BoundedCompare<Key, Compare>& cmp = cmp_;
+    std::atomic<Node*>& child =
+        cmp(new_node->key, parent->key) ? parent->left : parent->right;
+    Node* expected = old_node;
+    const bool ok = child.compare_exchange_strong(
+        expected, new_node, std::memory_order_acq_rel,
+        std::memory_order_acquire);
+    Traits::on_cas(step, ok, parent);
+    ctx.count_cas(step, ok);
+  }
+
+  BoundedCompare<Key, Compare> cmp_;
+  Internal* root_;  // line 19: the Root pointer is never changed
+};
+
+}  // namespace efrb

@@ -1,0 +1,105 @@
+// Layer 2 of the EFRB core: the descent routines.
+//
+// search_path is the paper's Search (Fig. 8, lines 23-35) — the one descent
+// loop shared by Find, Insert, Delete and the protocol's retry rounds. The
+// leftmost/rightmost walks below it are the degenerate Searches used by the
+// ordered queries (ordered.hpp): a walk down left edges is Search for a
+// virtual key below every real key; the rightmost walk is Search for a key
+// strictly between every real key and ∞₁.
+//
+// All routines only read child pointers reachable from the root while the
+// caller holds a pinned region, so every node touched is protected from
+// reclamation (see the retirement protocol note in efrb_tree.hpp).
+#pragma once
+
+#include <atomic>
+
+#include "core/layout.hpp"
+
+namespace efrb {
+
+/// Search(k), lines 23-35.
+///
+/// Postconditions (paper lines 24-26): l is a leaf; p is the internal node
+/// whose child pointer contained l; pupdate/gpupdate were read from p/gp
+/// *before* following the edge towards l (that read order is what makes the
+/// flag-check-then-CAS protocol sound).
+///
+/// When Traits::kSearchHelpsMarked (the paper's §6 variant), a marked internal
+/// node on the path is spliced out via the `help_marked` callback
+/// (DInfo* -> void) before the walk restarts from the root; this Search is
+/// then not read-only, which is why the callback — and with it the protocol
+/// layer — stays outside this header.
+template <typename Traits, typename Layout, typename Cmp, typename HelpMarked>
+typename Layout::SearchResult search_path(typename Layout::Internal* root,
+                                          const typename Layout::key_type& k,
+                                          const Cmp& cmp,
+                                          HelpMarked&& help_marked) {
+  using Internal = typename Layout::Internal;
+  using Leaf = typename Layout::Leaf;
+  using Node = typename Layout::Node;
+  using DInfo = typename Layout::DInfo;
+
+  Internal* gp = nullptr;
+  Internal* p = nullptr;
+  Update gpupdate, pupdate;
+  Node* l = root;
+  while (l->is_internal) {
+    gp = p;                          // line 28
+    p = static_cast<Internal*>(l);   // line 29
+    gpupdate = pupdate;              // line 30
+    pupdate = p->update.load();      // line 31
+    if constexpr (Traits::kSearchHelpsMarked) {
+      // §6 variant: splice out a marked node before walking through it, then
+      // restart from the root (the spliced node is off the path). Helping
+      // mutates shared memory, so this Search variant is not read-only; the
+      // tree's logical state is unchanged (the deletion being helped already
+      // passed its linearization-enabling mark).
+      if (pupdate.state() == UpdateState::kMark) {
+        help_marked(static_cast<DInfo*>(pupdate.info()));
+        gp = nullptr;
+        p = nullptr;
+        gpupdate = Update{};
+        pupdate = Update{};
+        l = root;
+        continue;
+      }
+    }
+    l = cmp.less(k, p->key)          // line 32
+            ? p->left.load(std::memory_order_acquire)
+            : p->right.load(std::memory_order_acquire);
+  }
+  return typename Layout::SearchResult{gp, p, static_cast<Leaf*>(l), pupdate,
+                                       gpupdate};
+}
+
+/// Leftmost leaf under `from`: Search for a key below every real key. The
+/// result is the subtree's minimum (possibly the ∞₁ sentinel on an empty
+/// tree).
+template <typename Layout>
+const typename Layout::Leaf* leftmost_leaf(typename Layout::Node* from) {
+  typename Layout::Node* m = from;
+  while (m->is_internal) {
+    m = static_cast<typename Layout::Internal*>(m)->left.load(
+        std::memory_order_acquire);
+  }
+  return static_cast<const typename Layout::Leaf*>(m);
+}
+
+/// Rightmost *real-keyed* leaf under `from`: Search for a virtual key lying
+/// strictly between every real key and ∞₁ — go right at real-keyed internals,
+/// left at sentinel-keyed ones (sentinels live on the rightmost spine only,
+/// Fig. 6). May still reach a sentinel leaf when the subtree holds no real
+/// keys; callers check is_real().
+template <typename Layout>
+const typename Layout::Leaf* rightmost_leaf(typename Layout::Node* from) {
+  typename Layout::Node* m = from;
+  while (m->is_internal) {
+    auto* in = static_cast<typename Layout::Internal*>(m);
+    m = in->key.is_real() ? in->right.load(std::memory_order_acquire)
+                          : in->left.load(std::memory_order_acquire);
+  }
+  return static_cast<const typename Layout::Leaf*>(m);
+}
+
+}  // namespace efrb

@@ -127,26 +127,87 @@ class HazardPointerDomain {
     Slot* slot_;
   };
 
+  /// Explicit slot registration — same contract as EpochReclaimer::Attachment
+  /// (movable, thread-affine, slot released on detach/destruction, leftover
+  /// retired entries inherited by the slot's next owner). Lets per-thread
+  /// structure handles own their hazard slot outright instead of resolving it
+  /// through the thread_local lease on every retire.
+  class Attachment {
+   public:
+    Attachment() = default;
+    Attachment(Attachment&& other) noexcept
+        : reg_(std::move(other.reg_)),
+          slot_(std::exchange(other.slot_, nullptr)),
+          retire_batch_(other.retire_batch_) {}
+    Attachment& operator=(Attachment&& other) noexcept {
+      if (this != &other) {
+        detach();
+        reg_ = std::move(other.reg_);
+        slot_ = std::exchange(other.slot_, nullptr);
+        retire_batch_ = other.retire_batch_;
+      }
+      return *this;
+    }
+    Attachment(const Attachment&) = delete;
+    Attachment& operator=(const Attachment&) = delete;
+    ~Attachment() { detach(); }
+
+    bool attached() const noexcept { return slot_ != nullptr; }
+
+    void detach() noexcept {
+      if (slot_ != nullptr) {
+        for (auto& h : slot_->hazards) {
+          h.store(nullptr, std::memory_order_release);
+        }
+        slot_->in_use.store(false, std::memory_order_release);
+        slot_ = nullptr;
+        reg_.reset();
+      }
+    }
+
+    /// Hazard-slot handle over the owned slot (no thread_local lookup).
+    Handle make_handle() const {
+      EFRB_DCHECK(slot_ != nullptr);
+      return Handle(reg_.get(), slot_);
+    }
+
+    template <typename T>
+    void retire(T* p) {
+      EFRB_DCHECK(slot_ != nullptr);
+      retire_slot(reg_.get(), slot_, retire_batch_, p);
+    }
+
+    void flush() {
+      EFRB_DCHECK(slot_ != nullptr);
+      scan(reg_.get(), slot_);
+    }
+
+   private:
+    friend class HazardPointerDomain;
+    Attachment(std::shared_ptr<Registry> reg, Slot* slot,
+               std::size_t retire_batch) noexcept
+        : reg_(std::move(reg)), slot_(slot), retire_batch_(retire_batch) {}
+
+    std::shared_ptr<Registry> reg_;
+    Slot* slot_ = nullptr;
+    std::size_t retire_batch_ = 0;
+  };
+
   explicit HazardPointerDomain(std::size_t max_threads = 64,
                                std::size_t hazards_per_thread = 4,
                                std::size_t retire_batch = 128)
       : reg_(std::make_shared<Registry>(max_threads, hazards_per_thread)),
         retire_batch_(retire_batch) {}
 
+  Attachment attach() {
+    return Attachment(reg_, reg_->acquire_slot(), retire_batch_);
+  }
+
   Handle make_handle() { return Handle(reg_.get(), local_slot()); }
 
   template <typename T>
   void retire(T* p) {
-    EFRB_DCHECK(p != nullptr);
-    Slot* slot = local_slot();
-    slot->retired.push_back(
-        Retired{p, [](void* q) { delete static_cast<T*>(q); }});
-    // Size-scheduled scans (amortized O(1) per retire even when many
-    // entries stay protected; see the epoch reclaimer for the rationale).
-    if (slot->retired.size() >= std::max(slot->next_scan, retire_batch_)) {
-      scan(slot);
-      slot->next_scan = slot->retired.size() + retire_batch_;
-    }
+    retire_slot(reg_.get(), local_slot(), retire_batch_, p);
   }
 
   std::uint64_t freed_count() const noexcept {
@@ -154,14 +215,28 @@ class HazardPointerDomain {
   }
 
   /// Best-effort drain at quiescent points.
-  void flush() { scan(local_slot()); }
+  void flush() { scan(reg_.get(), local_slot()); }
 
  private:
-  void scan(Slot* slot) {
+  template <typename T>
+  static void retire_slot(Registry* reg, Slot* slot, std::size_t retire_batch,
+                          T* p) {
+    EFRB_DCHECK(p != nullptr);
+    slot->retired.push_back(
+        Retired{p, [](void* q) { delete static_cast<T*>(q); }});
+    // Size-scheduled scans (amortized O(1) per retire even when many
+    // entries stay protected; see the epoch reclaimer for the rationale).
+    if (slot->retired.size() >= std::max(slot->next_scan, retire_batch)) {
+      scan(reg, slot);
+      slot->next_scan = slot->retired.size() + retire_batch;
+    }
+  }
+
+  static void scan(Registry* reg, Slot* slot) {
     // Snapshot every published hazard pointer across all slots.
     std::vector<void*> protected_ptrs;
-    protected_ptrs.reserve(reg_->slots.size() * reg_->hazards_per_thread);
-    for (const auto& s : reg_->slots) {
+    protected_ptrs.reserve(reg->slots.size() * reg->hazards_per_thread);
+    for (const auto& s : reg->slots) {
       if (!s->in_use.load(std::memory_order_acquire)) continue;
       for (const auto& h : s->hazards) {
         void* p = h.load(std::memory_order_seq_cst);
@@ -184,7 +259,7 @@ class HazardPointerDomain {
     }
     list.resize(kept);
     if (freed != 0) {
-      reg_->freed_total.fetch_add(freed, std::memory_order_relaxed);
+      reg->freed_total.fetch_add(freed, std::memory_order_relaxed);
     }
   }
 

@@ -1,12 +1,16 @@
 // Minimal fixed-width table printer for the benchmark binaries, so every
 // experiment emits the same aligned "rows and series" format EXPERIMENTS.md
-// quotes.
+// quotes — plus the protocol-step breakdown built from a TreeStats snapshot.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "core/debug_hooks.hpp"
+#include "core/op_context.hpp"
 
 namespace efrb {
 
@@ -56,5 +60,27 @@ class Table {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Protocol-step breakdown of a TreeStats snapshot (stats_snapshot() or
+/// Handle::local_stats() on a kCountStats tree): one row per CAS step of
+/// Fig. 4 with attempts, failed CAS and failure rate, followed by the help
+/// and backtrack totals recorded by the same counters. Failed iflag/dflag
+/// rows are the operation retries; failed ichild/mark/dchild/unflag rows are
+/// CAS races resolved by helpers.
+inline Table protocol_step_table(const TreeStats& s) {
+  Table t({"cas step", "attempts", "failed", "fail %"});
+  for (std::size_t i = 0; i < kNumCasSteps; ++i) {
+    const std::uint64_t a = s.cas_attempts[i];
+    const std::uint64_t f = s.cas_failures[i];
+    t.add_row({to_string(static_cast<CasStep>(i)), std::to_string(a),
+               std::to_string(f),
+               a == 0 ? std::string("-")
+                      : Table::fmt(100.0 * static_cast<double>(f) /
+                                       static_cast<double>(a))});
+  }
+  t.add_row({"helps", std::to_string(s.helps), "-", "-"});
+  t.add_row({"backtracks", std::to_string(s.backtracks), "-", "-"});
+  return t;
+}
 
 }  // namespace efrb

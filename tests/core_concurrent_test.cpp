@@ -8,6 +8,7 @@
 #include "leak_check_opt_out.hpp"  // LeakyReclaimer / NaiveCasBst leak by design
 
 #include <atomic>
+#include <cstdint>
 #include <set>
 #include <vector>
 
@@ -20,10 +21,27 @@
 namespace efrb {
 namespace {
 
-// The TSan stats stage (scripts/check.sh) rebuilds this suite with
-// -DEFRB_TEST_FORCE_STATS so every schedule also races the per-handle stat
-// shards and the shared counter block under the race detector.
-#ifdef EFRB_TEST_FORCE_STATS
+// scripts/check.sh rebuilds this suite with non-default traits:
+//   -DEFRB_TEST_FORCE_STATS — StatsTraits, so every schedule also races the
+//     per-handle stat shards and the shared counter block under TSan;
+//   -DEFRB_TEST_FORCE_HOOKS — live on_cas/at callbacks, so every debug-hook
+//     emission point executes real code under full concurrency (NoopTraits
+//     would compile them away).
+#if defined(EFRB_TEST_FORCE_HOOKS)
+struct ForcedHookTraits {
+  static constexpr bool kCountStats = true;
+  static constexpr bool kSearchHelpsMarked = false;
+  static inline std::atomic<std::uint64_t> cas_events{0};
+  static inline std::atomic<std::uint64_t> point_events{0};
+  static void on_cas(CasStep, bool, const void*) noexcept {
+    cas_events.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void at(HookPoint) noexcept {
+    point_events.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+using TestTraits = ForcedHookTraits;
+#elif defined(EFRB_TEST_FORCE_STATS)
 using TestTraits = StatsTraits;
 #else
 using TestTraits = NoopTraits;

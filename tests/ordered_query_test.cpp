@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <optional>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "core/efrb_tree.hpp"
@@ -166,6 +167,69 @@ TEST(RangeQueryTest, PruningSkipsSentinelSpine) {
 }
 
 // ---------------------------------------------------------------------------
+// Handle fast path: every ordered query is also a Handle method (pinning
+// through the handle's attachment instead of the thread_local lease).
+// ---------------------------------------------------------------------------
+
+TEST(OrderedQueryHandleTest, AllQueriesMatchTreeLevel) {
+  Tree t;
+  auto h = t.handle();
+  for (int k : {10, 20, 30, 40}) ASSERT_TRUE(h.insert(k));
+  EXPECT_EQ(h.min_key(), std::optional<int>(10));
+  EXPECT_EQ(h.max_key(), std::optional<int>(40));
+  EXPECT_EQ(h.find_ge(15), t.find_ge(15));
+  EXPECT_EQ(h.find_gt(20), t.find_gt(20));
+  EXPECT_EQ(h.find_le(25), t.find_le(25));
+  EXPECT_EQ(h.find_lt(20), t.find_lt(20));
+  EXPECT_EQ(h.find_gt(40), std::nullopt);
+  EXPECT_EQ(h.count_range(15, 35), 2u);
+  std::vector<int> ranged;
+  h.range(15, 45, [&](const int& k, const auto&) { ranged.push_back(k); });
+  EXPECT_EQ(ranged, (std::vector<int>{20, 30, 40}));
+  std::vector<int> all;
+  h.for_each([&](const int& k, const auto&) { all.push_back(k); });
+  EXPECT_EQ(all, (std::vector<int>{10, 20, 30, 40}));
+}
+
+TEST(OrderedQueryHandleTest, SweepMatchesStdSetOracle) {
+  Tree t;
+  auto h = t.handle();
+  std::set<int> oracle;
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    const int k = static_cast<int>(rng.next_below(512));
+    if (rng.next_below(3) == 0) {
+      h.erase(k);
+      oracle.erase(k);
+    } else {
+      h.insert(k);
+      oracle.insert(k);
+    }
+    const int probe = static_cast<int>(rng.next_below(512));
+    ASSERT_EQ(h.find_ge(probe), oracle_ge(oracle, probe)) << "probe " << probe;
+    ASSERT_EQ(h.find_gt(probe), oracle_gt(oracle, probe)) << "probe " << probe;
+    ASSERT_EQ(h.find_le(probe), oracle_le(oracle, probe)) << "probe " << probe;
+    ASSERT_EQ(h.find_lt(probe), oracle_lt(oracle, probe)) << "probe " << probe;
+    ASSERT_EQ(h.min_key(), oracle.empty()
+                               ? std::nullopt
+                               : std::optional<int>(*oracle.begin()));
+    ASSERT_EQ(h.max_key(), oracle.empty()
+                               ? std::nullopt
+                               : std::optional<int>(*oracle.rbegin()));
+  }
+}
+
+TEST(OrderedQueryHandleTest, MovedFromHandleStaysUsableAfterMoveTarget) {
+  Tree t;
+  auto h1 = t.handle();
+  ASSERT_TRUE(h1.insert(5));
+  Tree::Handle h2 = std::move(h1);
+  EXPECT_TRUE(h2.valid());
+  EXPECT_EQ(h2.min_key(), std::optional<int>(5));
+  EXPECT_EQ(h2.count_range(0, 10), 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Weak consistency under concurrency.
 // ---------------------------------------------------------------------------
 
@@ -240,6 +304,34 @@ TEST(OrderedQueryConcurrentTest, BoundsNeverInventKeys) {
         const int k = static_cast<int>(rng.next_below(256)) * 2;
         t.insert(k);
         t.erase(k);
+      }
+    }
+  });
+  EXPECT_TRUE(t.validate().ok);
+}
+
+TEST(OrderedQueryConcurrentTest, HandleQueriesUnderChurn) {
+  // Same stable-region argument as above, but every thread — reader and
+  // churners alike — drives the tree through its own Handle.
+  Tree t;
+  for (int k = 1000; k < 1010; ++k) t.insert(k);
+  std::atomic<bool> stop{false};
+  run_threads(4, [&](std::size_t tid) {
+    auto h = t.handle();
+    if (tid == 0) {
+      StopOnExit guard{stop};
+      for (int i = 0; i < 4000; ++i) {
+        ASSERT_EQ(h.count_range(1000, 1009), 10u);
+        ASSERT_EQ(h.find_ge(950), std::optional<int>(1000));
+        ASSERT_EQ(h.find_le(1500), std::optional<int>(1009));
+        ASSERT_EQ(h.max_key(), std::optional<int>(1009));
+      }
+    } else {
+      Xoshiro256 rng(tid);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int k = static_cast<int>(rng.next_below(500));
+        h.insert(k);
+        h.erase(k);
       }
     }
   });

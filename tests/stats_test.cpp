@@ -107,5 +107,85 @@ TEST(StatsTest, DisjointInteriorChurnNeverHelps) {
   EXPECT_EQ(s.delete_retries, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Per-CasStep protocol breakdown (cas_attempts / cas_failures arrays).
+// ---------------------------------------------------------------------------
+
+std::uint64_t at(const TreeStats& s, CasStep step) {
+  return s.cas_attempts[static_cast<std::size_t>(step)];
+}
+std::uint64_t failed(const TreeStats& s, CasStep step) {
+  return s.cas_failures[static_cast<std::size_t>(step)];
+}
+
+TEST(StatsTest, PerStepCountersSequentialLaws) {
+  StatsTree t;
+  for (int k = 0; k < 300; ++k) ASSERT_TRUE(t.insert(k));
+  for (int k = 0; k < 300; k += 3) ASSERT_TRUE(t.erase(k));
+  const auto s = t.stats();
+  // Unconteded inserts: exactly one iflag + ichild + iunflag each.
+  EXPECT_EQ(at(s, CasStep::kIFlag), 300u);
+  EXPECT_EQ(at(s, CasStep::kIChild), 300u);
+  EXPECT_EQ(at(s, CasStep::kIUnflag), 300u);
+  // Uncontended deletes: one dflag + mark + dchild + dunflag, no backtracks.
+  EXPECT_EQ(at(s, CasStep::kDFlag), 100u);
+  EXPECT_EQ(at(s, CasStep::kMark), 100u);
+  EXPECT_EQ(at(s, CasStep::kDChild), 100u);
+  EXPECT_EQ(at(s, CasStep::kDUnflag), 100u);
+  EXPECT_EQ(at(s, CasStep::kBacktrack), 0u);
+  for (std::size_t i = 0; i < kNumCasSteps; ++i) {
+    EXPECT_EQ(s.cas_failures[i], 0u) << "step " << i;
+  }
+}
+
+TEST(StatsTest, PerStepCountersRefineLegacyCounters) {
+  StatsTree t;
+  std::atomic<std::uint64_t> ok_inserts{0}, ok_erases{0};
+  run_threads(6, [&](std::size_t tid) {
+    Xoshiro256 rng(tid * 5 + 3);
+    for (int i = 0; i < 4000; ++i) {
+      const int k = static_cast<int>(rng.next_below(8));  // hot
+      if (rng.next_below(2) == 0) {
+        ok_inserts += t.insert(k) ? 1 : 0;
+      } else {
+        ok_erases += t.erase(k) ? 1 : 0;
+      }
+    }
+  });
+  const auto s = t.stats();
+  // The per-step arrays are recorded at the same points as the legacy
+  // counters, so the flag rows must agree with them exactly, and the
+  // backtracks counter is the number of *successful* backtrack steps.
+  EXPECT_EQ(at(s, CasStep::kIFlag), s.insert_attempts);
+  EXPECT_EQ(at(s, CasStep::kDFlag), s.delete_attempts);
+  EXPECT_EQ(at(s, CasStep::kBacktrack) - failed(s, CasStep::kBacktrack),
+            s.backtracks);
+  for (std::size_t i = 0; i < kNumCasSteps; ++i) {
+    EXPECT_LE(s.cas_failures[i], s.cas_attempts[i]) << "step " << i;
+  }
+  // Every successful iflag leads to a completed insert (one ichild), and a
+  // failed iflag logs an insert retry.
+  EXPECT_EQ(at(s, CasStep::kIFlag) - failed(s, CasStep::kIFlag),
+            ok_inserts.load());
+  EXPECT_LE(failed(s, CasStep::kIFlag), s.insert_retries);
+  // Every completed delete and every backtrack consumed a successful dflag.
+  EXPECT_EQ(at(s, CasStep::kDFlag) - failed(s, CasStep::kDFlag),
+            ok_erases.load() + s.backtracks);
+}
+
+TEST(StatsTest, HandlePerStepCountersFlowIntoShardAndSnapshot) {
+  StatsTree t;
+  auto h = t.handle();
+  for (int k = 0; k < 50; ++k) ASSERT_TRUE(h.insert(k));
+  ASSERT_TRUE(h.erase(7));
+  const auto local = h.local_stats();
+  EXPECT_EQ(at(local, CasStep::kIFlag), 50u);
+  EXPECT_EQ(at(local, CasStep::kDFlag), 1u);
+  EXPECT_EQ(at(local, CasStep::kDChild), 1u);
+  const auto snap = t.stats_snapshot();
+  EXPECT_EQ(at(snap, CasStep::kIFlag), 50u);
+  EXPECT_EQ(at(snap, CasStep::kDUnflag), 1u);
+}
+
 }  // namespace
 }  // namespace efrb
