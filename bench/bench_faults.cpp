@@ -1,0 +1,167 @@
+// Fault-injection bench: throughput degradation while one thread is frozen
+// at each protocol pause point.
+//
+// The victim thread is stalled by a FaultScheduler stall gate exactly where
+// the matching fault_injection_test case freezes it — holding whatever the
+// protocol has acquired at that point (an IFlag/DFlag/Mark on the path, a
+// reclaimer pin). Four worker threads then run an update-heavy mix for the
+// cell duration. The interesting shape: degradation stays small at every
+// point (non-blocking progress — workers help past the frozen operation and
+// never wait for it), while the reclaimer column shows the real cost of a
+// frozen pin: retired nodes accumulate for the whole cell (EBR wedge).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/efrb_tree.hpp"
+#include "inject/fault_plan.hpp"
+#include "inject/fault_scheduler.hpp"
+#include "reclaim/epoch.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/report.hpp"
+
+namespace {
+
+using efrb::CasStep;
+using efrb::EpochReclaimer;
+using efrb::HookPoint;
+using efrb::Table;
+using efrb::inject::FaultAction;
+using efrb::inject::FaultKind;
+using efrb::inject::FaultPlan;
+using efrb::inject::FaultScheduler;
+
+using Tree = efrb::EfrbTreeSet<std::uint64_t, std::less<std::uint64_t>,
+                               EpochReclaimer, efrb::inject::InjectTraits>;
+
+constexpr std::uint64_t kKeyRange = 1024;
+constexpr std::size_t kWorkers = 4;
+
+struct Cell {
+  double mops;
+  std::uint64_t freed;  // reclaimer frees during the cell
+};
+
+struct StallCase {
+  const char* name;       // nullptr = baseline row (no frozen thread)
+  HookPoint point;
+  bool is_delete;         // victim op: erase vs insert (key outside range)
+  int pre_fail_step;      // CasStep forced to fail once first, or -1
+};
+
+Cell run_cell(const StallCase* c) {
+  EpochReclaimer rec(64, 256);
+  Tree t(std::less<std::uint64_t>{}, rec);
+  for (std::uint64_t k = 0; k < kKeyRange; k += 2) t.insert(k);
+  if (c != nullptr) t.insert(2001);
+
+  FaultPlan plan;
+  if (c != nullptr) {
+    if (c->pre_fail_step >= 0) {
+      FaultAction fail;
+      fail.kind = FaultKind::kFailCas;
+      fail.step = c->pre_fail_step;
+      plan.actions.push_back(fail);
+    }
+    FaultAction stall;
+    stall.kind = FaultKind::kStall;
+    stall.point = static_cast<int>(c->point);
+    plan.actions.push_back(stall);
+  }
+  FaultScheduler sched(plan);
+
+  std::thread victim;
+  if (c != nullptr) {
+    victim = std::thread([&] {
+      FaultScheduler::ThreadScope scope(sched, 0);
+      auto h = t.handle();
+      if (c->is_delete) {
+        h.erase(2001);
+      } else {
+        h.insert(2003);
+      }
+    });
+    if (!sched.wait_until_stalled(0)) {
+      std::fprintf(stderr, "victim never stalled at %s\n", c->name);
+      std::abort();
+    }
+  }
+
+  const std::uint64_t freed_before = rec.freed_count();
+  const auto duration = efrb::bench::cell_duration();
+  std::atomic<std::uint64_t> total_ops{0};
+  efrb::run_threads(kWorkers, [&](std::size_t tid) {
+    auto h = t.handle();
+    efrb::Xoshiro256 rng(tid * 0x9e3779b9ULL + 17);
+    const auto deadline = std::chrono::steady_clock::now() + duration;
+    std::uint64_t ops = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (int i = 0; i < 64; ++i, ++ops) {
+        const auto k = rng.next_below(kKeyRange);
+        if (rng.next_below(2) == 0) {
+          h.insert(k);
+        } else {
+          h.erase(k);
+        }
+      }
+    }
+    total_ops.fetch_add(ops, std::memory_order_relaxed);
+  });
+  const std::uint64_t freed = rec.freed_count() - freed_before;
+
+  if (c != nullptr) {
+    sched.release(0);
+    victim.join();
+  }
+  const double secs =
+      std::chrono::duration<double>(duration).count();
+  return Cell{static_cast<double>(total_ops.load()) / secs / 1e6, freed};
+}
+
+}  // namespace
+
+int main() {
+  efrb::bench::print_header(
+      "E6: throughput with one thread frozen at each protocol step",
+      "4 workers, update-heavy, 2^10 keys; the frozen thread holds the\n"
+      "protocol open at the named point for the whole cell. Expected shape:\n"
+      "Mops/s barely moves (non-blocking: workers help past the frozen op),\n"
+      "but freed-during-cell collapses to ~0 whenever the victim is frozen\n"
+      "while pinned — the EBR starvation the fault suite asserts on.");
+
+  const StallCase cases[] = {
+      {"after-search", HookPoint::kAfterSearch, false, -1},
+      {"after-iflag", HookPoint::kAfterIFlag, false, -1},
+      {"before-ichild", HookPoint::kBeforeIChild, false, -1},
+      {"before-iunflag", HookPoint::kBeforeIUnflag, false, -1},
+      {"after-dflag", HookPoint::kAfterDFlag, true, -1},
+      {"before-mark", HookPoint::kBeforeMark, true, -1},
+      {"before-dchild", HookPoint::kBeforeDChild, true, -1},
+      {"before-dunflag", HookPoint::kBeforeDUnflag, true, -1},
+      {"insert-retry", HookPoint::kInsertRetry, false,
+       static_cast<int>(CasStep::kIFlag)},
+      {"delete-retry", HookPoint::kDeleteRetry, true,
+       static_cast<int>(CasStep::kDFlag)},
+      {"before-backtrack", HookPoint::kBeforeBacktrack, true,
+       static_cast<int>(CasStep::kMark)},
+  };
+
+  const Cell base = run_cell(nullptr);
+  Table table({"frozen-at", "Mops/s", "vs-baseline", "freed-in-cell"});
+  table.add_row({"(none)", Table::fmt(base.mops), "100.0%",
+                 std::to_string(base.freed)});
+  for (const StallCase& c : cases) {
+    const Cell cell = run_cell(&c);
+    char pct[16];
+    std::snprintf(pct, sizeof(pct), "%.1f%%",
+                  base.mops > 0 ? 100.0 * cell.mops / base.mops : 0.0);
+    table.add_row({c.name, Table::fmt(cell.mops), pct,
+                   std::to_string(cell.freed)});
+  }
+  table.print();
+  return 0;
+}

@@ -72,6 +72,19 @@ if [[ "$FAST" == "0" ]]; then
   run cmake --build build-hooks
   run ctest --test-dir build-hooks --output-on-failure --timeout 600 \
       -R 'Concurrent|Instrumented|StateMachine|Schedule'
+
+  echo "=== fault injection (hooks-forced build, then TSan) ==="
+  # The suite prints its chaos seed ([chaos] EFRB_FAULT_SEED=...); tee it
+  # into a persistent log so a failing run can be replayed bit-for-bit with
+  # EFRB_FAULT_SEED=<seed> scripts/... (set -o pipefail keeps failures fatal
+  # through the tee).
+  FAULT_LOG=build/fault_injection.log
+  : > "$FAULT_LOG"
+  run cmake --build build-hooks --target fault_injection_test
+  ./build-hooks/tests/fault_injection_test --gtest_color=no 2>&1 | tee -a "$FAULT_LOG"
+  run cmake --build build-tsan --target fault_injection_test
+  ./build-tsan/tests/fault_injection_test --gtest_color=no 2>&1 | tee -a "$FAULT_LOG"
+  echo "fault-injection output (incl. chaos seeds) saved to $FAULT_LOG"
 fi
 
 echo "ALL CHECKS PASSED"

@@ -70,6 +70,80 @@ enum class HookPoint : std::uint8_t {
   kDeleteRetry,      // Delete attempt failed; looping
 };
 
+/// Number of HookPoint values; sizes the per-point tables in src/inject/.
+inline constexpr std::size_t kNumHookPoints = 12;
+
+inline const char* to_string(HookPoint p) noexcept {
+  switch (p) {
+    case HookPoint::kAfterSearch: return "after-search";
+    case HookPoint::kAfterIFlag: return "after-iflag";
+    case HookPoint::kBeforeIChild: return "before-ichild";
+    case HookPoint::kBeforeIUnflag: return "before-iunflag";
+    case HookPoint::kAfterDFlag: return "after-dflag";
+    case HookPoint::kBeforeMark: return "before-mark";
+    case HookPoint::kBeforeDChild: return "before-dchild";
+    case HookPoint::kBeforeDUnflag: return "before-dunflag";
+    case HookPoint::kBeforeBacktrack: return "before-backtrack";
+    case HookPoint::kBeforeHelp: return "before-help";
+    case HookPoint::kInsertRetry: return "insert-retry";
+    case HookPoint::kDeleteRetry: return "delete-retry";
+  }
+  return "?";
+}
+
+/// Thread identity carried by hook emissions: the per-handle id assigned by
+/// the owning structure, or kNoTid on the tree-level (thread_local lease)
+/// path, which has no stable per-thread identity to report.
+inline constexpr unsigned kNoTid = ~0u;
+
+// ---------------------------------------------------------------------------
+// Hook dispatch shims. Every emission point in protocol.hpp calls through
+// these, passing the full site identity (step/point + the OpContext's thread
+// id). A Traits type may implement either the legacy arity —
+// on_cas(step, ok, node) / at(point) — or the extended, identity-aware one —
+// on_cas(step, ok, node, tid) / at(point, tid); the shim detects which at
+// compile time, so existing traits keep working unchanged.
+//
+// allow_cas is the fault-injection gate: a Traits exposing
+// allow_cas(step, node, tid) -> bool may veto a protocol CAS, which the call
+// site then treats exactly like a CAS that lost its race (the fault model of
+// src/inject/). Traits without the member compile to `true` and the branch
+// folds away.
+// ---------------------------------------------------------------------------
+namespace hooks {
+
+template <typename Traits>
+inline void emit_cas(CasStep s, bool ok, const void* node, unsigned tid) {
+  if constexpr (requires { Traits::on_cas(s, ok, node, tid); }) {
+    Traits::on_cas(s, ok, node, tid);
+  } else {
+    Traits::on_cas(s, ok, node);
+  }
+}
+
+template <typename Traits>
+inline void emit_at(HookPoint p, unsigned tid) {
+  if constexpr (requires { Traits::at(p, tid); }) {
+    Traits::at(p, tid);
+  } else {
+    Traits::at(p);
+  }
+}
+
+template <typename Traits>
+inline bool allow_cas(CasStep s, const void* node, unsigned tid) {
+  if constexpr (requires { Traits::allow_cas(s, node, tid); }) {
+    return static_cast<bool>(Traits::allow_cas(s, node, tid));
+  } else {
+    (void)s;
+    (void)node;
+    (void)tid;
+    return true;
+  }
+}
+
+}  // namespace hooks
+
 /// Zero-cost default: all hooks are empty and statistics are disabled.
 /// kSearchHelpsMarked selects the paper's §6 Search variant: a Search that
 /// encounters a marked internal node helps complete the deletion's dchild

@@ -25,6 +25,7 @@
 // "conservative helping strategy").
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <optional>
@@ -99,7 +100,8 @@ class EfrbTreeMap {
           shard_(std::exchange(other.shard_, nullptr)),
           shard_base_(other.shard_base_),
           backoff_(other.backoff_),
-          rng_(other.rng_) {}
+          rng_(other.rng_),
+          tid_(other.tid_) {}
 
     Handle& operator=(Handle&& other) noexcept {
       if (this != &other) {
@@ -110,6 +112,7 @@ class EfrbTreeMap {
         shard_base_ = other.shard_base_;
         backoff_ = other.backoff_;
         rng_ = other.rng_;
+        tid_ = other.tid_;
       }
       return *this;
     }
@@ -232,6 +235,12 @@ class EfrbTreeMap {
     Xoshiro256& rng() noexcept { return rng_; }
     Backoff& backoff() noexcept { return backoff_; }
 
+    /// This handle's thread identity: a small id unique among the tree's
+    /// handles (creation order), carried into every debug-hook emission the
+    /// handle's operations produce. kNoTid only on a default-constructed
+    /// (invalid) handle.
+    unsigned tid() const noexcept { return tid_; }
+
    private:
     friend class EfrbTreeMap;
 
@@ -239,7 +248,8 @@ class EfrbTreeMap {
         : tree_(t),
           att_(t->reclaimer_.attach()),
           shard_(t->shards_.acquire()),
-          rng_(next_handle_seed()) {
+          rng_(next_handle_seed()),
+          tid_(t->next_tid_.fetch_add(1, std::memory_order_relaxed)) {
       if (shard_ != nullptr) accumulate(shard_base_, shard_->counters);
     }
 
@@ -250,7 +260,8 @@ class EfrbTreeMap {
       EFRB_DCHECK(valid());
       [[maybe_unused]] auto guard = att_.pin();
       auto ctx = Ctx::attached(
-          att_, shard_ != nullptr ? &shard_->counters : nullptr, &backoff_);
+          att_, shard_ != nullptr ? &shard_->counters : nullptr, &backoff_,
+          tid_);
       return fn(ctx);
     }
 
@@ -269,6 +280,7 @@ class EfrbTreeMap {
     TreeStats shard_base_;  // recycled shard's totals at acquisition
     mutable Backoff backoff_;
     mutable Xoshiro256 rng_{0};
+    unsigned tid_ = kNoTid;
   };
 
   /// Create a per-thread operation handle bound to this tree (see Handle).
@@ -439,6 +451,7 @@ class EfrbTreeMap {
   Core core_;
   mutable StatCounters counters_;  // tree-level (non-handle) counter block
   [[no_unique_address]] mutable Shards shards_;  // per-handle counter shards
+  std::atomic<unsigned> next_tid_{0};  // handle-id source (see Handle::tid)
 };
 
 /// Set flavour: keys only, no mapped values.

@@ -32,6 +32,7 @@
 #include "util/assert.hpp"
 #include "util/backoff.hpp"
 #include "util/cacheline.hpp"
+#include "util/errors.hpp"
 #include "util/rng.hpp"
 
 namespace efrb {
@@ -105,19 +106,24 @@ struct ShardPool {
 
   ShardPool() : shards(kMaxHandles) {}
 
+  /// Bounded retry (a racing handle may be mid-release), then throws
+  /// CapacityExhausted — see util/errors.hpp for the contract. Never aborts:
+  /// running out of handles is a load condition, not a broken invariant.
   StatShard* acquire() {
-    for (auto& padded : shards) {
-      StatShard& s = padded.value;
-      bool expected = false;
-      if (!s.in_use.load(std::memory_order_relaxed) &&
-          s.in_use.compare_exchange_strong(expected, true,
-                                           std::memory_order_acq_rel)) {
-        return &s;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      for (auto& padded : shards) {
+        StatShard& s = padded.value;
+        bool expected = false;
+        if (!s.in_use.load(std::memory_order_relaxed) &&
+            s.in_use.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+          return &s;
+        }
       }
     }
-    EFRB_ASSERT_MSG(false,
-                    "ShardPool: stat-shard capacity exhausted "
-                    "(more than kMaxHandles live handles)");
+    throw CapacityExhausted(
+        "ShardPool: stat-shard capacity exhausted "
+        "(more than kMaxHandles live handles)");
   }
 
   static void release(StatShard* s) noexcept {
@@ -155,7 +161,8 @@ class OpContext {
 
   /// Context for structure-level convenience methods: retires through the
   /// reclaimer's thread_local lease, counts into the shared block, no
-  /// backoff (matching the pre-handle behaviour exactly).
+  /// backoff (matching the pre-handle behaviour exactly). No per-thread
+  /// identity: hooks see kNoTid.
   static OpContext tree_level(Reclaimer& r, StatCounters* counters) noexcept {
     OpContext ctx;
     ctx.rec_ = &r;
@@ -164,13 +171,16 @@ class OpContext {
   }
 
   /// Context for a per-thread handle: retires through the handle's
-  /// attachment, counts into its shard, paces retries with its backoff.
+  /// attachment, counts into its shard, paces retries with its backoff, and
+  /// carries the handle's id into every hook emission (the step+thread
+  /// identity the fault-injection layer keys on).
   static OpContext attached(Attachment& a, StatCounters* counters,
-                            Backoff* backoff) noexcept {
+                            Backoff* backoff, unsigned tid = kNoTid) noexcept {
     OpContext ctx;
     ctx.att_ = &a;
     ctx.counters_ = counters;
     ctx.backoff_ = backoff;
+    ctx.tid_ = tid;
     return ctx;
   }
 
@@ -186,9 +196,18 @@ class OpContext {
   void begin_op() noexcept {
     if (backoff_ != nullptr) backoff_->reset();
   }
+  /// Called on operation success: drops any escalation the finished op built
+  /// up, so a missing begin_op on some future path cannot inherit it.
+  void end_op() noexcept {
+    if (backoff_ != nullptr) backoff_->reset();
+  }
   void retry_pause() noexcept {
     if (backoff_ != nullptr) (*backoff_)();
   }
+
+  /// Per-handle thread identity (kNoTid on the tree-level path), forwarded to
+  /// every hook emission in the protocol layer.
+  unsigned tid() const noexcept { return tid_; }
 
   void count_insert_attempt() noexcept { bump(&StatCounters::insert_attempts); }
   void count_insert_retry() noexcept { bump(&StatCounters::insert_retries); }
@@ -221,6 +240,7 @@ class OpContext {
   Reclaimer* rec_ = nullptr;
   [[maybe_unused]] StatCounters* counters_ = nullptr;
   Backoff* backoff_ = nullptr;
+  unsigned tid_ = kNoTid;
 };
 
 }  // namespace efrb

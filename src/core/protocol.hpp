@@ -7,11 +7,16 @@
 // search.hpp. Comments of the form "line N" refer to the paper's pseudocode
 // line numbers.
 //
-// Every protocol CAS emits Traits::on_cas(step, ok, node) immediately after
-// executing and Traits::at(point) at the named pause points — these are the
-// exact hook points the schedule-sweep and state-machine suites pin down.
-// Each on_cas site is paired with ctx.count_cas(step, ok), the per-step
-// breakdown counters (compiled out when Traits::kCountStats is false).
+// Every protocol CAS emits hooks::emit_cas<Traits>(step, ok, node, tid)
+// immediately after executing and hooks::emit_at<Traits>(point, tid) at the
+// named pause points — the full step+thread identity of the site, keyed on by
+// the fault-injection layer (src/inject/) and pinned down by the
+// schedule-sweep and state-machine suites. Each CAS is additionally gated on
+// hooks::allow_cas<Traits>(step, node, tid): a vetoed CAS is treated exactly
+// like one that lost its race (the fault model forced-failure injection
+// relies on; a Traits without the member compiles the gate away). Each
+// on_cas site is paired with ctx.count_cas(step, ok), the per-step breakdown
+// counters (compiled out when Traits::kCountStats is false).
 //
 // Callers hold a pinned region for the duration of every call (the facade and
 // its handles do this); `Ctx` is the OpContext instantiation threading the
@@ -142,10 +147,11 @@ class TreeCore {
     ctx.begin_op();
     for (;;) {
       const SearchResult s = search(k, ctx);  // line 49
-      Traits::at(HookPoint::kAfterSearch);
+      hooks::emit_at<Traits>(HookPoint::kAfterSearch, ctx.tid());
       if (cmp_.equals(k, s.l->key)) {  // line 50: duplicate key
         if (!assign_if_present) {
           delete new_leaf;  // never published
+          ctx.end_op();
           return InsertOutcome::kDuplicate;
         }
         // Extension: replace the existing leaf with new_leaf via the same
@@ -154,18 +160,21 @@ class TreeCore {
         if (s.pupdate.state() != UpdateState::kClean) {
           help(s.pupdate, ctx);
           ctx.count_insert_retry();
-          Traits::at(HookPoint::kInsertRetry);
+          hooks::emit_at<Traits>(HookPoint::kInsertRetry, ctx.tid());
           ctx.retry_pause();
           continue;
         }
-        if (try_install(s, new_leaf, ctx)) return InsertOutcome::kAssigned;
+        if (try_install(s, new_leaf, ctx)) {
+          ctx.end_op();
+          return InsertOutcome::kAssigned;
+        }
         ctx.retry_pause();
         continue;
       }
       if (s.pupdate.state() != UpdateState::kClean) {  // line 51
         help(s.pupdate, ctx);
         ctx.count_insert_retry();
-        Traits::at(HookPoint::kInsertRetry);
+        hooks::emit_at<Traits>(HookPoint::kInsertRetry, ctx.tid());
         ctx.retry_pause();
         continue;
       }
@@ -178,7 +187,10 @@ class TreeCore {
       } else {
         new_internal = new Internal(BKey::real(k), new_sibling, new_leaf);
       }
-      if (try_install(s, new_internal, ctx)) return InsertOutcome::kInserted;
+      if (try_install(s, new_internal, ctx)) {
+        ctx.end_op();
+        return InsertOutcome::kInserted;
+      }
       // iflag failed: dismantle the unpublished subtree (new_leaf is reused).
       delete new_sibling;
       delete new_internal;
@@ -201,22 +213,26 @@ class TreeCore {
     ctx.begin_op();
     for (;;) {
       const SearchResult s = search(k, ctx);
-      Traits::at(HookPoint::kAfterSearch);
+      hooks::emit_at<Traits>(HookPoint::kAfterSearch, ctx.tid());
       if (!cmp_.equals(k, s.l->key) || !(s.l->value == expected)) {
         delete new_leaf;  // never published
+        ctx.end_op();
         return false;
       }
       if (s.pupdate.state() != UpdateState::kClean) {
         help(s.pupdate, ctx);
         ctx.count_insert_retry();
-        Traits::at(HookPoint::kInsertRetry);
+        hooks::emit_at<Traits>(HookPoint::kInsertRetry, ctx.tid());
         ctx.retry_pause();
         continue;
       }
       if (new_leaf == nullptr) {
         new_leaf = new Leaf(BKey::real(k), std::move(desired));
       }
-      if (try_install(s, new_leaf, ctx)) return true;
+      if (try_install(s, new_leaf, ctx)) {
+        ctx.end_op();
+        return true;
+      }
       ctx.retry_pause();
     }
   }
@@ -227,19 +243,22 @@ class TreeCore {
     ctx.begin_op();
     for (;;) {
       const SearchResult s = search(k, ctx);  // line 75
-      Traits::at(HookPoint::kAfterSearch);
-      if (!cmp_.equals(k, s.l->key)) return false;  // line 76
+      hooks::emit_at<Traits>(HookPoint::kAfterSearch, ctx.tid());
+      if (!cmp_.equals(k, s.l->key)) {  // line 76
+        ctx.end_op();
+        return false;
+      }
       if (s.gpupdate.state() != UpdateState::kClean) {  // line 77
         help(s.gpupdate, ctx);
         ctx.count_delete_retry();
-        Traits::at(HookPoint::kDeleteRetry);
+        hooks::emit_at<Traits>(HookPoint::kDeleteRetry, ctx.tid());
         ctx.retry_pause();
         continue;
       }
       if (s.pupdate.state() != UpdateState::kClean) {  // line 78
         help(s.pupdate, ctx);
         ctx.count_delete_retry();
-        Traits::at(HookPoint::kDeleteRetry);
+        hooks::emit_at<Traits>(HookPoint::kDeleteRetry, ctx.tid());
         ctx.retry_pause();
         continue;
       }
@@ -251,25 +270,30 @@ class TreeCore {
       auto* op = new DInfo(s.gp, s.p, s.l, s.pupdate);
       Update expected = s.gpupdate;
       const Update flagged = Update::make(UpdateState::kDFlag, op);
-      const bool ok = s.gp->update.compare_exchange(expected, flagged);
-      Traits::on_cas(CasStep::kDFlag, ok, s.gp);  // line 81: dflag CAS
+      const bool ok =
+          hooks::allow_cas<Traits>(CasStep::kDFlag, s.gp, ctx.tid()) &&
+          s.gp->update.compare_exchange(expected, flagged);
+      hooks::emit_cas<Traits>(CasStep::kDFlag, ok, s.gp, ctx.tid());  // line 81: dflag CAS
       ctx.count_cas(CasStep::kDFlag, ok);
       ctx.count_delete_attempt();
       if (ok) {
         // Last shared reference to the record behind gp's old Clean word.
         if (Info* prev = s.gpupdate.info()) ctx.retire(prev);
-        Traits::at(HookPoint::kAfterDFlag);
-        if (help_delete(op, ctx)) return true;  // line 83
+        hooks::emit_at<Traits>(HookPoint::kAfterDFlag, ctx.tid());
+        if (help_delete(op, ctx)) {  // line 83
+          ctx.end_op();
+          return true;
+        }
         // Mark failed; the DFlag has been backtracked and op retired by the
         // backtrack winner. Retry from scratch (line 98's False return).
         ctx.count_delete_retry();
-        Traits::at(HookPoint::kDeleteRetry);
+        hooks::emit_at<Traits>(HookPoint::kDeleteRetry, ctx.tid());
         ctx.retry_pause();
       } else {
         delete op;            // never published; safe to free immediately
         help(expected, ctx);  // line 85: help whoever owns gp now
         ctx.count_delete_retry();
-        Traits::at(HookPoint::kDeleteRetry);
+        hooks::emit_at<Traits>(HookPoint::kDeleteRetry, ctx.tid());
         ctx.retry_pause();
       }
     }
@@ -283,35 +307,39 @@ class TreeCore {
     auto* op = new IInfo(s.p, s.l, new_node);  // line 55
     Update expected = s.pupdate;
     const Update flagged = Update::make(UpdateState::kIFlag, op);
-    const bool ok = s.p->update.compare_exchange(expected, flagged);
-    Traits::on_cas(CasStep::kIFlag, ok, s.p);  // line 56: iflag CAS
+    const bool ok =
+        hooks::allow_cas<Traits>(CasStep::kIFlag, s.p, ctx.tid()) &&
+        s.p->update.compare_exchange(expected, flagged);
+    hooks::emit_cas<Traits>(CasStep::kIFlag, ok, s.p, ctx.tid());  // line 56: iflag CAS
     ctx.count_cas(CasStep::kIFlag, ok);
     ctx.count_insert_attempt();
     if (ok) {
       // This CAS removed the last shared reference to the Info record that
       // the previous (Clean) word pointed to: retire it now.
       if (Info* prev = s.pupdate.info()) ctx.retire(prev);
-      Traits::at(HookPoint::kAfterIFlag);
+      hooks::emit_at<Traits>(HookPoint::kAfterIFlag, ctx.tid());
       help_insert(op, ctx);  // line 58
       return true;           // line 59
     }
     delete op;            // never published
     help(expected, ctx);  // line 61: the witnessed value blocked us
     ctx.count_insert_retry();
-    Traits::at(HookPoint::kInsertRetry);
+    hooks::emit_at<Traits>(HookPoint::kInsertRetry, ctx.tid());
     return false;
   }
 
   // ---------------- HelpInsert (lines 64-68) ----------------
   void help_insert(IInfo* op, Ctx& ctx) {
     EFRB_DCHECK(op != nullptr);
-    Traits::at(HookPoint::kBeforeIChild);
+    hooks::emit_at<Traits>(HookPoint::kBeforeIChild, ctx.tid());
     cas_child(op->p, op->l, op->new_node, CasStep::kIChild, ctx);  // line 66
-    Traits::at(HookPoint::kBeforeIUnflag);
+    hooks::emit_at<Traits>(HookPoint::kBeforeIUnflag, ctx.tid());
     Update expected = Update::make(UpdateState::kIFlag, op);
     const Update clean = Update::make(UpdateState::kClean, op);
-    const bool ok = op->p->update.compare_exchange(expected, clean);
-    Traits::on_cas(CasStep::kIUnflag, ok, op->p);  // line 67: iunflag CAS
+    const bool ok =
+        hooks::allow_cas<Traits>(CasStep::kIUnflag, op->p, ctx.tid()) &&
+        op->p->update.compare_exchange(expected, clean);
+    hooks::emit_cas<Traits>(CasStep::kIUnflag, ok, op->p, ctx.tid());  // line 67: iunflag CAS
     ctx.count_cas(CasStep::kIUnflag, ok);
     if (ok) {
       // §6 retirement point: the unique iunflag winner retires the replaced
@@ -326,11 +354,13 @@ class TreeCore {
   // ---------------- HelpDelete (lines 88-99) ----------------
   bool help_delete(DInfo* op, Ctx& ctx) {
     EFRB_DCHECK(op != nullptr);
-    Traits::at(HookPoint::kBeforeMark);
+    hooks::emit_at<Traits>(HookPoint::kBeforeMark, ctx.tid());
     Update expected = op->pupdate;
     const Update marked = Update::make(UpdateState::kMark, op);
-    const bool ok = op->p->update.compare_exchange(expected, marked);
-    Traits::on_cas(CasStep::kMark, ok, op->p);  // line 91: mark CAS
+    const bool ok =
+        hooks::allow_cas<Traits>(CasStep::kMark, op->p, ctx.tid()) &&
+        op->p->update.compare_exchange(expected, marked);
+    hooks::emit_cas<Traits>(CasStep::kMark, ok, op->p, ctx.tid());  // line 91: mark CAS
     ctx.count_cas(CasStep::kMark, ok);
     if (ok) {
       // The mark overwrote p's Clean word — retire the record it referenced.
@@ -343,11 +373,13 @@ class TreeCore {
     // Mark failed because of a conflicting operation on p (e.g. a concurrent
     // Insert replaced the leaf — the scenario in Fig. 5's doomed Delete).
     help(expected, ctx);  // line 97
-    Traits::at(HookPoint::kBeforeBacktrack);
+    hooks::emit_at<Traits>(HookPoint::kBeforeBacktrack, ctx.tid());
     Update exp2 = Update::make(UpdateState::kDFlag, op);
     const Update clean = Update::make(UpdateState::kClean, op);
-    const bool back = op->gp->update.compare_exchange(exp2, clean);
-    Traits::on_cas(CasStep::kBacktrack, back, op->gp);  // line 98
+    const bool back =
+        hooks::allow_cas<Traits>(CasStep::kBacktrack, op->gp, ctx.tid()) &&
+        op->gp->update.compare_exchange(exp2, clean);
+    hooks::emit_cas<Traits>(CasStep::kBacktrack, back, op->gp, ctx.tid());  // line 98
     ctx.count_cas(CasStep::kBacktrack, back);
     if (back) ctx.count_backtrack();
     // `op` stays referenced by gp's (Clean, op) word; whichever CAS later
@@ -366,13 +398,15 @@ class TreeCore {
     } else {
       other = op->p->right.load(std::memory_order_acquire);
     }
-    Traits::at(HookPoint::kBeforeDChild);
+    hooks::emit_at<Traits>(HookPoint::kBeforeDChild, ctx.tid());
     cas_child(op->gp, op->p, other, CasStep::kDChild, ctx);  // line 105
-    Traits::at(HookPoint::kBeforeDUnflag);
+    hooks::emit_at<Traits>(HookPoint::kBeforeDUnflag, ctx.tid());
     Update expected = Update::make(UpdateState::kDFlag, op);
     const Update clean = Update::make(UpdateState::kClean, op);
-    const bool ok = op->gp->update.compare_exchange(expected, clean);
-    Traits::on_cas(CasStep::kDUnflag, ok, op->gp);  // line 106
+    const bool ok =
+        hooks::allow_cas<Traits>(CasStep::kDUnflag, op->gp, ctx.tid()) &&
+        op->gp->update.compare_exchange(expected, clean);
+    hooks::emit_cas<Traits>(CasStep::kDUnflag, ok, op->gp, ctx.tid());  // line 106
     ctx.count_cas(CasStep::kDUnflag, ok);
     if (ok) {
       // §6 retirement point: the unique dunflag winner retires the spliced-out
@@ -391,7 +425,7 @@ class TreeCore {
   void help(Update u, Ctx& ctx) {
     if (u.state() == UpdateState::kClean) return;
     ctx.count_help();
-    Traits::at(HookPoint::kBeforeHelp);
+    hooks::emit_at<Traits>(HookPoint::kBeforeHelp, ctx.tid());
     switch (u.state()) {
       case UpdateState::kIFlag:
         help_insert(static_cast<IInfo*>(u.info()), ctx);
@@ -418,10 +452,12 @@ class TreeCore {
     std::atomic<Node*>& child =
         cmp(new_node->key, parent->key) ? parent->left : parent->right;
     Node* expected = old_node;
-    const bool ok = child.compare_exchange_strong(
-        expected, new_node, std::memory_order_acq_rel,
-        std::memory_order_acquire);
-    Traits::on_cas(step, ok, parent);
+    const bool ok =
+        hooks::allow_cas<Traits>(step, parent, ctx.tid()) &&
+        child.compare_exchange_strong(expected, new_node,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+    hooks::emit_cas<Traits>(step, ok, parent, ctx.tid());
     ctx.count_cas(step, ok);
   }
 

@@ -1,0 +1,223 @@
+// Fault plans: declarative step × thread × action scripts for the
+// fault-injection layer.
+//
+// A FaultPlan is pure data — a list of FaultActions, each naming a protocol
+// site (a CasStep or a HookPoint), the plan-thread it applies to, the visit
+// ordinal on which it fires, and what to do there. Plans are executed by a
+// FaultScheduler (fault_scheduler.hpp) through the hook shims in
+// core/debug_hooks.hpp; this header is deliberately free of any threading so
+// plans can be generated, printed, serialized into test logs, and shrunk
+// without touching a tree.
+//
+// The fault model rides on the allow_cas veto gate: a vetoed CAS is
+// indistinguishable (to the protocol) from one that lost its race. That makes
+// exactly the *contention-retried* steps safe to force-fail:
+//
+//   iflag / dflag  — the op re-runs Search and retries (lines 60, 87);
+//   mark           — HelpDelete backtracks the dflag and retries (line 98);
+//   backtrack      — the unflag CAS is itself retried-by-helping: every
+//                    helper of the same Info record attempts it, and the
+//                    flagger re-reaches it through HelpDelete.
+//
+// The helping steps (ichild, iunflag, dchild, dunflag) are NOT safe: once a
+// flag CAS succeeds, the protocol's progress argument assumes *somebody*
+// completes the operation, and vetoing a helper's CAS also vetoes the
+// operation's own attempt — the veto is thread-targeted but these steps are
+// what every helper executes. Forcing one without a concurrent helper wedges
+// or corrupts the structure. Plans containing them refuse to run unless
+// `allow_unsafe` is set — which is precisely how the harness's canary test
+// proves the whole apparatus can detect real corruption (see
+// tests/fault_injection_test.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/debug_hooks.hpp"
+#include "util/rng.hpp"
+
+namespace efrb::inject {
+
+/// What an action does at its site.
+enum class FaultKind : std::uint8_t {
+  kFailCas,     // veto the CAS (site must be a CasStep); `count` consecutive
+                // occurrences are vetoed starting at `occurrence`
+  kStall,       // block the thread at the site until FaultScheduler::release
+  kDelay,       // spin `count` cpu_relax() iterations at the site
+  kYieldBurst,  // call std::this_thread::yield() `count` times at the site
+};
+
+inline const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kFailCas: return "fail-cas";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kYieldBurst: return "yield-burst";
+  }
+  return "?";
+}
+
+/// True for the steps whose failure the protocol already treats as ordinary
+/// contention (see the header comment for why the other four are not).
+inline constexpr bool step_failable(CasStep s) noexcept {
+  return s == CasStep::kIFlag || s == CasStep::kDFlag ||
+         s == CasStep::kMark || s == CasStep::kBacktrack;
+}
+
+/// One scripted fault. The site is either a CAS step (`step >= 0`, hit from
+/// the allow_cas gate, pre-CAS) or a hook point (`point >= 0`, hit from the
+/// at() emission); exactly one of the two must be set. `tid` is the *plan*
+/// thread id — the one the executing thread registers via
+/// FaultScheduler::ThreadScope — not the structure's handle id; unregistered
+/// threads never match any action.
+struct FaultAction {
+  FaultKind kind = FaultKind::kFailCas;
+  unsigned tid = 0;
+  int step = -1;            // CasStep index, or -1
+  int point = -1;           // HookPoint index, or -1
+  unsigned occurrence = 1;  // 1-based: fire on the Nth visit of the site
+  unsigned count = 1;       // kFailCas: vetoes; kDelay/kYieldBurst: iterations
+
+  bool valid() const noexcept {
+    if ((step >= 0) == (point >= 0)) return false;
+    if (step >= static_cast<int>(kNumCasSteps)) return false;
+    if (point >= static_cast<int>(kNumHookPoints)) return false;
+    if (kind == FaultKind::kFailCas && step < 0) return false;
+    return occurrence >= 1 && count >= 1;
+  }
+
+  /// Unsafe = a forced failure of a helping step (see header comment).
+  bool safe() const noexcept {
+    return kind != FaultKind::kFailCas ||
+           (step >= 0 && step_failable(static_cast<CasStep>(step)));
+  }
+};
+
+inline std::string to_string(const FaultAction& a) {
+  std::string s = to_string(a.kind);
+  s += " tid=";
+  s += std::to_string(a.tid);
+  s += a.step >= 0 ? " step=" : " point=";
+  s += a.step >= 0 ? to_string(static_cast<CasStep>(a.step))
+                   : to_string(static_cast<HookPoint>(a.point));
+  s += " occurrence=";
+  s += std::to_string(a.occurrence);
+  s += " count=";
+  s += std::to_string(a.count);
+  return s;
+}
+
+/// A full script. `allow_unsafe` is the explicit opt-in required to run
+/// actions that can genuinely corrupt the structure (canary tests only).
+struct FaultPlan {
+  std::vector<FaultAction> actions;
+  bool allow_unsafe = false;
+
+  bool valid() const noexcept {
+    for (const FaultAction& a : actions) {
+      if (!a.valid()) return false;
+    }
+    return true;
+  }
+
+  bool safe() const noexcept {
+    for (const FaultAction& a : actions) {
+      if (!a.safe()) return false;
+    }
+    return true;
+  }
+};
+
+inline std::string to_string(const FaultPlan& p) {
+  std::string s = "FaultPlan{";
+  for (std::size_t i = 0; i < p.actions.size(); ++i) {
+    if (i != 0) s += "; ";
+    s += to_string(p.actions[i]);
+  }
+  if (p.allow_unsafe) s += " [allow_unsafe]";
+  s += "}";
+  return s;
+}
+
+/// Deterministic chaos-plan generator: `n_actions` safe actions over plan
+/// threads [0, threads), fully determined by `seed`. Stalls are excluded —
+/// nobody scripts the matching release — so a chaos plan can never wedge a
+/// run; it perturbs schedules with forced contention, delays, and yields.
+inline FaultPlan chaos(std::uint64_t seed, unsigned threads,
+                       std::size_t n_actions) {
+  static constexpr CasStep kFailable[] = {CasStep::kIFlag, CasStep::kDFlag,
+                                          CasStep::kMark, CasStep::kBacktrack};
+  SplitMix64 sm(seed);
+  FaultPlan plan;
+  plan.actions.reserve(n_actions);
+  for (std::size_t i = 0; i < n_actions; ++i) {
+    FaultAction a;
+    a.tid = static_cast<unsigned>(sm.next() % (threads == 0 ? 1 : threads));
+    a.occurrence = 1 + static_cast<unsigned>(sm.next() % 8);
+    switch (sm.next() % 3) {
+      case 0:
+        a.kind = FaultKind::kFailCas;
+        a.step = static_cast<int>(kFailable[sm.next() % 4]);
+        a.count = 1 + static_cast<unsigned>(sm.next() % 3);
+        break;
+      case 1:
+        a.kind = FaultKind::kDelay;
+        a.point = static_cast<int>(sm.next() % kNumHookPoints);
+        a.count = 64 + static_cast<unsigned>(sm.next() % 2048);
+        break;
+      default:
+        a.kind = FaultKind::kYieldBurst;
+        a.point = static_cast<int>(sm.next() % kNumHookPoints);
+        a.count = 1 + static_cast<unsigned>(sm.next() % 4);
+        break;
+    }
+    plan.actions.push_back(a);
+  }
+  return plan;
+}
+
+/// ddmin-lite plan shrinking. `still_fails(candidate)` must re-run the
+/// failing scenario under `candidate` and report whether it still fails;
+/// shrink returns the smallest failing plan it found within `max_evals`
+/// evaluations. Classic delta-debugging schedule: try to delete chunks of
+/// half the plan, re-halving the chunk size whenever a full pass removes
+/// nothing, down to single actions. Deterministic replay (seeded workloads +
+/// scripted faults) is what makes the predicate meaningful — each candidate
+/// run sees the identical schedule pressure minus the deleted actions.
+template <typename Pred>
+FaultPlan shrink(FaultPlan plan, Pred&& still_fails, int max_evals = 64) {
+  int evals = 0;
+  std::size_t chunk = plan.actions.size() / 2;
+  if (chunk == 0) chunk = 1;
+  while (!plan.actions.empty() && evals < max_evals) {
+    bool removed_any = false;
+    for (std::size_t start = 0;
+         start < plan.actions.size() && evals < max_evals;) {
+      FaultPlan candidate = plan;
+      const std::size_t end =
+          std::min(start + chunk, candidate.actions.size());
+      candidate.actions.erase(
+          candidate.actions.begin() + static_cast<std::ptrdiff_t>(start),
+          candidate.actions.begin() + static_cast<std::ptrdiff_t>(end));
+      ++evals;
+      if (still_fails(candidate)) {
+        plan = std::move(candidate);
+        removed_any = true;
+        // Keep `start`: the tail shifted into place, test it next.
+      } else {
+        start += chunk;
+      }
+    }
+    if (!removed_any) {
+      if (chunk == 1) break;
+      chunk = chunk / 2;
+    }
+  }
+  return plan;
+}
+
+}  // namespace efrb::inject

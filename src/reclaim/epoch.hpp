@@ -25,10 +25,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "util/assert.hpp"
 #include "util/cacheline.hpp"
+#include "util/errors.hpp"
 
 namespace efrb {
 
@@ -60,19 +63,28 @@ class EpochReclaimer {
         for (const Retired& r : padded.value.retired) r.deleter(r.ptr);
         padded.value.retired.clear();
       }
+      for (const Retired& r : orphans) r.deleter(r.ptr);
+      orphans.clear();
     }
 
+    /// Bounded retry (a concurrent release may be mid-flight), then throws
+    /// CapacityExhausted instead of aborting — see util/errors.hpp.
     Slot* acquire_slot() {
-      for (auto& padded : slots) {
-        Slot& s = padded.value;
-        bool expected = false;
-        if (!s.in_use.load(std::memory_order_relaxed) &&
-            s.in_use.compare_exchange_strong(expected, true,
-                                             std::memory_order_acq_rel)) {
-          return &s;
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        for (auto& padded : slots) {
+          Slot& s = padded.value;
+          bool expected = false;
+          if (!s.in_use.load(std::memory_order_relaxed) &&
+              s.in_use.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+            return &s;
+          }
         }
+        std::this_thread::yield();
       }
-      EFRB_ASSERT_MSG(false, "EpochReclaimer: thread-slot capacity exhausted");
+      throw CapacityExhausted(
+          "EpochReclaimer: thread-slot capacity exhausted (more concurrent "
+          "threads/attachments than max_threads)");
     }
 
     /// Advance the global epoch if every pinned thread has caught up to it.
@@ -92,6 +104,11 @@ class EpochReclaimer {
     std::vector<CachePadded<Slot>> slots;
     alignas(kCacheLineSize) std::atomic<std::uint64_t> global{0};
     alignas(kCacheLineSize) std::atomic<std::uint64_t> freed_total{0};
+    // Retirees stranded by a released slot, re-homed here so they are freed
+    // while the structure is still live (epoch stamps preserved; same safety
+    // rule as a slot's own list). Drained opportunistically by sweep().
+    std::mutex orphan_mu;
+    std::vector<Retired> orphans;
   };
 
  public:
@@ -138,9 +155,9 @@ class EpochReclaimer {
   /// plain member accesses with no thread_local registry lookup. Movable, not
   /// copyable; thread-affine (the owning thread only — the slot's retire list
   /// is single-owner). detach() (or destruction) releases the slot for reuse;
-  /// any retired-but-unfreed entries stay in the slot and are drained by its
-  /// next owner or by the Registry destructor, exactly as with the
-  /// thread-exit lease path.
+  /// the slot's retire backlog is flushed and any not-yet-safe remainder is
+  /// handed to the registry's orphan list, where it is freed by later sweeps
+  /// while the structure is still live (same as the thread-exit lease path).
   class Attachment {
    public:
     Attachment() = default;
@@ -167,10 +184,13 @@ class EpochReclaimer {
     bool attached() const noexcept { return slot_ != nullptr; }
 
     /// Releases the slot back to the registry. No pin (Guard) may be alive.
+    /// The slot's retired backlog is flushed, and anything not yet safe to
+    /// free is handed to the registry's orphan list rather than stranded in
+    /// the slot until re-acquisition or Registry destruction.
     void detach() noexcept {
       if (slot_ != nullptr) {
         EFRB_DCHECK(slot_->depth == 0);
-        slot_->in_use.store(false, std::memory_order_release);
+        release_slot(reg_.get(), slot_);
         slot_ = nullptr;
         reg_.reset();
       }
@@ -280,10 +300,52 @@ class EpochReclaimer {
     }
   }
 
+  /// Unconditionally drives three advance+sweep rounds: a flush must make
+  /// progress for the registry's orphan list too, which an empty caller-side
+  /// retired list says nothing about.
   static void flush_slot(Registry* reg, Slot* slot) {
-    for (int i = 0; i < 3 && !slot->retired.empty(); ++i) {
+    for (int i = 0; i < 3; ++i) {
       reg->try_advance();
       sweep(reg, slot);
+    }
+  }
+
+  /// Common tail of Attachment::detach and the thread-exit Lease: sweep what
+  /// is already safe, orphan the rest, return the slot to the free pool.
+  static void release_slot(Registry* reg, Slot* slot) noexcept {
+    reg->try_advance();
+    sweep(reg, slot);
+    if (!slot->retired.empty()) {
+      const std::lock_guard<std::mutex> lock(reg->orphan_mu);
+      reg->orphans.insert(reg->orphans.end(), slot->retired.begin(),
+                          slot->retired.end());
+      slot->retired.clear();
+    }
+    slot->retired.shrink_to_fit();
+    slot->next_sweep = 0;
+    slot->in_use.store(false, std::memory_order_release);
+  }
+
+  /// Opportunistic orphan-list sweep (same epoch rule as a slot's own list).
+  /// try_lock: the orphan list is a slow path; never stall a retire for it.
+  static void drain_orphans(Registry* reg) noexcept {
+    const std::unique_lock<std::mutex> lock(reg->orphan_mu, std::try_to_lock);
+    if (!lock.owns_lock() || reg->orphans.empty()) return;
+    const std::uint64_t e = reg->global.load(std::memory_order_acquire);
+    auto& list = reg->orphans;
+    std::size_t kept = 0;
+    std::uint64_t freed = 0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].epoch + 2 <= e) {
+        list[i].deleter(list[i].ptr);
+        ++freed;
+      } else {
+        list[kept++] = list[i];
+      }
+    }
+    list.resize(kept);
+    if (freed != 0) {
+      reg->freed_total.fetch_add(freed, std::memory_order_relaxed);
     }
   }
 
@@ -305,10 +367,13 @@ class EpochReclaimer {
     if (freed != 0) {
       reg->freed_total.fetch_add(freed, std::memory_order_relaxed);
     }
+    drain_orphans(reg);
   }
 
   // Thread → slot binding. A lease pins the Registry (shared_ptr) so slot
   // release at thread exit is always safe, even after the reclaimer died.
+  // Release goes through release_slot: the departing thread's retired list is
+  // flushed/orphaned, not stranded in the slot.
   struct Lease {
     struct Entry {
       std::shared_ptr<Registry> reg;
@@ -316,9 +381,7 @@ class EpochReclaimer {
     };
     std::vector<Entry> entries;
     ~Lease() {
-      for (auto& e : entries) {
-        e.slot->in_use.store(false, std::memory_order_release);
-      }
+      for (auto& e : entries) release_slot(e.reg.get(), e.slot);
     }
   };
 

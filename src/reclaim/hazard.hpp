@@ -16,11 +16,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
 #include "util/cacheline.hpp"
+#include "util/errors.hpp"
 
 namespace efrb {
 
@@ -56,23 +59,36 @@ class HazardPointerDomain {
         for (const Retired& r : s->retired) r.deleter(r.ptr);
         s->retired.clear();
       }
+      for (const Retired& r : orphans) r.deleter(r.ptr);
+      orphans.clear();
     }
 
+    /// Bounded retry (a concurrent release may be mid-flight), then throws
+    /// CapacityExhausted instead of aborting — see util/errors.hpp.
     Slot* acquire_slot() {
-      for (auto& s : slots) {
-        bool expected = false;
-        if (!s->in_use.load(std::memory_order_relaxed) &&
-            s->in_use.compare_exchange_strong(expected, true,
-                                              std::memory_order_acq_rel)) {
-          return s.get();
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        for (auto& s : slots) {
+          bool expected = false;
+          if (!s->in_use.load(std::memory_order_relaxed) &&
+              s->in_use.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+            return s.get();
+          }
         }
+        std::this_thread::yield();
       }
-      EFRB_ASSERT_MSG(false, "HazardPointerDomain: slot capacity exhausted");
+      throw CapacityExhausted(
+          "HazardPointerDomain: slot capacity exhausted (more concurrent "
+          "threads/attachments than max_threads)");
     }
 
     const std::size_t hazards_per_thread;
     std::vector<std::unique_ptr<Slot>> slots;
     alignas(kCacheLineSize) std::atomic<std::uint64_t> freed_total{0};
+    // Retirees stranded by a released slot; re-scanned (and freed once no
+    // hazard covers them) by later scans from any slot.
+    std::mutex orphan_mu;
+    std::vector<Retired> orphans;
   };
 
  public:
@@ -128,8 +144,9 @@ class HazardPointerDomain {
   };
 
   /// Explicit slot registration — same contract as EpochReclaimer::Attachment
-  /// (movable, thread-affine, slot released on detach/destruction, leftover
-  /// retired entries inherited by the slot's next owner). Lets per-thread
+  /// (movable, thread-affine, slot released on detach/destruction; leftover
+  /// retired entries are scanned once and the still-protected remainder is
+  /// orphaned to the registry, freed by later scans). Lets per-thread
   /// structure handles own their hazard slot outright instead of resolving it
   /// through the thread_local lease on every retire.
   class Attachment {
@@ -156,10 +173,7 @@ class HazardPointerDomain {
 
     void detach() noexcept {
       if (slot_ != nullptr) {
-        for (auto& h : slot_->hazards) {
-          h.store(nullptr, std::memory_order_release);
-        }
-        slot_->in_use.store(false, std::memory_order_release);
+        release_slot(reg_.get(), slot_);
         slot_ = nullptr;
         reg_.reset();
       }
@@ -245,7 +259,28 @@ class HazardPointerDomain {
     }
     std::sort(protected_ptrs.begin(), protected_ptrs.end());
 
-    auto& list = slot->retired;
+    std::uint64_t freed = sweep_list(slot->retired, protected_ptrs);
+    // Opportunistically re-check the orphan list against the same snapshot.
+    // try_lock: never stall a retire on the orphan slow path. Safe with a
+    // snapshot taken before the lock: hazards only ever protect pointers
+    // still reachable from the structure, and orphaned entries are already
+    // unlinked — a hazard published after our snapshot cannot cover them.
+    {
+      const std::unique_lock<std::mutex> lock(reg->orphan_mu,
+                                              std::try_to_lock);
+      if (lock.owns_lock() && !reg->orphans.empty()) {
+        freed += sweep_list(reg->orphans, protected_ptrs);
+      }
+    }
+    if (freed != 0) {
+      reg->freed_total.fetch_add(freed, std::memory_order_relaxed);
+    }
+  }
+
+  /// Frees every entry of `list` not covered by `protected_ptrs` (sorted);
+  /// compacts the survivors in place and returns the freed count.
+  static std::uint64_t sweep_list(std::vector<Retired>& list,
+                                  const std::vector<void*>& protected_ptrs) {
     std::size_t kept = 0;
     std::uint64_t freed = 0;
     for (std::size_t i = 0; i < list.size(); ++i) {
@@ -258,9 +293,25 @@ class HazardPointerDomain {
       }
     }
     list.resize(kept);
-    if (freed != 0) {
-      reg->freed_total.fetch_add(freed, std::memory_order_relaxed);
+    return freed;
+  }
+
+  /// Common tail of Attachment::detach and the thread-exit Lease: clear the
+  /// published hazards, free what no longer has cover, orphan the rest.
+  static void release_slot(Registry* reg, Slot* slot) noexcept {
+    for (auto& h : slot->hazards) {
+      h.store(nullptr, std::memory_order_release);
     }
+    scan(reg, slot);
+    if (!slot->retired.empty()) {
+      const std::lock_guard<std::mutex> lock(reg->orphan_mu);
+      reg->orphans.insert(reg->orphans.end(), slot->retired.begin(),
+                          slot->retired.end());
+      slot->retired.clear();
+    }
+    slot->retired.shrink_to_fit();
+    slot->next_scan = 0;
+    slot->in_use.store(false, std::memory_order_release);
   }
 
   struct Lease {
@@ -270,12 +321,7 @@ class HazardPointerDomain {
     };
     std::vector<Entry> entries;
     ~Lease() {
-      for (auto& e : entries) {
-        for (auto& h : e.slot->hazards) {
-          h.store(nullptr, std::memory_order_release);
-        }
-        e.slot->in_use.store(false, std::memory_order_release);
-      }
+      for (auto& e : entries) release_slot(e.reg.get(), e.slot);
     }
   };
 
@@ -351,23 +397,42 @@ class HazardReclaimer {
         padded.value.retired.clear();
         padded.value.pending.clear();
       }
+      for (const Retired& r : orphan_retired) r.deleter(r.ptr);
+      for (const Retired& r : orphan_pending) r.deleter(r.ptr);
+      orphan_retired.clear();
+      orphan_pending.clear();
     }
 
+    /// Bounded retry (a concurrent release may be mid-flight), then throws
+    /// CapacityExhausted instead of aborting — see util/errors.hpp.
     Slot* acquire_slot() {
-      for (auto& padded : slots) {
-        Slot& s = padded.value;
-        bool expected = false;
-        if (!s.in_use.load(std::memory_order_relaxed) &&
-            s.in_use.compare_exchange_strong(expected, true,
-                                             std::memory_order_acq_rel)) {
-          return &s;
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        for (auto& padded : slots) {
+          Slot& s = padded.value;
+          bool expected = false;
+          if (!s.in_use.load(std::memory_order_relaxed) &&
+              s.in_use.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+            return &s;
+          }
         }
+        std::this_thread::yield();
       }
-      EFRB_ASSERT_MSG(false, "HazardReclaimer: thread-slot capacity exhausted");
+      throw CapacityExhausted(
+          "HazardReclaimer: thread-slot capacity exhausted (more concurrent "
+          "threads/attachments than max_threads)");
     }
 
     std::vector<CachePadded<Slot>> slots;
     alignas(kCacheLineSize) std::atomic<std::uint64_t> freed_total{0};
+    // Registry-level grace-round state for retirees stranded by a released
+    // slot. Entries restart their grace round here (conservative: waiting on
+    // a fresh reader snapshot is always safe); advanced under try-lock from
+    // advance_round so any active thread drains departed threads' garbage.
+    std::mutex orphan_mu;
+    std::vector<Retired> orphan_retired;
+    std::vector<Retired> orphan_pending;
+    std::vector<std::pair<Slot*, std::uint64_t>> orphan_readers;
   };
 
  public:
@@ -404,8 +469,10 @@ class HazardReclaimer {
   };
 
   /// Explicit slot registration — see EpochReclaimer::Attachment; identical
-  /// contract (movable, thread-affine, slot released on detach/destruction,
-  /// leftover retired entries inherited by the slot's next owner).
+  /// contract (movable, thread-affine, slot released on detach/destruction;
+  /// leftover retired/pending entries are handed off to the registry's
+  /// orphan lists, where they restart a grace round and are freed by later
+  /// rounds from any thread).
   class Attachment {
    public:
     Attachment() = default;
@@ -434,7 +501,7 @@ class HazardReclaimer {
     void detach() noexcept {
       if (slot_ != nullptr) {
         EFRB_DCHECK(slot_->depth == 0);
-        slot_->in_use.store(false, std::memory_order_release);
+        release_slot(reg_.get(), slot_);
         slot_ = nullptr;
         reg_.reset();
       }
@@ -515,18 +582,20 @@ class HazardReclaimer {
     }
   }
 
+  /// Unconditionally drives three round steps: a flush must also advance the
+  /// registry's orphan round, which the caller's own (possibly empty) lists
+  /// say nothing about.
   static void flush_slot(Registry* reg, Slot* slot) {
-    for (int i = 0;
-         i < 3 && !(slot->retired.empty() && slot->pending.empty()); ++i) {
-      advance_round(reg, slot);
-    }
+    for (int i = 0; i < 3; ++i) advance_round(reg, slot);
   }
 
-  /// One grace-round step: clear snapshot entries whose reader moved on, free
-  /// the pending set once the snapshot empties, then start a new round for
-  /// the accumulated retired list.
-  static void advance_round(Registry* reg, Slot* slot) {
-    auto& readers = slot->readers;
+  /// One grace-round step over (retired, pending, readers) — the state triple
+  /// of a slot or of the registry's orphan lists: clear snapshot entries
+  /// whose reader moved on, free the pending set once the snapshot empties,
+  /// then start a new round for the accumulated retired list.
+  static void round_step(Registry* reg, std::vector<Retired>& retired,
+                         std::vector<Retired>& pending,
+                         std::vector<std::pair<Slot*, std::uint64_t>>& readers) {
     std::size_t kept = 0;
     for (const auto& [s, seq] : readers) {
       // A recorded sequence is odd; any change means that pin ended (sequence
@@ -536,14 +605,13 @@ class HazardReclaimer {
       }
     }
     readers.resize(kept);
-    if (readers.empty() && !slot->pending.empty()) {
-      for (const Retired& r : slot->pending) r.deleter(r.ptr);
-      reg->freed_total.fetch_add(slot->pending.size(),
-                                 std::memory_order_relaxed);
-      slot->pending.clear();
+    if (readers.empty() && !pending.empty()) {
+      for (const Retired& r : pending) r.deleter(r.ptr);
+      reg->freed_total.fetch_add(pending.size(), std::memory_order_relaxed);
+      pending.clear();
     }
-    if (slot->pending.empty() && !slot->retired.empty()) {
-      std::swap(slot->pending, slot->retired);
+    if (pending.empty() && !retired.empty()) {
+      std::swap(pending, retired);
       for (auto& padded : reg->slots) {
         Slot& s = padded.value;
         if (!s.in_use.load(std::memory_order_acquire)) continue;
@@ -553,6 +621,47 @@ class HazardReclaimer {
     }
   }
 
+  static void advance_round(Registry* reg, Slot* slot) {
+    round_step(reg, slot->retired, slot->pending, slot->readers);
+    drain_orphans(reg);
+  }
+
+  /// One round step for the registry-level orphan lists, under try-lock (a
+  /// retire never stalls on the orphan slow path; any later round from any
+  /// slot drives the orphans forward instead).
+  static void drain_orphans(Registry* reg) noexcept {
+    const std::unique_lock<std::mutex> lock(reg->orphan_mu, std::try_to_lock);
+    if (!lock.owns_lock()) return;
+    if (reg->orphan_retired.empty() && reg->orphan_pending.empty()) return;
+    round_step(reg, reg->orphan_retired, reg->orphan_pending,
+               reg->orphan_readers);
+  }
+
+  /// Common tail of Attachment::detach and the thread-exit Lease: drive a
+  /// round to free what is already coverable, then orphan the remainder.
+  /// Moved entries restart their grace round in the orphan lists — strictly
+  /// conservative, since a fresh reader snapshot can only wait longer than
+  /// the round they were part of.
+  static void release_slot(Registry* reg, Slot* slot) noexcept {
+    round_step(reg, slot->retired, slot->pending, slot->readers);
+    if (!slot->retired.empty() || !slot->pending.empty()) {
+      const std::lock_guard<std::mutex> lock(reg->orphan_mu);
+      reg->orphan_retired.insert(reg->orphan_retired.end(),
+                                 slot->pending.begin(), slot->pending.end());
+      reg->orphan_retired.insert(reg->orphan_retired.end(),
+                                 slot->retired.begin(), slot->retired.end());
+      slot->pending.clear();
+      slot->retired.clear();
+    }
+    slot->readers.clear();
+    slot->retired.shrink_to_fit();
+    slot->pending.shrink_to_fit();
+    slot->readers.shrink_to_fit();
+    slot->next_round = 0;
+    slot->in_use.store(false, std::memory_order_release);
+    drain_orphans(reg);
+  }
+
   struct Lease {
     struct Entry {
       std::shared_ptr<Registry> reg;
@@ -560,9 +669,7 @@ class HazardReclaimer {
     };
     std::vector<Entry> entries;
     ~Lease() {
-      for (auto& e : entries) {
-        e.slot->in_use.store(false, std::memory_order_release);
-      }
+      for (auto& e : entries) release_slot(e.reg.get(), e.slot);
     }
   };
 

@@ -26,25 +26,51 @@ inline void cpu_relax() noexcept {
 }
 
 /// Truncated exponential backoff: spins for 2^k relax-iterations up to a cap,
-/// then yields the timeslice on every call. Reset on success.
+/// then yields the timeslice. Reset on operation start/success.
+///
+/// Escalation is bounded in both directions. Upward: the spin budget doubles
+/// only to `cap_`, then switches to yielding (oversubscribed or long
+/// conflict: let the obstructing thread run). Downward: after
+/// `kYieldBurst` consecutive yields the backoff decays to the spin phase at
+/// half the cap, so one contention spike cannot leave the instance yielding
+/// on every retry for the rest of its life — the failure mode a long-lived
+/// per-handle Backoff hits when a reset is missed on some retry path.
 class Backoff {
  public:
+  /// Consecutive yields before decaying back into the spin phase.
+  static constexpr std::uint32_t kYieldBurst = 16;
+
   explicit Backoff(std::uint32_t spin_cap = 1024) noexcept : cap_(spin_cap) {}
 
   void operator()() noexcept {
     if (limit_ <= cap_) {
       for (std::uint32_t i = 0; i < limit_; ++i) cpu_relax();
-      limit_ *= 2;
+      // Saturating doubling: one step past the cap enters the yield phase;
+      // no unbounded growth (and no u32 wrap back into the spin phase).
+      limit_ = (limit_ > cap_ / 2) ? cap_ + 1 : limit_ * 2;
+      yields_ = 0;
     } else {
-      // Oversubscribed or long conflict: let the obstructing thread run.
       std::this_thread::yield();
+      if (++yields_ >= kYieldBurst) {
+        // Decay: re-enter the spin phase near the cap. If the conflict is
+        // really still live we return to yielding within one doubling.
+        limit_ = cap_ / 2 + 1;
+        yields_ = 0;
+      }
     }
   }
 
-  void reset() noexcept { limit_ = 1; }
+  void reset() noexcept {
+    limit_ = 1;
+    yields_ = 0;
+  }
+
+  /// True while the next pause would yield rather than spin (test hook).
+  bool yielding() const noexcept { return limit_ > cap_; }
 
  private:
   std::uint32_t limit_ = 1;
+  std::uint32_t yields_ = 0;
   std::uint32_t cap_;
 };
 

@@ -1,0 +1,29 @@
+// Library exception types.
+//
+// The library is exception-free on hot paths; exceptions are reserved for
+// resource-acquisition failures at handle/attachment setup time, where the
+// caller has a sensible recovery (detach another handle, widen the registry,
+// or shed load). Aborting — the previous behaviour — is kept only for genuine
+// invariant violations (EFRB_ASSERT).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace efrb {
+
+/// Thrown when a fixed-capacity per-thread registry (reclaimer thread slots,
+/// hazard slots, stat shards) has no free entry after a bounded retry.
+///
+/// Contract: acquisition sites retry a bounded number of times (another
+/// thread/handle may be mid-detach) and then throw this instead of aborting.
+/// The failed acquisition has no side effects: no slot is held, so the caller
+/// may release other handles and try again, or construct the structure with a
+/// larger `max_threads`.
+class CapacityExhausted : public std::runtime_error {
+ public:
+  explicit CapacityExhausted(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace efrb

@@ -1,0 +1,445 @@
+// The fault-injection harness (src/inject/) driven end to end against the
+// tree: scripted CAS vetoes, stall gates at every protocol pause point under
+// a concurrent op mix, reclaimer starvation by a frozen pinned thread,
+// helping across a stalled deleter, a corruption canary proving the harness
+// can detect real damage, plan shrinking, and seeded chaos schedules.
+//
+// Replay: every chaos assertion is wrapped in a SCOPED_TRACE carrying the
+// seed, and the seed is printed unconditionally, so a failing run's log (see
+// scripts/check.sh, which tees the suite's output) always contains the value
+// to re-run with EFRB_FAULT_SEED=<seed>.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "core/debug_hooks.hpp"
+#include "core/efrb_tree.hpp"
+#include "inject/fault_plan.hpp"
+#include "inject/fault_scheduler.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+#include "reclaim/reclaimer.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace efrb {
+namespace {
+
+using inject::FaultAction;
+using inject::FaultKind;
+using inject::FaultPlan;
+using inject::FaultScheduler;
+using inject::InjectTraits;
+
+template <typename Reclaimer>
+using InjectTree = EfrbTreeSet<int, std::less<int>, Reclaimer, InjectTraits>;
+
+FaultAction stall_at(unsigned tid, HookPoint p, unsigned occurrence = 1) {
+  FaultAction a;
+  a.kind = FaultKind::kStall;
+  a.tid = tid;
+  a.point = static_cast<int>(p);
+  a.occurrence = occurrence;
+  return a;
+}
+
+FaultAction fail_cas(unsigned tid, CasStep s, unsigned occurrence = 1,
+                     unsigned count = 1) {
+  FaultAction a;
+  a.kind = FaultKind::kFailCas;
+  a.tid = tid;
+  a.step = static_cast<int>(s);
+  a.occurrence = occurrence;
+  a.count = count;
+  return a;
+}
+
+/// Heap object with a live-instance count, for reclaimer-visible frees.
+struct Tracked {
+  static inline std::atomic<int> live{0};
+  Tracked() { live.fetch_add(1, std::memory_order_relaxed); }
+  ~Tracked() { live.fetch_sub(1, std::memory_order_relaxed); }
+};
+
+// ---------------------------------------------------------------------------
+// Stall at every pause point, full op mix running around the frozen thread.
+// ---------------------------------------------------------------------------
+
+template <typename Reclaimer>
+class FaultMatrixTest : public ::testing::Test {};
+using Reclaimers =
+    ::testing::Types<EpochReclaimer, HazardReclaimer, LeakyReclaimer>;
+TYPED_TEST_SUITE(FaultMatrixTest, Reclaimers);
+
+TYPED_TEST(FaultMatrixTest, StallAtEveryPointUnderOpMix) {
+  struct Case {
+    HookPoint point;
+    bool is_delete;       // victim op: erase(100) vs insert(105)
+    int pre_fail_step;    // CasStep forced to fail once first, or -1
+  };
+  const Case cases[] = {
+      {HookPoint::kAfterSearch, false, -1},
+      {HookPoint::kAfterIFlag, false, -1},
+      {HookPoint::kBeforeIChild, false, -1},
+      {HookPoint::kBeforeIUnflag, false, -1},
+      {HookPoint::kAfterDFlag, true, -1},
+      {HookPoint::kBeforeMark, true, -1},
+      {HookPoint::kBeforeDChild, true, -1},
+      {HookPoint::kBeforeDUnflag, true, -1},
+      // Contended points, reached by scripting the contention: force the
+      // flag/mark CAS to lose once, then stall in the resulting loop.
+      {HookPoint::kInsertRetry, false, static_cast<int>(CasStep::kIFlag)},
+      {HookPoint::kDeleteRetry, true, static_cast<int>(CasStep::kDFlag)},
+      {HookPoint::kBeforeBacktrack, true, static_cast<int>(CasStep::kMark)},
+  };
+
+  for (const Case& c : cases) {
+    SCOPED_TRACE(std::string("stall point = ") + to_string(c.point));
+    InjectTree<TypeParam> t;
+    for (int k : {100, 110, 120, 130}) ASSERT_TRUE(t.insert(k));
+
+    FaultPlan plan;
+    if (c.pre_fail_step >= 0) {
+      plan.actions.push_back(
+          fail_cas(0, static_cast<CasStep>(c.pre_fail_step)));
+    }
+    plan.actions.push_back(stall_at(0, c.point));
+    FaultScheduler sched(plan);
+
+    bool victim_ret = false;
+    std::thread victim([&] {
+      FaultScheduler::ThreadScope scope(sched, 0);
+      auto h = t.handle();
+      victim_ret = c.is_delete ? h.erase(100) : h.insert(105);
+    });
+
+    ASSERT_TRUE(sched.wait_until_stalled(0)) << "victim never reached gate";
+
+    // Full op mix on a disjoint key range while the victim holds the
+    // protocol open (flag CASed, reclaimer pinned) at this exact step. The
+    // mix must neither wedge nor observe an invalid structure.
+    run_threads(4, [&](std::size_t tid) {
+      auto h = t.handle();
+      Xoshiro256 rng(tid * 31 + 7);
+      for (int i = 0; i < 1500; ++i) {
+        const int k = static_cast<int>(rng.next_below(64));
+        switch (rng.next_below(3)) {
+          case 0: h.insert(k); break;
+          case 1: h.erase(k); break;
+          default: h.contains(k); break;
+        }
+      }
+    });
+    EXPECT_TRUE(t.validate().ok);
+    EXPECT_TRUE(sched.is_stalled(0));
+
+    sched.release(0);
+    victim.join();
+    EXPECT_TRUE(victim_ret);
+    EXPECT_EQ(t.contains(c.is_delete ? 100 : 105), !c.is_delete);
+    EXPECT_TRUE(t.validate().ok);
+
+    // The stall must have been scripted, not incidental.
+    bool saw_stall = false;
+    for (const auto& e : sched.fired()) {
+      saw_stall |= e.kind == FaultKind::kStall &&
+                   e.point == static_cast<int>(c.point);
+    }
+    EXPECT_TRUE(saw_stall);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Helping completes a stalled delete.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, HelpingCompletesStalledDelete) {
+  InjectTree<EpochReclaimer> t;
+  for (int k : {10, 30, 50, 70}) ASSERT_TRUE(t.insert(k));
+
+  FaultPlan plan;
+  plan.actions.push_back(stall_at(0, HookPoint::kAfterDFlag));
+  FaultScheduler sched(plan);
+
+  bool victim_ret = false;
+  std::thread victim([&] {
+    FaultScheduler::ThreadScope scope(sched, 0);
+    auto h = t.handle();
+    victim_ret = h.erase(30);
+  });
+  ASSERT_TRUE(sched.wait_until_stalled(0));
+
+  // The victim succeeded at dflag and is frozen before HelpDelete. A second
+  // deleter of the same key must find the flagged grandparent, help the
+  // stalled operation to completion, and then report the key absent.
+  {
+    FaultScheduler::ThreadScope scope(sched, 1);
+    auto h = t.handle();
+    EXPECT_FALSE(h.erase(30));
+  }
+  EXPECT_FALSE(t.contains(30));
+  EXPECT_GE(sched.point_hits(1, HookPoint::kBeforeHelp), 1u);
+
+  // The released victim finds its operation already completed by the helper
+  // and must still report success — the delete was *its* dflag.
+  sched.release(0);
+  victim.join();
+  EXPECT_TRUE(victim_ret);
+  EXPECT_TRUE(t.validate().ok);
+  EXPECT_TRUE(t.contains(10));
+  EXPECT_TRUE(t.contains(50));
+  EXPECT_TRUE(t.contains(70));
+}
+
+// ---------------------------------------------------------------------------
+// Forced mark failure exercises the backtrack edge deterministically.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, ForcedMarkFailureBacktracksThenSucceeds) {
+  InjectTree<EpochReclaimer> t;
+  for (int k : {10, 30, 50}) ASSERT_TRUE(t.insert(k));
+
+  FaultScheduler sched(FaultPlan{{fail_cas(0, CasStep::kMark)}});
+  {
+    FaultScheduler::ThreadScope scope(sched, 0);
+    auto h = t.handle();
+    EXPECT_TRUE(h.erase(30));
+  }
+  EXPECT_FALSE(t.contains(30));
+  EXPECT_TRUE(t.validate().ok);
+
+  // The vetoed mark forces: backtrack CAS, delete retry, second mark.
+  EXPECT_GE(sched.step_hits(0, CasStep::kMark), 2u);
+  EXPECT_GE(sched.step_hits(0, CasStep::kBacktrack), 1u);
+  EXPECT_GE(t.stats().backtracks, 1u);
+  const auto fired = sched.fired();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, FaultKind::kFailCas);
+  EXPECT_EQ(fired[0].step, static_cast<int>(CasStep::kMark));
+}
+
+// ---------------------------------------------------------------------------
+// Reclaimer starvation by a frozen pinned thread.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, FrozenPinnedThreadStarvesEpochReclaimer) {
+  EpochReclaimer rec(64, /*retire_batch=*/16);
+  InjectTree<EpochReclaimer> t(std::less<int>{}, rec);
+
+  FaultScheduler sched(FaultPlan{{stall_at(0, HookPoint::kAfterIFlag)}});
+  std::thread victim([&] {
+    FaultScheduler::ThreadScope scope(sched, 0);
+    auto h = t.handle();
+    h.insert(1000);
+  });
+  ASSERT_TRUE(sched.wait_until_stalled(0));
+
+  const std::uint64_t e0 = rec.current_epoch();
+  const std::uint64_t f0 = rec.freed_count();
+  {
+    auto h = t.handle();
+    for (int round = 0; round < 4; ++round) {
+      for (int k = 0; k < 200; ++k) h.insert(k);
+      for (int k = 0; k < 200; ++k) h.erase(k);
+      h.flush();
+    }
+  }
+  // The frozen thread announced epoch e0 (or e0-1): the global epoch can pass
+  // it at most once, and nothing retired after the freeze can reach the
+  // epoch+2 bar — the retire stream is wedged for EVERYONE (the EBR failure
+  // mode the paper's §6 discussion and DESIGN.md §6 describe).
+  EXPECT_LE(rec.current_epoch(), e0 + 1);
+  EXPECT_EQ(rec.freed_count(), f0);
+
+  sched.release(0);
+  victim.join();
+  {
+    auto h = t.handle();
+    for (int i = 0; i < 4; ++i) {
+      h.insert(2000 + i);
+      h.erase(2000 + i);
+      h.flush();
+    }
+  }
+  EXPECT_GT(rec.freed_count(), f0);
+  EXPECT_TRUE(t.validate().ok);
+}
+
+TEST(FaultInjectionTest, FrozenPinnedThreadWedgesHazardGraceRounds) {
+  HazardReclaimer rec(64, /*retire_batch=*/16);
+  InjectTree<HazardReclaimer> t(std::less<int>{}, rec);
+
+  FaultScheduler sched(FaultPlan{{stall_at(0, HookPoint::kAfterIFlag)}});
+  std::thread victim([&] {
+    FaultScheduler::ThreadScope scope(sched, 0);
+    auto h = t.handle();
+    h.insert(1000);
+  });
+  ASSERT_TRUE(sched.wait_until_stalled(0));
+
+  const std::uint64_t f0 = rec.freed_count();
+  {
+    auto h = t.handle();
+    for (int round = 0; round < 4; ++round) {
+      for (int k = 0; k < 200; ++k) h.insert(k);
+      for (int k = 0; k < 200; ++k) h.erase(k);
+    }
+  }
+  // Every grace round started after the freeze snapshots the frozen slot
+  // (odd sequence number) as a reader-of-record; its pending set cannot
+  // clear until the victim unpins.
+  EXPECT_EQ(rec.freed_count(), f0);
+
+  sched.release(0);
+  victim.join();
+  {
+    auto h = t.handle();
+    h.flush();
+    h.flush();
+  }
+  EXPECT_GT(rec.freed_count(), f0);
+  EXPECT_TRUE(t.validate().ok);
+}
+
+TEST(FaultInjectionTest, FrozenHazardHolderDelaysOnlyItsPointer) {
+  // The domain-side contrast to the epoch wedge: a frozen thread holding a
+  // published hazard delays exactly the objects it covers; everything else
+  // keeps reclaiming. The frozen thread parks on a scheduler stall gate
+  // emitted manually — the inject layer works for any code with a pause
+  // point, not just the tree's hooks.
+  HazardPointerDomain dom(8, /*hazards_per_thread=*/2, /*retire_batch=*/4);
+  Tracked* covered = new Tracked();
+  FaultScheduler sched(FaultPlan{{stall_at(0, HookPoint::kAfterSearch)}});
+
+  std::thread holder([&] {
+    FaultScheduler::ThreadScope scope(sched, 0);
+    auto att = dom.attach();
+    auto hz = att.make_handle();
+    hz.set(0, covered);
+    FaultScheduler::current()->on_point(HookPoint::kAfterSearch, kNoTid);
+    hz.clear_all();
+  });
+  ASSERT_TRUE(sched.wait_until_stalled(0));
+
+  auto att = dom.attach();
+  att.retire(covered);
+  for (int i = 0; i < 32; ++i) att.retire(new Tracked());
+  att.flush();
+  EXPECT_EQ(Tracked::live.load(), 1);  // only the covered object survives
+
+  sched.release(0);
+  holder.join();
+  att.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption canary + plan shrinking.
+// ---------------------------------------------------------------------------
+
+/// Runs one scripted erase under `plan` and reports whether the harness's
+/// oracle detects corruption (erase claimed success but the key is still
+/// reachable). Forcing dchild to fail is unsafe by design: HelpMarked then
+/// cleans the grandparent with the leaf still linked. LeakyReclaimer keeps
+/// the damaged run free of use-after-free so the oracle stays readable.
+bool canary_detects_corruption(const FaultPlan& plan) {
+  FaultScheduler sched(plan);
+  InjectTree<LeakyReclaimer> t;
+  for (int k : {10, 30, 50, 70}) {
+    if (!t.insert(k)) return false;
+  }
+  bool erased = false;
+  {
+    FaultScheduler::ThreadScope scope(sched, 0);
+    auto h = t.handle();
+    erased = h.erase(30);
+  }
+  return erased && t.contains(30);
+}
+
+TEST(FaultInjectionTest, CanaryPlanReplaysDeterministicallyAndShrinks) {
+  // Fatal action buried in scripted noise, as a shrinker would receive it
+  // from a chaos run.
+  FaultPlan noisy = inject::chaos(/*seed=*/0xC0FFEEu, /*threads=*/1,
+                                  /*n_actions=*/6);
+  noisy.actions.push_back(fail_cas(0, CasStep::kDChild));
+  noisy.allow_unsafe = true;
+
+  // Deterministic replay: the seeded plan detects the same corruption twice.
+  ASSERT_TRUE(canary_detects_corruption(noisy));
+  ASSERT_TRUE(canary_detects_corruption(noisy));
+
+  const FaultPlan minimal =
+      inject::shrink(noisy, canary_detects_corruption, /*max_evals=*/64);
+  ASSERT_EQ(minimal.actions.size(), 1u) << to_string(minimal);
+  EXPECT_EQ(minimal.actions[0].kind, FaultKind::kFailCas);
+  EXPECT_EQ(minimal.actions[0].step, static_cast<int>(CasStep::kDChild));
+  EXPECT_TRUE(canary_detects_corruption(minimal));
+}
+
+TEST(FaultInjectionTest, SchedulerRefusesUnsafePlanWithoutOptIn) {
+  FaultPlan plan{{fail_cas(0, CasStep::kDChild)}};
+  EXPECT_THROW(FaultScheduler{plan}, std::invalid_argument);
+  plan.allow_unsafe = true;
+  EXPECT_NO_THROW(FaultScheduler{plan});
+
+  FaultPlan malformed{{FaultAction{}}};
+  malformed.actions[0].step = -1;  // no site at all
+  EXPECT_THROW(FaultScheduler{malformed}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded chaos schedules.
+// ---------------------------------------------------------------------------
+
+std::uint64_t chaos_seed() {
+  if (const char* env = std::getenv("EFRB_FAULT_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 0x5EEDBA5Eu;
+}
+
+TEST(FaultInjectionTest, SeededChaosScheduleKeepsTreeValid) {
+  const std::uint64_t seed = chaos_seed();
+  // Replay hint for log scrapers; check.sh tees this into its test log.
+  printf("[chaos] EFRB_FAULT_SEED=0x%llx\n",
+         static_cast<unsigned long long>(seed));
+  SCOPED_TRACE("replay with EFRB_FAULT_SEED=" + std::to_string(seed));
+
+  constexpr unsigned kThreads = 4;
+  const FaultPlan plan = inject::chaos(seed, kThreads, /*n_actions=*/24);
+  ASSERT_TRUE(plan.safe());
+  FaultScheduler sched(plan);
+
+  InjectTree<EpochReclaimer> t;
+  for (int k = 0; k < 128; k += 2) ASSERT_TRUE(t.insert(k));
+
+  run_threads(kThreads, [&](std::size_t tid) {
+    FaultScheduler::ThreadScope scope(sched, static_cast<unsigned>(tid));
+    auto h = t.handle();
+    Xoshiro256 rng(seed ^ (tid * 0x9e3779b9ULL + 1));
+    for (int i = 0; i < 4000; ++i) {
+      const int k = static_cast<int>(rng.next_below(256));
+      switch (rng.next_below(3)) {
+        case 0: h.insert(k); break;
+        case 1: h.erase(k); break;
+        default: h.contains(k); break;
+      }
+    }
+  });
+
+  EXPECT_EQ(sched.stalled_count(), 0u);  // chaos() never emits stalls
+  EXPECT_TRUE(t.validate().ok);
+  const auto s = t.stats();
+  std::uint64_t cas_total = 0;
+  for (std::size_t i = 0; i < kNumCasSteps; ++i) cas_total += s.cas_attempts[i];
+  EXPECT_GT(cas_total, 0u);
+}
+
+}  // namespace
+}  // namespace efrb

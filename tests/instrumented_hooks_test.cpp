@@ -7,9 +7,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 
 #include "core/debug_hooks.hpp"
 #include "core/efrb_tree.hpp"
+#include "inject/fault_plan.hpp"
+#include "inject/fault_scheduler.hpp"
 #include "reclaim/hazard.hpp"
 #include "reclaim/reclaimer.hpp"
 #include "util/rng.hpp"
@@ -129,6 +132,67 @@ TEST(InstrumentedHelpingSearchTest, MarkSplicingSearchUnderChurn) {
   EXPECT_GE(s.cas_attempts[static_cast<std::size_t>(CasStep::kDChild)],
             s.cas_attempts[static_cast<std::size_t>(CasStep::kMark)] -
                 s.cas_failures[static_cast<std::size_t>(CasStep::kMark)]);
+}
+
+/// Hooks that nest a pin on the structure's own reclaimer every time the
+/// executing operation is about to help. Tree-level operations pin the
+/// thread_local lease slot, and so does the hook's pin() — true same-slot
+/// nesting (depth 2) at the exact moment the thread traverses another
+/// operation's Info record. If the inner unpin ended the pinned region
+/// early, nodes retired by concurrent deletes could be freed mid-help —
+/// which the ASan stage of scripts/check.sh turns into a hard failure here.
+struct NestedPinOnHelpTraits : inject::InjectTraits {
+  static inline EpochReclaimer* reclaimer = nullptr;
+  static inline std::atomic<std::uint64_t> nested_pins{0};
+
+  static void at(HookPoint p, unsigned tid) {
+    if (p == HookPoint::kBeforeHelp && reclaimer != nullptr) {
+      auto g = reclaimer->pin();
+      nested_pins.fetch_add(1, std::memory_order_relaxed);
+    }
+    inject::InjectTraits::at(p, tid);
+  }
+};
+
+TEST(InstrumentedHooksTest, NestedPinDuringHelpingKeepsProtection) {
+  EpochReclaimer rec(64, /*retire_batch=*/1);
+  NestedPinOnHelpTraits::reclaimer = &rec;
+  NestedPinOnHelpTraits::nested_pins.store(0);
+  {
+    using Tree =
+        EfrbTreeSet<int, std::less<int>, EpochReclaimer, NestedPinOnHelpTraits>;
+    Tree t(std::less<int>{}, rec);  // shares rec's registry
+    ASSERT_TRUE(t.insert(10));
+    ASSERT_TRUE(t.insert(20));
+
+    // Deterministic helping: freeze a deleter right after its dflag; the
+    // second erase shares the flagged grandparent and must help first.
+    inject::FaultPlan plan;
+    inject::FaultAction stall;
+    stall.kind = inject::FaultKind::kStall;
+    stall.tid = 0;
+    stall.point = static_cast<int>(HookPoint::kAfterDFlag);
+    plan.actions.push_back(stall);
+    inject::FaultScheduler sched(plan);
+
+    std::thread frozen([&] {
+      inject::FaultScheduler::ThreadScope scope(sched, 0);
+      EXPECT_TRUE(t.erase(10));
+    });
+    ASSERT_TRUE(sched.wait_until_stalled(0));
+
+    EXPECT_TRUE(t.erase(20));  // helps the frozen delete while pinned
+    EXPECT_GE(NestedPinOnHelpTraits::nested_pins.load(), 1u);
+    EXPECT_FALSE(t.contains(10));
+
+    sched.release(0);
+    frozen.join();
+    EXPECT_TRUE(t.validate().ok);
+    EXPECT_GE(t.stats().helps, NestedPinOnHelpTraits::nested_pins.load());
+  }
+  NestedPinOnHelpTraits::reclaimer = nullptr;
+  rec.flush();
+  EXPECT_GT(rec.freed_count(), 0u);  // the nested pins did not wedge EBR
 }
 
 }  // namespace

@@ -195,5 +195,37 @@ TEST(EpochReclaimerTest, DistinctInstancesAreIndependent) {
   EXPECT_EQ(freed_a.load(), 0);
 }
 
+TEST(EpochReclaimerTest, DetachedThreadsRetireesAreOrphanedAndFreed) {
+  std::atomic<int> freed{0};
+  EpochReclaimer r(/*max_threads=*/4, /*retire_batch=*/64);
+  {
+    // Batch of 64 never reached: nothing is swept while attached, so the
+    // whole list is still held when the attachment dies.
+    auto att = r.attach();
+    for (int i = 0; i < 10; ++i) att.retire(new Tracked(&freed));
+    att.detach();
+  }
+  // The structure (and its registry) are still live; the detached thread's
+  // retirees were handed to the orphan list, and any later flush — from a
+  // thread that never owned them — must free them.
+  EXPECT_EQ(freed.load(), 0);
+  r.flush();
+  EXPECT_EQ(freed.load(), 10);
+}
+
+TEST(EpochReclaimerTest, AttachThrowsCapacityExhaustedAndRecovers) {
+  EpochReclaimer r(/*max_threads=*/2);
+  auto a = r.attach();
+  auto b = r.attach();
+  EXPECT_THROW(r.attach(), CapacityExhausted);
+  // No side effects on failure: releasing one slot makes attach succeed.
+  b.detach();
+  EXPECT_NO_THROW({
+    auto c = r.attach();
+    c.retire(new int(1));
+  });
+  r.flush();
+}
+
 }  // namespace
 }  // namespace efrb

@@ -196,5 +196,98 @@ TEST(HazardTest, FreedCountAccounting) {
   EXPECT_GE(hp.freed_count(), 37u);  // all but possibly the last batch
 }
 
+TEST(HazardTest, DetachWithCoveredRetireeOrphansItUntilUncovered) {
+  std::atomic<int> freed{0};
+  HazardPointerDomain hp(8, 2, /*retire_batch=*/64);
+  Tracked* covered = new Tracked(&freed);
+
+  auto holder = hp.attach();  // publishes the hazard that blocks the free
+  auto holder_hz = holder.make_handle();
+  holder_hz.set(0, covered);
+
+  {
+    auto att = hp.attach();
+    att.retire(covered);
+    for (int i = 0; i < 5; ++i) att.retire(new Tracked(&freed));
+    att.detach();  // detach scan frees the five, orphans the covered one
+  }
+  EXPECT_EQ(freed.load(), 5);
+
+  holder_hz.clear_all();
+  auto other = hp.attach();  // never owned the retiree
+  other.flush();
+  EXPECT_EQ(freed.load(), 6);
+}
+
+TEST(HazardTest, AttachThrowsCapacityExhaustedAndRecovers) {
+  HazardPointerDomain hp(/*max_threads=*/1, 2);
+  auto a = hp.attach();
+  EXPECT_THROW(hp.attach(), CapacityExhausted);
+  a.detach();
+  EXPECT_NO_THROW(hp.attach());
+}
+
+TEST(HazardReclaimerTest, DetachedThreadsRetireesAreOrphanedAndFreed) {
+  std::atomic<int> freed{0};
+  HazardReclaimer r(/*max_threads=*/4, /*retire_batch=*/64);
+  {
+    auto att = r.attach();
+    {
+      auto g = att.pin();
+    }
+    for (int i = 0; i < 10; ++i) att.retire(new Tracked(&freed));
+    att.detach();
+  }
+  EXPECT_EQ(freed.load(), 0);
+  // Orphaned entries restart a grace round at registry level; with no pinned
+  // readers one flush (three round steps) frees them all.
+  r.flush();
+  EXPECT_EQ(freed.load(), 10);
+}
+
+TEST(HazardReclaimerTest, OrphanedRoundStillWaitsForPinnedReaders) {
+  std::atomic<int> freed{0};
+  HazardReclaimer r(/*max_threads=*/4, /*retire_batch=*/64);
+  auto reader = r.attach();
+  auto g = reader.pin();
+  {
+    auto att = r.attach();
+    for (int i = 0; i < 10; ++i) att.retire(new Tracked(&freed));
+    att.detach();
+  }
+  r.flush();
+  EXPECT_EQ(freed.load(), 0) << "orphans freed under a live pin";
+  g = HazardReclaimer::Guard{};  // unpin
+  r.flush();
+  EXPECT_EQ(freed.load(), 10);
+}
+
+TEST(HazardReclaimerTest, NestedPinsBlockUntilOutermostReleases) {
+  std::atomic<int> freed{0};
+  HazardReclaimer r(/*max_threads=*/4, /*retire_batch=*/1);
+  auto reader = r.attach();
+  auto retirer = r.attach();
+  auto outer = reader.pin();
+  {
+    auto inner = reader.pin();  // nested: depth 2, same announcement
+    for (int i = 0; i < 8; ++i) retirer.retire(new Tracked(&freed));
+    retirer.flush();
+  }
+  // Inner guard released; the outer pin must still hold every round open.
+  retirer.flush();
+  EXPECT_EQ(freed.load(), 0) << "inner unpin ended the outer pinned region";
+  outer = HazardReclaimer::Guard{};
+  retirer.flush();
+  EXPECT_EQ(freed.load(), 8);
+}
+
+TEST(HazardReclaimerTest, AttachThrowsCapacityExhaustedAndRecovers) {
+  HazardReclaimer r(/*max_threads=*/1);
+  auto a = r.attach();
+  EXPECT_THROW(r.attach(), CapacityExhausted);
+  a.detach();
+  EXPECT_NO_THROW(r.attach());
+}
+
 }  // namespace
 }  // namespace efrb

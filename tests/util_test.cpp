@@ -178,5 +178,29 @@ TEST(SummaryTest, EmptyIsZero) {
   EXPECT_EQ(s.percentile(50), 0.0);
 }
 
+TEST(BackoffTest, EscalatesIntoYieldPhasePastCap) {
+  Backoff b(4);
+  EXPECT_FALSE(b.yielding());
+  b();  // 1 -> 2
+  b();  // 2 -> 4
+  b();  // 4 -> cap+1: yield phase
+  EXPECT_TRUE(b.yielding());
+  b.reset();
+  EXPECT_FALSE(b.yielding());
+}
+
+TEST(BackoffTest, YieldPhaseDecaysBackToSpinAfterBurst) {
+  Backoff b(4);
+  while (!b.yielding()) b();
+  // kYieldBurst consecutive yields re-enter the spin phase: a long-lived
+  // per-handle Backoff must not stay in the yield regime forever after one
+  // contention spike (the bug this guards against: escalation was one-way).
+  for (std::uint32_t i = 0; i < Backoff::kYieldBurst; ++i) b();
+  EXPECT_FALSE(b.yielding());
+  // And if contention really persists, it re-escalates within one doubling.
+  b();
+  EXPECT_TRUE(b.yielding());
+}
+
 }  // namespace
 }  // namespace efrb
