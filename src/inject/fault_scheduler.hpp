@@ -200,6 +200,7 @@ class FaultScheduler {
   bool wait_until_stalled(
       unsigned tid,
       std::chrono::milliseconds timeout = std::chrono::seconds(10)) {
+    check_tid(tid);
     std::unique_lock<std::mutex> lock(mu_);
     return cv_.wait_for(lock, timeout,
                         [&] { return state_[tid].stalled; });
@@ -207,6 +208,7 @@ class FaultScheduler {
 
   /// Releases plan thread `tid` from its current (or next) stall gate.
   void release(unsigned tid) {
+    check_tid(tid);
     {
       const std::lock_guard<std::mutex> lock(mu_);
       ++state_[tid].release_tokens;
@@ -214,11 +216,16 @@ class FaultScheduler {
     cv_.notify_all();
   }
 
-  /// Releases every currently-stalled thread (used on teardown so a failing
-  /// test cannot leave worker threads parked forever).
+  /// Releases every currently-stalled thread and puts the scheduler in
+  /// draining mode: from here on every stall gate passes through without
+  /// parking. Used on teardown (and from the destructor) so a failing test
+  /// cannot leave worker threads parked forever — including a worker that
+  /// reaches its gate only *after* this call, which a token-only sweep of
+  /// the currently-stalled set would miss.
   void release_all() {
     {
       const std::lock_guard<std::mutex> lock(mu_);
+      draining_ = true;
       for (ThreadState& ts : state_) {
         if (ts.stalled) ++ts.release_tokens;
       }
@@ -227,6 +234,7 @@ class FaultScheduler {
   }
 
   bool is_stalled(unsigned tid) {
+    check_tid(tid);
     const std::lock_guard<std::mutex> lock(mu_);
     return state_[tid].stalled;
   }
@@ -246,12 +254,14 @@ class FaultScheduler {
 
   /// Visit count of (tid, step) at the allow_cas gate.
   unsigned step_hits(unsigned tid, CasStep s) {
+    check_tid(tid);
     const std::lock_guard<std::mutex> lock(mu_);
     return state_[tid].step_hits[static_cast<std::size_t>(s)];
   }
 
   /// Visit count of (tid, point) at the at() emission.
   unsigned point_hits(unsigned tid, HookPoint p) {
+    check_tid(tid);
     const std::lock_guard<std::mutex> lock(mu_);
     return state_[tid].point_hits[static_cast<std::size_t>(p)];
   }
@@ -270,6 +280,16 @@ class FaultScheduler {
     unsigned release_tokens = 0;  // pending release() calls (may arrive early)
   };
 
+  /// Controller-facing tid validation. Throws (rather than EFRB_ASSERT) so a
+  /// test driving a generated plan gets a catchable error, consistent with
+  /// the constructor's invalid_argument contract; state_ has exactly
+  /// kMaxTids entries, so an unchecked index would read out of bounds.
+  static void check_tid(unsigned tid) {
+    if (tid >= kMaxTids) {
+      throw std::out_of_range("FaultScheduler: plan tid out of range");
+    }
+  }
+
   /// Deferred non-blocking perturbations, executed after the lock drops.
   struct Pending {
     unsigned delay = 0;
@@ -284,11 +304,15 @@ class FaultScheduler {
   /// Parks the calling thread on the gate. Caller holds `lock`; a release()
   /// issued before the thread reaches the gate is consumed immediately
   /// (tokens, not flags, so controller/worker ordering cannot deadlock).
+  /// In draining mode (release_all ran, possibly from the destructor) the
+  /// gate is a no-op: a thread arriving after the release sweep must not
+  /// park, or it would wait forever on a condvar about to be destroyed.
   void stall_here(std::unique_lock<std::mutex>& lock, ThreadState& ts) {
+    if (draining_) return;
     ts.stalled = true;
     cv_.notify_all();
-    cv_.wait(lock, [&] { return ts.release_tokens > 0; });
-    --ts.release_tokens;
+    cv_.wait(lock, [&] { return ts.release_tokens > 0 || draining_; });
+    if (ts.release_tokens > 0) --ts.release_tokens;
     ts.stalled = false;
     cv_.notify_all();
   }
@@ -301,6 +325,7 @@ class FaultScheduler {
   std::condition_variable cv_;
   std::vector<ThreadState> state_;
   std::vector<FiredEvent> fired_;
+  bool draining_ = false;  // guarded by mu_; set once by release_all()
 };
 
 /// Tree traits routing hooks into the thread's current FaultScheduler (set by

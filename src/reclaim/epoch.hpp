@@ -312,16 +312,32 @@ class EpochReclaimer {
 
   /// Common tail of Attachment::detach and the thread-exit Lease: sweep what
   /// is already safe, orphan the rest, return the slot to the free pool.
+  /// noexcept-for-real: the orphan hand-off allocates and this runs from
+  /// detach()/thread-exit teardown. On bad_alloc the backlog stays in the
+  /// slot — safe (epoch stamps preserved) and swept by the slot's next owner
+  /// or freed at Registry destruction.
   static void release_slot(Registry* reg, Slot* slot) noexcept {
     reg->try_advance();
     sweep(reg, slot);
     if (!slot->retired.empty()) {
-      const std::lock_guard<std::mutex> lock(reg->orphan_mu);
-      reg->orphans.insert(reg->orphans.end(), slot->retired.begin(),
-                          slot->retired.end());
-      slot->retired.clear();
+      try {
+        const std::lock_guard<std::mutex> lock(reg->orphan_mu);
+        // Reserve first: once capacity is in place the insert below cannot
+        // throw (Retired is trivially copyable), so a failure leaves the
+        // orphan list and the slot list both intact — no partial hand-off.
+        reg->orphans.reserve(reg->orphans.size() + slot->retired.size());
+        reg->orphans.insert(reg->orphans.end(), slot->retired.begin(),
+                            slot->retired.end());
+        slot->retired.clear();
+      } catch (...) {
+      }
     }
-    slot->retired.shrink_to_fit();
+    if (slot->retired.empty()) {
+      // Empty-only shrink: constructing the empty replacement buffer cannot
+      // allocate, so this stays non-throwing; a backlog kept by a failed
+      // hand-off keeps its capacity for the slot's next owner.
+      slot->retired.shrink_to_fit();
+    }
     slot->next_sweep = 0;
     slot->in_use.store(false, std::memory_order_release);
   }

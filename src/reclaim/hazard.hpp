@@ -247,6 +247,18 @@ class HazardPointerDomain {
   }
 
   static void scan(Registry* reg, Slot* slot) {
+    // Opportunistic orphan sweep — try_lock: never stall a retire on the
+    // orphan slow path. The lock MUST be taken before the hazard snapshot:
+    // the HP safety argument ("a hazard published after the snapshot cannot
+    // cover a swept entry, because the entry was already unlinked when the
+    // snapshot began") holds for the caller's own retired list, but orphan
+    // entries can be appended by a concurrent detach at any time, including
+    // between a snapshot and a sweep against it — and such an entry may be
+    // covered by a hazard published (and validated, pre-unlink) after the
+    // snapshot. Holding orphan_mu across the snapshot excludes appenders, so
+    // every orphan entry we sweep was unlinked before the snapshot began.
+    std::unique_lock<std::mutex> orphan_lock(reg->orphan_mu, std::try_to_lock);
+
     // Snapshot every published hazard pointer across all slots.
     std::vector<void*> protected_ptrs;
     protected_ptrs.reserve(reg->slots.size() * reg->hazards_per_thread);
@@ -260,17 +272,11 @@ class HazardPointerDomain {
     std::sort(protected_ptrs.begin(), protected_ptrs.end());
 
     std::uint64_t freed = sweep_list(slot->retired, protected_ptrs);
-    // Opportunistically re-check the orphan list against the same snapshot.
-    // try_lock: never stall a retire on the orphan slow path. Safe with a
-    // snapshot taken before the lock: hazards only ever protect pointers
-    // still reachable from the structure, and orphaned entries are already
-    // unlinked — a hazard published after our snapshot cannot cover them.
-    {
-      const std::unique_lock<std::mutex> lock(reg->orphan_mu,
-                                              std::try_to_lock);
-      if (lock.owns_lock() && !reg->orphans.empty()) {
+    if (orphan_lock.owns_lock()) {
+      if (!reg->orphans.empty()) {
         freed += sweep_list(reg->orphans, protected_ptrs);
       }
+      orphan_lock.unlock();
     }
     if (freed != 0) {
       reg->freed_total.fetch_add(freed, std::memory_order_relaxed);
@@ -298,18 +304,35 @@ class HazardPointerDomain {
 
   /// Common tail of Attachment::detach and the thread-exit Lease: clear the
   /// published hazards, free what no longer has cover, orphan the rest.
+  /// noexcept-for-real: both the scan's snapshot buffer and the orphan
+  /// hand-off allocate, and this runs from detach()/thread-exit teardown. On
+  /// bad_alloc the backlog simply stays in the slot — safe (entries remain
+  /// retired-but-unswept) and freed by the slot's next owner's scans or at
+  /// Registry destruction.
   static void release_slot(Registry* reg, Slot* slot) noexcept {
     for (auto& h : slot->hazards) {
       h.store(nullptr, std::memory_order_release);
     }
-    scan(reg, slot);
-    if (!slot->retired.empty()) {
-      const std::lock_guard<std::mutex> lock(reg->orphan_mu);
-      reg->orphans.insert(reg->orphans.end(), slot->retired.begin(),
-                          slot->retired.end());
-      slot->retired.clear();
+    try {
+      scan(reg, slot);
+      if (!slot->retired.empty()) {
+        const std::lock_guard<std::mutex> lock(reg->orphan_mu);
+        // Reserve first: once capacity is in place the inserts below cannot
+        // throw (Retired is trivially copyable), so a failure leaves the
+        // orphan list and the slot list both intact — no partial hand-off.
+        reg->orphans.reserve(reg->orphans.size() + slot->retired.size());
+        reg->orphans.insert(reg->orphans.end(), slot->retired.begin(),
+                            slot->retired.end());
+        slot->retired.clear();
+      }
+    } catch (...) {
     }
-    slot->retired.shrink_to_fit();
+    if (slot->retired.empty()) {
+      // Empty-only shrink: constructing the empty replacement buffer cannot
+      // allocate, so this stays non-throwing; a backlog kept by a failed
+      // hand-off keeps its capacity for the slot's next owner.
+      slot->retired.shrink_to_fit();
+    }
     slot->next_scan = 0;
     slot->in_use.store(false, std::memory_order_release);
   }
@@ -611,6 +634,12 @@ class HazardReclaimer {
       pending.clear();
     }
     if (pending.empty() && !retired.empty()) {
+      // Reserve before mutating: if this throws (bad_alloc) the round state
+      // is untouched and the caller can retry later. With capacity for every
+      // slot in place, the push_backs below cannot throw, so a started round
+      // never ends up with a partial reader snapshot (which could free the
+      // pending set while an unsnapshotted reader still holds references).
+      readers.reserve(reg->slots.size());
       std::swap(pending, retired);
       for (auto& padded : reg->slots) {
         Slot& s = padded.value;
@@ -630,11 +659,18 @@ class HazardReclaimer {
   /// retire never stalls on the orphan slow path; any later round from any
   /// slot drives the orphans forward instead).
   static void drain_orphans(Registry* reg) noexcept {
-    const std::unique_lock<std::mutex> lock(reg->orphan_mu, std::try_to_lock);
-    if (!lock.owns_lock()) return;
-    if (reg->orphan_retired.empty() && reg->orphan_pending.empty()) return;
-    round_step(reg, reg->orphan_retired, reg->orphan_pending,
-               reg->orphan_readers);
+    try {
+      const std::unique_lock<std::mutex> lock(reg->orphan_mu,
+                                              std::try_to_lock);
+      if (!lock.owns_lock()) return;
+      if (reg->orphan_retired.empty() && reg->orphan_pending.empty()) return;
+      // round_step's only throw point (the reader-snapshot reserve) fires
+      // before any mutation, so a bad_alloc here just defers the orphan
+      // round to a later, less memory-starved attempt.
+      round_step(reg, reg->orphan_retired, reg->orphan_pending,
+                 reg->orphan_readers);
+    } catch (...) {
+    }
   }
 
   /// Common tail of Attachment::detach and the thread-exit Lease: drive a
@@ -642,21 +678,40 @@ class HazardReclaimer {
   /// Moved entries restart their grace round in the orphan lists — strictly
   /// conservative, since a fresh reader snapshot can only wait longer than
   /// the round they were part of.
+  /// noexcept-for-real: the orphan hand-off allocates and this runs from
+  /// detach()/thread-exit teardown. On bad_alloc the slot keeps its intact
+  /// (retired, pending, readers) triple — the next owner of the slot simply
+  /// continues the grace round; Registry destruction frees any remainder.
   static void release_slot(Registry* reg, Slot* slot) noexcept {
-    round_step(reg, slot->retired, slot->pending, slot->readers);
-    if (!slot->retired.empty() || !slot->pending.empty()) {
-      const std::lock_guard<std::mutex> lock(reg->orphan_mu);
-      reg->orphan_retired.insert(reg->orphan_retired.end(),
-                                 slot->pending.begin(), slot->pending.end());
-      reg->orphan_retired.insert(reg->orphan_retired.end(),
-                                 slot->retired.begin(), slot->retired.end());
-      slot->pending.clear();
-      slot->retired.clear();
+    try {
+      round_step(reg, slot->retired, slot->pending, slot->readers);
+      if (!slot->retired.empty() || !slot->pending.empty()) {
+        const std::lock_guard<std::mutex> lock(reg->orphan_mu);
+        // Reserve first: once capacity is in place the inserts below cannot
+        // throw (Retired is trivially copyable), so a failure cannot leave an
+        // entry duplicated across the orphan list and the slot (double free).
+        reg->orphan_retired.reserve(reg->orphan_retired.size() +
+                                    slot->pending.size() +
+                                    slot->retired.size());
+        reg->orphan_retired.insert(reg->orphan_retired.end(),
+                                   slot->pending.begin(), slot->pending.end());
+        reg->orphan_retired.insert(reg->orphan_retired.end(),
+                                   slot->retired.begin(), slot->retired.end());
+        slot->pending.clear();
+        slot->retired.clear();
+      }
+      slot->readers.clear();
+    } catch (...) {
     }
-    slot->readers.clear();
-    slot->retired.shrink_to_fit();
-    slot->pending.shrink_to_fit();
-    slot->readers.shrink_to_fit();
+    if (slot->retired.empty() && slot->pending.empty()) {
+      // Empty-only shrink (readers was cleared with the lists on the success
+      // path): the empty replacement buffers cannot allocate, so this stays
+      // non-throwing. After a failed hand-off the triple keeps its contents
+      // and capacity, leaving the round resumable by the slot's next owner.
+      slot->retired.shrink_to_fit();
+      slot->pending.shrink_to_fit();
+      slot->readers.shrink_to_fit();
+    }
     slot->next_round = 0;
     slot->in_use.store(false, std::memory_order_release);
     drain_orphans(reg);

@@ -40,7 +40,15 @@ class Backoff {
   /// Consecutive yields before decaying back into the spin phase.
   static constexpr std::uint32_t kYieldBurst = 16;
 
-  explicit Backoff(std::uint32_t spin_cap = 1024) noexcept : cap_(spin_cap) {}
+  /// Largest accepted spin cap. The yield phase is encoded as
+  /// `limit_ == cap_ + 1`, so cap_ must stay below UINT32_MAX or the
+  /// sentinel would wrap to 0 and lock the instance into a zero-iteration
+  /// busy loop; caps beyond 2^30 relax-iterations (~seconds) are
+  /// meaningless as backoff anyway.
+  static constexpr std::uint32_t kMaxSpinCap = 1u << 30;
+
+  explicit Backoff(std::uint32_t spin_cap = 1024) noexcept
+      : cap_(spin_cap < kMaxSpinCap ? spin_cap : kMaxSpinCap) {}
 
   void operator()() noexcept {
     if (limit_ <= cap_) {
@@ -67,6 +75,9 @@ class Backoff {
 
   /// True while the next pause would yield rather than spin (test hook).
   bool yielding() const noexcept { return limit_ > cap_; }
+
+  /// Effective (clamped) spin cap (test hook).
+  std::uint32_t spin_cap() const noexcept { return cap_; }
 
  private:
   std::uint32_t limit_ = 1;

@@ -11,9 +11,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -21,6 +23,7 @@
 #include "core/efrb_tree.hpp"
 #include "inject/fault_plan.hpp"
 #include "inject/fault_scheduler.hpp"
+#include "leak_check_opt_out.hpp"  // LeakyReclaimer cells leak by design
 #include "reclaim/epoch.hpp"
 #include "reclaim/hazard.hpp"
 #include "reclaim/reclaimer.hpp"
@@ -391,6 +394,38 @@ TEST(FaultInjectionTest, SchedulerRefusesUnsafePlanWithoutOptIn) {
   FaultPlan malformed{{FaultAction{}}};
   malformed.actions[0].step = -1;  // no site at all
   EXPECT_THROW(FaultScheduler{malformed}, std::invalid_argument);
+}
+
+TEST(FaultInjectionTest, ControllerRejectsOutOfRangeTid) {
+  FaultPlan plan{{stall_at(0, HookPoint::kAfterSearch)}};
+  FaultScheduler sched(plan);
+  const unsigned bad = FaultScheduler::kMaxTids;
+  EXPECT_THROW(sched.release(bad), std::out_of_range);
+  EXPECT_THROW(sched.is_stalled(bad), std::out_of_range);
+  EXPECT_THROW(sched.wait_until_stalled(bad, std::chrono::milliseconds(1)),
+               std::out_of_range);
+  EXPECT_THROW(sched.step_hits(bad, CasStep::kIFlag), std::out_of_range);
+  EXPECT_THROW(sched.point_hits(bad, HookPoint::kAfterSearch),
+               std::out_of_range);
+}
+
+TEST(FaultInjectionTest, StallGatePassesThroughAfterReleaseAll) {
+  // Teardown net: a worker that reaches its stall gate only *after*
+  // release_all ran (e.g. the controller gave up on a wedged test) must pass
+  // through instead of parking forever on a condvar about to be destroyed.
+  FaultPlan plan{{stall_at(0, HookPoint::kAfterSearch)}};
+  FaultScheduler sched(plan);
+  sched.release_all();  // no thread is stalled yet — drains all future gates
+
+  InjectTree<EpochReclaimer> t;
+  std::thread late([&] {
+    FaultScheduler::ThreadScope scope(sched, 0);
+    auto h = t.handle();
+    EXPECT_TRUE(h.insert(7));  // hits the scripted gate; must not park
+  });
+  late.join();  // would hang forever without drain semantics
+  EXPECT_EQ(sched.stalled_count(), 0u);
+  EXPECT_EQ(sched.point_hits(0, HookPoint::kAfterSearch), 1u);
 }
 
 // ---------------------------------------------------------------------------

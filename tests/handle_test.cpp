@@ -10,6 +10,7 @@
 
 #include "core/debug_hooks.hpp"
 #include "core/efrb_tree.hpp"
+#include "leak_check_opt_out.hpp"  // LeakyReclaimer cells leak by design
 #include "reclaim/hazard.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"

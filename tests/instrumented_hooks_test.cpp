@@ -13,6 +13,7 @@
 #include "core/efrb_tree.hpp"
 #include "inject/fault_plan.hpp"
 #include "inject/fault_scheduler.hpp"
+#include "leak_check_opt_out.hpp"  // LeakyReclaimer cells leak by design
 #include "reclaim/hazard.hpp"
 #include "reclaim/reclaimer.hpp"
 #include "util/rng.hpp"

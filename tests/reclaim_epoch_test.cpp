@@ -87,6 +87,12 @@ TEST(EpochReclaimerTest, PinnedThreadBlocksReclamation) {
     r.flush();
   }
   EXPECT_GT(freed.load(), 0) << "unpinning did not enable reclamation";
+  // Drain completely: entries retired under the momentary pins above need a
+  // couple more epoch advances. Every Tracked references this frame's
+  // counter, so none may outlive the test (the thread-local slot lease keeps
+  // the registry — and any stranded retirees — alive until thread exit).
+  for (int i = 0; i < 64 && freed.load() < 60; ++i) r.flush();
+  ASSERT_EQ(freed.load(), 60);
 }
 
 TEST(EpochReclaimerTest, EpochAdvancesWhenAllQuiescent) {
@@ -120,6 +126,10 @@ TEST(EpochReclaimerTest, NestedPinsKeepOuterAnnouncement) {
     t.join();
     EXPECT_EQ(freed.load(), 0);
   }
+  // Outer pin released: drain the orphaned retirees (handed off when thread t
+  // exited) so no deleter referencing this frame's counter survives the test.
+  for (int i = 0; i < 64 && freed.load() < 20; ++i) r.flush();
+  ASSERT_EQ(freed.load(), 20);
 }
 
 TEST(EpochReclaimerTest, GuardIsMovable) {
@@ -168,6 +178,12 @@ TEST(EpochReclaimerTest, ManyThreadsPinUnpinConcurrently) {
     r.flush();
   }
   EXPECT_GT(freed.load(), 0);
+  // 8 threads x 250 retires each, plus the 5 above. Drain to the exact total:
+  // stragglers would run their deleters against this dead frame at thread
+  // exit (the TLS lease keeps the registry alive past the reclaimer).
+  constexpr int kTotal = 8 * 250 + 5;
+  for (int i = 0; i < 64 && freed.load() < kTotal; ++i) r.flush();
+  ASSERT_EQ(freed.load(), kTotal);
 }
 
 TEST(EpochReclaimerTest, SlotReleasedAtThreadExitIsReusable) {
@@ -193,6 +209,10 @@ TEST(EpochReclaimerTest, DistinctInstancesAreIndependent) {
   b.flush();
   EXPECT_GT(freed_b.load(), 0) << "pin on instance A must not stall B";
   EXPECT_EQ(freed_a.load(), 0);
+  // Drain B fully (A's pin must not matter): leftover retirees would hold
+  // dangling pointers to this frame's counter until thread exit.
+  for (int i = 0; i < 64 && freed_b.load() < 20; ++i) b.flush();
+  ASSERT_EQ(freed_b.load(), 20);
 }
 
 TEST(EpochReclaimerTest, DetachedThreadsRetireesAreOrphanedAndFreed) {

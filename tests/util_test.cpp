@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -187,6 +188,19 @@ TEST(BackoffTest, EscalatesIntoYieldPhasePastCap) {
   EXPECT_TRUE(b.yielding());
   b.reset();
   EXPECT_FALSE(b.yielding());
+}
+
+TEST(BackoffTest, ExtremeSpinCapIsClampedSoYieldSentinelCannotWrap) {
+  // The yield phase is encoded as limit_ == cap_ + 1; with cap_ ==
+  // UINT32_MAX that sentinel wrapped to 0 and the instance degenerated into
+  // a zero-iteration busy loop that never yields again. The constructor now
+  // clamps the cap, keeping cap_ + 1 representable.
+  Backoff extreme(std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(extreme.spin_cap(), Backoff::kMaxSpinCap);
+  Backoff at_limit(Backoff::kMaxSpinCap);
+  EXPECT_EQ(at_limit.spin_cap(), Backoff::kMaxSpinCap);
+  Backoff normal(16);
+  EXPECT_EQ(normal.spin_cap(), 16u);
 }
 
 TEST(BackoffTest, YieldPhaseDecaysBackToSpinAfterBurst) {
