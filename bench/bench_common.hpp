@@ -2,13 +2,22 @@
 // against a named implementation and format rows. Durations are deliberately
 // short by default so the full `for b in build/bench/*` sweep finishes in
 // minutes; set EFRB_BENCH_MS to lengthen each cell for lower variance.
+//
+// Every bench binary also accepts `--json <path>` (parsed by init()): when
+// given, cells measured through run_cell()/add_cell() are accumulated into a
+// schema-versioned metrics document (obs/metrics.hpp) written by finish() —
+// the machinery behind the repo-root BENCH_*.json trajectory files (see
+// scripts/bench_json.sh).
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <optional>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "workload/report.hpp"
 #include "workload/runner.hpp"
 
@@ -21,12 +30,85 @@ inline std::chrono::milliseconds cell_duration() {
   return std::chrono::milliseconds(120);
 }
 
+/// Process-wide metrics accumulator behind the shared --json flag. Inactive
+/// (all no-ops) until init() sees --json <path>; thereafter add_cell()
+/// appends to the document and finish() writes the file. Single-threaded use
+/// from bench main() flows only.
+class MetricsSink {
+ public:
+  /// Parse `--json <path>` out of argv (the flag and its value are the only
+  /// arguments recognized here; everything else is left to the caller).
+  void init(const char* tool, int argc, char** argv) {
+    tool_ = tool;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        path_ = argv[i + 1];
+        break;
+      }
+    }
+    if (!path_.empty()) doc_.emplace(tool_);
+  }
+
+  bool enabled() const noexcept { return doc_.has_value(); }
+
+  void add_cell(std::string_view name, const WorkloadConfig& cfg,
+                const WorkloadResult& res, const TreeStats* stats = nullptr,
+                const ReclaimGauges* gauges = nullptr,
+                const LatencySamples* latency = nullptr) {
+    if (doc_) doc_->add_cell(name, cfg, res, stats, gauges, latency);
+  }
+
+  /// Write the document (if --json was given). Call once, at the end of
+  /// main(); returns false on I/O failure (also reported on stderr).
+  bool finish() {
+    if (!doc_) return true;
+    const bool ok = doc_->write(path_);
+    if (ok) {
+      std::printf("metrics: wrote %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: FAILED to write %s\n", path_.c_str());
+    }
+    doc_.reset();
+    return ok;
+  }
+
+ private:
+  std::string tool_;
+  std::string path_;
+  std::optional<obs::MetricsDocument> doc_;
+};
+
+inline MetricsSink& metrics() {
+  static MetricsSink sink;
+  return sink;
+}
+
 /// Measures one (implementation, config) cell: fresh instance, prefill, run.
+/// When `name` is non-null and --json is active, the cell is recorded into
+/// the metrics document, with protocol stats and reclaimer gauges attached
+/// when the structure exposes them.
 template <typename Set>
-WorkloadResult run_cell(const WorkloadConfig& cfg) {
+WorkloadResult run_cell(const WorkloadConfig& cfg,
+                        const char* name = nullptr) {
   Set set;
   prefill(set, cfg.key_range, cfg.prefill_fraction, cfg.seed);
-  return run_workload(set, cfg);
+  const WorkloadResult res = run_workload(set, cfg);
+  if (name != nullptr && metrics().enabled()) {
+    TreeStats stats;
+    const TreeStats* stats_p = nullptr;
+    if constexpr (requires { set.stats_snapshot(); }) {
+      stats = set.stats_snapshot();
+      stats_p = &stats;
+    }
+    ReclaimGauges gauges;
+    const ReclaimGauges* gauges_p = nullptr;
+    if constexpr (requires { set.reclaimer().gauges(); }) {
+      gauges = set.reclaimer().gauges();
+      gauges_p = &gauges;
+    }
+    metrics().add_cell(name, cfg, res, stats_p, gauges_p);
+  }
+  return res;
 }
 
 inline std::string human_range(std::uint64_t range) {

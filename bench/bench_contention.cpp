@@ -21,7 +21,8 @@ using efrb::WorkloadConfig;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  efrb::bench::metrics().init("bench_contention", argc, argv);
   efrb::bench::print_header(
       "E2: small-range contention (Mops/s, 4 threads, 50i/50d)",
       "Expected shape: the Harris list wins or ties only at the smallest\n"
@@ -38,10 +39,15 @@ int main() {
     cfg.duration = efrb::bench::cell_duration();
     table.add_row(
         {efrb::bench::human_range(range),
-         Table::fmt(efrb::bench::run_cell<efrb::EfrbTreeSet<Key>>(cfg).mops()),
          Table::fmt(
-             efrb::bench::run_cell<efrb::LockFreeSkipList<Key>>(cfg).mops()),
-         Table::fmt(efrb::bench::run_cell<efrb::HarrisList<Key>>(cfg).mops())});
+             efrb::bench::run_cell<efrb::EfrbTreeSet<Key>>(cfg, "efrb-tree")
+                 .mops()),
+         Table::fmt(efrb::bench::run_cell<efrb::LockFreeSkipList<Key>>(
+                        cfg, "lockfree-skiplist")
+                        .mops()),
+         Table::fmt(
+             efrb::bench::run_cell<efrb::HarrisList<Key>>(cfg, "harris-list")
+                 .mops())});
   }
   table.print();
 
@@ -57,10 +63,13 @@ int main() {
     cfg.duration = efrb::bench::cell_duration();
     zipf.add_row(
         {use_zipf ? "zipf-0.99" : "uniform",
-         Table::fmt(efrb::bench::run_cell<efrb::EfrbTreeSet<Key>>(cfg).mops()),
          Table::fmt(
-             efrb::bench::run_cell<efrb::LockFreeSkipList<Key>>(cfg).mops())});
+             efrb::bench::run_cell<efrb::EfrbTreeSet<Key>>(cfg, "efrb-tree")
+                 .mops()),
+         Table::fmt(efrb::bench::run_cell<efrb::LockFreeSkipList<Key>>(
+                        cfg, "lockfree-skiplist")
+                        .mops())});
   }
   zipf.print();
-  return 0;
+  return efrb::bench::metrics().finish() ? 0 : 1;
 }

@@ -82,7 +82,10 @@ void measure_row(Table& table, const char* name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Custom stripe loops (not run_cell), so --json yields an empty cell list;
+  // the flag is still accepted for sweep-script uniformity.
+  efrb::bench::metrics().init("bench_disjoint", argc, argv);
   efrb::bench::print_header(
       "E3: disjoint-access updates (Mops/s, 4 threads, 50i/50d)",
       "Expected shape: EFRB's disjoint/overlapping ratio stays near (or\n"
@@ -118,5 +121,5 @@ int main() {
                    Table::fmt(static_cast<double>(s.insert_retries) / denom, 1)});
   }
   stats.print();
-  return 0;
+  return efrb::bench::metrics().finish() ? 0 : 1;
 }

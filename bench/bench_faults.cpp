@@ -124,7 +124,10 @@ Cell run_cell(const StallCase* c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Stall cells use a bespoke victim/worker harness; --json writes an
+  // empty-cell document so sweep scripts can pass the flag uniformly.
+  efrb::bench::metrics().init("bench_faults", argc, argv);
   efrb::bench::print_header(
       "E6: throughput with one thread frozen at each protocol step",
       "4 workers, update-heavy, 2^10 keys; the frozen thread holds the\n"
@@ -163,5 +166,5 @@ int main() {
                    std::to_string(cell.freed)});
   }
   table.print();
-  return 0;
+  return efrb::bench::metrics().finish() ? 0 : 1;
 }

@@ -18,7 +18,8 @@ using StatsTree = efrb::EfrbTreeSet<Key, std::less<Key>, efrb::EpochReclaimer,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  efrb::bench::metrics().init("bench_helping", argc, argv);
   efrb::bench::print_header(
       "E5: helping & retry rates vs contention (4 threads, 50i/50d)",
       "Expected shape: helps/backtracks per operation fall steeply as the\n"
@@ -38,6 +39,9 @@ int main() {
     efrb::prefill(t, cfg.key_range, 0.5, cfg.seed);
     const auto r = efrb::run_workload(t, cfg);
     const auto s = t.stats();
+    const auto g = t.reclaimer().gauges();
+    efrb::bench::metrics().add_cell(
+        "efrb-tree/range-" + std::to_string(range), cfg, r, &s, &g);
     if (range == 4) hottest = s;
     const double kops = static_cast<double>(r.total_ops()) / 1000.0;
     table.add_row(
@@ -51,5 +55,5 @@ int main() {
 
   std::printf("\n-- protocol-step breakdown at key-range 4 (Fig. 4 steps) --\n");
   efrb::protocol_step_table(hottest).print();
-  return 0;
+  return efrb::bench::metrics().finish() ? 0 : 1;
 }

@@ -6,11 +6,15 @@
 // with the EFRB constant factor covering atomics + epoch pin.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <set>
+#include <vector>
 
 #include "baselines/coarse_bst.hpp"
+#include "bench_common.hpp"
 #include "core/efrb_tree.hpp"
 #include "util/rng.hpp"
+#include "workload/op_mix.hpp"
 
 namespace {
 
@@ -92,4 +96,50 @@ BENCHMARK(BM_EfrbMinKey)->Range(1 << 8, 1 << 16)->Complexity(benchmark::oLogN);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  efrb::bench::metrics().init("bench_latency", argc, argv);
+  // Strip `--json <path>` before handing argv to google-benchmark, whose
+  // flag parser rejects arguments it does not recognize.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // The loops above measure single-thread cost; when --json is active, also
+  // run instrumented concurrent cells so the document carries full latency
+  // histograms (per-op-type plus the retried-ops distribution).
+  if (efrb::bench::metrics().enabled()) {
+    struct MixCell {
+      const char* name;
+      efrb::OpMix mix;
+    };
+    const MixCell cells[] = {{"efrb-tree/balanced", efrb::kBalanced},
+                             {"efrb-tree/update-heavy", efrb::kUpdateHeavy}};
+    for (const MixCell& c : cells) {
+      efrb::EfrbTreeSet<Key> t;
+      efrb::WorkloadConfig cfg;
+      cfg.threads = 4;
+      cfg.key_range = 1 << 16;
+      cfg.mix = c.mix;
+      cfg.duration = efrb::bench::cell_duration();
+      efrb::prefill(t, cfg.key_range, cfg.prefill_fraction, cfg.seed);
+      efrb::LatencySamples lat;
+      const auto r = efrb::run_workload(t, cfg, &lat);
+      const auto g = t.reclaimer().gauges();
+      efrb::bench::metrics().add_cell(c.name, cfg, r, nullptr, &g, &lat);
+    }
+  }
+  return efrb::bench::metrics().finish() ? 0 : 1;
+}

@@ -69,7 +69,10 @@ std::pair<double, double> scan_vs_churn(SetT& set, std::uint64_t width,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Scan/churn loops don't go through run_cell; --json writes an empty-cell
+  // document so sweep scripts can pass the flag uniformly.
+  efrb::bench::metrics().init("bench_ordered", argc, argv);
   efrb::bench::print_header(
       "E7 (extension): range scans vs update churn (range 2^16, 1 scanner + "
       "3 updaters)",
@@ -127,5 +130,5 @@ int main() {
   std::printf("min_key: %.0f polls/s under concurrent churn\n",
               static_cast<double>(polls.load()) /
                   std::chrono::duration<double>(dur).count());
-  return 0;
+  return efrb::bench::metrics().finish() ? 0 : 1;
 }

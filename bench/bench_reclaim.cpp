@@ -30,7 +30,8 @@ WorkloadConfig config() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  efrb::bench::metrics().init("bench_reclaim", argc, argv);
   efrb::bench::print_header(
       "E4: reclamation ablation (4 threads, 50i/50d, range 2^16)",
       "Expected shape: leaky is the ceiling; epoch costs a modest constant\n"
@@ -43,12 +44,16 @@ int main() {
     efrb::EfrbTreeSet<Key, std::less<Key>, efrb::LeakyReclaimer> t;
     efrb::prefill(t, config().key_range, 0.5, config().seed);
     const auto r = efrb::run_workload(t, config());
+    const auto g = t.reclaimer().gauges();
+    efrb::bench::metrics().add_cell("leaky", config(), r, nullptr, &g);
     table.add_row({"leaky (paper model)", Table::fmt(r.mops()), "0"});
   }
   {
     efrb::EfrbTreeSet<Key> t;  // default EpochReclaimer(64, 64)
     efrb::prefill(t, config().key_range, 0.5, config().seed);
     const auto r = efrb::run_workload(t, config());
+    const auto g = t.reclaimer().gauges();
+    efrb::bench::metrics().add_cell("epoch-batch-64", config(), r, nullptr, &g);
     table.add_row({"epoch (batch 64)", Table::fmt(r.mops()),
                    std::to_string(t.reclaimer().freed_count())});
   }
@@ -56,6 +61,8 @@ int main() {
     efrb::EfrbTreeSet<Key> t(std::less<Key>{}, efrb::EpochReclaimer(64, 8));
     efrb::prefill(t, config().key_range, 0.5, config().seed);
     const auto r = efrb::run_workload(t, config());
+    const auto g = t.reclaimer().gauges();
+    efrb::bench::metrics().add_cell("epoch-batch-8", config(), r, nullptr, &g);
     table.add_row({"epoch (batch 8)", Table::fmt(r.mops()),
                    std::to_string(t.reclaimer().freed_count())});
   }
@@ -63,6 +70,9 @@ int main() {
     efrb::EfrbTreeSet<Key> t(std::less<Key>{}, efrb::EpochReclaimer(64, 512));
     efrb::prefill(t, config().key_range, 0.5, config().seed);
     const auto r = efrb::run_workload(t, config());
+    const auto g = t.reclaimer().gauges();
+    efrb::bench::metrics().add_cell("epoch-batch-512", config(), r, nullptr,
+                                    &g);
     table.add_row({"epoch (batch 512)", Table::fmt(r.mops()),
                    std::to_string(t.reclaimer().freed_count())});
   }
@@ -70,9 +80,11 @@ int main() {
     efrb::EfrbTreeSet<Key, std::less<Key>, efrb::HazardReclaimer> t;
     efrb::prefill(t, config().key_range, 0.5, config().seed);
     const auto r = efrb::run_workload(t, config());
+    const auto g = t.reclaimer().gauges();
+    efrb::bench::metrics().add_cell("hazard", config(), r, nullptr, &g);
     table.add_row({"hazard (grace rounds)", Table::fmt(r.mops()),
                    std::to_string(t.reclaimer().freed_count())});
   }
   table.print();
-  return 0;
+  return efrb::bench::metrics().finish() ? 0 : 1;
 }

@@ -24,8 +24,8 @@ using efrb::Table;
 using efrb::WorkloadConfig;
 
 template <typename Set>
-double mops_for(const WorkloadConfig& cfg) {
-  return efrb::bench::run_cell<Set>(cfg).mops();
+double mops_for(const WorkloadConfig& cfg, const char* name) {
+  return efrb::bench::run_cell<Set>(cfg, name).mops();
 }
 
 void run_grid(const OpMix& mix, std::uint64_t range,
@@ -40,12 +40,14 @@ void run_grid(const OpMix& mix, std::uint64_t range,
     cfg.key_range = range;
     cfg.mix = mix;
     cfg.duration = efrb::bench::cell_duration();
-    table.add_row({std::to_string(t),
-                   Table::fmt(mops_for<efrb::EfrbTreeSet<Key>>(cfg)),
-                   Table::fmt(mops_for<efrb::LockFreeSkipList<Key>>(cfg)),
-                   Table::fmt(mops_for<efrb::FineLockBst<Key>>(cfg)),
-                   Table::fmt(mops_for<efrb::CoarseLockBst<Key>>(cfg)),
-                   Table::fmt(mops_for<efrb::LockedStdSet<Key>>(cfg))});
+    table.add_row(
+        {std::to_string(t),
+         Table::fmt(mops_for<efrb::EfrbTreeSet<Key>>(cfg, "efrb-tree")),
+         Table::fmt(
+             mops_for<efrb::LockFreeSkipList<Key>>(cfg, "lockfree-skiplist")),
+         Table::fmt(mops_for<efrb::FineLockBst<Key>>(cfg, "finelock-bst")),
+         Table::fmt(mops_for<efrb::CoarseLockBst<Key>>(cfg, "coarse-lock-bst")),
+         Table::fmt(mops_for<efrb::LockedStdSet<Key>>(cfg, "locked-std-map"))});
   }
   table.print();
   std::printf("\n");
@@ -71,10 +73,10 @@ void run_handle_ablation(const std::vector<std::size_t>& threads) {
     WorkloadConfig tree_cfg = handle_cfg;
     tree_cfg.use_handles = false;
     table.add_row({std::to_string(t),
-                   Table::fmt(mops_for<Plain>(tree_cfg)),
-                   Table::fmt(mops_for<Plain>(handle_cfg)),
-                   Table::fmt(mops_for<Stats>(tree_cfg)),
-                   Table::fmt(mops_for<Stats>(handle_cfg))});
+                   Table::fmt(mops_for<Plain>(tree_cfg, "tree-methods")),
+                   Table::fmt(mops_for<Plain>(handle_cfg, "handles")),
+                   Table::fmt(mops_for<Stats>(tree_cfg, "stats+tree-methods")),
+                   Table::fmt(mops_for<Stats>(handle_cfg, "stats+handles"))});
   }
   table.print();
   std::printf("\n");
@@ -82,7 +84,8 @@ void run_handle_ablation(const std::vector<std::size_t>& threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  efrb::bench::metrics().init("bench_throughput", argc, argv);
   efrb::bench::print_header(
       "E1: throughput vs threads (Mops/s)",
       "Paper expectation (§1/§3): the non-blocking tree sustains throughput\n"
@@ -99,5 +102,5 @@ int main() {
     }
   }
   run_handle_ablation(threads);
-  return 0;
+  return efrb::bench::metrics().finish() ? 0 : 1;
 }

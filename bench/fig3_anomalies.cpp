@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "baselines/naive_cas_bst.hpp"
+#include "bench_common.hpp"
 #include "core/efrb_tree.hpp"
 #include "util/barrier.hpp"
 #include "util/rng.hpp"
@@ -99,7 +100,10 @@ int efrb_divergence_run(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Deterministic replay, no workload cells; --json still accepted so the
+  // sweep scripts can pass the flag to every bench binary.
+  efrb::bench::metrics().init("fig3_anomalies", argc, argv);
   std::printf("=== Figure 3: why one CAS per update is not enough ===\n");
   std::printf("Initial tree (Fig. 3a): keys { A, C, E, H }\n\n");
 
@@ -146,5 +150,6 @@ int main() {
               "(lost updates)\n", naive_total);
   std::printf("EFRB tree:            %d divergent keys across 10 runs "
               "(must be 0)\n", efrb_total);
-  return efrb_total == 0 ? 0 : 1;
+  const bool wrote = efrb::bench::metrics().finish();
+  return (efrb_total == 0 && wrote) ? 0 : 1;
 }

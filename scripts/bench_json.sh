@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerate the repo-root BENCH_*.json trajectory snapshots: the throughput
+# grid and the latency-histogram cells, captured through the shared --json
+# flag (bench_common.hpp) into the schema-versioned metrics document
+# (src/obs/metrics.hpp, docs/OBSERVABILITY.md).
+#
+#   scripts/bench_json.sh           # default 60 ms cells
+#   EFRB_BENCH_MS=500 scripts/bench_json.sh   # longer cells, lower variance
+#
+# The snapshots are checked in so the numbers travel with the history; rerun
+# this after perf-relevant changes and commit the diff. Absolute numbers are
+# machine-dependent — compare shapes and ratios, not values, across hosts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+: "${EFRB_BENCH_MS:=60}"
+export EFRB_BENCH_MS
+
+cmake -B build > /dev/null
+cmake --build build --target bench_throughput bench_latency > /dev/null
+
+echo "=== bench_throughput --json BENCH_throughput.json (${EFRB_BENCH_MS} ms cells) ==="
+./build/bench/bench_throughput --json BENCH_throughput.json > /dev/null
+
+echo "=== bench_latency --json BENCH_latency.json ==="
+./build/bench/bench_latency --benchmark_min_time=0.01 \
+    --json BENCH_latency.json > /dev/null 2>&1
+
+python3 -m json.tool BENCH_throughput.json > /dev/null
+python3 -m json.tool BENCH_latency.json > /dev/null
+echo "wrote BENCH_throughput.json ($(wc -c < BENCH_throughput.json) bytes)"
+echo "wrote BENCH_latency.json ($(wc -c < BENCH_latency.json) bytes)"

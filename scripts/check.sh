@@ -39,6 +39,41 @@ echo "=== tools ==="
 run ./build/tools/stress_tool --seconds 1 > /dev/null
 run ./build/tools/fuzz_lincheck --seconds 2 > /dev/null
 
+echo "=== observability: metrics + trace export round-trip ==="
+# obs_probe runs a traced, latency-sampled workload and writes both machine-
+# readable artifacts; both must parse as JSON and carry the schema the docs
+# promise (docs/OBSERVABILITY.md).
+run ./build/tools/obs_probe --metrics build/obs_metrics.json \
+    --trace build/obs_trace.json --ms 40 > /dev/null
+run python3 -m json.tool build/obs_metrics.json /dev/null
+run python3 -m json.tool build/obs_trace.json /dev/null
+python3 - <<'EOF'
+import json
+m = json.load(open('build/obs_metrics.json'))
+for k in ('schema', 'schema_version', 'tool', 'cells'):
+    assert k in m, f'metrics missing {k}'
+assert m['schema'] == 'efrb-metrics' and m['schema_version'] == 1, m['schema']
+assert m['cells'], 'metrics document has no cells'
+cell = m['cells'][0]
+for k in ('name', 'config', 'result', 'tree_stats', 'gauges', 'latency'):
+    assert k in cell, f'cell missing {k}'
+for op in ('find', 'insert', 'erase', 'retried'):
+    h = cell['latency'][op]
+    for k in ('count', 'mean_ns', 'p50_ns', 'p99_ns', 'buckets'):
+        assert k in h, f'latency[{op}] missing {k}'
+assert cell['latency']['insert']['count'] > 0, 'no latency samples recorded'
+t = json.load(open('build/obs_trace.json'))
+assert t.get('traceEvents'), 'trace has no events'
+phases = {e['ph'] for e in t['traceEvents']}
+assert 'B' in phases and 'E' in phases, f'no spans in trace: {phases}'
+print(f"observability OK: {len(t['traceEvents'])} trace events, "
+      f"{len(m['cells'])} metrics cell(s)")
+EOF
+# The shared --json flag must work in every bench binary; smoke the heaviest.
+EFRB_BENCH_MS=20 run ./build/bench/bench_throughput \
+    --json build/bench_throughput_smoke.json > /dev/null
+run python3 -m json.tool build/bench_throughput_smoke.json /dev/null
+
 if [[ "$FAST" == "0" ]]; then
   echo "=== ASan + UBSan ==="
   run cmake -B build-asan -G Ninja -DEFRB_BUILD_BENCH=OFF -DEFRB_BUILD_EXAMPLES=OFF \

@@ -68,10 +68,11 @@ enum class HookPoint : std::uint8_t {
   kBeforeHelp,       // about to help another operation
   kInsertRetry,      // Insert attempt failed; looping
   kDeleteRetry,      // Delete attempt failed; looping
+  kAfterHelp,        // help dispatch returned; pairs with kBeforeHelp
 };
 
 /// Number of HookPoint values; sizes the per-point tables in src/inject/.
-inline constexpr std::size_t kNumHookPoints = 12;
+inline constexpr std::size_t kNumHookPoints = 13;
 
 inline const char* to_string(HookPoint p) noexcept {
   switch (p) {
@@ -87,6 +88,7 @@ inline const char* to_string(HookPoint p) noexcept {
     case HookPoint::kBeforeHelp: return "before-help";
     case HookPoint::kInsertRetry: return "insert-retry";
     case HookPoint::kDeleteRetry: return "delete-retry";
+    case HookPoint::kAfterHelp: return "after-help";
   }
   return "?";
 }

@@ -241,6 +241,12 @@ class EfrbTreeMap {
     /// (invalid) handle.
     unsigned tid() const noexcept { return tid_; }
 
+    /// True iff the most recent operation through this handle hit at least
+    /// one retry pause (a failed attempt round). Lets latency sampling in
+    /// workload/runner.hpp split clean ops from contended ones; valid until
+    /// the next operation on this handle.
+    bool last_op_retried() const noexcept { return last_retried_; }
+
    private:
     friend class EfrbTreeMap;
 
@@ -259,9 +265,10 @@ class EfrbTreeMap {
     decltype(auto) with_ctx(Fn&& fn) const {
       EFRB_DCHECK(valid());
       [[maybe_unused]] auto guard = att_.pin();
+      last_retried_ = false;
       auto ctx = Ctx::attached(
           att_, shard_ != nullptr ? &shard_->counters : nullptr, &backoff_,
-          tid_);
+          tid_, &last_retried_);
       return fn(ctx);
     }
 
@@ -281,6 +288,7 @@ class EfrbTreeMap {
     mutable Backoff backoff_;
     mutable Xoshiro256 rng_{0};
     unsigned tid_ = kNoTid;
+    mutable bool last_retried_ = false;
   };
 
   /// Create a per-thread operation handle bound to this tree (see Handle).

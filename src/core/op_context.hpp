@@ -173,14 +173,19 @@ class OpContext {
   /// Context for a per-thread handle: retires through the handle's
   /// attachment, counts into its shard, paces retries with its backoff, and
   /// carries the handle's id into every hook emission (the step+thread
-  /// identity the fault-injection layer keys on).
+  /// identity the fault-injection layer keys on). `retried_out`, when
+  /// non-null, is set to true by the first retry_pause() — the seam behind
+  /// Handle::last_op_retried() that lets latency sampling split clean ops
+  /// from contended ones without touching the stats machinery.
   static OpContext attached(Attachment& a, StatCounters* counters,
-                            Backoff* backoff, unsigned tid = kNoTid) noexcept {
+                            Backoff* backoff, unsigned tid = kNoTid,
+                            bool* retried_out = nullptr) noexcept {
     OpContext ctx;
     ctx.att_ = &a;
     ctx.counters_ = counters;
     ctx.backoff_ = backoff;
     ctx.tid_ = tid;
+    ctx.retried_out_ = retried_out;
     return ctx;
   }
 
@@ -202,6 +207,7 @@ class OpContext {
     if (backoff_ != nullptr) backoff_->reset();
   }
   void retry_pause() noexcept {
+    if (retried_out_ != nullptr) *retried_out_ = true;
     if (backoff_ != nullptr) (*backoff_)();
   }
 
@@ -241,6 +247,7 @@ class OpContext {
   [[maybe_unused]] StatCounters* counters_ = nullptr;
   Backoff* backoff_ = nullptr;
   unsigned tid_ = kNoTid;
+  bool* retried_out_ = nullptr;
 };
 
 }  // namespace efrb

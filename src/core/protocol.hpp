@@ -439,6 +439,7 @@ class TreeCore {
       case UpdateState::kClean:
         break;
     }
+    hooks::emit_at<Traits>(HookPoint::kAfterHelp, ctx.tid());
   }
 
   // ---------------- CAS-Child (lines 113-118) ----------------

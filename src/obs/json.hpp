@@ -1,0 +1,179 @@
+// Minimal, dependency-free JSON writer for the observability layer.
+//
+// The metrics document (metrics.hpp) and the Chrome trace exporter
+// (trace.hpp) both need to emit JSON; pulling in a third-party library for
+// that would violate the repository's no-new-dependencies rule, and the
+// write-only subset of JSON is small. JsonWriter is a straight streaming
+// builder: begin/end object/array scopes, keys, scalar values, with string
+// escaping and the comma bookkeeping handled internally. It never parses.
+//
+// Output is deterministic (insertion order) so tests can assert on
+// substrings; validity is additionally checked end-to-end by the check.sh
+// stage that round-trips emitted documents through `python3 -m json.tool`.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace efrb::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(256); }
+
+  JsonWriter& begin_object() {
+    prefix();
+    out_ += '{';
+    stack_.push_back(false);
+    return *this;
+  }
+
+  JsonWriter& end_object() {
+    EFRB_DCHECK(!stack_.empty());
+    stack_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+
+  JsonWriter& begin_array() {
+    prefix();
+    out_ += '[';
+    stack_.push_back(false);
+    return *this;
+  }
+
+  JsonWriter& end_array() {
+    EFRB_DCHECK(!stack_.empty());
+    stack_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+
+  /// Object member key; must be followed by exactly one value or scope.
+  JsonWriter& key(std::string_view k) {
+    separate();
+    append_string(k);
+    out_ += ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) {
+    prefix();
+    append_string(s);
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b) {
+    prefix();
+    out_ += b ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    prefix();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    prefix();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double d) {
+    prefix();
+    // NaN/inf are not representable in JSON; degrade to null rather than
+    // emitting an invalid document.
+    if (d != d || d > 1.7976931348623157e308 || d < -1.7976931348623157e308) {
+      out_ += "null";
+      return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", d);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& null() {
+    prefix();
+    out_ += "null";
+    return *this;
+  }
+
+  /// Splice an already-serialized JSON fragment in as one value.
+  JsonWriter& raw(std::string_view json) {
+    prefix();
+    out_ += json;
+    return *this;
+  }
+
+  bool complete() const noexcept { return stack_.empty() && !pending_key_; }
+  const std::string& str() const noexcept { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  /// Comma/continuation bookkeeping before any value or scope opener.
+  void prefix() {
+    if (pending_key_) {
+      pending_key_ = false;  // value follows its key directly
+    } else {
+      separate();
+    }
+  }
+
+  void separate() {
+    if (!stack_.empty()) {
+      if (stack_.back()) out_ += ',';
+      stack_.back() = true;
+    }
+  }
+
+  void append_string(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;  // per open scope: "has at least one element"
+  bool pending_key_ = false;
+};
+
+/// Write `json` to `path`; returns false (and leaves no partial file
+/// guarantees) on I/O failure. Shared by the metrics and trace exporters.
+inline bool write_file(const std::string& path, std::string_view json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = n == json.size() && std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace efrb::obs

@@ -1,0 +1,208 @@
+// The machine-readable metrics document: a stable, schema-versioned JSON
+// bundle of everything a benchmark run knows — workload configuration,
+// throughput result, protocol step counters, latency histograms, and
+// reclaimer gauges — so the BENCH_*.json perf-trajectory files (and any
+// external tooling) consume one self-describing format instead of scraping
+// text tables.
+//
+// Document shape (kMetricsSchemaVersion = 1):
+//   {
+//     "schema": "efrb-metrics",
+//     "schema_version": 1,
+//     "tool": "<bench binary name>",
+//     "cells": [
+//       {
+//         "name": "...",                 // structure / cell label
+//         "config": { threads, key_range, mix, duration_ms, ... },
+//         "result": { finds, inserts, ..., seconds, mops },
+//         "tree_stats": { ... },         // optional, when counted
+//         "gauges": { ... },             // optional, when exposed
+//         "latency": {                   // optional, when sampled
+//           "find": { histogram }, "insert": ..., "erase": ..., "retried": ...
+//         }
+//       }, ...
+//     ]
+//   }
+// Consumers MUST ignore unknown keys; producers bump kMetricsSchemaVersion
+// only on breaking changes (removing/renaming keys or changing meanings).
+// docs/OBSERVABILITY.md is the schema's prose home.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/op_context.hpp"
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "reclaim/reclaimer.hpp"
+#include "workload/runner.hpp"
+
+namespace efrb::obs {
+
+inline constexpr int kMetricsSchemaVersion = 1;
+
+inline void append_config(JsonWriter& w, const WorkloadConfig& cfg) {
+  w.begin_object();
+  w.key("threads").value(static_cast<std::uint64_t>(cfg.threads));
+  w.key("key_range").value(cfg.key_range);
+  w.key("mix").value(mix_name(cfg.mix));
+  w.key("insert_pct").value(cfg.mix.insert_pct);
+  w.key("erase_pct").value(cfg.mix.erase_pct);
+  w.key("duration_ms").value(static_cast<std::int64_t>(cfg.duration.count()));
+  w.key("prefill_fraction").value(cfg.prefill_fraction);
+  w.key("seed").value(cfg.seed);
+  w.key("zipf").value(cfg.zipf);
+  if (cfg.zipf) w.key("zipf_theta").value(cfg.zipf_theta);
+  w.key("use_handles").value(cfg.use_handles);
+  w.end_object();
+}
+
+inline void append_result(JsonWriter& w, const WorkloadResult& r) {
+  w.begin_object();
+  w.key("finds").value(r.finds);
+  w.key("inserts").value(r.inserts);
+  w.key("erases").value(r.erases);
+  w.key("ok_finds").value(r.ok_finds);
+  w.key("ok_inserts").value(r.ok_inserts);
+  w.key("ok_erases").value(r.ok_erases);
+  w.key("total_ops").value(r.total_ops());
+  w.key("seconds").value(r.seconds);
+  w.key("mops").value(r.mops());
+  w.end_object();
+}
+
+inline void append_tree_stats(JsonWriter& w, const TreeStats& s) {
+  w.begin_object();
+  w.key("insert_attempts").value(s.insert_attempts);
+  w.key("insert_retries").value(s.insert_retries);
+  w.key("delete_attempts").value(s.delete_attempts);
+  w.key("delete_retries").value(s.delete_retries);
+  w.key("helps").value(s.helps);
+  w.key("backtracks").value(s.backtracks);
+  w.key("cas").begin_object();
+  for (std::size_t i = 0; i < kNumCasSteps; ++i) {
+    w.key(to_string(static_cast<CasStep>(i))).begin_object();
+    w.key("attempts").value(s.cas_attempts[i]);
+    w.key("failures").value(s.cas_failures[i]);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+inline void append_gauges(JsonWriter& w, const ReclaimGauges& g) {
+  w.begin_object();
+  w.key("retired_total").value(g.retired_total);
+  w.key("freed_total").value(g.freed_total);
+  w.key("backlog").value(g.backlog());
+  w.key("orphan_depth").value(g.orphan_depth);
+  w.key("pins").value(g.pins);
+  w.key("unpins").value(g.unpins);
+  w.key("epoch").value(g.epoch);
+  w.end_object();
+}
+
+/// Histogram summary + sparse bucket dump (only non-empty buckets; lower
+/// bound and count per bucket, upper bounds reconstructible from the bucket
+/// math documented in docs/OBSERVABILITY.md).
+inline void append_histogram(JsonWriter& w, const LatencyHistogram& h) {
+  w.begin_object();
+  w.key("count").value(h.count());
+  w.key("mean_ns").value(h.mean());
+  w.key("min_ns").value(h.min_estimate());
+  w.key("max_ns").value(h.max_estimate());
+  w.key("p50_ns").value(h.percentile(50));
+  w.key("p90_ns").value(h.percentile(90));
+  w.key("p99_ns").value(h.percentile(99));
+  w.key("p999_ns").value(h.percentile(99.9));
+  w.key("buckets").begin_array();
+  h.for_each_bucket([&w](std::uint64_t lo, std::uint64_t /*hi*/,
+                         std::uint64_t count) {
+    w.begin_array().value(lo).value(count).end_array();
+  });
+  w.end_array();
+  w.end_object();
+}
+
+inline void append_latency(JsonWriter& w, const LatencySamples& lat) {
+  w.begin_object();
+  w.key("find");
+  append_histogram(w, lat.find);
+  w.key("insert");
+  append_histogram(w, lat.insert);
+  w.key("erase");
+  append_histogram(w, lat.erase);
+  w.key("retried");
+  append_histogram(w, lat.retried);
+  w.end_object();
+}
+
+/// Builder for one metrics document. Cells are added as pre-serialized JSON
+/// fragments (via the append_* helpers above or the all-in-one add_cell), so
+/// callers with exotic payloads can still participate.
+class MetricsDocument {
+ public:
+  explicit MetricsDocument(std::string tool) : tool_(std::move(tool)) {
+    w_.begin_object();
+    w_.key("schema").value("efrb-metrics");
+    w_.key("schema_version").value(kMetricsSchemaVersion);
+    w_.key("tool").value(std::string_view(tool_));
+    w_.key("cells").begin_array();
+  }
+
+  /// Open a cell object; caller writes members via writer() (starting with
+  /// any of the append_* helpers, each preceded by writer().key(...)), then
+  /// calls end_cell().
+  JsonWriter& begin_cell(std::string_view name) {
+    w_.begin_object();
+    w_.key("name").value(name);
+    return w_;
+  }
+  void end_cell() { w_.end_object(); }
+
+  /// The common whole cell: config + result, plus stats/gauges/latency when
+  /// provided.
+  void add_cell(std::string_view name, const WorkloadConfig& cfg,
+                const WorkloadResult& res, const TreeStats* stats = nullptr,
+                const ReclaimGauges* gauges = nullptr,
+                const LatencySamples* latency = nullptr) {
+    begin_cell(name);
+    w_.key("config");
+    append_config(w_, cfg);
+    w_.key("result");
+    append_result(w_, res);
+    if (stats != nullptr) {
+      w_.key("tree_stats");
+      append_tree_stats(w_, *stats);
+    }
+    if (gauges != nullptr) {
+      w_.key("gauges");
+      append_gauges(w_, *gauges);
+    }
+    if (latency != nullptr) {
+      w_.key("latency");
+      append_latency(w_, *latency);
+    }
+    end_cell();
+  }
+
+  JsonWriter& writer() noexcept { return w_; }
+
+  /// Close the document and return the JSON text. Call once.
+  std::string finish() {
+    w_.end_array();
+    w_.end_object();
+    return w_.take();
+  }
+
+  /// finish() + write to `path`; returns false on I/O failure.
+  bool write(const std::string& path) { return write_file(path, finish()); }
+
+ private:
+  std::string tool_;
+  JsonWriter w_;
+};
+
+}  // namespace efrb::obs

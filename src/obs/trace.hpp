@@ -1,0 +1,276 @@
+// Protocol event tracing: per-thread bounded ring buffers of timestamped
+// events, fed from the Traits::on_cas / Traits::at hook seams, exported as
+// Chrome trace-event JSON (loadable in chrome://tracing and Perfetto).
+//
+// Pieces:
+//   * TraceEvent / TraceRing — a fixed-capacity, allocation-free-after-
+//     construction ring. Single writer (the owning thread); when full, the
+//     oldest events are overwritten, so a trace always holds the *latest*
+//     window of activity and a long run cannot exhaust memory.
+//   * TraceRegistry — one ring per thread id (the per-handle tid carried by
+//     every hook emission), plus the shared monotonic clock epoch. Events
+//     with kNoTid (tree-level convenience calls) or an out-of-range tid are
+//     dropped and counted, never recorded racily.
+//   * TraceTraits — a debug-hooks Traits (see core/debug_hooks.hpp) whose
+//     on_cas/at implementations forward to an installed registry. Follows
+//     the CallbackTraits install/reset idiom; when no registry is installed
+//     the hooks are two predictable branches. NoopTraits builds are
+//     untouched — tracing compiles to zero overhead unless the tree is
+//     instantiated with TraceTraits.
+//
+// Event vocabulary: every protocol CAS (step + outcome), every hook point,
+// help entry/exit (HookPoint::kBeforeHelp / kAfterHelp mapped to a Chrome
+// B/E span), and op begin/end markers emitted by the workload runner's
+// opt-in instrumentation. Timestamps are steady_clock nanoseconds relative
+// to the registry's construction.
+//
+// Export caveat: rings are sampled without synchronization, so export is
+// meant for quiescent points (after workers joined) — the normal benchmark
+// flow. A ring that wrapped mid-span can open a trace with an unmatched "E"
+// event; Perfetto tolerates this (docs/OBSERVABILITY.md documents it).
+#pragma once
+
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/debug_hooks.hpp"
+#include "obs/json.hpp"
+#include "util/cacheline.hpp"
+
+namespace efrb::obs {
+
+enum class TraceEventKind : std::uint8_t {
+  kCas,        // protocol CAS executed; code = CasStep, ok = outcome
+  kPoint,      // hook point passed; code = HookPoint
+  kHelpEnter,  // help dispatch entered (HookPoint::kBeforeHelp)
+  kHelpExit,   // help dispatch returned (HookPoint::kAfterHelp)
+  kOpBegin,    // dictionary op started; code = TraceOp
+  kOpEnd,      // dictionary op finished; code = TraceOp, ok = result
+};
+
+/// Operation identity for op begin/end markers (the runner's vocabulary,
+/// kept here so obs does not depend on the workload layer).
+enum class TraceOp : std::uint8_t { kFind, kInsert, kErase, kOther };
+
+inline const char* to_string(TraceOp op) noexcept {
+  switch (op) {
+    case TraceOp::kFind: return "find";
+    case TraceOp::kInsert: return "insert";
+    case TraceOp::kErase: return "erase";
+    case TraceOp::kOther: return "op";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  std::uint64_t ts_ns;  // nanoseconds since the registry's epoch
+  TraceEventKind kind;
+  std::uint8_t code;  // CasStep / HookPoint / TraceOp, per kind
+  bool ok;            // CAS outcome or op result; unused otherwise
+};
+
+/// Fixed-capacity single-writer ring. All storage is allocated at
+/// construction; push() is two plain stores and an increment.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 4096)
+      : events_(capacity == 0 ? 1 : std::bit_ceil(capacity)) {}
+
+  void push(const TraceEvent& e) noexcept {
+    events_[head_ & (events_.size() - 1)] = e;
+    ++head_;
+  }
+
+  std::size_t capacity() const noexcept { return events_.size(); }
+  /// Total events ever pushed (monotone; exceeds capacity after wraparound).
+  std::uint64_t pushed() const noexcept { return head_; }
+  /// Events lost to wraparound.
+  std::uint64_t dropped() const noexcept {
+    return head_ > events_.size() ? head_ - events_.size() : 0;
+  }
+
+  /// Retained events, oldest first. Call at quiescence (single writer; the
+  /// snapshot does not synchronize with a concurrent push).
+  std::vector<TraceEvent> snapshot() const {
+    std::vector<TraceEvent> out;
+    const std::uint64_t n =
+        head_ < events_.size() ? head_ : static_cast<std::uint64_t>(events_.size());
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = head_ - n; i < head_; ++i) {
+      out.push_back(events_[i & (events_.size() - 1)]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::uint64_t head_ = 0;
+};
+
+class TraceRegistry {
+ public:
+  explicit TraceRegistry(std::size_t max_tids = 64,
+                         std::size_t ring_capacity = 4096)
+      : t0_(std::chrono::steady_clock::now()) {
+    rings_.reserve(max_tids);
+    for (std::size_t i = 0; i < max_tids; ++i) {
+      rings_.emplace_back(ring_capacity);
+    }
+  }
+
+  std::size_t max_tids() const noexcept { return rings_.size(); }
+
+  std::uint64_t now_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+  }
+
+  void record_cas(unsigned tid, CasStep step, bool ok) noexcept {
+    if (TraceRing* r = ring_for(tid)) {
+      r->push({now_ns(), TraceEventKind::kCas,
+               static_cast<std::uint8_t>(step), ok});
+    }
+  }
+
+  void record_point(unsigned tid, HookPoint p) noexcept {
+    TraceRing* r = ring_for(tid);
+    if (r == nullptr) return;
+    // Help entry/exit points become a Chrome B/E span; every other point is
+    // an instant marker.
+    TraceEventKind kind = TraceEventKind::kPoint;
+    if (p == HookPoint::kBeforeHelp) kind = TraceEventKind::kHelpEnter;
+    if (p == HookPoint::kAfterHelp) kind = TraceEventKind::kHelpExit;
+    r->push({now_ns(), kind, static_cast<std::uint8_t>(p), false});
+  }
+
+  void record_op_begin(unsigned tid, TraceOp op) noexcept {
+    if (TraceRing* r = ring_for(tid)) {
+      r->push({now_ns(), TraceEventKind::kOpBegin,
+               static_cast<std::uint8_t>(op), false});
+    }
+  }
+
+  void record_op_end(unsigned tid, TraceOp op, bool ok) noexcept {
+    if (TraceRing* r = ring_for(tid)) {
+      r->push({now_ns(), TraceEventKind::kOpEnd,
+               static_cast<std::uint8_t>(op), ok});
+    }
+  }
+
+  /// Retained events for one thread, oldest first (quiescent snapshot).
+  std::vector<TraceEvent> snapshot(unsigned tid) const {
+    return tid < rings_.size() ? rings_[tid].value.snapshot()
+                               : std::vector<TraceEvent>{};
+  }
+
+  std::uint64_t dropped_no_tid() const noexcept { return dropped_no_tid_; }
+
+  /// Chrome trace-event JSON (the "JSON object format": {"traceEvents":
+  /// [...]}), one Chrome tid per ring, pid 0. Call at quiescence.
+  std::string chrome_trace_json() const {
+    JsonWriter w;
+    w.begin_object();
+    w.key("displayTimeUnit").value("ns");
+    w.key("traceEvents").begin_array();
+    for (std::size_t tid = 0; tid < rings_.size(); ++tid) {
+      for (const TraceEvent& e : rings_[tid].value.snapshot()) {
+        append_chrome_event(w, static_cast<unsigned>(tid), e);
+      }
+    }
+    w.end_array();
+    w.end_object();
+    return w.take();
+  }
+
+  bool write_chrome_trace(const std::string& path) const {
+    return write_file(path, chrome_trace_json());
+  }
+
+ private:
+  TraceRing* ring_for(unsigned tid) noexcept {
+    if (tid == kNoTid || tid >= rings_.size()) {
+      ++dropped_no_tid_;  // relaxed diagnostic; exact under one dropper only
+      return nullptr;
+    }
+    return &rings_[tid].value;
+  }
+
+  static void append_chrome_event(JsonWriter& w, unsigned tid,
+                                  const TraceEvent& e) {
+    // Chrome's ts field is microseconds; keep ns resolution as a fraction.
+    const double ts_us = static_cast<double>(e.ts_ns) / 1000.0;
+    std::string name;
+    const char* ph = "i";
+    switch (e.kind) {
+      case TraceEventKind::kCas:
+        name = std::string("cas:") + to_string(static_cast<CasStep>(e.code));
+        name += e.ok ? ":ok" : ":fail";
+        break;
+      case TraceEventKind::kPoint:
+        name = to_string(static_cast<HookPoint>(e.code));
+        break;
+      case TraceEventKind::kHelpEnter:
+        name = "help";
+        ph = "B";
+        break;
+      case TraceEventKind::kHelpExit:
+        name = "help";
+        ph = "E";
+        break;
+      case TraceEventKind::kOpBegin:
+        name = to_string(static_cast<TraceOp>(e.code));
+        ph = "B";
+        break;
+      case TraceEventKind::kOpEnd:
+        name = to_string(static_cast<TraceOp>(e.code));
+        ph = "E";
+        break;
+    }
+    w.begin_object();
+    w.key("name").value(name);
+    w.key("ph").value(ph);
+    w.key("ts").value(ts_us);
+    w.key("pid").value(0);
+    w.key("tid").value(tid);
+    if (ph[0] == 'i') w.key("s").value("t");  // instant scope: thread
+    if (e.kind == TraceEventKind::kCas || e.kind == TraceEventKind::kOpEnd) {
+      w.key("args").begin_object().key("ok").value(e.ok).end_object();
+    }
+    w.end_object();
+  }
+
+  std::chrono::steady_clock::time_point t0_;
+  std::vector<CachePadded<TraceRing>> rings_;
+  std::uint64_t dropped_no_tid_ = 0;
+};
+
+/// Debug-hooks Traits feeding an installed TraceRegistry. Same install/reset
+/// discipline as CallbackTraits: the registry pointer is global to the
+/// traits type, set it around an instrumented run and reset afterwards.
+/// Stats counters stay enabled so a traced tree also reports its per-step
+/// breakdown in the same run.
+struct TraceTraits {
+  static constexpr bool kCountStats = true;
+  static constexpr bool kSearchHelpsMarked = false;
+
+  // NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
+  static inline TraceRegistry* registry = nullptr;
+
+  static void install(TraceRegistry* r) noexcept { registry = r; }
+  static void reset() noexcept { registry = nullptr; }
+
+  static void on_cas(CasStep s, bool ok, const void* /*node*/, unsigned tid) {
+    if (registry != nullptr) registry->record_cas(tid, s, ok);
+  }
+  static void at(HookPoint p, unsigned tid) {
+    if (registry != nullptr) registry->record_point(tid, p);
+  }
+};
+
+}  // namespace efrb::obs

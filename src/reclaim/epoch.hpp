@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "reclaim/reclaimer.hpp"
 #include "util/assert.hpp"
 #include "util/cacheline.hpp"
 #include "util/errors.hpp"
@@ -52,6 +53,13 @@ class EpochReclaimer {
     std::vector<Retired> retired;
     std::size_t next_sweep = 0;  // retired.size() that triggers the next sweep
     unsigned depth = 0;          // pin() nesting
+    // Gauges: owner-written (relaxed, within the slot's own cache line, so no
+    // cross-thread contention), read only by gauges() snapshots. Survive slot
+    // recycling — they count the slot's whole history, keeping the aggregate
+    // monotone across attach/detach cycles.
+    std::atomic<std::uint64_t> retired_count{0};
+    std::atomic<std::uint64_t> pins{0};
+    std::atomic<std::uint64_t> unpins{0};
   };
 
   struct Registry {
@@ -109,6 +117,9 @@ class EpochReclaimer {
     // rule as a slot's own list). Drained opportunistically by sweep().
     std::mutex orphan_mu;
     std::vector<Retired> orphans;
+    // orphans.size() mirrored for lock-free gauge snapshots; stored under
+    // orphan_mu by every mutator of `orphans`.
+    std::atomic<std::uint64_t> orphan_count{0};
   };
 
  public:
@@ -142,6 +153,7 @@ class EpochReclaimer {
     void release() noexcept {
       if (slot_ != nullptr && --slot_->depth == 0) {
         slot_->epoch.store(kQuiescent, std::memory_order_release);
+        slot_->unpins.fetch_add(1, std::memory_order_relaxed);
       }
       slot_ = nullptr;
       reg_ = nullptr;
@@ -260,6 +272,24 @@ class EpochReclaimer {
     return reg_->global.load(std::memory_order_relaxed);
   }
 
+  /// Gauge snapshot for the observability layer. Relaxed reads of owner-
+  /// written per-slot counters; monotone per counter, but not an atomic
+  /// cross-thread cut (a concurrent retire may show in retired_total before
+  /// its sweep shows in freed_total — backlog() is momentarily conservative).
+  ReclaimGauges gauges() const noexcept {
+    ReclaimGauges g;
+    for (const auto& padded : reg_->slots) {
+      const Slot& s = padded.value;
+      g.retired_total += s.retired_count.load(std::memory_order_relaxed);
+      g.pins += s.pins.load(std::memory_order_relaxed);
+      g.unpins += s.unpins.load(std::memory_order_relaxed);
+    }
+    g.freed_total = reg_->freed_total.load(std::memory_order_relaxed);
+    g.orphan_depth = reg_->orphan_count.load(std::memory_order_relaxed);
+    g.epoch = reg_->global.load(std::memory_order_relaxed);
+    return g;
+  }
+
   /// Best-effort drain for tests/benchmarks at quiescent points: repeatedly
   /// advance and sweep the calling thread's list.
   void flush() { flush_slot(reg_.get(), local_slot()); }
@@ -267,6 +297,7 @@ class EpochReclaimer {
  private:
   static Guard pin_slot(Registry* reg, Slot* slot) {
     if (slot->depth++ == 0) {
+      slot->pins.fetch_add(1, std::memory_order_relaxed);
       std::uint64_t e = reg->global.load(std::memory_order_acquire);
       // Publish, then re-check: the announcement must equal the global epoch
       // observed *after* publishing, otherwise an advance racing with us could
@@ -288,6 +319,7 @@ class EpochReclaimer {
     slot->retired.push_back(Retired{
         p, [](void* q) { delete static_cast<T*>(q); },
         reg->global.load(std::memory_order_acquire)});
+    slot->retired_count.fetch_add(1, std::memory_order_relaxed);
     // Sweep on a size *schedule*, not a fixed threshold: when a pinned-but-
     // descheduled thread stalls the epoch, entries pile up past the batch
     // size, and re-sweeping the whole list on every retire would be
@@ -329,6 +361,8 @@ class EpochReclaimer {
         reg->orphans.insert(reg->orphans.end(), slot->retired.begin(),
                             slot->retired.end());
         slot->retired.clear();
+        reg->orphan_count.store(reg->orphans.size(),
+                                std::memory_order_relaxed);
       } catch (...) {
       }
     }
@@ -360,6 +394,7 @@ class EpochReclaimer {
       }
     }
     list.resize(kept);
+    reg->orphan_count.store(kept, std::memory_order_relaxed);
     if (freed != 0) {
       reg->freed_total.fetch_add(freed, std::memory_order_relaxed);
     }

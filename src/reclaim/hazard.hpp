@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "reclaim/reclaimer.hpp"
 #include "util/assert.hpp"
 #include "util/cacheline.hpp"
 #include "util/errors.hpp"
@@ -40,6 +41,12 @@ class HazardPointerDomain {
     // Owner-thread only.
     std::vector<Retired> retired;
     std::size_t next_scan = 0;  // retired.size() triggering the next scan
+    // Gauges: owner-written relaxed, read by gauges() snapshots; survive slot
+    // recycling so the aggregate stays monotone. Handle construction /
+    // destruction stand in for pin/unpin in this domain's vocabulary.
+    std::atomic<std::uint64_t> retired_count{0};
+    std::atomic<std::uint64_t> pins{0};
+    std::atomic<std::uint64_t> unpins{0};
 
     explicit Slot(std::size_t k) : hazards(k) {
       for (auto& h : hazards) h.store(nullptr, std::memory_order_relaxed);
@@ -89,6 +96,9 @@ class HazardPointerDomain {
     // hazard covers them) by later scans from any slot.
     std::mutex orphan_mu;
     std::vector<Retired> orphans;
+    // orphans.size() mirrored for lock-free gauge snapshots; stored under
+    // orphan_mu by every mutator of `orphans`.
+    std::atomic<std::uint64_t> orphan_count{0};
   };
 
  public:
@@ -97,10 +107,15 @@ class HazardPointerDomain {
   /// thread's first use of the domain.
   class Handle {
    public:
-    Handle(Registry* reg, Slot* slot) noexcept : reg_(reg), slot_(slot) {}
+    Handle(Registry* reg, Slot* slot) noexcept : reg_(reg), slot_(slot) {
+      slot_->pins.fetch_add(1, std::memory_order_relaxed);
+    }
     Handle(const Handle&) = delete;
     Handle& operator=(const Handle&) = delete;
-    ~Handle() { clear_all(); }
+    ~Handle() {
+      clear_all();
+      slot_->unpins.fetch_add(1, std::memory_order_relaxed);
+    }
 
     /// Publish-and-validate loop: returns a pointer read from `src` that is
     /// guaranteed protected (cannot be freed) until the slot is overwritten
@@ -228,6 +243,20 @@ class HazardPointerDomain {
     return reg_->freed_total.load(std::memory_order_relaxed);
   }
 
+  /// Gauge snapshot (relaxed; see EpochReclaimer::gauges). pins/unpins count
+  /// Handle constructions/destructions; epoch has no analogue here and stays 0.
+  ReclaimGauges gauges() const noexcept {
+    ReclaimGauges g;
+    for (const auto& s : reg_->slots) {
+      g.retired_total += s->retired_count.load(std::memory_order_relaxed);
+      g.pins += s->pins.load(std::memory_order_relaxed);
+      g.unpins += s->unpins.load(std::memory_order_relaxed);
+    }
+    g.freed_total = reg_->freed_total.load(std::memory_order_relaxed);
+    g.orphan_depth = reg_->orphan_count.load(std::memory_order_relaxed);
+    return g;
+  }
+
   /// Best-effort drain at quiescent points.
   void flush() { scan(reg_.get(), local_slot()); }
 
@@ -238,6 +267,7 @@ class HazardPointerDomain {
     EFRB_DCHECK(p != nullptr);
     slot->retired.push_back(
         Retired{p, [](void* q) { delete static_cast<T*>(q); }});
+    slot->retired_count.fetch_add(1, std::memory_order_relaxed);
     // Size-scheduled scans (amortized O(1) per retire even when many
     // entries stay protected; see the epoch reclaimer for the rationale).
     if (slot->retired.size() >= std::max(slot->next_scan, retire_batch)) {
@@ -275,6 +305,8 @@ class HazardPointerDomain {
     if (orphan_lock.owns_lock()) {
       if (!reg->orphans.empty()) {
         freed += sweep_list(reg->orphans, protected_ptrs);
+        reg->orphan_count.store(reg->orphans.size(),
+                                std::memory_order_relaxed);
       }
       orphan_lock.unlock();
     }
@@ -324,6 +356,8 @@ class HazardPointerDomain {
         reg->orphans.insert(reg->orphans.end(), slot->retired.begin(),
                             slot->retired.end());
         slot->retired.clear();
+        reg->orphan_count.store(reg->orphans.size(),
+                                std::memory_order_relaxed);
       }
     } catch (...) {
     }
@@ -407,6 +441,11 @@ class HazardReclaimer {
     std::vector<std::pair<Slot*, std::uint64_t>> readers;  // round snapshot
     unsigned depth = 0;             // pin() nesting
     std::size_t next_round = 0;     // retired.size() triggering the next round
+    // Gauges: owner-written relaxed, read by gauges() snapshots; survive slot
+    // recycling so the aggregate stays monotone.
+    std::atomic<std::uint64_t> retired_count{0};
+    std::atomic<std::uint64_t> pins{0};
+    std::atomic<std::uint64_t> unpins{0};
   };
 
   struct Registry {
@@ -456,6 +495,9 @@ class HazardReclaimer {
     std::vector<Retired> orphan_retired;
     std::vector<Retired> orphan_pending;
     std::vector<std::pair<Slot*, std::uint64_t>> orphan_readers;
+    // orphan_retired.size() + orphan_pending.size() mirrored for lock-free
+    // gauge snapshots; stored under orphan_mu by every orphan-list mutator.
+    std::atomic<std::uint64_t> orphan_count{0};
   };
 
  public:
@@ -485,6 +527,7 @@ class HazardReclaimer {
         // Even again: readers-of-record for any in-flight grace round see
         // this slot as quiescent from here on.
         slot_->seq.fetch_add(1, std::memory_order_release);
+        slot_->unpins.fetch_add(1, std::memory_order_relaxed);
       }
       slot_ = nullptr;
     }
@@ -577,6 +620,22 @@ class HazardReclaimer {
     return reg_->freed_total.load(std::memory_order_relaxed);
   }
 
+  /// Gauge snapshot (relaxed; see EpochReclaimer::gauges). There is no global
+  /// epoch in the grace-round scheme, so `epoch` stays 0; orphan_depth counts
+  /// both orphaned lists (retired + pending).
+  ReclaimGauges gauges() const noexcept {
+    ReclaimGauges g;
+    for (const auto& padded : reg_->slots) {
+      const Slot& s = padded.value;
+      g.retired_total += s.retired_count.load(std::memory_order_relaxed);
+      g.pins += s.pins.load(std::memory_order_relaxed);
+      g.unpins += s.unpins.load(std::memory_order_relaxed);
+    }
+    g.freed_total = reg_->freed_total.load(std::memory_order_relaxed);
+    g.orphan_depth = reg_->orphan_count.load(std::memory_order_relaxed);
+    return g;
+  }
+
   /// Best-effort drain at quiescent points (must be called unpinned, or the
   /// caller's own snapshot entry keeps its rounds open).
   void flush() { flush_slot(reg_.get(), local_slot()); }
@@ -588,6 +647,7 @@ class HazardReclaimer {
       // snapshot loads in advance_round, mirroring the epoch announcement's
       // publish-then-recheck fence role.
       slot->seq.fetch_add(1, std::memory_order_seq_cst);
+      slot->pins.fetch_add(1, std::memory_order_relaxed);
     }
     return Guard(slot);
   }
@@ -598,6 +658,7 @@ class HazardReclaimer {
     EFRB_DCHECK(p != nullptr);
     slot->retired.push_back(
         Retired{p, [](void* q) { delete static_cast<T*>(q); }});
+    slot->retired_count.fetch_add(1, std::memory_order_relaxed);
     // Size-scheduled rounds (amortized O(1) per retire; see EpochReclaimer).
     if (slot->retired.size() >= std::max(slot->next_round, retire_batch)) {
       advance_round(reg, slot);
@@ -669,6 +730,9 @@ class HazardReclaimer {
       // round to a later, less memory-starved attempt.
       round_step(reg, reg->orphan_retired, reg->orphan_pending,
                  reg->orphan_readers);
+      reg->orphan_count.store(
+          reg->orphan_retired.size() + reg->orphan_pending.size(),
+          std::memory_order_relaxed);
     } catch (...) {
     }
   }
@@ -699,6 +763,9 @@ class HazardReclaimer {
                                    slot->retired.begin(), slot->retired.end());
         slot->pending.clear();
         slot->retired.clear();
+        reg->orphan_count.store(
+            reg->orphan_retired.size() + reg->orphan_pending.size(),
+            std::memory_order_relaxed);
       }
       slot->readers.clear();
     } catch (...) {

@@ -18,9 +18,31 @@
 #pragma once
 
 #include <concepts>
+#include <cstdint>
 #include <utility>
 
 namespace efrb {
+
+/// Point-in-time snapshot of a reclaimer's internal state, for the
+/// observability layer (obs/metrics.hpp) and for tests asserting reclamation
+/// progress. Counters are monotone over the reclaimer's lifetime (snapshots
+/// taken later never report smaller values); `orphan_depth` and `epoch` are
+/// instantaneous levels. Policies without a given notion report 0 — e.g.
+/// LeakyReclaimer reports all-zero so the E4 leaky-ceiling ablation stays
+/// free of bookkeeping cost.
+struct ReclaimGauges {
+  std::uint64_t retired_total = 0;  // objects handed to retire()
+  std::uint64_t freed_total = 0;    // objects actually deleted
+  std::uint64_t orphan_depth = 0;   // entries parked in the orphan store
+  std::uint64_t pins = 0;           // outermost pin() regions entered
+  std::uint64_t unpins = 0;         // outermost pin() regions exited
+  std::uint64_t epoch = 0;          // global epoch / grace round, if any
+
+  /// Retired-but-not-yet-freed backlog (includes orphans).
+  std::uint64_t backlog() const noexcept {
+    return retired_total >= freed_total ? retired_total - freed_total : 0;
+  }
+};
 
 // clang-format off
 template <typename R>
@@ -85,6 +107,10 @@ class LeakyReclaimer {
   /// Number of objects handed to retire() and leaked. Always 0 here because we
   /// do not track them; provided so ablation code compiles across policies.
   std::size_t retired_count() const noexcept { return 0; }
+
+  /// All-zero by design: counting would put a shared fetch_add on the retire
+  /// path and pollute the leaky-ceiling ablation this policy exists for.
+  ReclaimGauges gauges() const noexcept { return ReclaimGauges{}; }
 };
 
 static_assert(ReclaimerPolicy<LeakyReclaimer>);

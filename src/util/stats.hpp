@@ -11,7 +11,10 @@ namespace efrb {
 /// Accumulates samples; computes mean/min/max/percentiles on demand.
 class Summary {
  public:
-  void add(double x) { samples_.push_back(x); }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_valid_ = false;
+  }
   void reserve(std::size_t n) { samples_.reserve(n); }
 
   std::size_t count() const noexcept { return samples_.size(); }
@@ -44,20 +47,27 @@ class Summary {
     return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
   }
 
-  /// p in [0,100]; nearest-rank on a sorted copy.
+  /// p in [0,100]; linear interpolation between the two nearest ranks.
+  /// Sorts once into a cached buffer (invalidated by add), so reporting k
+  /// percentiles over n samples costs one n·log n sort, not k of them.
   double percentile(double p) const {
     if (samples_.empty()) return 0.0;
-    std::vector<double> sorted(samples_);
-    std::sort(sorted.begin(), sorted.end());
-    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    if (!sorted_valid_) {
+      sorted_ = samples_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_ = true;
+    }
+    const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
     const std::size_t lo = static_cast<std::size_t>(rank);
-    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
     const double frac = rank - static_cast<double>(lo);
-    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+    return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
   }
 
  private:
   std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // percentile()'s sort cache
+  mutable bool sorted_valid_ = false;
 };
 
 }  // namespace efrb

@@ -52,7 +52,11 @@ class Table {
   static void print_row(std::FILE* out, const std::vector<std::string>& row,
                         const std::vector<std::size_t>& widths) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      std::fprintf(out, "%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+      // A row may carry more cells than the header; extra cells have no
+      // computed width, so pad them to their own length instead of reading
+      // past the end of `widths`.
+      const int w = c < widths.size() ? static_cast<int>(widths[c]) : 0;
+      std::fprintf(out, "%-*s  ", w, row[c].c_str());
     }
     std::fprintf(out, "\n");
   }

@@ -12,11 +12,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <concepts>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "baselines/set_interface.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/barrier.hpp"
 #include "util/cacheline.hpp"
@@ -58,6 +62,29 @@ struct WorkloadResult {
   }
 };
 
+/// Opt-in per-op latency sampling output: one histogram per operation type
+/// plus one for ops that hit at least one retry (populated only for targets
+/// exposing last_op_retried(), i.e. EfrbTreeMap handles). Values are
+/// nanoseconds. Workers record into private instances; run_workload merges
+/// them into the caller's after the join.
+struct LatencySamples {
+  obs::LatencyHistogram find;
+  obs::LatencyHistogram insert;
+  obs::LatencyHistogram erase;
+  obs::LatencyHistogram retried;
+
+  void merge(const LatencySamples& other) noexcept {
+    find.merge(other.find);
+    insert.merge(other.insert);
+    erase.merge(other.erase);
+    retried.merge(other.retried);
+  }
+
+  std::uint64_t total_count() const noexcept {
+    return find.count() + insert.count() + erase.count();
+  }
+};
+
 /// Insert uniformly random keys until the structure holds ~fraction*range
 /// keys; gives every run the same expected occupancy and (for trees) the
 /// random shape whose expected depth is logarithmic (§6's cited analysis).
@@ -76,14 +103,35 @@ void prefill(Set& set, std::uint64_t key_range, double fraction,
   }
 }
 
+/// Fixed-duration mixed workload over `set`.
+///
+/// `latency` (optional) enables per-op latency sampling: every operation is
+/// bracketed by two steady_clock reads and recorded into per-worker
+/// LatencySamples, merged into `*latency` after the join. The bracketing
+/// clock reads are the documented cost of opting in; the uninstrumented path
+/// is byte-for-byte the old loop.
+///
+/// `trace` (optional) emits op begin/end markers into the given registry,
+/// keyed by the target's handle tid when it has one (so op spans land in the
+/// same ring as the protocol events a TraceTraits tree writes), else by the
+/// worker index.
 template <typename Set>
-WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
+WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg,
+                            LatencySamples* latency = nullptr,
+                            obs::TraceRegistry* trace = nullptr) {
   EFRB_ASSERT(cfg.threads > 0);
   using Key = typename Set::key_type;
 
   std::atomic<bool> stop{false};
   YieldingBarrier start(static_cast<std::uint32_t>(cfg.threads) + 1);
   std::vector<CachePadded<WorkloadResult>> per_thread(cfg.threads);
+  // Heap-held per-worker sample sets (a LatencySamples is ~140 KB of
+  // histogram buckets — too big for the padded result array), allocated
+  // before the workers start and merged after they join.
+  std::vector<std::unique_ptr<LatencySamples>> per_thread_lat(cfg.threads);
+  if (latency != nullptr) {
+    for (auto& p : per_thread_lat) p = std::make_unique<LatencySamples>();
+  }
 
   // Constructing the Zipf table is O(range); do it once, shared (read-only).
   const UniformKeys uniform(cfg.key_range);
@@ -98,6 +146,7 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
     threads.emplace_back([&, tid] {
       Xoshiro256 rng(cfg.seed + 0x1234 * (tid + 1));
       WorkloadResult& local = per_thread[tid].value;
+      LatencySamples* lat = per_thread_lat[tid].get();
       // Generic over the access point: a per-thread handle or the structure
       // itself, chosen below (identical loop body either way).
       auto run_loop = [&](auto&& target) {
@@ -129,10 +178,79 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
           }
         }
       };
+      // Instrumented variant: each op is timed and (optionally) bracketed
+      // by trace markers. Separate loop so the plain path stays untouched.
+      auto run_sampled = [&](auto&& target) {
+        unsigned trace_tid = static_cast<unsigned>(tid);
+        if constexpr (requires {
+                        { target.tid() } -> std::convertible_to<unsigned>;
+                      }) {
+          if (target.tid() != kNoTid) trace_tid = target.tid();
+        }
+        start.arrive_and_wait();
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (int batch = 0; batch < 64; ++batch) {
+            const std::uint64_t raw = zipf ? (*zipf)(rng) : uniform(rng);
+            const Key k = static_cast<Key>(raw);
+            const OpType op = cfg.mix.sample(rng);
+            const obs::TraceOp top = op == OpType::kFind ? obs::TraceOp::kFind
+                                     : op == OpType::kInsert
+                                         ? obs::TraceOp::kInsert
+                                         : obs::TraceOp::kErase;
+            if (trace != nullptr) trace->record_op_begin(trace_tid, top);
+            const auto a = std::chrono::steady_clock::now();
+            bool ok = false;
+            switch (op) {
+              case OpType::kFind:
+                ok = target.contains(k);
+                local.ok_finds += ok ? 1 : 0;
+                ++local.finds;
+                break;
+              case OpType::kInsert:
+                ok = target.insert(k);
+                local.ok_inserts += ok ? 1 : 0;
+                ++local.inserts;
+                break;
+              case OpType::kErase:
+                ok = target.erase(k);
+                local.ok_erases += ok ? 1 : 0;
+                ++local.erases;
+                break;
+            }
+            const auto b = std::chrono::steady_clock::now();
+            if (trace != nullptr) trace->record_op_end(trace_tid, top, ok);
+            if (lat != nullptr) {
+              const auto ns = static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+                      .count());
+              (op == OpType::kFind     ? lat->find
+               : op == OpType::kInsert ? lat->insert
+                                       : lat->erase)
+                  .record(ns);
+              if constexpr (requires {
+                              {
+                                target.last_op_retried()
+                              } -> std::convertible_to<bool>;
+                            }) {
+                if (target.last_op_retried()) lat->retried.record(ns);
+              }
+            }
+          }
+        }
+      };
+      const bool instrument = latency != nullptr || trace != nullptr;
       if (cfg.use_handles) {
-        run_loop(make_handle(set));
+        if (instrument) {
+          run_sampled(make_handle(set));
+        } else {
+          run_loop(make_handle(set));
+        }
       } else {
-        run_loop(set);
+        if (instrument) {
+          run_sampled(set);
+        } else {
+          run_loop(set);
+        }
       }
     });
   }
@@ -154,6 +272,9 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg) {
     total.ok_erases += p.value.ok_erases;
   }
   total.seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (latency != nullptr) {
+    for (const auto& p : per_thread_lat) latency->merge(*p);
+  }
   return total;
 }
 

@@ -79,5 +79,18 @@ TEST(TableTest, RaggedRowsDoNotCrash) {
   EXPECT_NE(out.find('3'), std::string::npos);
 }
 
+// Regression: a row with MORE cells than headers used to index widths[c]
+// past its end (print_row iterated over row.size(), widths has header.size()
+// entries) — an out-of-bounds read. Extra cells must print, unpadded.
+TEST(TableTest, RowsWiderThanHeadersPrintAllCells) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2", "surplus", "more"});
+  t.add_row({"x", "y"});
+  const std::string out = render(t);
+  EXPECT_NE(out.find("surplus"), std::string::npos);
+  EXPECT_NE(out.find("more"), std::string::npos);
+  EXPECT_NE(out.find('y'), std::string::npos);
+}
+
 }  // namespace
 }  // namespace efrb

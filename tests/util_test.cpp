@@ -179,6 +179,38 @@ TEST(SummaryTest, EmptyIsZero) {
   EXPECT_EQ(s.percentile(50), 0.0);
 }
 
+// percentile() caches its sorted copy; add() must invalidate the cache so
+// later percentiles see the new samples (and interleaved add/percentile
+// sequences match a freshly built Summary).
+TEST(SummaryTest, PercentileCacheInvalidatedByAdd) {
+  Summary s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_NEAR(s.percentile(100), 10.0, 1e-9);  // populates the cache
+  s.add(1000.0);
+  EXPECT_NEAR(s.percentile(100), 1000.0, 1e-9);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+
+  // Interleaved adds and queries agree with a one-shot Summary.
+  Summary interleaved, oneshot;
+  for (int i = 0; i < 50; ++i) {
+    const double x = (i * 37) % 50;
+    interleaved.add(x);
+    if (i % 7 == 0) interleaved.percentile(50);  // repeatedly warm the cache
+    oneshot.add(x);
+  }
+  for (double p : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(interleaved.percentile(p), oneshot.percentile(p));
+  }
+}
+
+TEST(SummaryTest, RepeatedPercentileCallsAreStable) {
+  Summary s;
+  for (int i = 100; i >= 1; --i) s.add(i);  // reverse order: sort must happen
+  const double first = s.percentile(90);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(s.percentile(90), first);
+  EXPECT_NEAR(first, 90.1, 1.0);
+}
+
 TEST(BackoffTest, EscalatesIntoYieldPhasePastCap) {
   Backoff b(4);
   EXPECT_FALSE(b.yielding());
