@@ -10,11 +10,15 @@
 # The snapshots are checked in so the numbers travel with the history; rerun
 # this after perf-relevant changes and commit the diff. Absolute numbers are
 # machine-dependent — compare shapes and ratios, not values, across hosts.
+# The workload seed is pinned (EFRB_BENCH_SEED, see bench/bench_common.hpp)
+# so successive regenerations draw the same key/op streams and the diff only
+# reflects code and machine, not RNG luck.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 : "${EFRB_BENCH_MS:=60}"
-export EFRB_BENCH_MS
+: "${EFRB_BENCH_SEED:=3405691582}"
+export EFRB_BENCH_MS EFRB_BENCH_SEED
 
 cmake -B build > /dev/null
 cmake --build build --target bench_throughput bench_latency > /dev/null

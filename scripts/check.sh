@@ -44,7 +44,7 @@ echo "=== observability: metrics + trace export round-trip ==="
 # readable artifacts; both must parse as JSON and carry the schema the docs
 # promise (docs/OBSERVABILITY.md).
 run ./build/tools/obs_probe --metrics build/obs_metrics.json \
-    --trace build/obs_trace.json --ms 40 > /dev/null
+    --trace build/obs_trace.json --duration 60 --interval 10 > /dev/null
 run python3 -m json.tool build/obs_metrics.json /dev/null
 run python3 -m json.tool build/obs_trace.json /dev/null
 python3 - <<'EOF'
@@ -52,27 +52,96 @@ import json
 m = json.load(open('build/obs_metrics.json'))
 for k in ('schema', 'schema_version', 'tool', 'cells'):
     assert k in m, f'metrics missing {k}'
-assert m['schema'] == 'efrb-metrics' and m['schema_version'] == 1, m['schema']
+assert m['schema'] == 'efrb-metrics' and m['schema_version'] == 2, m['schema']
 assert m['cells'], 'metrics document has no cells'
 cell = m['cells'][0]
-for k in ('name', 'config', 'result', 'tree_stats', 'gauges', 'latency'):
+for k in ('name', 'config', 'result', 'tree_stats', 'gauges', 'latency',
+          'timeseries', 'heatmap'):
     assert k in cell, f'cell missing {k}'
 for op in ('find', 'insert', 'erase', 'retried'):
     h = cell['latency'][op]
-    for k in ('count', 'mean_ns', 'p50_ns', 'p99_ns', 'buckets'):
+    for k in ('count', 'mean_ns', 'p50_ns', 'p99_ns', 'saturated', 'buckets'):
         assert k in h, f'latency[{op}] missing {k}'
 assert cell['latency']['insert']['count'] > 0, 'no latency samples recorded'
+ts = cell['timeseries']
+assert ts['samples'], 'timeseries has no samples'
+assert len(ts['windows']) == len(ts['samples']) - 1, 'windows != samples-1'
+for k in ('t_ns', 'ops', 'cas_attempts', 'cas_failures', 'helps', 'retries',
+          'retired', 'freed', 'backlog'):
+    assert k in ts['samples'][0], f'timeseries sample missing {k}'
+for k in ('t_ns', 'window_s', 'ops_per_s', 'cas_failure_rate', 'helps_per_s',
+          'retries_per_s', 'retired_per_s', 'freed_per_s', 'backlog_slope'):
+    assert k in ts['windows'][0], f'timeseries window missing {k}'
+hm = cell['heatmap']
+for k in ('key_range', 'buckets', 'dropped', 'strip', 'cells'):
+    assert k in hm, f'heatmap missing {k}'
+assert len(hm['cells']) == hm['buckets'], 'heatmap cell count != buckets'
+assert sum(c[0] for c in hm['cells']) > 0, 'heatmap recorded no attempts'
 t = json.load(open('build/obs_trace.json'))
 assert t.get('traceEvents'), 'trace has no events'
 phases = {e['ph'] for e in t['traceEvents']}
 assert 'B' in phases and 'E' in phases, f'no spans in trace: {phases}'
 print(f"observability OK: {len(t['traceEvents'])} trace events, "
-      f"{len(m['cells'])} metrics cell(s)")
+      f"{len(m['cells'])} metrics cell(s), {len(ts['samples'])} poll samples")
 EOF
 # The shared --json flag must work in every bench binary; smoke the heaviest.
 EFRB_BENCH_MS=20 run ./build/bench/bench_throughput \
     --json build/bench_throughput_smoke.json > /dev/null
 run python3 -m json.tool build/bench_throughput_smoke.json /dev/null
+
+echo "=== continuous telemetry: efrb_top headless + Prometheus exposition ==="
+# efrb_top --once renders a single plain frame (no escape codes) after the
+# run — the headless CI path. The frame must carry the windowed-rate table,
+# the heatmap strip, and the reclaim gauge line.
+run ./build/tools/efrb_top --once --ms 80 --interval 10 --threads 2 \
+    > build/efrb_top_once.txt
+for needle in 'ops/s' 'cas fail %' 'backlog slope' 'heatmap' 'reclaim' \
+    'poller samples'; do
+  grep -q "$needle" build/efrb_top_once.txt \
+    || { echo "efrb_top --once output missing '$needle'"; exit 1; }
+done
+# No live-mode escape codes may leak into the --once path.
+if grep -q $'\x1b' build/efrb_top_once.txt; then
+  echo "efrb_top --once emitted ANSI escapes"; exit 1
+fi
+# The shared --prom flag writes Prometheus text exposition; lint it line by
+# line against the exposition-format grammar (docs/OBSERVABILITY.md).
+EFRB_BENCH_MS=20 run ./build/bench/bench_throughput \
+    --prom build/bench_throughput_smoke.prom > /dev/null
+python3 - <<'EOF'
+import re
+NAME = r'[a-zA-Z_:][a-zA-Z0-9_:]*'
+LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"'
+sample_re = re.compile(rf'^({NAME})(?:\{{{LABEL}(?:,{LABEL})*\}})? (\S+)$')
+help_re = re.compile(rf'^# HELP ({NAME}) \S.*$')
+type_re = re.compile(rf'^# TYPE ({NAME}) (counter|gauge)$')
+typed, samples, pending_help = set(), 0, None
+for ln, line in enumerate(open('build/bench_throughput_smoke.prom'), 1):
+    line = line.rstrip('\n')
+    if not line:
+        continue
+    if line.startswith('# HELP'):
+        m = help_re.match(line)
+        assert m, f'line {ln}: malformed HELP: {line}'
+        assert m.group(1) not in typed, f'line {ln}: duplicate HELP for {m.group(1)}'
+        pending_help = m.group(1)
+    elif line.startswith('# TYPE'):
+        m = type_re.match(line)
+        assert m, f'line {ln}: malformed TYPE: {line}'
+        assert m.group(1) == pending_help, f'line {ln}: TYPE without its HELP'
+        typed.add(m.group(1))
+    else:
+        m = sample_re.match(line)
+        assert m, f'line {ln}: malformed sample: {line}'
+        assert m.group(1) in typed, f'line {ln}: sample before # TYPE'
+        float(m.group(2))  # raises on a malformed value
+        samples += 1
+assert samples > 0, 'prom exposition has no samples'
+for want in ('efrb_ops_total', 'efrb_cas_attempts_total',
+             'efrb_reclaim_backlog', 'efrb_throughput_mops'):
+    assert want in typed, f'prom exposition missing {want}'
+print(f'prometheus OK: {samples} samples across {len(typed)} metrics')
+EOF
 
 if [[ "$FAST" == "0" ]]; then
   echo "=== ASan + UBSan ==="

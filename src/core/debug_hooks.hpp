@@ -98,13 +98,23 @@ inline const char* to_string(HookPoint p) noexcept {
 /// path, which has no stable per-thread identity to report.
 inline constexpr unsigned kNoTid = ~0u;
 
+/// Key identity carried by hook emissions: the operation's key projected to
+/// uint64 by OpContext::set_op_key (key-space attribution for the contention
+/// heatmap, obs/heatmap.hpp), or kNoKey when the context does not track keys
+/// (the default — tracking is enabled per Traits via kTrackKeys) or the key
+/// type has no integral projection.
+inline constexpr std::uint64_t kNoKey = ~std::uint64_t{0};
+
 // ---------------------------------------------------------------------------
 // Hook dispatch shims. Every emission point in protocol.hpp calls through
 // these, passing the full site identity (step/point + the OpContext's thread
-// id). A Traits type may implement either the legacy arity —
-// on_cas(step, ok, node) / at(point) — or the extended, identity-aware one —
-// on_cas(step, ok, node, tid) / at(point, tid); the shim detects which at
-// compile time, so existing traits keep working unchanged.
+// id and operation key). A Traits type may implement any of three arities —
+// the legacy on_cas(step, ok, node) / at(point), the tid-aware
+// on_cas(step, ok, node, tid) / at(point, tid), or the key-aware
+// on_cas(step, ok, node, tid, key) / at(point, tid, key); the shim detects
+// the widest match at compile time, so existing traits keep working
+// unchanged. The key argument is kNoKey unless the OpContext was built with
+// key tracking enabled (Traits::kTrackKeys, see op_context.hpp).
 //
 // allow_cas is the fault-injection gate: a Traits exposing
 // allow_cas(step, node, tid) -> bool may veto a protocol CAS, which the call
@@ -115,8 +125,11 @@ inline constexpr unsigned kNoTid = ~0u;
 namespace hooks {
 
 template <typename Traits>
-inline void emit_cas(CasStep s, bool ok, const void* node, unsigned tid) {
-  if constexpr (requires { Traits::on_cas(s, ok, node, tid); }) {
+inline void emit_cas(CasStep s, bool ok, const void* node, unsigned tid,
+                     std::uint64_t key = kNoKey) {
+  if constexpr (requires { Traits::on_cas(s, ok, node, tid, key); }) {
+    Traits::on_cas(s, ok, node, tid, key);
+  } else if constexpr (requires { Traits::on_cas(s, ok, node, tid); }) {
     Traits::on_cas(s, ok, node, tid);
   } else {
     Traits::on_cas(s, ok, node);
@@ -124,8 +137,10 @@ inline void emit_cas(CasStep s, bool ok, const void* node, unsigned tid) {
 }
 
 template <typename Traits>
-inline void emit_at(HookPoint p, unsigned tid) {
-  if constexpr (requires { Traits::at(p, tid); }) {
+inline void emit_at(HookPoint p, unsigned tid, std::uint64_t key = kNoKey) {
+  if constexpr (requires { Traits::at(p, tid, key); }) {
+    Traits::at(p, tid, key);
+  } else if constexpr (requires { Traits::at(p, tid); }) {
     Traits::at(p, tid);
   } else {
     Traits::at(p);

@@ -55,9 +55,18 @@ template <typename Key, typename Value = detail::Unit,
           typename Compare = std::less<Key>,
           typename Reclaimer = EpochReclaimer, typename Traits = NoopTraits>
 class EfrbTreeMap {
+  // Key attribution is opt-in per Traits (obs/heatmap.hpp sets kTrackKeys);
+  // absent the member, contexts carry no key state and op_key() folds away.
+  static constexpr bool kTrackKeys = [] {
+    if constexpr (requires { Traits::kTrackKeys; }) {
+      return static_cast<bool>(Traits::kTrackKeys);
+    } else {
+      return false;
+    }
+  }();
   // One OpContext instantiation serves both the tree-level path and the
   // Handle fast path: they drive the SAME instantiation of the core.
-  using Ctx = OpContext<Reclaimer, Traits::kCountStats>;
+  using Ctx = OpContext<Reclaimer, Traits::kCountStats, kTrackKeys>;
   using Core = TreeCore<Key, Value, Compare, Traits, Ctx>;
   using Layout = typename Core::Layout;
   using Shards =

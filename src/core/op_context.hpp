@@ -26,6 +26,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "core/debug_hooks.hpp"
@@ -154,7 +155,13 @@ inline std::uint64_t next_handle_seed() noexcept {
 /// The single per-operation context threaded through search / protocol /
 /// ordered code. Resolved statically — no virtual dispatch; the only dynamic
 /// decision is the retire-sink branch, taken once per (rare) retire call.
-template <typename Reclaimer, bool kCount>
+///
+/// kTrackKeys (default off) enables key attribution: the protocol layer calls
+/// set_op_key() at each operation entry and forwards op_key() into every hook
+/// emission, so key-aware traits (obs/heatmap.hpp) can bucket contention
+/// events by key range. When off, set_op_key is a no-op and op_key() folds to
+/// the kNoKey constant — the uninstrumented path carries no key state.
+template <typename Reclaimer, bool kCount, bool kTrackKeys = false>
 class OpContext {
  public:
   using Attachment = typename Reclaimer::Attachment;
@@ -215,6 +222,30 @@ class OpContext {
   /// every hook emission in the protocol layer.
   unsigned tid() const noexcept { return tid_; }
 
+  /// Key attribution for hook emissions. The protocol layer stamps the
+  /// operation's key at each public entry point; keys without an integral
+  /// projection stay kNoKey. Compiled out entirely unless kTrackKeys.
+  template <typename K>
+  void set_op_key(const K& k) noexcept {
+    if constexpr (kTrackKeys) {
+      if constexpr (std::is_convertible_v<const K&, std::uint64_t>) {
+        op_key_ = static_cast<std::uint64_t>(k);
+      }
+    } else {
+      (void)k;
+    }
+  }
+
+  /// The current operation's key (kNoKey when untracked), forwarded to every
+  /// hook emission in the protocol layer.
+  std::uint64_t op_key() const noexcept {
+    if constexpr (kTrackKeys) {
+      return op_key_;
+    } else {
+      return kNoKey;
+    }
+  }
+
   void count_insert_attempt() noexcept { bump(&StatCounters::insert_attempts); }
   void count_insert_retry() noexcept { bump(&StatCounters::insert_retries); }
   void count_delete_attempt() noexcept { bump(&StatCounters::delete_attempts); }
@@ -248,6 +279,7 @@ class OpContext {
   Backoff* backoff_ = nullptr;
   unsigned tid_ = kNoTid;
   bool* retried_out_ = nullptr;
+  [[maybe_unused]] std::uint64_t op_key_ = kNoKey;
 };
 
 }  // namespace efrb

@@ -7,11 +7,14 @@
 // search.hpp. Comments of the form "line N" refer to the paper's pseudocode
 // line numbers.
 //
-// Every protocol CAS emits hooks::emit_cas<Traits>(step, ok, node, tid)
-// immediately after executing and hooks::emit_at<Traits>(point, tid) at the
-// named pause points — the full step+thread identity of the site, keyed on by
-// the fault-injection layer (src/inject/) and pinned down by the
-// schedule-sweep and state-machine suites. Each CAS is additionally gated on
+// Every protocol CAS emits hooks::emit_cas<Traits>(step, ok, node, tid, key)
+// immediately after executing and hooks::emit_at<Traits>(point, tid, key) at
+// the named pause points — the full step+thread+key identity of the site,
+// keyed on by the fault-injection layer (src/inject/), pinned down by the
+// schedule-sweep and state-machine suites, and bucketed by the contention
+// heatmap (obs/heatmap.hpp). The key comes from ctx.set_op_key(), stamped at
+// each public entry point below; it is the kNoKey constant (and costs
+// nothing) unless the OpContext was instantiated with key tracking. Each CAS is additionally gated on
 // hooks::allow_cas<Traits>(step, node, tid): a vetoed CAS is treated exactly
 // like one that lost its race (the fault model forced-failure injection
 // relies on; a Traits without the member compiles the gate away). Each
@@ -112,6 +115,7 @@ class TreeCore {
   // ---------------- Search (lines 23-35) ----------------
 
   SearchResult search(const Key& k, Ctx& ctx) const {
+    ctx.set_op_key(k);
     // Under the §6 Traits::kSearchHelpsMarked variant the descent splices out
     // marked nodes it meets; otherwise the callback is compiled away inside
     // search_path and the Search is read-only.
@@ -147,7 +151,7 @@ class TreeCore {
     ctx.begin_op();
     for (;;) {
       const SearchResult s = search(k, ctx);  // line 49
-      hooks::emit_at<Traits>(HookPoint::kAfterSearch, ctx.tid());
+      hooks::emit_at<Traits>(HookPoint::kAfterSearch, ctx.tid(), ctx.op_key());
       if (cmp_.equals(k, s.l->key)) {  // line 50: duplicate key
         if (!assign_if_present) {
           delete new_leaf;  // never published
@@ -160,7 +164,7 @@ class TreeCore {
         if (s.pupdate.state() != UpdateState::kClean) {
           help(s.pupdate, ctx);
           ctx.count_insert_retry();
-          hooks::emit_at<Traits>(HookPoint::kInsertRetry, ctx.tid());
+          hooks::emit_at<Traits>(HookPoint::kInsertRetry, ctx.tid(), ctx.op_key());
           ctx.retry_pause();
           continue;
         }
@@ -174,7 +178,7 @@ class TreeCore {
       if (s.pupdate.state() != UpdateState::kClean) {  // line 51
         help(s.pupdate, ctx);
         ctx.count_insert_retry();
-        hooks::emit_at<Traits>(HookPoint::kInsertRetry, ctx.tid());
+        hooks::emit_at<Traits>(HookPoint::kInsertRetry, ctx.tid(), ctx.op_key());
         ctx.retry_pause();
         continue;
       }
@@ -213,7 +217,7 @@ class TreeCore {
     ctx.begin_op();
     for (;;) {
       const SearchResult s = search(k, ctx);
-      hooks::emit_at<Traits>(HookPoint::kAfterSearch, ctx.tid());
+      hooks::emit_at<Traits>(HookPoint::kAfterSearch, ctx.tid(), ctx.op_key());
       if (!cmp_.equals(k, s.l->key) || !(s.l->value == expected)) {
         delete new_leaf;  // never published
         ctx.end_op();
@@ -222,7 +226,7 @@ class TreeCore {
       if (s.pupdate.state() != UpdateState::kClean) {
         help(s.pupdate, ctx);
         ctx.count_insert_retry();
-        hooks::emit_at<Traits>(HookPoint::kInsertRetry, ctx.tid());
+        hooks::emit_at<Traits>(HookPoint::kInsertRetry, ctx.tid(), ctx.op_key());
         ctx.retry_pause();
         continue;
       }
@@ -243,7 +247,7 @@ class TreeCore {
     ctx.begin_op();
     for (;;) {
       const SearchResult s = search(k, ctx);  // line 75
-      hooks::emit_at<Traits>(HookPoint::kAfterSearch, ctx.tid());
+      hooks::emit_at<Traits>(HookPoint::kAfterSearch, ctx.tid(), ctx.op_key());
       if (!cmp_.equals(k, s.l->key)) {  // line 76
         ctx.end_op();
         return false;
@@ -251,14 +255,14 @@ class TreeCore {
       if (s.gpupdate.state() != UpdateState::kClean) {  // line 77
         help(s.gpupdate, ctx);
         ctx.count_delete_retry();
-        hooks::emit_at<Traits>(HookPoint::kDeleteRetry, ctx.tid());
+        hooks::emit_at<Traits>(HookPoint::kDeleteRetry, ctx.tid(), ctx.op_key());
         ctx.retry_pause();
         continue;
       }
       if (s.pupdate.state() != UpdateState::kClean) {  // line 78
         help(s.pupdate, ctx);
         ctx.count_delete_retry();
-        hooks::emit_at<Traits>(HookPoint::kDeleteRetry, ctx.tid());
+        hooks::emit_at<Traits>(HookPoint::kDeleteRetry, ctx.tid(), ctx.op_key());
         ctx.retry_pause();
         continue;
       }
@@ -273,13 +277,13 @@ class TreeCore {
       const bool ok =
           hooks::allow_cas<Traits>(CasStep::kDFlag, s.gp, ctx.tid()) &&
           s.gp->update.compare_exchange(expected, flagged);
-      hooks::emit_cas<Traits>(CasStep::kDFlag, ok, s.gp, ctx.tid());  // line 81: dflag CAS
+      hooks::emit_cas<Traits>(CasStep::kDFlag, ok, s.gp, ctx.tid(), ctx.op_key());  // line 81: dflag CAS
       ctx.count_cas(CasStep::kDFlag, ok);
       ctx.count_delete_attempt();
       if (ok) {
         // Last shared reference to the record behind gp's old Clean word.
         if (Info* prev = s.gpupdate.info()) ctx.retire(prev);
-        hooks::emit_at<Traits>(HookPoint::kAfterDFlag, ctx.tid());
+        hooks::emit_at<Traits>(HookPoint::kAfterDFlag, ctx.tid(), ctx.op_key());
         if (help_delete(op, ctx)) {  // line 83
           ctx.end_op();
           return true;
@@ -287,13 +291,13 @@ class TreeCore {
         // Mark failed; the DFlag has been backtracked and op retired by the
         // backtrack winner. Retry from scratch (line 98's False return).
         ctx.count_delete_retry();
-        hooks::emit_at<Traits>(HookPoint::kDeleteRetry, ctx.tid());
+        hooks::emit_at<Traits>(HookPoint::kDeleteRetry, ctx.tid(), ctx.op_key());
         ctx.retry_pause();
       } else {
         delete op;            // never published; safe to free immediately
         help(expected, ctx);  // line 85: help whoever owns gp now
         ctx.count_delete_retry();
-        hooks::emit_at<Traits>(HookPoint::kDeleteRetry, ctx.tid());
+        hooks::emit_at<Traits>(HookPoint::kDeleteRetry, ctx.tid(), ctx.op_key());
         ctx.retry_pause();
       }
     }
@@ -310,36 +314,36 @@ class TreeCore {
     const bool ok =
         hooks::allow_cas<Traits>(CasStep::kIFlag, s.p, ctx.tid()) &&
         s.p->update.compare_exchange(expected, flagged);
-    hooks::emit_cas<Traits>(CasStep::kIFlag, ok, s.p, ctx.tid());  // line 56: iflag CAS
+    hooks::emit_cas<Traits>(CasStep::kIFlag, ok, s.p, ctx.tid(), ctx.op_key());  // line 56: iflag CAS
     ctx.count_cas(CasStep::kIFlag, ok);
     ctx.count_insert_attempt();
     if (ok) {
       // This CAS removed the last shared reference to the Info record that
       // the previous (Clean) word pointed to: retire it now.
       if (Info* prev = s.pupdate.info()) ctx.retire(prev);
-      hooks::emit_at<Traits>(HookPoint::kAfterIFlag, ctx.tid());
+      hooks::emit_at<Traits>(HookPoint::kAfterIFlag, ctx.tid(), ctx.op_key());
       help_insert(op, ctx);  // line 58
       return true;           // line 59
     }
     delete op;            // never published
     help(expected, ctx);  // line 61: the witnessed value blocked us
     ctx.count_insert_retry();
-    hooks::emit_at<Traits>(HookPoint::kInsertRetry, ctx.tid());
+    hooks::emit_at<Traits>(HookPoint::kInsertRetry, ctx.tid(), ctx.op_key());
     return false;
   }
 
   // ---------------- HelpInsert (lines 64-68) ----------------
   void help_insert(IInfo* op, Ctx& ctx) {
     EFRB_DCHECK(op != nullptr);
-    hooks::emit_at<Traits>(HookPoint::kBeforeIChild, ctx.tid());
+    hooks::emit_at<Traits>(HookPoint::kBeforeIChild, ctx.tid(), ctx.op_key());
     cas_child(op->p, op->l, op->new_node, CasStep::kIChild, ctx);  // line 66
-    hooks::emit_at<Traits>(HookPoint::kBeforeIUnflag, ctx.tid());
+    hooks::emit_at<Traits>(HookPoint::kBeforeIUnflag, ctx.tid(), ctx.op_key());
     Update expected = Update::make(UpdateState::kIFlag, op);
     const Update clean = Update::make(UpdateState::kClean, op);
     const bool ok =
         hooks::allow_cas<Traits>(CasStep::kIUnflag, op->p, ctx.tid()) &&
         op->p->update.compare_exchange(expected, clean);
-    hooks::emit_cas<Traits>(CasStep::kIUnflag, ok, op->p, ctx.tid());  // line 67: iunflag CAS
+    hooks::emit_cas<Traits>(CasStep::kIUnflag, ok, op->p, ctx.tid(), ctx.op_key());  // line 67: iunflag CAS
     ctx.count_cas(CasStep::kIUnflag, ok);
     if (ok) {
       // §6 retirement point: the unique iunflag winner retires the replaced
@@ -354,13 +358,13 @@ class TreeCore {
   // ---------------- HelpDelete (lines 88-99) ----------------
   bool help_delete(DInfo* op, Ctx& ctx) {
     EFRB_DCHECK(op != nullptr);
-    hooks::emit_at<Traits>(HookPoint::kBeforeMark, ctx.tid());
+    hooks::emit_at<Traits>(HookPoint::kBeforeMark, ctx.tid(), ctx.op_key());
     Update expected = op->pupdate;
     const Update marked = Update::make(UpdateState::kMark, op);
     const bool ok =
         hooks::allow_cas<Traits>(CasStep::kMark, op->p, ctx.tid()) &&
         op->p->update.compare_exchange(expected, marked);
-    hooks::emit_cas<Traits>(CasStep::kMark, ok, op->p, ctx.tid());  // line 91: mark CAS
+    hooks::emit_cas<Traits>(CasStep::kMark, ok, op->p, ctx.tid(), ctx.op_key());  // line 91: mark CAS
     ctx.count_cas(CasStep::kMark, ok);
     if (ok) {
       // The mark overwrote p's Clean word — retire the record it referenced.
@@ -373,13 +377,13 @@ class TreeCore {
     // Mark failed because of a conflicting operation on p (e.g. a concurrent
     // Insert replaced the leaf — the scenario in Fig. 5's doomed Delete).
     help(expected, ctx);  // line 97
-    hooks::emit_at<Traits>(HookPoint::kBeforeBacktrack, ctx.tid());
+    hooks::emit_at<Traits>(HookPoint::kBeforeBacktrack, ctx.tid(), ctx.op_key());
     Update exp2 = Update::make(UpdateState::kDFlag, op);
     const Update clean = Update::make(UpdateState::kClean, op);
     const bool back =
         hooks::allow_cas<Traits>(CasStep::kBacktrack, op->gp, ctx.tid()) &&
         op->gp->update.compare_exchange(exp2, clean);
-    hooks::emit_cas<Traits>(CasStep::kBacktrack, back, op->gp, ctx.tid());  // line 98
+    hooks::emit_cas<Traits>(CasStep::kBacktrack, back, op->gp, ctx.tid(), ctx.op_key());  // line 98
     ctx.count_cas(CasStep::kBacktrack, back);
     if (back) ctx.count_backtrack();
     // `op` stays referenced by gp's (Clean, op) word; whichever CAS later
@@ -398,15 +402,15 @@ class TreeCore {
     } else {
       other = op->p->right.load(std::memory_order_acquire);
     }
-    hooks::emit_at<Traits>(HookPoint::kBeforeDChild, ctx.tid());
+    hooks::emit_at<Traits>(HookPoint::kBeforeDChild, ctx.tid(), ctx.op_key());
     cas_child(op->gp, op->p, other, CasStep::kDChild, ctx);  // line 105
-    hooks::emit_at<Traits>(HookPoint::kBeforeDUnflag, ctx.tid());
+    hooks::emit_at<Traits>(HookPoint::kBeforeDUnflag, ctx.tid(), ctx.op_key());
     Update expected = Update::make(UpdateState::kDFlag, op);
     const Update clean = Update::make(UpdateState::kClean, op);
     const bool ok =
         hooks::allow_cas<Traits>(CasStep::kDUnflag, op->gp, ctx.tid()) &&
         op->gp->update.compare_exchange(expected, clean);
-    hooks::emit_cas<Traits>(CasStep::kDUnflag, ok, op->gp, ctx.tid());  // line 106
+    hooks::emit_cas<Traits>(CasStep::kDUnflag, ok, op->gp, ctx.tid(), ctx.op_key());  // line 106
     ctx.count_cas(CasStep::kDUnflag, ok);
     if (ok) {
       // §6 retirement point: the unique dunflag winner retires the spliced-out
@@ -425,7 +429,7 @@ class TreeCore {
   void help(Update u, Ctx& ctx) {
     if (u.state() == UpdateState::kClean) return;
     ctx.count_help();
-    hooks::emit_at<Traits>(HookPoint::kBeforeHelp, ctx.tid());
+    hooks::emit_at<Traits>(HookPoint::kBeforeHelp, ctx.tid(), ctx.op_key());
     switch (u.state()) {
       case UpdateState::kIFlag:
         help_insert(static_cast<IInfo*>(u.info()), ctx);
@@ -439,7 +443,7 @@ class TreeCore {
       case UpdateState::kClean:
         break;
     }
-    hooks::emit_at<Traits>(HookPoint::kAfterHelp, ctx.tid());
+    hooks::emit_at<Traits>(HookPoint::kAfterHelp, ctx.tid(), ctx.op_key());
   }
 
   // ---------------- CAS-Child (lines 113-118) ----------------
@@ -458,7 +462,7 @@ class TreeCore {
         child.compare_exchange_strong(expected, new_node,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire);
-    hooks::emit_cas<Traits>(step, ok, parent, ctx.tid());
+    hooks::emit_cas<Traits>(step, ok, parent, ctx.tid(), ctx.op_key());
     ctx.count_cas(step, ok);
   }
 

@@ -1,0 +1,206 @@
+// Key-space contention heatmap: where in the key range is the protocol
+// fighting?
+//
+// EFRB's cost model (helping, backtrack CAS, insert/delete retries) is driven
+// by contention that is localized in key ranges — a Zipfian workload hammers
+// a handful of hot leaves while the rest of the tree runs uncontended, and
+// whole-run aggregates (TreeStats) average that signal away. KeyHeatmap
+// splits [0, key_range) into N equal buckets and counts, per bucket, the
+// contention events the hook seams already emit:
+//
+//   * attempts        — operation rounds (HookPoint::kAfterSearch)
+//   * cas_failures    — protocol CAS that lost its race (on_cas with !ok)
+//   * helps           — help dispatches entered (HookPoint::kBeforeHelp),
+//                       attributed to the key of the operation that was
+//                       blocked (that is where the conflict lives)
+//   * retries         — insert/delete retry rounds (kInsertRetry/kDeleteRetry)
+//
+// Counters are cache-padded relaxed atomics — one line per bucket, never
+// synchronization — so concurrent recording from every worker thread is
+// wait-free and a live snapshot is racy-but-consistent per counter (the same
+// policy as StatCounters and LatencyHistogram).
+//
+// Feeding it: HeatmapTraits is a debug-hooks Traits whose key-aware hooks
+// (on_cas(step, ok, node, tid, key) / at(point, tid, key); see the shims in
+// core/debug_hooks.hpp) forward to an installed heatmap. It sets
+// kTrackKeys = true, which makes the tree's OpContext stamp each operation's
+// key at entry (core/protocol.hpp) — the uninstrumented NoopTraits
+// instantiation is untouched, and events whose context carries no key
+// (kNoKey: tree-level calls on non-integral keys) are counted in dropped(),
+// never misattributed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/debug_hooks.hpp"
+#include "util/assert.hpp"
+#include "util/cacheline.hpp"
+
+namespace efrb::obs {
+
+/// Plain snapshot of one bucket's counters (the read side; see
+/// KeyHeatmap::snapshot).
+struct HeatBucket {
+  std::uint64_t attempts = 0;
+  std::uint64_t cas_failures = 0;
+  std::uint64_t helps = 0;
+  std::uint64_t retries = 0;
+
+  /// The contention signal the acceptance criteria key on: everything that
+  /// is not a clean first-attempt pass.
+  std::uint64_t contended() const noexcept {
+    return cas_failures + helps + retries;
+  }
+};
+
+class KeyHeatmap {
+  struct Cell {
+    std::atomic<std::uint64_t> attempts{0};
+    std::atomic<std::uint64_t> cas_failures{0};
+    std::atomic<std::uint64_t> helps{0};
+    std::atomic<std::uint64_t> retries{0};
+  };
+
+ public:
+  /// Buckets cover [0, key_range) in N equal-width ranges; keys >= key_range
+  /// (and the kNoKey sentinel) are counted as dropped, not binned.
+  explicit KeyHeatmap(std::uint64_t key_range, std::size_t buckets = 64)
+      : range_(key_range == 0 ? 1 : key_range),
+        cells_(buckets == 0 ? 1 : buckets),
+        // Per-bucket width, rounded up so bucket_of(range-1) stays in range.
+        width_((range_ + cells_.size() - 1) / cells_.size()) {}
+
+  std::size_t buckets() const noexcept { return cells_.size(); }
+  std::uint64_t key_range() const noexcept { return range_; }
+
+  /// Bucket index for a key, or buckets() when the key is not attributable
+  /// (kNoKey or outside [0, key_range)).
+  std::size_t bucket_of(std::uint64_t key) const noexcept {
+    if (key >= range_) return cells_.size();  // also catches kNoKey
+    return static_cast<std::size_t>(key / width_);
+  }
+
+  void record_attempt(std::uint64_t key) noexcept {
+    bump(key, &Cell::attempts);
+  }
+  void record_cas_failure(std::uint64_t key) noexcept {
+    bump(key, &Cell::cas_failures);
+  }
+  void record_help(std::uint64_t key) noexcept { bump(key, &Cell::helps); }
+  void record_retry(std::uint64_t key) noexcept { bump(key, &Cell::retries); }
+
+  /// Events that carried no attributable key (kNoKey / out-of-range).
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Relaxed snapshot, one HeatBucket per range bucket. Safe against
+  /// concurrent recording (each counter is read atomically; the set is a
+  /// consistent-enough picture of a moving target).
+  std::vector<HeatBucket> snapshot() const {
+    std::vector<HeatBucket> out(cells_.size());
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      const Cell& c = cells_[i].value;
+      out[i].attempts = c.attempts.load(std::memory_order_relaxed);
+      out[i].cas_failures = c.cas_failures.load(std::memory_order_relaxed);
+      out[i].helps = c.helps.load(std::memory_order_relaxed);
+      out[i].retries = c.retries.load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  void clear() noexcept {
+    for (auto& padded : cells_) {
+      padded.value.attempts.store(0, std::memory_order_relaxed);
+      padded.value.cas_failures.store(0, std::memory_order_relaxed);
+      padded.value.helps.store(0, std::memory_order_relaxed);
+      padded.value.retries.store(0, std::memory_order_relaxed);
+    }
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+  /// One-line ASCII intensity strip over the contended() counts — the
+  /// "where is it hot" glance efrb_top renders per refresh. Intensity is
+  /// linear in each bucket's share of the maximum.
+  static std::string ascii_strip(const std::vector<HeatBucket>& buckets) {
+    static constexpr char kRamp[] = " .:-=+*#%@";
+    static constexpr std::size_t kLevels = sizeof(kRamp) - 2;  // max index
+    std::uint64_t peak = 0;
+    for (const HeatBucket& b : buckets) {
+      peak = b.contended() > peak ? b.contended() : peak;
+    }
+    std::string out;
+    out.reserve(buckets.size());
+    for (const HeatBucket& b : buckets) {
+      const std::size_t level =
+          peak == 0 ? 0
+                    : static_cast<std::size_t>((b.contended() * kLevels +
+                                                peak - 1) /
+                                               peak);
+      out += kRamp[level > kLevels ? kLevels : level];
+    }
+    return out;
+  }
+
+ private:
+  void bump(std::uint64_t key,
+            std::atomic<std::uint64_t> Cell::* field) noexcept {
+    const std::size_t i = bucket_of(key);
+    if (i >= cells_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    (cells_[i].value.*field).fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t range_;
+  std::vector<CachePadded<Cell>> cells_;
+  std::uint64_t width_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Debug-hooks Traits feeding an installed KeyHeatmap through the key-aware
+/// hook arity. Same install/reset discipline as TraceTraits/CallbackTraits;
+/// with no heatmap installed the hooks are one predictable branch. Stats stay
+/// enabled so a heatmapped tree also reports its per-step breakdown, and
+/// kTrackKeys makes the tree's contexts stamp operation keys.
+struct HeatmapTraits {
+  static constexpr bool kCountStats = true;
+  static constexpr bool kSearchHelpsMarked = false;
+  static constexpr bool kTrackKeys = true;
+
+  // NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
+  static inline KeyHeatmap* heatmap = nullptr;
+
+  static void install(KeyHeatmap* h) noexcept { heatmap = h; }
+  static void reset() noexcept { heatmap = nullptr; }
+
+  static void on_cas(CasStep /*step*/, bool ok, const void* /*node*/,
+                     unsigned /*tid*/, std::uint64_t key) {
+    if (!ok && heatmap != nullptr) heatmap->record_cas_failure(key);
+  }
+
+  static void at(HookPoint p, unsigned /*tid*/, std::uint64_t key) {
+    if (heatmap == nullptr) return;
+    switch (p) {
+      case HookPoint::kAfterSearch:
+        heatmap->record_attempt(key);
+        break;
+      case HookPoint::kBeforeHelp:
+        heatmap->record_help(key);
+        break;
+      case HookPoint::kInsertRetry:
+      case HookPoint::kDeleteRetry:
+        heatmap->record_retry(key);
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+}  // namespace efrb::obs

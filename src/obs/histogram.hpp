@@ -41,7 +41,8 @@ class LatencyHistogram {
   static constexpr unsigned kSubBits = 5;
   static constexpr std::uint64_t kSubCount = std::uint64_t{1} << kSubBits;
   /// Largest representable value (~2^38 ns ≈ 4.6 minutes); larger samples
-  /// are clamped into the top bucket rather than dropped.
+  /// are clamped into the top bucket rather than dropped, and counted in
+  /// saturated() so consumers can tell a clamped tail from a measured one.
   static constexpr unsigned kMaxValueBits = 38;
   static constexpr std::uint64_t kMaxValue =
       (std::uint64_t{1} << kMaxValueBits) - 1;
@@ -82,14 +83,28 @@ class LatencyHistogram {
   }
 
   /// Wait-free, allocation-free; see the header comment for the contract.
+  /// Values above kMaxValue are clamped into the top bucket AND counted in
+  /// saturated(): the clamp keeps quantiles usable, the counter keeps the
+  /// clamping honest — a nonzero saturated() means max/p999 are floor
+  /// estimates, not measurements.
   void record(std::uint64_t v) noexcept {
     buckets_[index_of(v)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
-    sum_.fetch_add(v > kMaxValue ? kMaxValue : v, std::memory_order_relaxed);
+    if (v > kMaxValue) {
+      saturated_.fetch_add(1, std::memory_order_relaxed);
+      v = kMaxValue;
+    }
+    sum_.fetch_add(v, std::memory_order_relaxed);
   }
 
   std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Records that exceeded the representable domain and were clamped into
+  /// the top bucket.
+  std::uint64_t saturated() const noexcept {
+    return saturated_.load(std::memory_order_relaxed);
   }
 
   double mean() const noexcept {
@@ -111,12 +126,15 @@ class LatencyHistogram {
                      std::memory_order_relaxed);
     sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
+    saturated_.fetch_add(other.saturated_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
   }
 
   void clear() noexcept {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
+    saturated_.store(0, std::memory_order_relaxed);
   }
 
   /// p in [0,100]: upper bound of the bucket holding the nearest-rank order
@@ -174,6 +192,7 @@ class LatencyHistogram {
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> saturated_{0};
 };
 
 static_assert(LatencyHistogram::index_of(0) == 0);

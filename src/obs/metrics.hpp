@@ -5,10 +5,10 @@
 // external tooling) consume one self-describing format instead of scraping
 // text tables.
 //
-// Document shape (kMetricsSchemaVersion = 1):
+// Document shape (kMetricsSchemaVersion = 2):
 //   {
 //     "schema": "efrb-metrics",
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "tool": "<bench binary name>",
 //     "cells": [
 //       {
@@ -17,14 +17,23 @@
 //         "result": { finds, inserts, ..., seconds, mops },
 //         "tree_stats": { ... },         // optional, when counted
 //         "gauges": { ... },             // optional, when exposed
-//         "latency": {                   // optional, when sampled
-//           "find": { histogram }, "insert": ..., "erase": ..., "retried": ...
-//         }
+//         "latency": {                   // optional, when sampled; each
+//           "find": { histogram }, ...   // histogram carries "saturated"
+//         },
+//         "timeseries": {                // optional, when a poller ran
+//           "samples": [...], "windows": [...]
+//         },
+//         "heatmap": { ... }             // optional, when a heatmap fed
 //       }, ...
 //     ]
 //   }
-// Consumers MUST ignore unknown keys; producers bump kMetricsSchemaVersion
-// only on breaking changes (removing/renaming keys or changing meanings).
+// v1 -> v2: histograms gained the "saturated" count (records clamped into
+// the top bucket), and cells gained the optional "timeseries" (windowed-rate
+// series from obs/timeseries.hpp) and "heatmap" (key-space contention from
+// obs/heatmap.hpp) sections. Consumers MUST ignore unknown keys; producers
+// bump kMetricsSchemaVersion only on breaking changes (removing/renaming
+// keys or changing meanings — the v2 bump marks the "saturated" semantics
+// change: the top bucket now separates measured tail from clamp artifacts).
 // docs/OBSERVABILITY.md is the schema's prose home.
 #pragma once
 
@@ -34,14 +43,16 @@
 #include <utility>
 
 #include "core/op_context.hpp"
+#include "obs/heatmap.hpp"
 #include "obs/histogram.hpp"
 #include "obs/json.hpp"
+#include "obs/timeseries.hpp"
 #include "reclaim/reclaimer.hpp"
 #include "workload/runner.hpp"
 
 namespace efrb::obs {
 
-inline constexpr int kMetricsSchemaVersion = 1;
+inline constexpr int kMetricsSchemaVersion = 2;
 
 inline void append_config(JsonWriter& w, const WorkloadConfig& cfg) {
   w.begin_object();
@@ -117,6 +128,7 @@ inline void append_histogram(JsonWriter& w, const LatencyHistogram& h) {
   w.key("p90_ns").value(h.percentile(90));
   w.key("p99_ns").value(h.percentile(99));
   w.key("p999_ns").value(h.percentile(99.9));
+  w.key("saturated").value(h.saturated());
   w.key("buckets").begin_array();
   h.for_each_bucket([&w](std::uint64_t lo, std::uint64_t /*hi*/,
                          std::uint64_t count) {
@@ -136,6 +148,67 @@ inline void append_latency(JsonWriter& w, const LatencySamples& lat) {
   append_histogram(w, lat.erase);
   w.key("retried");
   append_histogram(w, lat.retried);
+  w.end_object();
+}
+
+/// Time-series section: the raw cumulative samples (so consumers can rebin
+/// or recompute) plus the derived windowed rates, both oldest first.
+inline void append_timeseries(JsonWriter& w,
+                              const std::vector<PollSample>& samples) {
+  w.begin_object();
+  w.key("samples").begin_array();
+  for (const PollSample& s : samples) {
+    w.begin_object();
+    w.key("t_ns").value(s.t_ns);
+    w.key("ops").value(s.ops);
+    w.key("cas_attempts").value(s.cas_attempts_total());
+    w.key("cas_failures").value(s.cas_failures_total());
+    w.key("helps").value(s.stats.helps);
+    w.key("retries").value(s.stats.insert_retries + s.stats.delete_retries);
+    w.key("retired").value(s.gauges.retired_total);
+    w.key("freed").value(s.gauges.freed_total);
+    w.key("backlog").value(s.gauges.backlog());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("windows").begin_array();
+  for (const WindowRates& r : window_rates(samples)) {
+    w.begin_object();
+    w.key("t_ns").value(r.t_ns);
+    w.key("window_s").value(r.window_s);
+    w.key("ops_per_s").value(r.ops_per_s);
+    w.key("cas_failure_rate").value(r.cas_failure_rate);
+    w.key("helps_per_s").value(r.helps_per_s);
+    w.key("retries_per_s").value(r.retries_per_s);
+    w.key("retired_per_s").value(r.retired_per_s);
+    w.key("freed_per_s").value(r.freed_per_s);
+    w.key("backlog_slope").value(r.backlog_slope);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+/// Heatmap section: bucket geometry plus one [attempts, cas_failures, helps,
+/// retries] row per key-range bucket (dense — bucket index is the array
+/// position), and the ASCII strip for humans paging through raw JSON.
+inline void append_heatmap(JsonWriter& w, const KeyHeatmap& h) {
+  const std::vector<HeatBucket> buckets = h.snapshot();
+  w.begin_object();
+  w.key("key_range").value(h.key_range());
+  w.key("buckets").value(static_cast<std::uint64_t>(h.buckets()));
+  w.key("dropped").value(h.dropped());
+  w.key("strip").value(KeyHeatmap::ascii_strip(buckets));
+  w.key("cells").begin_array();
+  for (const HeatBucket& b : buckets) {
+    w.begin_array()
+        .value(b.attempts)
+        .value(b.cas_failures)
+        .value(b.helps)
+        .value(b.retries)
+        .end_array();
+  }
+  w.end_array();
   w.end_object();
 }
 
@@ -162,12 +235,14 @@ class MetricsDocument {
   }
   void end_cell() { w_.end_object(); }
 
-  /// The common whole cell: config + result, plus stats/gauges/latency when
-  /// provided.
+  /// The common whole cell: config + result, plus stats/gauges/latency/
+  /// timeseries/heatmap when provided.
   void add_cell(std::string_view name, const WorkloadConfig& cfg,
                 const WorkloadResult& res, const TreeStats* stats = nullptr,
                 const ReclaimGauges* gauges = nullptr,
-                const LatencySamples* latency = nullptr) {
+                const LatencySamples* latency = nullptr,
+                const std::vector<PollSample>* timeseries = nullptr,
+                const KeyHeatmap* heatmap = nullptr) {
     begin_cell(name);
     w_.key("config");
     append_config(w_, cfg);
@@ -184,6 +259,14 @@ class MetricsDocument {
     if (latency != nullptr) {
       w_.key("latency");
       append_latency(w_, *latency);
+    }
+    if (timeseries != nullptr) {
+      w_.key("timeseries");
+      append_timeseries(w_, *timeseries);
+    }
+    if (heatmap != nullptr) {
+      w_.key("heatmap");
+      append_heatmap(w_, *heatmap);
     }
     end_cell();
   }

@@ -1,0 +1,299 @@
+// Prometheus text exposition (version 0.0.4), dependency-free.
+//
+// PromWriter collects (name, type, help, labels, value) samples and renders
+// the standard scrape format: samples grouped by metric name in first-seen
+// order, one `# HELP` / `# TYPE` pair per name, label values escaped per the
+// exposition rules (backslash, double quote, newline). This is the second
+// export surface next to the efrb-metrics JSON document (obs/metrics.hpp):
+// JSON is the archival/trajectory format, exposition is what node_exporter-
+// style scrapers and promtool understand. Benchmarks write it behind the
+// shared `--prom <path>` flag (bench/bench_common.hpp); scripts/check.sh
+// lints the output shape.
+//
+// The append_*_prom helpers mirror the JSON append_* helpers one-to-one so
+// the two exports cannot drift: same source structs, same counter meanings,
+// only the serialization differs. Metric naming follows the Prometheus
+// conventions: `efrb_` namespace prefix, `_total` suffix on monotone
+// counters, base-unit suffixes (`_seconds`, `_ns` for the latency domain the
+// histograms measure in).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/op_context.hpp"
+#include "obs/heatmap.hpp"
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "obs/timeseries.hpp"
+#include "reclaim/reclaimer.hpp"
+#include "util/assert.hpp"
+#include "workload/runner.hpp"
+
+namespace efrb::obs {
+
+enum class PromType { kGauge, kCounter };
+
+inline std::string_view to_string(PromType t) noexcept {
+  return t == PromType::kCounter ? "counter" : "gauge";
+}
+
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` — the exposition-format metric/label name
+/// grammar (labels additionally exclude ':' by convention; we never emit it).
+inline bool valid_prom_name(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+/// Label-value escaping: backslash, double quote, and newline must be
+/// backslash-escaped inside the quoted label value.
+inline std::string prom_escape(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+class PromWriter {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  /// Add one sample. Samples for the same metric name are grouped under a
+  /// single HELP/TYPE header regardless of insertion order; the first help
+  /// string and type win (mixed types for one name assert — that output
+  /// would be rejected by any conforming scraper).
+  void add(std::string_view name, PromType type, std::string_view help,
+           const Labels& labels, double value) {
+    Metric& m = metric_for(name, type, help);
+    m.samples.push_back({render_labels(labels), format_double(value)});
+  }
+
+  /// Integer overload: counters keep exact 64-bit values instead of passing
+  /// through a double.
+  void add(std::string_view name, PromType type, std::string_view help,
+           const Labels& labels, std::uint64_t value) {
+    Metric& m = metric_for(name, type, help);
+    m.samples.push_back({render_labels(labels), std::to_string(value)});
+  }
+
+  bool empty() const noexcept { return metrics_.empty(); }
+
+  /// Render the full exposition document (trailing newline included).
+  std::string render() const {
+    std::string out;
+    for (const Metric& m : metrics_) {
+      out += "# HELP " + m.name + " " + m.help + "\n";
+      out += "# TYPE " + m.name + " ";
+      out += to_string(m.type);
+      out += "\n";
+      for (const Sample& s : m.samples) {
+        out += m.name;
+        out += s.labels;
+        out += " ";
+        out += s.value;
+        out += "\n";
+      }
+    }
+    return out;
+  }
+
+  /// render() + write to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const {
+    return write_file(path, render());
+  }
+
+ private:
+  struct Sample {
+    std::string labels;  // pre-rendered `{k="v",...}` or empty
+    std::string value;
+  };
+  struct Metric {
+    std::string name;
+    PromType type;
+    std::string help;
+    std::vector<Sample> samples;
+  };
+
+  Metric& metric_for(std::string_view name, PromType type,
+                     std::string_view help) {
+    EFRB_ASSERT(valid_prom_name(name) && "invalid Prometheus metric name");
+    for (Metric& m : metrics_) {
+      if (m.name == name) {
+        EFRB_ASSERT(m.type == type && "metric re-added with a different type");
+        return m;
+      }
+    }
+    metrics_.push_back({std::string(name), type,
+                        std::string(help.empty() ? "(no help)" : help),
+                        {}});
+    return metrics_.back();
+  }
+
+  static std::string render_labels(const Labels& labels) {
+    if (labels.empty()) return std::string();
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      EFRB_ASSERT(valid_prom_name(k) && "invalid Prometheus label name");
+      if (!first) out += ",";
+      first = false;
+      out += k;
+      out += "=\"";
+      out += prom_escape(v);
+      out += "\"";
+    }
+    out += "}";
+    return out;
+  }
+
+  static std::string format_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return std::string(buf);
+  }
+
+  std::vector<Metric> metrics_;
+};
+
+// ---------------------------------------------------------------------------
+// Shared emission helpers — one per source struct, mirroring the JSON
+// append_* helpers in obs/metrics.hpp. `labels` carries the cell identity
+// (e.g. {{"cell","efrb hp"},{"threads","4"}}); each helper extends it with
+// its own dimension labels (step, op, bucket) where the data is vectored.
+// ---------------------------------------------------------------------------
+
+inline void append_result_prom(PromWriter& w, const PromWriter::Labels& labels,
+                               const WorkloadResult& r) {
+  w.add("efrb_ops_total", PromType::kCounter,
+        "Completed operations in the measured window", labels, r.total_ops());
+  w.add("efrb_throughput_mops", PromType::kGauge,
+        "Whole-run throughput in million ops per second", labels, r.mops());
+  w.add("efrb_run_seconds", PromType::kGauge,
+        "Measured window length in seconds", labels, r.seconds);
+}
+
+inline void append_tree_stats_prom(PromWriter& w,
+                                   const PromWriter::Labels& labels,
+                                   const TreeStats& s) {
+  w.add("efrb_insert_retries_total", PromType::kCounter,
+        "Extra Search rounds inside Insert", labels, s.insert_retries);
+  w.add("efrb_delete_retries_total", PromType::kCounter,
+        "Extra Search rounds inside Delete", labels, s.delete_retries);
+  w.add("efrb_helps_total", PromType::kCounter,
+        "Help dispatches on a non-Clean update word", labels, s.helps);
+  w.add("efrb_backtracks_total", PromType::kCounter,
+        "Successful backtrack CAS steps", labels, s.backtracks);
+  for (std::size_t i = 0; i < kNumCasSteps; ++i) {
+    PromWriter::Labels step = labels;
+    step.emplace_back("step",
+                      std::string(to_string(static_cast<CasStep>(i))));
+    w.add("efrb_cas_attempts_total", PromType::kCounter,
+          "Protocol CAS attempts by step", step, s.cas_attempts[i]);
+    w.add("efrb_cas_failures_total", PromType::kCounter,
+          "Failed protocol CAS by step", step, s.cas_failures[i]);
+  }
+}
+
+inline void append_gauges_prom(PromWriter& w, const PromWriter::Labels& labels,
+                               const ReclaimGauges& g) {
+  w.add("efrb_reclaim_retired_total", PromType::kCounter,
+        "Objects handed to the reclaimer", labels, g.retired_total);
+  w.add("efrb_reclaim_freed_total", PromType::kCounter,
+        "Objects actually freed", labels, g.freed_total);
+  w.add("efrb_reclaim_backlog", PromType::kGauge,
+        "Retired-but-not-freed objects (includes orphans)", labels,
+        g.backlog());
+  w.add("efrb_reclaim_orphan_depth", PromType::kGauge,
+        "Entries parked in the orphan store", labels, g.orphan_depth);
+  w.add("efrb_reclaim_epoch", PromType::kGauge,
+        "Global epoch or grace round, when the policy has one", labels,
+        g.epoch);
+}
+
+inline void append_histogram_prom(PromWriter& w,
+                                  const PromWriter::Labels& labels,
+                                  const LatencyHistogram& h) {
+  w.add("efrb_latency_count", PromType::kCounter,
+        "Latency records in the histogram", labels, h.count());
+  struct Stat {
+    const char* name;
+    double value;
+  };
+  const Stat stats[] = {
+      {"mean", h.mean()},
+      {"p50", static_cast<double>(h.percentile(50))},
+      {"p90", static_cast<double>(h.percentile(90))},
+      {"p99", static_cast<double>(h.percentile(99))},
+      {"p999", static_cast<double>(h.percentile(99.9))},
+  };
+  for (const Stat& s : stats) {
+    PromWriter::Labels l = labels;
+    l.emplace_back("stat", s.name);
+    w.add("efrb_latency_ns", PromType::kGauge,
+          "Operation latency summary statistics in nanoseconds", l, s.value);
+  }
+  w.add("efrb_latency_saturated_total", PromType::kCounter,
+        "Latency records clamped into the top histogram bucket", labels,
+        h.saturated());
+}
+
+/// The last window's rates — the "current" values a scraper would chart.
+inline void append_window_prom(PromWriter& w, const PromWriter::Labels& labels,
+                               const WindowRates& r) {
+  w.add("efrb_window_seconds", PromType::kGauge,
+        "Length of the most recent sampling window", labels, r.window_s);
+  w.add("efrb_window_ops_per_second", PromType::kGauge,
+        "Windowed throughput", labels, r.ops_per_s);
+  w.add("efrb_window_cas_failure_rate", PromType::kGauge,
+        "Failed over attempted protocol CAS in the window", labels,
+        r.cas_failure_rate);
+  w.add("efrb_window_helps_per_second", PromType::kGauge,
+        "Help dispatches per second in the window", labels, r.helps_per_s);
+  w.add("efrb_window_retries_per_second", PromType::kGauge,
+        "Insert+delete retry rounds per second in the window", labels,
+        r.retries_per_s);
+  w.add("efrb_window_retired_per_second", PromType::kGauge,
+        "Objects retired per second in the window", labels, r.retired_per_s);
+  w.add("efrb_window_freed_per_second", PromType::kGauge,
+        "Objects freed per second in the window", labels, r.freed_per_s);
+  w.add("efrb_window_backlog_slope", PromType::kGauge,
+        "Reclaimer backlog growth in objects per second (signed)", labels,
+        r.backlog_slope);
+}
+
+inline void append_heatmap_prom(PromWriter& w, const PromWriter::Labels& labels,
+                                const KeyHeatmap& h) {
+  const std::vector<HeatBucket> buckets = h.snapshot();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    PromWriter::Labels l = labels;
+    l.emplace_back("bucket", std::to_string(i));
+    w.add("efrb_heatmap_attempts_total", PromType::kCounter,
+          "Operation rounds by key-range bucket", l, buckets[i].attempts);
+    w.add("efrb_heatmap_contended_total", PromType::kCounter,
+          "CAS failures + helps + retries by key-range bucket", l,
+          buckets[i].contended());
+  }
+  w.add("efrb_heatmap_dropped_total", PromType::kCounter,
+        "Contention events without an attributable key", labels, h.dropped());
+}
+
+}  // namespace efrb::obs

@@ -24,12 +24,17 @@
 // opt-in instrumentation. Timestamps are steady_clock nanoseconds relative
 // to the registry's construction.
 //
-// Export caveat: rings are sampled without synchronization, so export is
-// meant for quiescent points (after workers joined) — the normal benchmark
-// flow. A ring that wrapped mid-span can open a trace with an unmatched "E"
-// event; Perfetto tolerates this (docs/OBSERVABILITY.md documents it).
+// Export contract: events are packed into single atomic words (see
+// TraceEvent::pack), so snapshot()/chrome_trace_json() may run while writers
+// are still recording — a live export never reads a torn event. Racing a
+// wraparound can mix window generations (some slots one lap newer than
+// their neighbours) and a span can open with an unmatched "E" event;
+// Perfetto tolerates both (docs/OBSERVABILITY.md documents it). At
+// quiescence (workers joined) the export is exact — the normal benchmark
+// flow.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cstddef>
@@ -71,45 +76,90 @@ struct TraceEvent {
   TraceEventKind kind;
   std::uint8_t code;  // CasStep / HookPoint / TraceOp, per kind
   bool ok;            // CAS outcome or op result; unused otherwise
+
+  /// One-word packing: ts in the low 48 bits (~3.2 days of ns resolution;
+  /// longer runs saturate the timestamp, never corrupt the event), code in
+  /// 48..55, kind in 56..59, ok in bit 60. A packed event fits a single
+  /// atomic word, which is what makes live export torn-read-free: a reader
+  /// racing a wraparound sees the old event or the new one, never a hybrid
+  /// of both.
+  static constexpr std::uint64_t kTsMask = (std::uint64_t{1} << 48) - 1;
+
+  std::uint64_t pack() const noexcept {
+    return (ts_ns > kTsMask ? kTsMask : ts_ns) |
+           (static_cast<std::uint64_t>(code) << 48) |
+           (static_cast<std::uint64_t>(kind) << 56) |
+           (static_cast<std::uint64_t>(ok ? 1 : 0) << 60);
+  }
+
+  static TraceEvent unpack(std::uint64_t w) noexcept {
+    return {w & kTsMask,
+            static_cast<TraceEventKind>((w >> 56) & 0xF),
+            static_cast<std::uint8_t>((w >> 48) & 0xFF),
+            ((w >> 60) & 1) != 0};
+  }
 };
 
-/// Fixed-capacity single-writer ring. All storage is allocated at
-/// construction; push() is two plain stores and an increment.
+/// Fixed-capacity single-writer ring of packed events. All storage is
+/// allocated at construction; push() is one relaxed atomic store plus a
+/// release increment of the head. Because every slot is a single atomic
+/// word, snapshot() may run concurrently with the writer and will read each
+/// event whole — a race with wraparound can mix window generations (some
+/// slots one lap newer), but never tears an individual event. obs_test's
+/// export-under-write witness pins this down under TSan.
 class TraceRing {
  public:
   explicit TraceRing(std::size_t capacity = 4096)
-      : events_(capacity == 0 ? 1 : std::bit_ceil(capacity)) {}
+      : slots_(capacity == 0 ? 1 : std::bit_ceil(capacity)) {}
+
+  /// Moves happen only while the registry builds its ring vector, before any
+  /// writer exists — a plain value transfer, no concurrency to respect.
+  TraceRing(TraceRing&& other) noexcept
+      : slots_(std::move(other.slots_)),
+        head_(other.head_.load(std::memory_order_relaxed)) {}
+  TraceRing& operator=(TraceRing&&) = delete;
 
   void push(const TraceEvent& e) noexcept {
-    events_[head_ & (events_.size() - 1)] = e;
-    ++head_;
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    slots_[h & (slots_.size() - 1)].store(e.pack(), std::memory_order_relaxed);
+    // Release so a reader that acquires the new head also sees the slot.
+    head_.store(h + 1, std::memory_order_release);
   }
 
-  std::size_t capacity() const noexcept { return events_.size(); }
+  std::size_t capacity() const noexcept { return slots_.size(); }
   /// Total events ever pushed (monotone; exceeds capacity after wraparound).
-  std::uint64_t pushed() const noexcept { return head_; }
+  std::uint64_t pushed() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
   /// Events lost to wraparound.
   std::uint64_t dropped() const noexcept {
-    return head_ > events_.size() ? head_ - events_.size() : 0;
+    const std::uint64_t h = pushed();
+    return h > slots_.size() ? h - slots_.size() : 0;
   }
 
-  /// Retained events, oldest first. Call at quiescence (single writer; the
-  /// snapshot does not synchronize with a concurrent push).
+  /// Retained events, oldest first. Safe against a concurrent writer (see
+  /// the class comment); at quiescence the snapshot is exact.
   std::vector<TraceEvent> snapshot() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
     std::vector<TraceEvent> out;
-    const std::uint64_t n =
-        head_ < events_.size() ? head_ : static_cast<std::uint64_t>(events_.size());
+    const std::uint64_t n = head < slots_.size()
+                                ? head
+                                : static_cast<std::uint64_t>(slots_.size());
     out.reserve(static_cast<std::size_t>(n));
-    for (std::uint64_t i = head_ - n; i < head_; ++i) {
-      out.push_back(events_[i & (events_.size() - 1)]);
+    for (std::uint64_t i = head - n; i < head; ++i) {
+      out.push_back(TraceEvent::unpack(
+          slots_[i & (slots_.size() - 1)].load(std::memory_order_relaxed)));
     }
     return out;
   }
 
  private:
-  std::vector<TraceEvent> events_;
-  std::uint64_t head_ = 0;
+  std::vector<std::atomic<std::uint64_t>> slots_;
+  std::atomic<std::uint64_t> head_{0};
 };
+
+static_assert(sizeof(std::atomic<std::uint64_t>) == sizeof(std::uint64_t),
+              "packed trace slots must be plain words");
 
 class TraceRegistry {
  public:
@@ -169,7 +219,9 @@ class TraceRegistry {
                                : std::vector<TraceEvent>{};
   }
 
-  std::uint64_t dropped_no_tid() const noexcept { return dropped_no_tid_; }
+  std::uint64_t dropped_no_tid() const noexcept {
+    return dropped_no_tid_.load(std::memory_order_relaxed);
+  }
 
   /// Chrome trace-event JSON (the "JSON object format": {"traceEvents":
   /// [...]}), one Chrome tid per ring, pid 0. Call at quiescence.
@@ -195,7 +247,7 @@ class TraceRegistry {
  private:
   TraceRing* ring_for(unsigned tid) noexcept {
     if (tid == kNoTid || tid >= rings_.size()) {
-      ++dropped_no_tid_;  // relaxed diagnostic; exact under one dropper only
+      dropped_no_tid_.fetch_add(1, std::memory_order_relaxed);
       return nullptr;
     }
     return &rings_[tid].value;
@@ -247,7 +299,7 @@ class TraceRegistry {
 
   std::chrono::steady_clock::time_point t0_;
   std::vector<CachePadded<TraceRing>> rings_;
-  std::uint64_t dropped_no_tid_ = 0;
+  std::atomic<std::uint64_t> dropped_no_tid_{0};
 };
 
 /// Debug-hooks Traits feeding an installed TraceRegistry. Same install/reset

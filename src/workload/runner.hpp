@@ -20,6 +20,7 @@
 
 #include "baselines/set_interface.hpp"
 #include "obs/histogram.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/barrier.hpp"
@@ -85,6 +86,59 @@ struct LatencySamples {
   }
 };
 
+namespace detail {
+
+/// Access-point wrapper that bumps a per-thread relaxed atomic after every
+/// operation — the live op counter a MetricsPoller reads mid-run. A separate
+/// wrapper type (rather than a branch in the worker loop) keeps the
+/// unpolled run_workload instantiations byte-for-byte the old loops: the
+/// counting code exists only in the instantiation taken when a poller is
+/// attached. Forwards the optional tid()/last_op_retried() surface so the
+/// instrumented loop's trace/latency plumbing sees through the wrapper.
+template <typename Target>
+struct OpCounted {
+  Target target;  // Set& on the tree-level path, a handle by value otherwise
+  std::atomic<std::uint64_t>* ops;
+
+  template <typename K>
+  bool contains(const K& k) {
+    const bool r = target.contains(k);
+    ops->fetch_add(1, std::memory_order_relaxed);
+    return r;
+  }
+  template <typename K>
+  bool insert(const K& k) {
+    const bool r = target.insert(k);
+    ops->fetch_add(1, std::memory_order_relaxed);
+    return r;
+  }
+  template <typename K>
+  bool erase(const K& k) {
+    const bool r = target.erase(k);
+    ops->fetch_add(1, std::memory_order_relaxed);
+    return r;
+  }
+
+  unsigned tid() const
+    requires requires(const Target& t) { t.tid(); }
+  {
+    return target.tid();
+  }
+  bool last_op_retried() const
+    requires requires(const Target& t) { t.last_op_retried(); }
+  {
+    return target.last_op_retried();
+  }
+};
+
+template <typename Target>
+OpCounted<Target> with_op_count(Target&& target,
+                                std::atomic<std::uint64_t>* ops) {
+  return OpCounted<Target>{std::forward<Target>(target), ops};
+}
+
+}  // namespace detail
+
 /// Insert uniformly random keys until the structure holds ~fraction*range
 /// keys; gives every run the same expected occupancy and (for trees) the
 /// random shape whose expected depth is logarithmic (§6's cited analysis).
@@ -115,16 +169,38 @@ void prefill(Set& set, std::uint64_t key_range, double fraction,
 /// keyed by the target's handle tid when it has one (so op spans land in the
 /// same ring as the protocol events a TraceTraits tree writes), else by the
 /// worker index.
+///
+/// `poller` (optional) attaches a MetricsPoller to the run: workers route
+/// through an op-counting wrapper (one relaxed fetch_add per op into a
+/// per-thread padded counter — the documented cost of opting in), the
+/// poller's ops source is pointed at those counters, and its background
+/// thread is started when the workers pass the start barrier and stopped
+/// after they join — so the sample series spans exactly the measured window.
+/// The caller keeps ownership and sets the stats/gauges sources (they own
+/// the structure); run_workload only wires and unwires the ops source.
 template <typename Set>
 WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg,
                             LatencySamples* latency = nullptr,
-                            obs::TraceRegistry* trace = nullptr) {
+                            obs::TraceRegistry* trace = nullptr,
+                            obs::MetricsPoller* poller = nullptr) {
   EFRB_ASSERT(cfg.threads > 0);
   using Key = typename Set::key_type;
 
   std::atomic<bool> stop{false};
   YieldingBarrier start(static_cast<std::uint32_t>(cfg.threads) + 1);
   std::vector<CachePadded<WorkloadResult>> per_thread(cfg.threads);
+  // Live per-worker op counters, allocated only when a poller is attached.
+  std::vector<CachePadded<std::atomic<std::uint64_t>>> live_ops(
+      poller != nullptr ? cfg.threads : 0);
+  if (poller != nullptr) {
+    poller->set_ops_source([&live_ops] {
+      std::uint64_t total = 0;
+      for (const auto& c : live_ops) {
+        total += c.value.load(std::memory_order_relaxed);
+      }
+      return total;
+    });
+  }
   // Heap-held per-worker sample sets (a LatencySamples is ~140 KB of
   // histogram buckets — too big for the padded result array), allocated
   // before the workers start and merged after they join.
@@ -239,28 +315,42 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg,
         }
       };
       const bool instrument = latency != nullptr || trace != nullptr;
+      auto run_target = [&](auto&& target) {
+        if (instrument) {
+          run_sampled(std::forward<decltype(target)>(target));
+        } else {
+          run_loop(std::forward<decltype(target)>(target));
+        }
+      };
+      auto dispatch = [&](auto&& target) {
+        if (poller != nullptr) {
+          run_target(detail::with_op_count(
+              std::forward<decltype(target)>(target), &live_ops[tid].value));
+        } else {
+          run_target(std::forward<decltype(target)>(target));
+        }
+      };
       if (cfg.use_handles) {
-        if (instrument) {
-          run_sampled(make_handle(set));
-        } else {
-          run_loop(make_handle(set));
-        }
+        dispatch(make_handle(set));
       } else {
-        if (instrument) {
-          run_sampled(set);
-        } else {
-          run_loop(set);
-        }
+        dispatch(set);
       }
     });
   }
 
   start.arrive_and_wait();
+  if (poller != nullptr) poller->start();
   const auto t0 = std::chrono::steady_clock::now();
   std::this_thread::sleep_for(cfg.duration);
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : threads) t.join();
   const auto t1 = std::chrono::steady_clock::now();
+  if (poller != nullptr) {
+    // Stop (which takes a final sample while the counters are still alive),
+    // then unwire the ops source — it captures this frame's live_ops.
+    poller->stop();
+    poller->set_ops_source({});
+  }
 
   WorkloadResult total;
   for (const auto& p : per_thread) {

@@ -6,6 +6,7 @@
 // record path is safe from any number of threads.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -129,11 +130,41 @@ TEST(HistogramTest, ClearResetsEverything) {
   LatencyHistogram h;
   h.record(42);
   h.record(100000);
-  ASSERT_EQ(h.count(), 2u);
+  h.record(LatencyHistogram::kMaxValue + 1);
+  ASSERT_EQ(h.count(), 3u);
+  ASSERT_EQ(h.saturated(), 1u);
   h.clear();
   EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.saturated(), 0u);
   EXPECT_EQ(h.percentile(50), 0u);
   EXPECT_EQ(h.max_estimate(), 0u);
+}
+
+TEST(HistogramTest, SaturationCounterSeparatesClampsFromMeasuredTail) {
+  // Records above the 38-bit ns domain are clamped into the top bucket (so
+  // quantiles stay usable) and counted, so a clamped tail is distinguishable
+  // from a genuinely measured one. Regression for the silent-clamp era:
+  // saturated() must move in lockstep with out-of-domain records only.
+  LatencyHistogram h;
+  h.record(LatencyHistogram::kMaxValue);  // in-domain: not a saturation
+  EXPECT_EQ(h.saturated(), 0u);
+  h.record(LatencyHistogram::kMaxValue + 1);
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.saturated(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+  // All three landed in the top bucket; the counter is the only way to tell
+  // them apart.
+  EXPECT_EQ(h.percentile(50), LatencyHistogram::bucket_upper(
+                                  LatencyHistogram::kBuckets - 1));
+  // merge() carries the saturation count along with the buckets.
+  LatencyHistogram other;
+  other.record(LatencyHistogram::kMaxValue + 5);
+  h.merge(other);
+  EXPECT_EQ(h.saturated(), 3u);
+  // The metrics document surfaces it per histogram.
+  JsonWriter w;
+  obs::append_histogram(w, h);
+  EXPECT_NE(w.str().find("\"saturated\":3"), std::string::npos);
 }
 
 // -------------------------------------------------------------------- trace
@@ -247,6 +278,89 @@ TEST(TraceTraitsTest, UninstalledRegistryIsIgnored) {
   obs::TraceTraits::at(HookPoint::kAfterSearch, 0);
 }
 
+TEST(TraceRingTest, LiveSnapshotNeverTearsAnEvent) {
+  // One writer pushes events whose fields are all functions of the same
+  // sequence number (code and ok derive from ts); two readers snapshot the
+  // whole time. A torn read — fields from two different events mixed in one
+  // slot — would break the cross-field invariant. The tiny ring makes the
+  // readers race a wraparound on nearly every push; under TSan this doubles
+  // as the data-race witness for the packed single-word slots.
+  TraceRing ring(32);
+  constexpr std::uint64_t kPushes = 100000;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> events_checked{0};
+  run_threads(3, [&](std::size_t id) {
+    if (id == 0) {
+      for (std::uint64_t i = 1; i <= kPushes; ++i) {
+        ring.push({i, TraceEventKind::kPoint,
+                   static_cast<std::uint8_t>(i & 0xFF), (i & 1) != 0});
+      }
+      stop.store(true, std::memory_order_release);
+      return;
+    }
+    std::uint64_t checked = 0;
+    do {
+      for (const TraceEvent& e : ring.snapshot()) {
+        ASSERT_EQ(e.kind, TraceEventKind::kPoint);
+        ASSERT_EQ(e.code, static_cast<std::uint8_t>(e.ts_ns & 0xFF));
+        ASSERT_EQ(e.ok, (e.ts_ns & 1) != 0);
+        ++checked;
+      }
+    } while (!stop.load(std::memory_order_acquire));
+    events_checked.fetch_add(checked, std::memory_order_relaxed);
+  });
+  EXPECT_GT(events_checked.load(std::memory_order_relaxed), 0u);
+  // At quiescence the snapshot is exact: the latest window, in order.
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), ring.capacity());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ts_ns, kPushes - ring.capacity() + 1 + i);
+  }
+}
+
+TEST(TraceRegistryTest, LiveExportWhileWritersStillRecord) {
+  // The export contract from the header: snapshot()/chrome_trace_json() may
+  // race live recorders and every exported event is still well-formed (a
+  // valid kind, an in-range code) with JSON that parses shape-wise. Three
+  // writers hammer their own rings while the fourth thread exports in a
+  // loop until all writers are done.
+  TraceRegistry reg(4, 64);
+  constexpr int kWriters = 3;
+  std::atomic<int> writers_done{0};
+  run_threads(4, [&](std::size_t id) {
+    if (id < kWriters) {
+      const auto tid = static_cast<unsigned>(id);
+      for (std::uint64_t i = 0; i < 20000; ++i) {
+        reg.record_cas(tid, static_cast<CasStep>(i % kNumCasSteps),
+                       (i & 1) != 0);
+        if ((i & 7) == 0) reg.record_point(tid, HookPoint::kBeforeHelp);
+      }
+      writers_done.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    do {
+      for (unsigned tid = 0; tid < reg.max_tids(); ++tid) {
+        for (const TraceEvent& e : reg.snapshot(tid)) {
+          ASSERT_LE(static_cast<unsigned>(e.kind),
+                    static_cast<unsigned>(TraceEventKind::kOpEnd));
+          if (e.kind == TraceEventKind::kCas) {
+            ASSERT_LT(e.code, kNumCasSteps);
+          }
+        }
+      }
+      const std::string json = reg.chrome_trace_json();
+      ASSERT_FALSE(json.empty());
+      ASSERT_EQ(json.front(), '{');
+      ASSERT_EQ(json.back(), '}');
+    } while (writers_done.load(std::memory_order_acquire) < kWriters);
+  });
+  // Quiescent: every writer ring wrapped many times and kept the window.
+  for (unsigned tid = 0; tid < kWriters; ++tid) {
+    EXPECT_EQ(reg.snapshot(tid).size(), 64u);
+  }
+  EXPECT_EQ(reg.dropped_no_tid(), 0u);
+}
+
 // ------------------------------------------------------------------- gauges
 
 TEST(GaugeTest, MonotoneAcrossEpochReclaimCycle) {
@@ -333,7 +447,7 @@ TEST(MetricsTest, DocumentCarriesSchemaAndCells) {
   doc.add_cell("cell-one", cfg, res);
   const std::string json = doc.finish();
   EXPECT_NE(json.find("\"schema\":\"efrb-metrics\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
   EXPECT_NE(json.find("\"tool\":\"obs_test\""), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"cell-one\""), std::string::npos);
   EXPECT_NE(json.find("\"total_ops\":20"), std::string::npos);

@@ -1,0 +1,208 @@
+// efrb_top — a live terminal dashboard over the continuous-telemetry layer.
+//
+// Runs a configurable workload on a heatmap-instrumented EFRB tree in a
+// background thread while the main thread re-renders, once per interval, the
+// picture the obs layer maintains anyway: windowed rates from the attached
+// MetricsPoller (ops/s, CAS-failure rate, helps/s, backlog slope), the
+// reclaimer gauges, and the key-space contention strip from the KeyHeatmap.
+// Think `top`, but the processes are protocol steps.
+//
+// Live mode redraws with ANSI clear-screen once per --interval until --ms
+// elapses, then prints the protocol-step table as a parting summary.
+// `--once` renders exactly one plain frame after the run finishes — no
+// escape codes, no timing dependence — which is what scripts/check.sh drives
+// headlessly in CI.
+//
+// Usage: efrb_top [--ms N] [--interval N] [--threads N] [--range N]
+//                 [--mix read|mostly|balanced|update] [--uniform] [--once]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/efrb_tree.hpp"
+#include "obs/heatmap.hpp"
+#include "obs/timeseries.hpp"
+#include "workload/report.hpp"
+#include "workload/runner.hpp"
+
+namespace {
+
+using Key = std::uint64_t;
+using TopTree = efrb::EfrbTreeSet<Key, std::less<Key>, efrb::EpochReclaimer,
+                                  efrb::obs::HeatmapTraits>;
+
+struct Options {
+  long ms = 2000;
+  long interval_ms = 200;
+  std::size_t threads = 4;
+  std::uint64_t range = 1 << 12;
+  efrb::OpMix mix = efrb::kUpdateHeavy;
+  const char* mix_label = "update";
+  bool zipf = true;
+  bool once = false;
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "efrb_top: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--ms") == 0) {
+      opt.ms = std::atol(next());
+    } else if (std::strcmp(argv[i], "--interval") == 0) {
+      opt.interval_ms = std::atol(next());
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      opt.threads = static_cast<std::size_t>(std::atol(next()));
+    } else if (std::strcmp(argv[i], "--range") == 0) {
+      opt.range = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--mix") == 0) {
+      const char* m = next();
+      opt.mix_label = m;
+      if (std::strcmp(m, "read") == 0) {
+        opt.mix = efrb::kReadOnly;
+      } else if (std::strcmp(m, "mostly") == 0) {
+        opt.mix = efrb::kReadMostly;
+      } else if (std::strcmp(m, "balanced") == 0) {
+        opt.mix = efrb::kBalanced;
+      } else if (std::strcmp(m, "update") == 0) {
+        opt.mix = efrb::kUpdateHeavy;
+      } else {
+        std::fprintf(stderr, "efrb_top: unknown mix '%s'\n", m);
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--uniform") == 0) {
+      opt.zipf = false;
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      opt.once = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: efrb_top [--ms N] [--interval N] [--threads N] "
+                   "[--range N] [--mix read|mostly|balanced|update] "
+                   "[--uniform] [--once]\n");
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+/// One dashboard frame from the current poller/heatmap/gauge state. The
+/// same renderer serves the live loop and the --once snapshot; only the
+/// screen-clearing differs.
+void render_frame(const Options& opt, const efrb::obs::MetricsPoller& poller,
+                  const efrb::obs::KeyHeatmap& heatmap,
+                  const efrb::ReclaimGauges& gauges, bool live) {
+  if (live) std::fputs("\x1b[2J\x1b[H", stdout);  // clear + home
+
+  std::printf("efrb_top — efrb-tree  threads=%zu  range=%llu  mix=%s  %s\n\n",
+              opt.threads, static_cast<unsigned long long>(opt.range),
+              opt.mix_label, opt.zipf ? "zipf" : "uniform");
+
+  const std::vector<efrb::obs::WindowRates> rates = poller.rates();
+  efrb::Table t({"t (s)", "ops/s", "cas fail %", "helps/s", "retries/s",
+                 "retired/s", "freed/s", "backlog slope"});
+  // The latest handful of windows, newest last — enough to see a trend
+  // without scrolling the terminal.
+  const std::size_t kShow = 8;
+  const std::size_t from = rates.size() > kShow ? rates.size() - kShow : 0;
+  for (std::size_t i = from; i < rates.size(); ++i) {
+    const efrb::obs::WindowRates& r = rates[i];
+    t.add_row({efrb::Table::fmt(static_cast<double>(r.t_ns) / 1e9),
+               efrb::Table::fmt(r.ops_per_s, 0),
+               efrb::Table::fmt(100.0 * r.cas_failure_rate),
+               efrb::Table::fmt(r.helps_per_s, 0),
+               efrb::Table::fmt(r.retries_per_s, 0),
+               efrb::Table::fmt(r.retired_per_s, 0),
+               efrb::Table::fmt(r.freed_per_s, 0),
+               efrb::Table::fmt(r.backlog_slope, 0)});
+  }
+  if (rates.empty()) {
+    t.add_row({"-", "-", "-", "-", "-", "-", "-", "-"});
+  }
+  t.print();
+
+  const std::vector<efrb::obs::HeatBucket> buckets = heatmap.snapshot();
+  std::uint64_t contended = 0;
+  std::uint64_t attempts = 0;
+  for (const efrb::obs::HeatBucket& b : buckets) {
+    contended += b.contended();
+    attempts += b.attempts;
+  }
+  std::printf("\nheatmap  [%s]  (%llu contended / %llu attempts, "
+              "%llu unattributed)\n",
+              efrb::obs::KeyHeatmap::ascii_strip(buckets).c_str(),
+              static_cast<unsigned long long>(contended),
+              static_cast<unsigned long long>(attempts),
+              static_cast<unsigned long long>(heatmap.dropped()));
+  std::printf("reclaim  retired=%llu freed=%llu backlog=%llu orphans=%llu "
+              "epoch=%llu\n",
+              static_cast<unsigned long long>(gauges.retired_total),
+              static_cast<unsigned long long>(gauges.freed_total),
+              static_cast<unsigned long long>(gauges.backlog()),
+              static_cast<unsigned long long>(gauges.orphan_depth),
+              static_cast<unsigned long long>(gauges.epoch));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  efrb::WorkloadConfig cfg;
+  cfg.threads = opt.threads;
+  cfg.key_range = opt.range;
+  cfg.mix = opt.mix;
+  cfg.zipf = opt.zipf;
+  cfg.duration = std::chrono::milliseconds(std::max(10L, opt.ms));
+
+  efrb::obs::KeyHeatmap heatmap(cfg.key_range);
+  efrb::obs::HeatmapTraits::install(&heatmap);
+
+  TopTree tree;
+  efrb::prefill(tree, cfg.key_range, cfg.prefill_fraction, cfg.seed);
+
+  efrb::obs::MetricsPoller poller(
+      std::chrono::milliseconds(std::max(1L, opt.interval_ms)));
+  poller.set_sources({
+      {},  // ops source is wired by run_workload
+      [&tree] { return tree.stats(); },
+      [&tree] { return tree.reclaimer().gauges(); },
+  });
+
+  std::atomic<bool> done{false};
+  efrb::WorkloadResult result;
+  std::thread worker([&] {
+    result = efrb::run_workload(tree, cfg, nullptr, nullptr, &poller);
+    done.store(true, std::memory_order_release);
+  });
+
+  if (!opt.once) {
+    while (!done.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max(1L, opt.interval_ms)));
+      render_frame(opt, poller, heatmap, tree.reclaimer().gauges(), true);
+    }
+  }
+  worker.join();
+  efrb::obs::HeatmapTraits::reset();
+
+  // Final (or only, with --once) frame from the completed run, plus the
+  // protocol-step summary.
+  render_frame(opt, poller, heatmap, tree.reclaimer().gauges(), false);
+  std::printf("\n%llu ops in %.2f s (%.2f Mops/s), %llu poller samples\n\n",
+              static_cast<unsigned long long>(result.total_ops()),
+              result.seconds, result.mops(),
+              static_cast<unsigned long long>(poller.samples_pushed()));
+  efrb::protocol_step_table(tree.stats()).print();
+  return 0;
+}

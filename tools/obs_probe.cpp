@@ -1,31 +1,57 @@
-// Observability probe: runs a short instrumented workload on a trace-enabled
-// EFRB tree and writes the two machine-readable artifacts the obs layer
-// produces — a schema-versioned metrics document (obs/metrics.hpp) and a
-// Chrome trace-event JSON (obs/trace.hpp). CI (scripts/check.sh) runs this
-// and validates both files; it is also the quickest way to eyeball a capture
-// in chrome://tracing or Perfetto.
+// Observability probe: runs a short instrumented workload on a trace+heatmap
+// enabled EFRB tree and writes the machine-readable artifacts the obs layer
+// produces — a schema-versioned metrics document (obs/metrics.hpp, including
+// the v2 "timeseries" and "heatmap" sections) and a Chrome trace-event JSON
+// (obs/trace.hpp). CI (scripts/check.sh) runs this and validates the files;
+// it is also the quickest way to eyeball a capture in chrome://tracing or
+// Perfetto.
 //
-// Usage: obs_probe [--metrics <path>] [--trace <path>] [--ms N] [--threads N]
+// Usage: obs_probe [--metrics <path>] [--trace <path>]
+//                  [--ms N | --duration N] [--interval N] [--threads N]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "core/efrb_tree.hpp"
+#include "obs/heatmap.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "workload/runner.hpp"
 
 namespace {
 
 using Key = std::uint64_t;
-using TracedTree = efrb::EfrbTreeSet<Key, std::less<Key>, efrb::EpochReclaimer,
-                                     efrb::obs::TraceTraits>;
+
+/// Trace + heatmap in one instrumented run: statically fans every hook out
+/// to both installed consumers. kTrackKeys makes the tree stamp operation
+/// keys (core/op_context.hpp), which the heatmap buckets and the trace
+/// ignores.
+struct ProbeTraits {
+  static constexpr bool kCountStats = true;
+  static constexpr bool kSearchHelpsMarked = false;
+  static constexpr bool kTrackKeys = true;
+
+  static void on_cas(efrb::CasStep s, bool ok, const void* node, unsigned tid,
+                     std::uint64_t key) {
+    efrb::obs::TraceTraits::on_cas(s, ok, node, tid);
+    efrb::obs::HeatmapTraits::on_cas(s, ok, node, tid, key);
+  }
+  static void at(efrb::HookPoint p, unsigned tid, std::uint64_t key) {
+    efrb::obs::TraceTraits::at(p, tid);
+    efrb::obs::HeatmapTraits::at(p, tid, key);
+  }
+};
+
+using ProbedTree = efrb::EfrbTreeSet<Key, std::less<Key>, efrb::EpochReclaimer,
+                                     ProbeTraits>;
 
 struct Options {
   std::string metrics_path = "obs_metrics.json";
   std::string trace_path = "obs_trace.json";
   long ms = 50;
+  long interval_ms = 10;
   std::size_t threads = 4;
 };
 
@@ -43,14 +69,17 @@ Options parse(int argc, char** argv) {
       opt.metrics_path = next();
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       opt.trace_path = next();
-    } else if (std::strcmp(argv[i], "--ms") == 0) {
+    } else if (std::strcmp(argv[i], "--ms") == 0 ||
+               std::strcmp(argv[i], "--duration") == 0) {
       opt.ms = std::atol(next());
+    } else if (std::strcmp(argv[i], "--interval") == 0) {
+      opt.interval_ms = std::atol(next());
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       opt.threads = static_cast<std::size_t>(std::atol(next()));
     } else {
       std::fprintf(stderr,
                    "usage: obs_probe [--metrics <path>] [--trace <path>] "
-                   "[--ms N] [--threads N]\n");
+                   "[--ms N | --duration N] [--interval N] [--threads N]\n");
       std::exit(2);
     }
   }
@@ -66,24 +95,39 @@ int main(int argc, char** argv) {
   cfg.threads = opt.threads;
   cfg.key_range = 1 << 12;  // small range so helping/retries actually fire
   cfg.mix = efrb::kUpdateHeavy;
+  cfg.zipf = true;  // localized contention: the heatmap has something to show
   cfg.duration = std::chrono::milliseconds(std::max(10L, opt.ms));
 
   efrb::obs::TraceRegistry registry;
   efrb::obs::TraceTraits::install(&registry);
+  efrb::obs::KeyHeatmap heatmap(cfg.key_range);
+  efrb::obs::HeatmapTraits::install(&heatmap);
 
-  TracedTree tree;
+  ProbedTree tree;
   efrb::prefill(tree, cfg.key_range, cfg.prefill_fraction, cfg.seed);
+
+  efrb::obs::MetricsPoller poller(
+      std::chrono::milliseconds(std::max(1L, opt.interval_ms)));
+  poller.set_sources({
+      {},  // ops source is wired by run_workload
+      [&tree] { return tree.stats(); },
+      [&tree] { return tree.reclaimer().gauges(); },
+  });
+
   efrb::LatencySamples latency;
   const efrb::WorkloadResult result =
-      efrb::run_workload(tree, cfg, &latency, &registry);
+      efrb::run_workload(tree, cfg, &latency, &registry, &poller);
 
   efrb::obs::TraceTraits::reset();
+  efrb::obs::HeatmapTraits::reset();
 
   const efrb::TreeStats stats = tree.stats();
   const efrb::ReclaimGauges gauges = tree.reclaimer().gauges();
+  const std::vector<efrb::obs::PollSample> samples = poller.samples();
 
   efrb::obs::MetricsDocument doc("obs_probe");
-  doc.add_cell("efrb-tree/traced", cfg, result, &stats, &gauges, &latency);
+  doc.add_cell("efrb-tree/probed", cfg, result, &stats, &gauges, &latency,
+               &samples, &heatmap);
   if (!doc.write(opt.metrics_path)) {
     std::fprintf(stderr, "obs_probe: FAILED to write %s\n",
                  opt.metrics_path.c_str());
@@ -105,6 +149,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(events),
               static_cast<unsigned long long>(registry.dropped_no_tid()),
               static_cast<unsigned long long>(latency.total_count()));
+  std::printf("obs_probe: %llu poller samples (%llu dropped), heatmap [%s]\n",
+              static_cast<unsigned long long>(poller.samples_pushed()),
+              static_cast<unsigned long long>(poller.samples_dropped()),
+              efrb::obs::KeyHeatmap::ascii_strip(heatmap.snapshot()).c_str());
   std::printf("obs_probe: metrics -> %s\n", opt.metrics_path.c_str());
   std::printf("obs_probe: trace   -> %s\n", opt.trace_path.c_str());
   return 0;
