@@ -82,6 +82,38 @@ void run_handle_ablation(const std::vector<std::size_t>& threads) {
   std::printf("\n");
 }
 
+// E1c — the allocation/read-path ablation backing the allocator redesign:
+// the same tree across the 2x2 grid {heap, pooled} x {lean find, full
+// Search}, uniform read-mostly mix (the cell scripts/check.sh gates on:
+// pooled+lean must not regress below heap+full).
+void run_alloc_ablation(const std::vector<std::size_t>& threads) {
+  using HeapLean = efrb::EfrbTreeSet<Key>;  // kLeanFind defaults on
+  using HeapFull = efrb::EfrbTreeSet<Key, std::less<Key>, efrb::EpochReclaimer,
+                                     efrb::FullSearchFindTraits>;
+  using PoolLean = efrb::EfrbTreeSet<Key, std::less<Key>, efrb::EpochReclaimer,
+                                     efrb::PooledTraits>;
+  using PoolFull = efrb::EfrbTreeSet<Key, std::less<Key>, efrb::EpochReclaimer,
+                                     efrb::PooledFullSearchTraits>;
+  std::printf("-- alloc ablation: read-mostly mix, key range 2^16 --\n");
+  Table table({"threads", "heap+fullsearch", "heap+lean", "pooled+fullsearch",
+               "pooled+lean"});
+  for (std::size_t t : threads) {
+    WorkloadConfig cfg;
+    cfg.threads = t;
+    cfg.key_range = std::uint64_t{1} << 16;
+    cfg.mix = efrb::kReadMostly;
+    cfg.duration = efrb::bench::cell_duration();
+    table.add_row(
+        {std::to_string(t),
+         Table::fmt(mops_for<HeapFull>(cfg, "alloc:heap+fullsearch")),
+         Table::fmt(mops_for<HeapLean>(cfg, "alloc:heap+lean")),
+         Table::fmt(mops_for<PoolFull>(cfg, "alloc:pooled+fullsearch")),
+         Table::fmt(mops_for<PoolLean>(cfg, "alloc:pooled+lean"))});
+  }
+  table.print();
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -102,5 +134,6 @@ int main(int argc, char** argv) {
     }
   }
   run_handle_ablation(threads);
+  run_alloc_ablation(threads);
   return efrb::bench::metrics().finish() ? 0 : 1;
 }

@@ -167,6 +167,52 @@ if [[ "$FAST" == "0" ]]; then
   run ctest --test-dir build-tsan-stats --output-on-failure --timeout 900 \
       -R 'Handle|Stats|Concurrent|Chaos'
 
+  echo "=== allocation: pooled configuration under ASan/TSan + A/B throughput gate ==="
+  # EFRB_TEST_POOLED switches the concurrent suites to PooledTraits, so every
+  # schedule also exercises the ObjectPool (per-handle caches, the global
+  # free list, retire-to-pool through the reclaimers) under both sanitizers.
+  # The alloc_test suite (pool unit + differential + fault-injection cells)
+  # rides along in the same builds.
+  run cmake -B build-asan-pooled -G Ninja -DEFRB_BUILD_BENCH=OFF -DEFRB_BUILD_EXAMPLES=OFF \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -DEFRB_TEST_POOLED" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  run cmake --build build-asan-pooled --target alloc_test core_concurrent_test
+  run ./build-asan-pooled/tests/alloc_test --gtest_color=no
+  run ./build-asan-pooled/tests/core_concurrent_test --gtest_color=no
+  run cmake -B build-tsan-pooled -G Ninja -DEFRB_BUILD_BENCH=OFF -DEFRB_BUILD_EXAMPLES=OFF \
+      -DEFRB_SANITIZE_THREAD=ON \
+      -DCMAKE_CXX_FLAGS="-DEFRB_TEST_POOLED"
+  run cmake --build build-tsan-pooled --target alloc_test core_concurrent_test
+  run ./build-tsan-pooled/tests/alloc_test --gtest_color=no \
+      --gtest_filter='-BlockPoolDeathTest.*'  # fork-based death test under TSan is unreliable
+  run ./build-tsan-pooled/tests/core_concurrent_test --gtest_color=no
+  # A/B gate: the redesigned default (pooled + lean find) must not regress
+  # below the heap baseline on the uniform read-mostly cell (E1c). Summed
+  # over thread counts to average scheduler noise.
+  EFRB_BENCH_MS="${EFRB_ALLOC_GATE_MS:-60}" run ./build/bench/bench_throughput \
+      --json build/alloc_gate.json > /dev/null
+  python3 - <<'EOF'
+import json
+cells = json.load(open('build/alloc_gate.json'))['cells']
+def total(name):
+    t = sum(c['result']['mops'] for c in cells if c['name'] == name)
+    assert t > 0, f'no {name} cells in alloc ablation output'
+    return t
+heap_full = total('alloc:heap+fullsearch')
+heap_lean = total('alloc:heap+lean')
+pool_lean = total('alloc:pooled+lean')
+total('alloc:pooled+fullsearch')  # presence check for the full 2x2 grid
+print(f'alloc gate: heap+full={heap_full:.2f} heap+lean={heap_lean:.2f} '
+      f'pooled+lean={pool_lean:.2f} summed Mops over thread counts')
+assert pool_lean >= 0.95 * heap_lean, (
+    f'pooled allocation regressed below the heap baseline on the same read '
+    f'path: {pool_lean:.2f} < 0.95 * {heap_lean:.2f}')
+assert pool_lean >= 0.95 * heap_full, (
+    f'redesigned default (pooled+lean) lost to the pre-redesign baseline '
+    f'(heap+fullsearch): {pool_lean:.2f} < 0.95 * {heap_full:.2f}')
+print('alloc gate OK')
+EOF
+
   echo "=== debug-hooks instrumented build (live non-Noop on_cas/at callbacks) ==="
   # EFRB_TEST_FORCE_HOOKS switches the concurrent suites to traits whose
   # on_cas/at hooks run real code, proving every emission point in

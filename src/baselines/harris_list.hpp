@@ -31,15 +31,31 @@
 
 namespace efrb {
 
-template <typename Key, typename Compare = std::less<Key>>
+template <typename Key, typename Compare = std::less<Key>,
+          typename Alloc = HeapAllocator>
 class HarrisList {
  public:
   using key_type = Key;
   static constexpr const char* kName = "harris-list";
 
+  /// Node layout, public so pool configurations (PooledHarrisList) can size
+  /// their ObjectPool on it.
+  struct LNode {
+    const Key key;
+    std::atomic<std::uintptr_t> next{0};  // bit 0 = mark ("I am deleted")
+    explicit LNode(Key k) : key(std::move(k)) {}
+  };
+  using node_type = LNode;
+
   explicit HarrisList(Compare cmp = Compare{})
       : cmp_(std::move(cmp)), hp_(kMaxThreads, kHazardsPerOp) {
-    head_ = new LNode(Key{});
+    head_ = make_direct(Key{});
+    if constexpr (Alloc::kPooled) {
+      // Route retired nodes back into the pool instead of the heap (the
+      // hook's keepalive pins the pool state past this object's lifetime;
+      // see reclaim/reclaimer.hpp).
+      hp_.set_pool_return(alloc_.pool_hook());
+    }
   }
 
   HarrisList(const HarrisList&) = delete;
@@ -49,7 +65,7 @@ class HarrisList {
     LNode* n = head_;
     while (n != nullptr) {
       LNode* next = unmark(n->next.load(std::memory_order_relaxed));
-      delete n;
+      dispose_direct(n);
       n = next;
     }
   }
@@ -68,20 +84,20 @@ class HarrisList {
     bool valid() const noexcept { return att_.attached(); }
 
     bool contains(const Key& k) const {
-      auto ctx = Ctx::attached(att_, nullptr, nullptr);
+      auto ctx = make_ctx();
       auto h = att_.make_handle();
       typename HarrisList::Window w{};
       return list_->find(k, w, h, ctx);
     }
 
     bool insert(const Key& k) {
-      auto ctx = Ctx::attached(att_, nullptr, nullptr);
+      auto ctx = make_ctx();
       auto h = att_.make_handle();
       return list_->do_insert(k, h, ctx);
     }
 
     bool erase(const Key& k) {
-      auto ctx = Ctx::attached(att_, nullptr, nullptr);
+      auto ctx = make_ctx();
       auto h = att_.make_handle();
       return list_->do_erase(k, h, ctx);
     }
@@ -92,10 +108,18 @@ class HarrisList {
    private:
     friend class HarrisList;
     explicit Handle(HarrisList& list)
-        : list_(&list), att_(list.hp_.attach()) {}
+        : list_(&list),
+          att_(list.hp_.attach()),
+          cache_(list.alloc_.make_cache()) {}
+
+    auto make_ctx() const {
+      return Ctx::attached(att_, nullptr, nullptr, kNoTid, nullptr,
+                           &list_->alloc_, &cache_);
+    }
 
     HarrisList* list_;
     mutable HazardPointerDomain::Attachment att_;
+    mutable typename Alloc::Cache cache_;  // private recycle chain (pool mode)
   };
 
   /// Create a per-thread handle (see Handle). At most one per thread should
@@ -103,20 +127,20 @@ class HarrisList {
   Handle handle() { return Handle(*this); }
 
   bool contains(const Key& k) const {
-    auto ctx = Ctx::tree_level(hp_, nullptr);
+    auto ctx = tree_ctx();
     auto h = hp_.make_handle();
     Window w{};
     return find(k, w, h, ctx);
   }
 
   bool insert(const Key& k) {
-    auto ctx = Ctx::tree_level(hp_, nullptr);
+    auto ctx = tree_ctx();
     auto h = hp_.make_handle();
     return do_insert(k, h, ctx);
   }
 
   bool erase(const Key& k) {
-    auto ctx = Ctx::tree_level(hp_, nullptr);
+    auto ctx = tree_ctx();
     auto h = hp_.make_handle();
     return do_erase(k, h, ctx);
   }
@@ -134,16 +158,12 @@ class HarrisList {
   HazardPointerDomain& reclaimer() noexcept { return hp_; }
 
  private:
-  using Ctx = OpContext<HazardPointerDomain, /*kCount=*/false>;
+  using Ctx =
+      OpContext<HazardPointerDomain, /*kCount=*/false, /*kTrackKeys=*/false,
+                Alloc>;
 
   static constexpr std::size_t kMaxThreads = 64;
   static constexpr std::size_t kHazardsPerOp = 3;  // prev node, curr, next
-
-  struct LNode {
-    const Key key;
-    std::atomic<std::uintptr_t> next{0};  // bit 0 = mark ("I am deleted")
-    explicit LNode(Key k) : key(std::move(k)) {}
-  };
 
   static constexpr bool is_marked(std::uintptr_t w) noexcept { return (w & 1) != 0; }
   static LNode* unmark(std::uintptr_t w) noexcept {
@@ -158,12 +178,38 @@ class HarrisList {
     LNode* curr;                        // first node with key >= k (or null)
   };
 
+  Ctx tree_ctx() const {
+    return Ctx::tree_level(hp_, nullptr, &alloc_,
+                           Alloc::kPooled ? alloc_.local_cache() : nullptr);
+  }
+
+  /// Structure-lifetime allocation (head sentinel, destructor walk): same
+  /// pool as the operations, through the thread_local lease cache.
+  template <typename... Args>
+  LNode* make_direct(Args&&... args) {
+    if constexpr (Alloc::kPooled) {
+      return alloc_.template create<LNode>(*alloc_.local_cache(),
+                                           std::forward<Args>(args)...);
+    } else {
+      return new LNode(std::forward<Args>(args)...);
+    }
+  }
+
+  void dispose_direct(LNode* n) noexcept {
+    if (n == nullptr) return;
+    if constexpr (Alloc::kPooled) {
+      alloc_.template destroy<LNode>(*alloc_.local_cache(), n);
+    } else {
+      delete n;
+    }
+  }
+
   bool do_insert(const Key& k, HazardPointerDomain::Handle& h, Ctx& ctx) {
-    auto* node = new LNode(k);
+    auto* node = ctx.template make<LNode>(k);
     for (;;) {
       Window w{};
       if (find(k, w, h, ctx)) {
-        delete node;  // never published
+        ctx.dispose(node);  // never published
         return false;
       }
       node->next.store(pack(w.curr, false), std::memory_order_relaxed);
@@ -262,9 +308,21 @@ class HarrisList {
     return false;
   }
 
+  // Declaration order is load-bearing: the pool must be constructed before
+  // the domain that recycles into it (and the PoolHook keepalive covers the
+  // reverse destruction order regardless).
+  [[no_unique_address]] mutable Alloc alloc_;
   Compare cmp_;
   mutable HazardPointerDomain hp_;
   LNode* head_;  // dummy; key never examined
 };
+
+/// Pool-backed list: every LNode comes from a per-structure ObjectPool and
+/// recycles through the hazard-pointer domain (the list-side counterpart of
+/// the tree's PooledTraits configuration).
+template <typename Key, typename Compare = std::less<Key>>
+using PooledHarrisList =
+    HarrisList<Key, Compare,
+               ObjectPool<typename HarrisList<Key, Compare>::node_type>>;
 
 }  // namespace efrb

@@ -13,6 +13,8 @@
 #include <shared_mutex>
 #include <utility>
 
+#include "baselines/set_interface.hpp"
+
 namespace efrb {
 
 template <typename Key, typename Compare = std::less<Key>>
@@ -83,6 +85,15 @@ class LockedStdMap {
     return it->second;
   }
 
+  /// Pre-redesign lookup spelling; forwards to get(). Kept for one release.
+  [[deprecated("use get(k) / contains(k)")]] bool find(const Key& k,
+                                                       Value& out) const {
+    auto v = get(k);
+    if (!v) return false;
+    out = std::move(*v);
+    return true;
+  }
+
   bool insert(const Key& k, Value v = Value{}) {
     std::unique_lock lock(mu_);
     return map_.emplace(k, std::move(v)).second;
@@ -133,5 +144,10 @@ class LockedStdMap {
   mutable std::shared_mutex mu_;
   std::map<Key, Value, Compare> map_;
 };
+
+// The baselines anchor the interface contract: a drift in the concepts shows
+// up here first, not in a template error three layers deep in a test.
+static_assert(ConcurrentSet<LockedStdSet<int>>);
+static_assert(ConcurrentMap<LockedStdMap<int, int>>);
 
 }  // namespace efrb

@@ -51,7 +51,9 @@ concept HasOpHandle = requires(S s) {
 
 /// Zero-cost stand-in for a handle on implementations without one: forwards
 /// the set operations to the underlying object so generic per-thread loops
-/// can be written against "a handle" unconditionally.
+/// can be written against "a handle" unconditionally. When S also models the
+/// map tier, the map operations forward too (guarded member-by-member, so a
+/// set-only S still instantiates cleanly).
 template <typename S>
 class SetRef {
  public:
@@ -63,6 +65,36 @@ class SetRef {
   bool contains(const key_type& k) const { return s_->contains(k); }
   bool insert(const key_type& k) { return s_->insert(k); }
   bool erase(const key_type& k) { return s_->erase(k); }
+
+  // Map tier (present only when S has it).
+
+  template <typename V>
+    requires requires(S s, const key_type& k, V v) { s.insert(k, std::move(v)); }
+  bool insert(const key_type& k, V v) {
+    return s_->insert(k, std::move(v));
+  }
+
+  template <typename K = key_type>
+    requires requires(const S s, const K& k) { s.get(k); }
+  auto get(const K& k) const {
+    return s_->get(k);
+  }
+
+  template <typename V>
+    requires requires(S s, const key_type& k, V v) {
+      s.insert_or_assign(k, std::move(v));
+    }
+  bool insert_or_assign(const key_type& k, V v) {
+    return s_->insert_or_assign(k, std::move(v));
+  }
+
+  template <typename V>
+    requires requires(S s, const key_type& k, const V& e, V d) {
+      s.replace(k, e, std::move(d));
+    }
+  bool replace(const key_type& k, const V& expected, V desired) {
+    return s_->replace(k, expected, std::move(desired));
+  }
 
  private:
   S* s_;

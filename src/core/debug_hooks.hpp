@@ -161,6 +161,42 @@ inline bool allow_cas(CasStep s, const void* node, unsigned tid) {
 
 }  // namespace hooks
 
+// ---------------------------------------------------------------------------
+// Optional Traits flags, detected by the facade (absence = default):
+//
+//   kPooledAlloc (default false) — allocate nodes and Info records from a
+//     per-structure ObjectPool (core/alloc.hpp) instead of the heap, with
+//     retired blocks recycled through the reclaimer's PoolHook.
+//   kLeanFind (default true) — route contains()/get() through the
+//     bookkeeping-free find_path descent (core/search.hpp) instead of the
+//     full Search. Turning it off restores the pre-redesign behaviour where
+//     reads share the updaters' Search instantiation (useful for A/B runs
+//     and for differential tests pinning the two descents against each
+//     other).
+// ---------------------------------------------------------------------------
+
+namespace hooks {
+
+template <typename Traits>
+inline constexpr bool pooled_alloc_v = [] {
+  if constexpr (requires { Traits::kPooledAlloc; }) {
+    return static_cast<bool>(Traits::kPooledAlloc);
+  } else {
+    return false;
+  }
+}();
+
+template <typename Traits>
+inline constexpr bool lean_find_v = [] {
+  if constexpr (requires { Traits::kLeanFind; }) {
+    return static_cast<bool>(Traits::kLeanFind);
+  } else {
+    return true;
+  }
+}();
+
+}  // namespace hooks
+
 /// Zero-cost default: all hooks are empty and statistics are disabled.
 /// kSearchHelpsMarked selects the paper's §6 Search variant: a Search that
 /// encounters a marked internal node helps complete the deletion's dchild
@@ -173,6 +209,24 @@ struct NoopTraits {
   static constexpr bool kSearchHelpsMarked = false;
   static void on_cas(CasStep, bool, const void*) noexcept {}
   static void at(HookPoint) noexcept {}
+};
+
+/// Pooled-allocation traits: nodes and Info records come from the
+/// structure's ObjectPool and recycle through the reclaimers (the tentpole
+/// configuration of the allocation ablation; see core/alloc.hpp).
+struct PooledTraits : NoopTraits {
+  static constexpr bool kPooledAlloc = true;
+};
+
+/// Pre-redesign read path: contains()/get() run the full Search with
+/// SearchResult capture. The A/B counterpart of the (default) lean find.
+struct FullSearchFindTraits : NoopTraits {
+  static constexpr bool kLeanFind = false;
+};
+
+/// Pooled allocation + full-search reads (completes the 2x2 ablation grid).
+struct PooledFullSearchTraits : PooledTraits {
+  static constexpr bool kLeanFind = false;
 };
 
 /// §6 variant: searches splice out marked nodes they encounter.

@@ -32,6 +32,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "core/alloc.hpp"
 #include "core/debug_hooks.hpp"
 #include "core/op_context.hpp"
 #include "core/ordered.hpp"
@@ -64,11 +65,22 @@ class EfrbTreeMap {
       return false;
     }
   }();
+  // Layout computed directly from (Key, Value) — the allocator must be
+  // chosen before Core exists, and Core's Layout is the same alias.
+  using Layout = TreeLayout<Key, Value>;
+  // Allocation policy (Traits::kPooledAlloc, default off): a per-structure
+  // ObjectPool over the four node/record types — one uniform cache-line
+  // block class, recycled through the reclaimer's PoolHook — or the plain
+  // heap (see core/alloc.hpp).
+  using Alloc = std::conditional_t<
+      hooks::pooled_alloc_v<Traits>,
+      ObjectPool<typename Layout::Leaf, typename Layout::Internal,
+                 typename Layout::IInfo, typename Layout::DInfo>,
+      HeapAllocator>;
   // One OpContext instantiation serves both the tree-level path and the
   // Handle fast path: they drive the SAME instantiation of the core.
-  using Ctx = OpContext<Reclaimer, Traits::kCountStats, kTrackKeys>;
+  using Ctx = OpContext<Reclaimer, Traits::kCountStats, kTrackKeys, Alloc>;
   using Core = TreeCore<Key, Value, Compare, Traits, Ctx>;
-  using Layout = typename Core::Layout;
   using Shards =
       std::conditional_t<Traits::kCountStats, ShardPool, EmptyShardPool>;
 
@@ -80,7 +92,16 @@ class EfrbTreeMap {
 
   explicit EfrbTreeMap(Compare cmp = Compare{},
                        Reclaimer reclaimer = Reclaimer{})
-      : reclaimer_(std::move(reclaimer)), core_(std::move(cmp)) {}
+      : reclaimer_(std::move(reclaimer)), core_(std::move(cmp), &alloc_) {
+    // Route retired nodes back into the pool instead of `delete` (installed
+    // before the tree is shared — the PoolHook write is unsynchronized by
+    // contract). The hook carries a keepalive share of the pool state, so
+    // registry stragglers (leases, orphans) can return blocks even after
+    // this object is gone.
+    if constexpr (Alloc::kPooled) {
+      reclaimer_.set_pool_return(alloc_.pool_hook());
+    }
+  }
 
   EfrbTreeMap(const EfrbTreeMap&) = delete;
   EfrbTreeMap& operator=(const EfrbTreeMap&) = delete;
@@ -106,6 +127,7 @@ class EfrbTreeMap {
     Handle(Handle&& other) noexcept
         : tree_(std::exchange(other.tree_, nullptr)),
           att_(std::move(other.att_)),
+          cache_(std::move(other.cache_)),
           shard_(std::exchange(other.shard_, nullptr)),
           shard_base_(other.shard_base_),
           backoff_(other.backoff_),
@@ -117,6 +139,7 @@ class EfrbTreeMap {
         detach();
         tree_ = std::exchange(other.tree_, nullptr);
         att_ = std::move(other.att_);
+        cache_ = std::move(other.cache_);
         shard_ = std::exchange(other.shard_, nullptr);
         shard_base_ = other.shard_base_;
         backoff_ = other.backoff_;
@@ -139,6 +162,9 @@ class EfrbTreeMap {
       if (tree_ != nullptr && shard_ != nullptr) Shards::release(shard_);
       shard_ = nullptr;
       att_.detach();
+      // Flush the private block chain back to the pool's global free list
+      // (no-op in heap mode — the Cache is stateless there).
+      cache_ = typename Alloc::Cache{};
       tree_ = nullptr;
     }
 
@@ -149,6 +175,15 @@ class EfrbTreeMap {
 
     std::optional<Value> get(const Key& k) const {
       return with_ctx([&](Ctx& c) { return tree_->core_.get(k, c); });
+    }
+
+    /// Pre-redesign lookup spelling; forwards to get(). Kept for one release.
+    [[deprecated("use get(k) / contains(k)")]] bool find(const Key& k,
+                                                         Value& out) const {
+      auto v = get(k);
+      if (!v) return false;
+      out = std::move(*v);
+      return true;
     }
 
     bool insert(const Key& k, Value v = Value{}) {
@@ -262,6 +297,7 @@ class EfrbTreeMap {
     explicit Handle(EfrbTreeMap* t)
         : tree_(t),
           att_(t->reclaimer_.attach()),
+          cache_(t->alloc_.make_cache()),
           shard_(t->shards_.acquire()),
           rng_(next_handle_seed()),
           tid_(t->next_tid_.fetch_add(1, std::memory_order_relaxed)) {
@@ -269,7 +305,8 @@ class EfrbTreeMap {
     }
 
     /// Pin through the attachment, build this handle's context (attachment
-    /// retire sink, stat shard, private backoff), run `fn`.
+    /// retire sink, stat shard, private backoff, private allocator cache),
+    /// run `fn`.
     template <typename Fn>
     decltype(auto) with_ctx(Fn&& fn) const {
       EFRB_DCHECK(valid());
@@ -277,7 +314,7 @@ class EfrbTreeMap {
       last_retried_ = false;
       auto ctx = Ctx::attached(
           att_, shard_ != nullptr ? &shard_->counters : nullptr, &backoff_,
-          tid_, &last_retried_);
+          tid_, &last_retried_, &tree_->alloc_, &cache_);
       return fn(ctx);
     }
 
@@ -292,6 +329,10 @@ class EfrbTreeMap {
 
     EfrbTreeMap* tree_ = nullptr;
     mutable typename Reclaimer::Attachment att_;
+    // Private allocator cache: blocks recycled by this handle's operations
+    // are reused without touching the pool's global free list (empty in heap
+    // mode). Declared after att_ to match the ctor's init order.
+    mutable typename Alloc::Cache cache_;
     StatShard* shard_ = nullptr;
     TreeStats shard_base_;  // recycled shard's totals at acquisition
     mutable Backoff backoff_;
@@ -320,6 +361,15 @@ class EfrbTreeMap {
   /// leaf is immutable after publication, so copying it under the pin is safe.
   std::optional<Value> get(const Key& k) const {
     return with_ctx([&](Ctx& c) { return core_.get(k, c); });
+  }
+
+  /// Pre-redesign lookup spelling; forwards to get(). Kept for one release.
+  [[deprecated("use get(k) / contains(k)")]] bool find(const Key& k,
+                                                       Value& out) const {
+    auto v = get(k);
+    if (!v) return false;
+    out = std::move(*v);
+    return true;
   }
 
   /// Insert(k), lines 42-62. Returns false iff k was already present.
@@ -446,6 +496,11 @@ class EfrbTreeMap {
 
   Reclaimer& reclaimer() noexcept { return reclaimer_; }
 
+  /// The node allocator (ObjectPool under PooledTraits, stateless
+  /// HeapAllocator otherwise); exposes PoolStats gauges to tests and the
+  /// observability layer.
+  Alloc& allocator() noexcept { return alloc_; }
+
  private:
   /// Pin through the reclaimer, build the tree-level context (thread_local
   /// lease retire sink, shared counter block, no backoff — matching the
@@ -453,7 +508,11 @@ class EfrbTreeMap {
   template <typename Fn>
   decltype(auto) with_ctx(Fn&& fn) const {
     [[maybe_unused]] auto guard = reclaimer_.pin();
-    auto ctx = Ctx::tree_level(reclaimer_, &counters_);
+    // Allocation via the pool's thread_local cache lease (the analogue of
+    // the reclaimer lease this path already uses); nulls in heap mode are
+    // never read.
+    auto ctx = Ctx::tree_level(reclaimer_, &counters_, &alloc_,
+                               Alloc::kPooled ? alloc_.local_cache() : nullptr);
     return fn(ctx);
   }
 
@@ -464,6 +523,12 @@ class EfrbTreeMap {
                                             strict);
   }
 
+  // Declaration order is load-bearing: the pool must be constructed before
+  // the core (whose constructor allocates the sentinels through it) and
+  // destroyed last — ~Core returns every node to the pool, and ~Reclaimer's
+  // registry may still run pooled disposers (their safety net is the
+  // PoolHook keepalive, but the common path never needs it).
+  [[no_unique_address]] mutable Alloc alloc_;
   mutable Reclaimer reclaimer_;
   Core core_;
   mutable StatCounters counters_;  // tree-level (non-handle) counter block

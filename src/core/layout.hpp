@@ -27,6 +27,7 @@
 
 #include "core/bounded_key.hpp"
 #include "util/assert.hpp"
+#include "util/cacheline.hpp"
 
 namespace efrb {
 
@@ -98,11 +99,18 @@ class AtomicUpdate {
 
   /// Single-word CAS; on failure `expected` is refreshed with the witnessed
   /// value (which callers pass to Help, per lines 61/85/97 of the paper).
-  bool compare_exchange(Update& expected, Update desired) noexcept {
+  ///
+  /// Orders default to the strongest pairing the protocol needs (acq_rel
+  /// success / acquire failure). Steps whose failure value is discarded and
+  /// whose success publishes nothing new pass weaker orders explicitly — see
+  /// the per-step audit comments in core/protocol.hpp.
+  bool compare_exchange(
+      Update& expected, Update desired,
+      std::memory_order success = std::memory_order_acq_rel,
+      std::memory_order failure = std::memory_order_acquire) noexcept {
     std::uintptr_t exp = expected.bits();
-    const bool ok = bits_.compare_exchange_strong(
-        exp, desired.bits(), std::memory_order_acq_rel,
-        std::memory_order_acquire);
+    const bool ok =
+        bits_.compare_exchange_strong(exp, desired.bits(), success, failure);
     expected = Update::from_bits(exp);
     return ok;
   }
@@ -133,7 +141,15 @@ struct TreeLayout {
     Leaf(BKey k, Value v) : Node(std::move(k), false), value(std::move(v)) {}
   };
 
-  struct Internal final : Node {
+  // Cache-line alignment of the hot mutable types: an Internal's update word
+  // and child pointers are the CAS/coherence hot spots of the whole protocol;
+  // giving each Internal (and each in-flight Info record) a private line
+  // stops unrelated operations from false-sharing through the allocator's
+  // packing. Leaves stay compact — they are immutable after publication, so
+  // sharing a line costs read-side traffic only. (The pooled allocator hands
+  // out whole-line blocks regardless; the alignas makes the layout guarantee
+  // hold for heap allocation too.)
+  struct alignas(kCacheLineSize) Internal final : Node {
     AtomicUpdate update;  // lines 2-5: (state, Info*) in one CAS word
     std::atomic<Node*> left;
     std::atomic<Node*> right;
@@ -143,7 +159,7 @@ struct TreeLayout {
 
   // lines 12-14. new_node is Node* (not Internal*) to support the
   // insert_or_assign extension, which installs a replacement Leaf.
-  struct IInfo final : Info {
+  struct alignas(kCacheLineSize) IInfo final : Info {
     Internal* p;
     Leaf* l;
     Node* new_node;
@@ -151,7 +167,7 @@ struct TreeLayout {
   };
 
   // lines 15-18
-  struct DInfo final : Info {
+  struct alignas(kCacheLineSize) DInfo final : Info {
     Internal* gp;
     Internal* p;
     Leaf* l;

@@ -71,13 +71,29 @@ class TreeCore {
   using IInfo = typename Layout::IInfo;
   using DInfo = typename Layout::DInfo;
   using SearchResult = typename Layout::SearchResult;
+  using AllocT = typename Ctx::AllocT;
 
-  explicit TreeCore(Compare cmp) : cmp_(std::move(cmp)) {
+  /// `alloc` must outlive the core and is required when AllocT::kPooled (the
+  /// facade passes its own pool); in heap mode it may stay null — every
+  /// allocation folds to new/delete.
+  explicit TreeCore(Compare cmp, AllocT* alloc = nullptr)
+      : cmp_(std::move(cmp)), alloc_(alloc) {
     // Initialization per Figure 7 (lines 19-22) / Figure 6(a): the permanent
     // root has key ∞₂ and leaf children ∞₁, ∞₂. Root is never replaced.
-    auto* left = new Leaf(BKey::inf1(), Value{});
-    auto* right = new Leaf(BKey::inf2(), Value{});
-    root_ = new Internal(BKey::inf2(), left, right);
+    //
+    // Exception-safe: if a later allocation (or a Value{} constructor)
+    // throws, the earlier sentinels are rolled back — a throwing constructor
+    // no longer leaks the left leaf (or both leaves).
+    Leaf* left = make_direct<Leaf>(BKey::inf1(), Value{});
+    Leaf* right = nullptr;
+    try {
+      right = make_direct<Leaf>(BKey::inf2(), Value{});
+      root_ = make_direct<Internal>(BKey::inf2(), left, right);
+    } catch (...) {
+      dispose_direct(right);
+      dispose_direct(left);
+      throw;
+    }
   }
 
   TreeCore(const TreeCore&) = delete;
@@ -101,10 +117,10 @@ class TreeCore {
         // quiescence no in-tree word can be flagged or marked.
         const Update u = in->update.load(std::memory_order_relaxed);
         EFRB_DCHECK(u.state() == UpdateState::kClean);
-        if (u.state() == UpdateState::kClean) delete u.info();
-        delete in;
+        if (u.state() == UpdateState::kClean) dispose_direct(u.info());
+        dispose_direct(in);
       } else {
-        delete static_cast<Leaf*>(n);
+        dispose_direct(static_cast<Leaf*>(n));
       }
     }
   }
@@ -125,16 +141,32 @@ class TreeCore {
     return search_path<Traits, Layout>(root_, k, cmp_, splice_marked);
   }
 
+  /// The leaf a Find for k terminates at. Routed through the lean find_path
+  /// descent (no SearchResult capture, no update-word loads unless the §6
+  /// helping variant is on) under the default Traits::kLeanFind; traits with
+  /// kLeanFind = false restore the shared full-Search read path (the A/B
+  /// counterpart, and the oracle for the differential tests).
+  const Leaf* find_leaf(const Key& k, Ctx& ctx) const {
+    ctx.set_op_key(k);
+    if constexpr (hooks::lean_find_v<Traits>) {
+      auto splice_marked = [this, &ctx](DInfo* op) {
+        const_cast<TreeCore*>(this)->help_marked(op, ctx);
+      };
+      return find_path<Traits, Layout>(root_, k, cmp_, splice_marked);
+    } else {
+      return search(k, ctx).l;
+    }
+  }
+
   /// Find(k), lines 36-40. Caller must hold a pinned region.
   bool contains(const Key& k, Ctx& ctx) const {
-    const SearchResult s = search(k, ctx);
-    return cmp_.equals(k, s.l->key);
+    return cmp_.equals(k, find_leaf(k, ctx)->key);
   }
 
   std::optional<Value> get(const Key& k, Ctx& ctx) const {
-    const SearchResult s = search(k, ctx);
-    if (!cmp_.equals(k, s.l->key)) return std::nullopt;
-    return s.l->value;
+    const Leaf* l = find_leaf(k, ctx);
+    if (!cmp_.equals(k, l->key)) return std::nullopt;
+    return l->value;
   }
 
   // ---------------- Insert (lines 42-62) ----------------
@@ -147,14 +179,14 @@ class TreeCore {
   /// installs a never-before-seen node on the correct side.
   InsertOutcome insert(const Key& k, Value v, bool assign_if_present,
                        Ctx& ctx) {
-    auto* new_leaf = new Leaf(BKey::real(k), std::move(v));  // line 45
+    auto* new_leaf = ctx.template make<Leaf>(BKey::real(k), std::move(v));  // line 45
     ctx.begin_op();
     for (;;) {
       const SearchResult s = search(k, ctx);  // line 49
       hooks::emit_at<Traits>(HookPoint::kAfterSearch, ctx.tid(), ctx.op_key());
       if (cmp_.equals(k, s.l->key)) {  // line 50: duplicate key
         if (!assign_if_present) {
-          delete new_leaf;  // never published
+          ctx.dispose(new_leaf);  // never published
           ctx.end_op();
           return InsertOutcome::kDuplicate;
         }
@@ -184,20 +216,20 @@ class TreeCore {
       }
       // lines 53-54: build the replacement subtree. The new internal node's
       // key is max(k, l->key); the leaf with the smaller key goes left.
-      auto* new_sibling = new Leaf(s.l->key, s.l->value);
+      auto* new_sibling = ctx.template make<Leaf>(s.l->key, s.l->value);
       Internal* new_internal;
       if (cmp_.less(k, s.l->key)) {
-        new_internal = new Internal(s.l->key, new_leaf, new_sibling);
+        new_internal = ctx.template make<Internal>(s.l->key, new_leaf, new_sibling);
       } else {
-        new_internal = new Internal(BKey::real(k), new_sibling, new_leaf);
+        new_internal = ctx.template make<Internal>(BKey::real(k), new_sibling, new_leaf);
       }
       if (try_install(s, new_internal, ctx)) {
         ctx.end_op();
         return InsertOutcome::kInserted;
       }
       // iflag failed: dismantle the unpublished subtree (new_leaf is reused).
-      delete new_sibling;
-      delete new_internal;
+      ctx.dispose(new_sibling);
+      ctx.dispose(new_internal);
       ctx.retry_pause();
     }
   }
@@ -219,7 +251,7 @@ class TreeCore {
       const SearchResult s = search(k, ctx);
       hooks::emit_at<Traits>(HookPoint::kAfterSearch, ctx.tid(), ctx.op_key());
       if (!cmp_.equals(k, s.l->key) || !(s.l->value == expected)) {
-        delete new_leaf;  // never published
+        ctx.dispose(new_leaf);  // never published (may still be null)
         ctx.end_op();
         return false;
       }
@@ -231,7 +263,7 @@ class TreeCore {
         continue;
       }
       if (new_leaf == nullptr) {
-        new_leaf = new Leaf(BKey::real(k), std::move(desired));
+        new_leaf = ctx.template make<Leaf>(BKey::real(k), std::move(desired));
       }
       if (try_install(s, new_leaf, ctx)) {
         ctx.end_op();
@@ -271,9 +303,14 @@ class TreeCore {
       // check above guarantees a real (depth >= 2) leaf here.
       EFRB_DCHECK(s.gp != nullptr);
       // line 80: op := new DInfo(gp, p, l, pupdate)
-      auto* op = new DInfo(s.gp, s.p, s.l, s.pupdate);
+      auto* op = ctx.template make<DInfo>(s.gp, s.p, s.l, s.pupdate);
       Update expected = s.gpupdate;
       const Update flagged = Update::make(UpdateState::kDFlag, op);
+      // Memory-order audit (ellen_bintree_analysis.md, step "dflag",
+      // line 81): stays acq_rel/acquire. Success publishes the freshly built
+      // DInfo behind the flagged word (release side); failure feeds the
+      // witnessed value into help(), which dereferences its Info pointer —
+      // the acquire on failure is what makes that dereference safe.
       const bool ok =
           hooks::allow_cas<Traits>(CasStep::kDFlag, s.gp, ctx.tid()) &&
           s.gp->update.compare_exchange(expected, flagged);
@@ -294,7 +331,7 @@ class TreeCore {
         hooks::emit_at<Traits>(HookPoint::kDeleteRetry, ctx.tid(), ctx.op_key());
         ctx.retry_pause();
       } else {
-        delete op;            // never published; safe to free immediately
+        ctx.dispose(op);      // never published; safe to free immediately
         help(expected, ctx);  // line 85: help whoever owns gp now
         ctx.count_delete_retry();
         hooks::emit_at<Traits>(HookPoint::kDeleteRetry, ctx.tid(), ctx.op_key());
@@ -308,9 +345,13 @@ class TreeCore {
   /// HelpInsert. On iflag failure, helps the obstructor and returns false
   /// (caller owns dismantling `new_node`'s unpublished parts and retrying).
   bool try_install(const SearchResult& s, Node* new_node, Ctx& ctx) {
-    auto* op = new IInfo(s.p, s.l, new_node);  // line 55
+    auto* op = ctx.template make<IInfo>(s.p, s.l, new_node);  // line 55
     Update expected = s.pupdate;
     const Update flagged = Update::make(UpdateState::kIFlag, op);
+    // Memory-order audit (ellen_bintree_analysis.md, step "iflag", line 56):
+    // stays acq_rel/acquire — success publishes the IInfo (and the new
+    // subtree it references) behind the flagged word; the failure value goes
+    // straight into help(), which dereferences the witnessed Info pointer.
     const bool ok =
         hooks::allow_cas<Traits>(CasStep::kIFlag, s.p, ctx.tid()) &&
         s.p->update.compare_exchange(expected, flagged);
@@ -325,7 +366,7 @@ class TreeCore {
       help_insert(op, ctx);  // line 58
       return true;           // line 59
     }
-    delete op;            // never published
+    ctx.dispose(op);      // never published
     help(expected, ctx);  // line 61: the witnessed value blocked us
     ctx.count_insert_retry();
     hooks::emit_at<Traits>(HookPoint::kInsertRetry, ctx.tid(), ctx.op_key());
@@ -340,9 +381,17 @@ class TreeCore {
     hooks::emit_at<Traits>(HookPoint::kBeforeIUnflag, ctx.tid(), ctx.op_key());
     Update expected = Update::make(UpdateState::kIFlag, op);
     const Update clean = Update::make(UpdateState::kClean, op);
+    // Memory-order audit (ellen_bintree_analysis.md, step "iunflag", line 67):
+    // release/relaxed suffices. Success must publish the completed ichild
+    // swap before the word turns Clean (release); the failure value is
+    // discarded — a failed iunflag means another helper already cleaned the
+    // word, and this helper reads nothing from it afterwards (no help()
+    // dispatch on the witnessed value), so no acquire is needed either way.
     const bool ok =
         hooks::allow_cas<Traits>(CasStep::kIUnflag, op->p, ctx.tid()) &&
-        op->p->update.compare_exchange(expected, clean);
+        op->p->update.compare_exchange(expected, clean,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed);
     hooks::emit_cas<Traits>(CasStep::kIUnflag, ok, op->p, ctx.tid(), ctx.op_key());  // line 67: iunflag CAS
     ctx.count_cas(CasStep::kIUnflag, ok);
     if (ok) {
@@ -361,6 +410,10 @@ class TreeCore {
     hooks::emit_at<Traits>(HookPoint::kBeforeMark, ctx.tid(), ctx.op_key());
     Update expected = op->pupdate;
     const Update marked = Update::make(UpdateState::kMark, op);
+    // Memory-order audit (ellen_bintree_analysis.md, step "mark", line 91):
+    // stays acq_rel/acquire — the marked word re-publishes op for the §6
+    // helping Search (which dereferences it as a DInfo), and the failure
+    // value feeds help() at line 97 below.
     const bool ok =
         hooks::allow_cas<Traits>(CasStep::kMark, op->p, ctx.tid()) &&
         op->p->update.compare_exchange(expected, marked);
@@ -380,9 +433,16 @@ class TreeCore {
     hooks::emit_at<Traits>(HookPoint::kBeforeBacktrack, ctx.tid(), ctx.op_key());
     Update exp2 = Update::make(UpdateState::kDFlag, op);
     const Update clean = Update::make(UpdateState::kClean, op);
+    // Memory-order audit (ellen_bintree_analysis.md, step "backtrack",
+    // line 98): release/relaxed. The backtrack publishes no data structure
+    // change at all — it reverts gp's word from (DFlag, op) to (Clean, op)
+    // after a failed mark; release covers the (already-ordered) mark attempt,
+    // and the failure value is discarded (another helper won the backtrack).
     const bool back =
         hooks::allow_cas<Traits>(CasStep::kBacktrack, op->gp, ctx.tid()) &&
-        op->gp->update.compare_exchange(exp2, clean);
+        op->gp->update.compare_exchange(exp2, clean,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed);
     hooks::emit_cas<Traits>(CasStep::kBacktrack, back, op->gp, ctx.tid(), ctx.op_key());  // line 98
     ctx.count_cas(CasStep::kBacktrack, back);
     if (back) ctx.count_backtrack();
@@ -407,9 +467,16 @@ class TreeCore {
     hooks::emit_at<Traits>(HookPoint::kBeforeDUnflag, ctx.tid(), ctx.op_key());
     Update expected = Update::make(UpdateState::kDFlag, op);
     const Update clean = Update::make(UpdateState::kClean, op);
+    // Memory-order audit (ellen_bintree_analysis.md, step "dunflag",
+    // line 106): release/relaxed, same argument as iunflag — success must
+    // order the dchild splice before the word turns Clean; the failure value
+    // is discarded (a concurrent helper already unflagged) and nothing is
+    // read through it afterwards.
     const bool ok =
         hooks::allow_cas<Traits>(CasStep::kDUnflag, op->gp, ctx.tid()) &&
-        op->gp->update.compare_exchange(expected, clean);
+        op->gp->update.compare_exchange(expected, clean,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed);
     hooks::emit_cas<Traits>(CasStep::kDUnflag, ok, op->gp, ctx.tid(), ctx.op_key());  // line 106
     ctx.count_cas(CasStep::kDUnflag, ok);
     if (ok) {
@@ -457,16 +524,51 @@ class TreeCore {
     std::atomic<Node*>& child =
         cmp(new_node->key, parent->key) ? parent->left : parent->right;
     Node* expected = old_node;
+    // Memory-order audit (ellen_bintree_analysis.md, steps "ichild"/"dchild",
+    // lines 115/117 and 105): release/relaxed. Success is the linearization
+    // point that publishes new_node — release pairs with the acquire child
+    // loads in search_path/find_path/help_marked, making the new subtree's
+    // initialization visible to every descent that follows the edge. On
+    // failure the witnessed child value is discarded (some helper already
+    // performed the identical swap; the ichild/dchild CAS is idempotent per
+    // Info record), so no acquire is required on either outcome.
     const bool ok =
         hooks::allow_cas<Traits>(step, parent, ctx.tid()) &&
         child.compare_exchange_strong(expected, new_node,
-                                      std::memory_order_acq_rel,
-                                      std::memory_order_acquire);
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed);
     hooks::emit_cas<Traits>(step, ok, parent, ctx.tid(), ctx.op_key());
     ctx.count_cas(step, ok);
   }
 
+  // ---------------- Allocation outside an operation ----------------
+  // The constructor/destructor run without an OpContext (there is no
+  // reclaimer involvement at quiescence); they allocate through the same
+  // policy via the structure-level allocator pointer and its thread cache.
+  template <typename T, typename... Args>
+  T* make_direct(Args&&... args) {
+    if constexpr (AllocT::kPooled) {
+      EFRB_DCHECK(alloc_ != nullptr);
+      return alloc_->template create<T>(*alloc_->local_cache(),
+                                        std::forward<Args>(args)...);
+    } else {
+      return new T(std::forward<Args>(args)...);
+    }
+  }
+
+  template <typename T>
+  void dispose_direct(T* p) noexcept {
+    if (p == nullptr) return;
+    if constexpr (AllocT::kPooled) {
+      alloc_->template destroy<T>(*alloc_->local_cache(), p);
+    } else {
+      delete p;
+    }
+  }
+
   BoundedCompare<Key, Compare> cmp_;
+  // Null in heap mode (never dereferenced); the facade's pool otherwise.
+  AllocT* alloc_ = nullptr;
   Internal* root_;  // line 19: the Root pointer is never changed
 };
 

@@ -73,6 +73,47 @@ typename Layout::SearchResult search_path(typename Layout::Internal* root,
                                        gpupdate};
 }
 
+/// Lean read-only descent for Find (paper Fig. 8, lines 36-38: "Search(k);
+/// return the leaf"): a Find never CASes, so it has no use for the
+/// (gp, p, pupdate, gpupdate) postcondition bundle Search maintains for the
+/// updaters — it only needs the leaf at the end of the walk. This routine
+/// skips all SearchResult capture: no gp/p tracking, and the per-level update
+/// word is not even loaded unless the Traits ask for §6 marked-node helping.
+/// Correctness is unchanged — the paper's Find linearizes at the child-
+/// pointer reads of a plain Search and never inspects the update words it
+/// recorded — so dropping the bookkeeping drops pure overhead from the
+/// read path (one atomic load per level plus the snapshot stores).
+///
+/// Under Traits::kSearchHelpsMarked the update word IS loaded, and a marked
+/// node is spliced out via `help_marked` before restarting — the fast path
+/// only pays that load when the traits opted into helping reads.
+template <typename Traits, typename Layout, typename Cmp, typename HelpMarked>
+const typename Layout::Leaf* find_path(typename Layout::Internal* root,
+                                       const typename Layout::key_type& k,
+                                       const Cmp& cmp,
+                                       HelpMarked&& help_marked) {
+  using Internal = typename Layout::Internal;
+  using Leaf = typename Layout::Leaf;
+  using Node = typename Layout::Node;
+  using DInfo = typename Layout::DInfo;
+
+  Node* l = root;
+  while (l->is_internal) {
+    auto* p = static_cast<Internal*>(l);
+    if constexpr (Traits::kSearchHelpsMarked) {
+      const Update pupdate = p->update.load();
+      if (pupdate.state() == UpdateState::kMark) {
+        help_marked(static_cast<DInfo*>(pupdate.info()));
+        l = root;
+        continue;
+      }
+    }
+    l = cmp.less(k, p->key) ? p->left.load(std::memory_order_acquire)
+                            : p->right.load(std::memory_order_acquire);
+  }
+  return static_cast<const Leaf*>(l);
+}
+
 /// Leftmost leaf under `from`: Search for a key below every real key. The
 /// result is the subtree's minimum (possibly the ∞₁ sentinel on an empty
 /// tree).

@@ -41,7 +41,9 @@ class EpochReclaimer {
 
   struct Retired {
     void* ptr;
-    void (*deleter)(void*);
+    // Type-erased disposer (dispose_retired<T>): consults the registry's
+    // PoolHook at free time — pool return when installed, delete otherwise.
+    void (*deleter)(void*, const PoolHook&);
     std::uint64_t epoch;
   };
 
@@ -67,11 +69,13 @@ class EpochReclaimer {
 
     ~Registry() {
       // Last reference dropped: nothing can be pinned; free all leftovers.
+      // pool_hook's keepalive guarantees the pool state is still alive here
+      // even if the owning structure (and its pool) died first.
       for (auto& padded : slots) {
-        for (const Retired& r : padded.value.retired) r.deleter(r.ptr);
+        for (const Retired& r : padded.value.retired) r.deleter(r.ptr, pool_hook);
         padded.value.retired.clear();
       }
-      for (const Retired& r : orphans) r.deleter(r.ptr);
+      for (const Retired& r : orphans) r.deleter(r.ptr, pool_hook);
       orphans.clear();
     }
 
@@ -120,6 +124,10 @@ class EpochReclaimer {
     // orphans.size() mirrored for lock-free gauge snapshots; stored under
     // orphan_mu by every mutator of `orphans`.
     std::atomic<std::uint64_t> orphan_count{0};
+    // Retire-to-pool hook (see reclaim/reclaimer.hpp). Written once by
+    // set_pool_return() before the structure is shared; read by every
+    // disposer call. Unsynchronized by contract.
+    PoolHook pool_hook;
   };
 
  public:
@@ -220,10 +228,15 @@ class EpochReclaimer {
     }
 
     /// Best-effort drain of this attachment's retire list (quiescent points).
+    /// (Qualified call: the zero-arg flush_slot() below hides the enclosing
+    /// class's static overload for unqualified lookup.)
     void flush() {
       EFRB_DCHECK(slot_ != nullptr);
-      flush_slot(reg_.get(), slot_);
+      EpochReclaimer::flush_slot(reg_.get(), slot_);
     }
+
+    /// Unified-surface alias of flush() (see AttachableReclaimerPolicy).
+    void flush_slot() { flush(); }
 
    private:
     friend class EpochReclaimer;
@@ -294,6 +307,17 @@ class EpochReclaimer {
   /// advance and sweep the calling thread's list.
   void flush() { flush_slot(reg_.get(), local_slot()); }
 
+  /// Unified-surface alias of flush() (see ReclaimerPolicy).
+  void flush_slot() { flush(); }
+
+  /// Install the retire-to-pool hook (see reclaim/reclaimer.hpp). Must be
+  /// called before this reclaimer is shared between threads — typically once
+  /// in the owning structure's constructor. Retired entries already queued
+  /// are also re-routed (the hook is consulted at free time, not retire time).
+  void set_pool_return(PoolHook hook) noexcept {
+    reg_->pool_hook = std::move(hook);
+  }
+
  private:
   static Guard pin_slot(Registry* reg, Slot* slot) {
     if (slot->depth++ == 0) {
@@ -317,7 +341,7 @@ class EpochReclaimer {
                           T* p) {
     EFRB_DCHECK(p != nullptr);
     slot->retired.push_back(Retired{
-        p, [](void* q) { delete static_cast<T*>(q); },
+        p, &dispose_retired<T>,
         reg->global.load(std::memory_order_acquire)});
     slot->retired_count.fetch_add(1, std::memory_order_relaxed);
     // Sweep on a size *schedule*, not a fixed threshold: when a pinned-but-
@@ -387,7 +411,7 @@ class EpochReclaimer {
     std::uint64_t freed = 0;
     for (std::size_t i = 0; i < list.size(); ++i) {
       if (list[i].epoch + 2 <= e) {
-        list[i].deleter(list[i].ptr);
+        list[i].deleter(list[i].ptr, reg->pool_hook);
         ++freed;
       } else {
         list[kept++] = list[i];
@@ -408,7 +432,7 @@ class EpochReclaimer {
     for (std::size_t i = 0; i < list.size(); ++i) {
       // Safe once two advances have completed past the retire epoch.
       if (list[i].epoch + 2 <= e) {
-        list[i].deleter(list[i].ptr);
+        list[i].deleter(list[i].ptr, reg->pool_hook);
         ++freed;
       } else {
         list[kept++] = list[i];
@@ -459,5 +483,8 @@ class EpochReclaimer {
   std::shared_ptr<Registry> reg_;
   std::size_t retire_batch_;
 };
+
+static_assert(ReclaimerPolicy<EpochReclaimer>);
+static_assert(AttachableReclaimerPolicy<EpochReclaimer>);
 
 }  // namespace efrb

@@ -31,7 +31,9 @@ namespace efrb {
 class HazardPointerDomain {
   struct Retired {
     void* ptr;
-    void (*deleter)(void*);
+    // Type-erased disposer (dispose_retired<T>): consults the registry's
+    // PoolHook at free time — pool return when installed, delete otherwise.
+    void (*deleter)(void*, const PoolHook&);
   };
 
   struct Slot {
@@ -62,11 +64,13 @@ class HazardPointerDomain {
     }
 
     ~Registry() {
+      // pool_hook's keepalive guarantees the pool state is still alive here
+      // even if the owning structure (and its pool) died first.
       for (auto& s : slots) {
-        for (const Retired& r : s->retired) r.deleter(r.ptr);
+        for (const Retired& r : s->retired) r.deleter(r.ptr, pool_hook);
         s->retired.clear();
       }
-      for (const Retired& r : orphans) r.deleter(r.ptr);
+      for (const Retired& r : orphans) r.deleter(r.ptr, pool_hook);
       orphans.clear();
     }
 
@@ -99,6 +103,10 @@ class HazardPointerDomain {
     // orphans.size() mirrored for lock-free gauge snapshots; stored under
     // orphan_mu by every mutator of `orphans`.
     std::atomic<std::uint64_t> orphan_count{0};
+    // Retire-to-pool hook (see reclaim/reclaimer.hpp). Written once by
+    // set_pool_return() before the structure is shared; read by every
+    // disposer call. Unsynchronized by contract.
+    PoolHook pool_hook;
   };
 
  public:
@@ -211,6 +219,9 @@ class HazardPointerDomain {
       scan(reg_.get(), slot_);
     }
 
+    /// Unified-surface alias of flush() (see reclaim/reclaimer.hpp).
+    void flush_slot() { flush(); }
+
    private:
     friend class HazardPointerDomain;
     Attachment(std::shared_ptr<Registry> reg, Slot* slot,
@@ -260,13 +271,22 @@ class HazardPointerDomain {
   /// Best-effort drain at quiescent points.
   void flush() { scan(reg_.get(), local_slot()); }
 
+  /// Unified-surface alias of flush() (see reclaim/reclaimer.hpp).
+  void flush_slot() { flush(); }
+
+  /// Install the retire-to-pool hook (see reclaim/reclaimer.hpp). Must run
+  /// before the domain is shared between threads; already-queued entries are
+  /// also re-routed (the hook is consulted at free time, not retire time).
+  void set_pool_return(PoolHook hook) noexcept {
+    reg_->pool_hook = std::move(hook);
+  }
+
  private:
   template <typename T>
   static void retire_slot(Registry* reg, Slot* slot, std::size_t retire_batch,
                           T* p) {
     EFRB_DCHECK(p != nullptr);
-    slot->retired.push_back(
-        Retired{p, [](void* q) { delete static_cast<T*>(q); }});
+    slot->retired.push_back(Retired{p, &dispose_retired<T>});
     slot->retired_count.fetch_add(1, std::memory_order_relaxed);
     // Size-scheduled scans (amortized O(1) per retire even when many
     // entries stay protected; see the epoch reclaimer for the rationale).
@@ -301,10 +321,11 @@ class HazardPointerDomain {
     }
     std::sort(protected_ptrs.begin(), protected_ptrs.end());
 
-    std::uint64_t freed = sweep_list(slot->retired, protected_ptrs);
+    std::uint64_t freed = sweep_list(slot->retired, protected_ptrs,
+                                     reg->pool_hook);
     if (orphan_lock.owns_lock()) {
       if (!reg->orphans.empty()) {
-        freed += sweep_list(reg->orphans, protected_ptrs);
+        freed += sweep_list(reg->orphans, protected_ptrs, reg->pool_hook);
         reg->orphan_count.store(reg->orphans.size(),
                                 std::memory_order_relaxed);
       }
@@ -316,9 +337,11 @@ class HazardPointerDomain {
   }
 
   /// Frees every entry of `list` not covered by `protected_ptrs` (sorted);
-  /// compacts the survivors in place and returns the freed count.
+  /// compacts the survivors in place and returns the freed count. Takes the
+  /// registry's PoolHook explicitly — this helper has no Registry access.
   static std::uint64_t sweep_list(std::vector<Retired>& list,
-                                  const std::vector<void*>& protected_ptrs) {
+                                  const std::vector<void*>& protected_ptrs,
+                                  const PoolHook& hook) {
     std::size_t kept = 0;
     std::uint64_t freed = 0;
     for (std::size_t i = 0; i < list.size(); ++i) {
@@ -326,7 +349,7 @@ class HazardPointerDomain {
                              list[i].ptr)) {
         list[kept++] = list[i];
       } else {
-        list[i].deleter(list[i].ptr);
+        list[i].deleter(list[i].ptr, hook);
         ++freed;
       }
     }
@@ -428,7 +451,9 @@ class HazardPointerDomain {
 class HazardReclaimer {
   struct Retired {
     void* ptr;
-    void (*deleter)(void*);
+    // Type-erased disposer (dispose_retired<T>): consults the registry's
+    // PoolHook at free time — pool return when installed, delete otherwise.
+    void (*deleter)(void*, const PoolHook&);
   };
 
   struct Slot {
@@ -453,14 +478,16 @@ class HazardReclaimer {
 
     ~Registry() {
       // Last reference dropped: nothing can be pinned; free all leftovers.
+      // pool_hook's keepalive guarantees the pool state is still alive here
+      // even if the owning structure (and its pool) died first.
       for (auto& padded : slots) {
-        for (const Retired& r : padded.value.retired) r.deleter(r.ptr);
-        for (const Retired& r : padded.value.pending) r.deleter(r.ptr);
+        for (const Retired& r : padded.value.retired) r.deleter(r.ptr, pool_hook);
+        for (const Retired& r : padded.value.pending) r.deleter(r.ptr, pool_hook);
         padded.value.retired.clear();
         padded.value.pending.clear();
       }
-      for (const Retired& r : orphan_retired) r.deleter(r.ptr);
-      for (const Retired& r : orphan_pending) r.deleter(r.ptr);
+      for (const Retired& r : orphan_retired) r.deleter(r.ptr, pool_hook);
+      for (const Retired& r : orphan_pending) r.deleter(r.ptr, pool_hook);
       orphan_retired.clear();
       orphan_pending.clear();
     }
@@ -498,6 +525,10 @@ class HazardReclaimer {
     // orphan_retired.size() + orphan_pending.size() mirrored for lock-free
     // gauge snapshots; stored under orphan_mu by every orphan-list mutator.
     std::atomic<std::uint64_t> orphan_count{0};
+    // Retire-to-pool hook (see reclaim/reclaimer.hpp). Written once by
+    // set_pool_return() before the structure is shared; read by every
+    // disposer call. Unsynchronized by contract.
+    PoolHook pool_hook;
   };
 
  public:
@@ -584,10 +615,15 @@ class HazardReclaimer {
       retire_slot(reg_.get(), slot_, retire_batch_, p);
     }
 
+    /// (Qualified call: the zero-arg flush_slot() below hides the enclosing
+    /// class's static overload for unqualified lookup.)
     void flush() {
       EFRB_DCHECK(slot_ != nullptr);
-      flush_slot(reg_.get(), slot_);
+      HazardReclaimer::flush_slot(reg_.get(), slot_);
     }
+
+    /// Unified-surface alias of flush() (see AttachableReclaimerPolicy).
+    void flush_slot() { flush(); }
 
    private:
     friend class HazardReclaimer;
@@ -640,6 +676,16 @@ class HazardReclaimer {
   /// caller's own snapshot entry keeps its rounds open).
   void flush() { flush_slot(reg_.get(), local_slot()); }
 
+  /// Unified-surface alias of flush() (see ReclaimerPolicy).
+  void flush_slot() { flush(); }
+
+  /// Install the retire-to-pool hook (see reclaim/reclaimer.hpp). Must run
+  /// before this reclaimer is shared between threads; already-queued entries
+  /// are also re-routed (the hook is consulted at free time).
+  void set_pool_return(PoolHook hook) noexcept {
+    reg_->pool_hook = std::move(hook);
+  }
+
  private:
   static Guard pin_slot(Slot* slot) {
     if (slot->depth++ == 0) {
@@ -656,8 +702,7 @@ class HazardReclaimer {
   static void retire_slot(Registry* reg, Slot* slot, std::size_t retire_batch,
                           T* p) {
     EFRB_DCHECK(p != nullptr);
-    slot->retired.push_back(
-        Retired{p, [](void* q) { delete static_cast<T*>(q); }});
+    slot->retired.push_back(Retired{p, &dispose_retired<T>});
     slot->retired_count.fetch_add(1, std::memory_order_relaxed);
     // Size-scheduled rounds (amortized O(1) per retire; see EpochReclaimer).
     if (slot->retired.size() >= std::max(slot->next_round, retire_batch)) {
@@ -690,7 +735,7 @@ class HazardReclaimer {
     }
     readers.resize(kept);
     if (readers.empty() && !pending.empty()) {
-      for (const Retired& r : pending) r.deleter(r.ptr);
+      for (const Retired& r : pending) r.deleter(r.ptr, reg->pool_hook);
       reg->freed_total.fetch_add(pending.size(), std::memory_order_relaxed);
       pending.clear();
     }
@@ -818,5 +863,8 @@ class HazardReclaimer {
   std::shared_ptr<Registry> reg_;
   std::size_t retire_batch_;
 };
+
+static_assert(ReclaimerPolicy<HazardReclaimer>);
+static_assert(AttachableReclaimerPolicy<HazardReclaimer>);
 
 }  // namespace efrb

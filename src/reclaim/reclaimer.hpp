@@ -19,9 +19,58 @@
 
 #include <concepts>
 #include <cstdint>
+#include <memory>
 #include <utility>
 
 namespace efrb {
+
+// ---------------------------------------------------------------------------
+// Retire-to-pool hook (see core/alloc.hpp and docs/RECLAMATION.md).
+//
+// When a structure allocates its nodes from a pool, a retired object must
+// return to that pool instead of being handed to `delete`. Every reclaimer's
+// registry carries one PoolHook; retire() stores a type-erased disposer
+// (dispose_retired<T>) with each entry, and the disposer consults the hook at
+// free time: destructor + pool return when a hook is installed, plain delete
+// otherwise.
+//
+// The `keepalive` shared_ptr is the lifetime contract: retired entries can
+// outlive the owning structure (thread_local leases and the orphan lists keep
+// the registry alive past structure destruction), so the registry must keep
+// the pool's backing storage alive until its own destructor has run the last
+// disposer. Installing the hook hands the registry a share of the pool state.
+//
+// set_pool_return must be called before any retire() that should recycle —
+// in practice, once at structure construction, before the structure is
+// shared between threads. The hook is written without synchronization.
+// ---------------------------------------------------------------------------
+struct PoolHook {
+  /// Returns a fully destroyed block to the pool. Must be thread-safe: sweeps
+  /// run on whichever thread trips a retire threshold, and the registry
+  /// destructor may run on yet another.
+  using ReturnFn = void (*)(void* pool, void* block) noexcept;
+
+  ReturnFn fn = nullptr;
+  void* pool = nullptr;
+  std::shared_ptr<void> keepalive;
+
+  explicit operator bool() const noexcept { return fn != nullptr; }
+};
+
+/// The type-erased disposer stored with every retired entry: destroy the
+/// object, then return the block to the pool (hook installed) or free it on
+/// the heap (no hook). One instantiation per retired type, so the destructor
+/// call is exact — including virtual dispatch through base pointers.
+template <typename T>
+inline void dispose_retired(void* q, const PoolHook& hook) noexcept {
+  T* p = static_cast<T*>(q);
+  if (hook) {
+    p->~T();
+    hook.fn(hook.pool, p);
+  } else {
+    delete p;
+  }
+}
 
 /// Point-in-time snapshot of a reclaimer's internal state, for the
 /// observability layer (obs/metrics.hpp) and for tests asserting reclamation
@@ -46,9 +95,11 @@ struct ReclaimGauges {
 
 // clang-format off
 template <typename R>
-concept ReclaimerPolicy = requires(R r) {
+concept ReclaimerPolicy = requires(R r, PoolHook h) {
   { r.pin() };                       // returns a movable RAII guard
   { r.template retire<int>(static_cast<int*>(nullptr)) };
+  { r.flush_slot() };                // drain the calling thread's backlog
+  { r.set_pool_return(h) };          // install the retire-to-pool hook
 };
 
 // Extension of ReclaimerPolicy for policies with explicit per-thread
@@ -56,6 +107,13 @@ concept ReclaimerPolicy = requires(R r) {
 // pin()/retire() skip the thread_local registry lookup entirely. This is the
 // fast path behind EfrbTreeMap::Handle; the implicit thread_local lease
 // remains the fallback behind the policy-level pin()/retire().
+//
+// The attach()/detach()/retire()/flush_slot() spelling is the one unified
+// surface every reclamation backend in this repository exposes — the three
+// ReclaimerPolicy types below/in reclaim/, and HazardPointerDomain (which is
+// not a ReclaimerPolicy, having no blanket pin(), but models exactly this
+// attachment sub-surface) — so OpContext and the structure handles never
+// special-case a backend.
 template <typename R>
 concept AttachableReclaimerPolicy = ReclaimerPolicy<R> &&
     requires(R r, typename R::Attachment a) {
@@ -64,6 +122,7 @@ concept AttachableReclaimerPolicy = ReclaimerPolicy<R> &&
   { a.template retire<int>(static_cast<int*>(nullptr)) };
   { a.attached() } -> std::convertible_to<bool>;
   { a.detach() };
+  { a.flush_slot() };
 };
 // clang-format on
 
@@ -88,6 +147,8 @@ class LeakyReclaimer {
     template <typename T>
     void retire(T* /*p*/) noexcept {}
     void flush() noexcept {}
+    /// Unified-surface alias of flush(); nothing to drain here.
+    void flush_slot() noexcept {}
 
    private:
     friend class LeakyReclaimer;
@@ -101,8 +162,19 @@ class LeakyReclaimer {
 
   template <typename T>
   void retire(T* /*p*/) noexcept {
-    // Intentionally leaked; freed only when the process exits.
+    // Intentionally leaked; freed only when the process exits — or, when the
+    // structure allocates from a pool, when the pool's slabs are torn down
+    // (the leak is then bounded by the pool's lifetime, not the process's).
   }
+
+  /// Accepted and dropped: this policy never frees, so it never has a block
+  /// to hand back. A pooled structure over LeakyReclaimer still reclaims its
+  /// memory wholesale when the pool's slabs are destroyed.
+  void set_pool_return(PoolHook /*hook*/) noexcept {}
+
+  void flush() noexcept {}
+  /// Unified-surface alias of flush(); nothing to drain here.
+  void flush_slot() noexcept {}
 
   /// Number of objects handed to retire() and leaked. Always 0 here because we
   /// do not track them; provided so ablation code compiles across policies.
