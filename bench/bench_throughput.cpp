@@ -4,6 +4,7 @@
 //
 // Output: one table per (mix, key range); rows = thread counts, columns =
 // implementations, cells = Mops/s.
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -12,7 +13,9 @@
 #include "baselines/locked_map.hpp"
 #include "baselines/skiplist.hpp"
 #include "bench_common.hpp"
+#include "core/chromatic.hpp"
 #include "core/efrb_tree.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/op_mix.hpp"
 #include "workload/report.hpp"
 
@@ -114,6 +117,91 @@ void run_alloc_ablation(const std::vector<std::size_t>& threads) {
   std::printf("\n");
 }
 
+// E1d — the balance ablation backing the chromatic tree (PR 7). Three cells,
+// each efrb-vs-chromatic:
+//   balance:sorted-insert — fixed work, one ascending key stream split round-
+//     robin across threads. The EFRB tree degenerates into a vine (O(n)
+//     descents); the chromatic tree rebalances to O(log n). This is the cell
+//     scripts/check.sh gates at >= 5x.
+//   balance:zipf — duration cell, Zipf-skewed balanced mix: the hot keys
+//     cluster, so depth under the hot path is what the rebalancing buys.
+//   balance:uniform — duration cell, uniform balanced mix: the rent. The
+//     chromatic tree pays LLX windows + SCX records + cleanup on every
+//     update and must stay within 0.9x of EFRB here (the other check.sh
+//     gate).
+template <typename Set>
+double sorted_insert_mops(int n, std::size_t threads, const char* name) {
+  Set set;
+  const auto t0 = std::chrono::steady_clock::now();
+  efrb::run_threads(threads, [&](std::size_t tid) {
+    auto h = set.handle();
+    for (int k = static_cast<int>(tid); k < n; k += static_cast<int>(threads)) {
+      h.insert(k);
+    }
+  });
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  efrb::WorkloadResult res;
+  res.inserts = static_cast<std::uint64_t>(n);
+  res.ok_inserts = res.inserts;
+  res.seconds = seconds;
+  if (efrb::bench::metrics().enabled()) {
+    WorkloadConfig cfg;
+    cfg.threads = threads;
+    cfg.key_range = static_cast<std::uint64_t>(n);
+    cfg.mix = OpMix{100, 0};
+    cfg.prefill_fraction = 0;
+    cfg.seed = efrb::bench::bench_seed(cfg.seed);
+    efrb::bench::metrics().add_cell(name, cfg, res);
+  }
+  return res.mops();
+}
+
+void run_balance_grid(const std::vector<std::size_t>& threads) {
+  using Efrb = efrb::EfrbTreeSet<Key>;
+  using Chromatic = efrb::ChromaticTreeSet<Key>;
+  // Fixed sorted-insert work: big enough that the EFRB vine's quadratic
+  // descent cost dominates, small enough that the cell stays sub-second.
+  constexpr int kSortedKeys = 20'000;
+
+  std::printf("-- balance ablation: sorted insert of %d keys (Mops/s) --\n",
+              kSortedKeys);
+  Table sorted({"threads", "efrb-tree", "chromatic-tree"});
+  for (std::size_t t : threads) {
+    sorted.add_row(
+        {std::to_string(t),
+         Table::fmt(sorted_insert_mops<Efrb>(kSortedKeys, t,
+                                             "balance:sorted-insert efrb")),
+         Table::fmt(sorted_insert_mops<Chromatic>(
+             kSortedKeys, t, "balance:sorted-insert chromatic"))});
+  }
+  sorted.print();
+  std::printf("\n");
+
+  std::printf(
+      "-- balance ablation: zipf-skewed vs uniform balanced mix, 2^16 --\n");
+  Table mixes({"threads", "efrb zipf", "chromatic zipf", "efrb uniform",
+               "chromatic uniform"});
+  for (std::size_t t : threads) {
+    WorkloadConfig uni;
+    uni.threads = t;
+    uni.key_range = std::uint64_t{1} << 16;
+    uni.mix = efrb::kBalanced;
+    uni.duration = efrb::bench::cell_duration();
+    WorkloadConfig zipf = uni;
+    zipf.zipf = true;
+    mixes.add_row(
+        {std::to_string(t),
+         Table::fmt(mops_for<Efrb>(zipf, "balance:zipf efrb")),
+         Table::fmt(mops_for<Chromatic>(zipf, "balance:zipf chromatic")),
+         Table::fmt(mops_for<Efrb>(uni, "balance:uniform efrb")),
+         Table::fmt(mops_for<Chromatic>(uni, "balance:uniform chromatic"))});
+  }
+  mixes.print();
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,5 +223,6 @@ int main(int argc, char** argv) {
   }
   run_handle_ablation(threads);
   run_alloc_ablation(threads);
+  run_balance_grid(threads);
   return efrb::bench::metrics().finish() ? 0 : 1;
 }

@@ -213,6 +213,46 @@ assert pool_lean >= 0.95 * heap_full, (
 print('alloc gate OK')
 EOF
 
+  echo "=== balanced tree: chromatic suites under the pooled sanitizer builds + balance gate ==="
+  # The plain ASan/TSan ctest sweeps above already run the chromatic suites;
+  # here the same suites additionally run with -DEFRB_TEST_POOLED (every
+  # schedule through the ObjectPool, including pooled ScxRecord recycling)
+  # under both sanitizers.
+  run cmake --build build-asan-pooled --target chromatic_test chromatic_concurrent_test
+  run ./build-asan-pooled/tests/chromatic_test --gtest_color=no
+  run ./build-asan-pooled/tests/chromatic_concurrent_test --gtest_color=no
+  run cmake --build build-tsan-pooled --target chromatic_test chromatic_concurrent_test
+  run ./build-tsan-pooled/tests/chromatic_test --gtest_color=no
+  run ./build-tsan-pooled/tests/chromatic_concurrent_test --gtest_color=no
+  # A/B gate over the E1d balance ablation: the chromatic tree must crush the
+  # EFRB tree on its pathological input (sorted insert: the vine vs O(log n)
+  # rebalancing) while paying at most 10% rent on the uniform balanced mix.
+  # Summed over thread counts to average scheduler noise.
+  EFRB_BENCH_MS="${EFRB_BALANCE_GATE_MS:-120}" run ./build/bench/bench_throughput \
+      --json build/balance_gate.json > /dev/null
+  python3 - <<'EOF'
+import json
+cells = json.load(open('build/balance_gate.json'))['cells']
+def total(name):
+    t = sum(c['result']['mops'] for c in cells if c['name'] == name)
+    assert t > 0, f'no {name} cells in balance ablation output'
+    return t
+sorted_ratio = (total('balance:sorted-insert chromatic')
+                / total('balance:sorted-insert efrb'))
+uniform_ratio = (total('balance:uniform chromatic')
+                 / total('balance:uniform efrb'))
+total('balance:zipf chromatic')  # presence check for the full grid
+print(f'balance gate: sorted-insert {sorted_ratio:.1f}x, '
+      f'uniform {uniform_ratio:.2f}x (chromatic/efrb, summed over threads)')
+assert sorted_ratio >= 5.0, (
+    f'chromatic tree lost its reason to exist: only {sorted_ratio:.1f}x over '
+    f'EFRB on sorted insert (gate: >= 5x)')
+assert uniform_ratio >= 0.9, (
+    f'chromatic rebalancing rent too high on the uniform mix: '
+    f'{uniform_ratio:.2f}x of EFRB (gate: >= 0.9x)')
+print('balance gate OK')
+EOF
+
   echo "=== debug-hooks instrumented build (live non-Noop on_cas/at callbacks) ==="
   # EFRB_TEST_FORCE_HOOKS switches the concurrent suites to traits whose
   # on_cas/at hooks run real code, proving every emission point in

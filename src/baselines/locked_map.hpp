@@ -85,15 +85,6 @@ class LockedStdMap {
     return it->second;
   }
 
-  /// Pre-redesign lookup spelling; forwards to get(). Kept for one release.
-  [[deprecated("use get(k) / contains(k)")]] bool find(const Key& k,
-                                                       Value& out) const {
-    auto v = get(k);
-    if (!v) return false;
-    out = std::move(*v);
-    return true;
-  }
-
   bool insert(const Key& k, Value v = Value{}) {
     std::unique_lock lock(mu_);
     return map_.emplace(k, std::move(v)).second;

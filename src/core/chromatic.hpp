@@ -1,0 +1,1361 @@
+// A balanced chromatic tree over the LLX/SCX substrate (core/llx_scx.hpp) —
+// the first algorithm in this repo written directly against the generic
+// Data-record seam rather than the hand-specialized EFRB protocol.
+//
+// A chromatic tree (Nurmi & Soisalon-Soininen; Boyar & Larsen) is a
+// relaxed-balance red-black tree: every node carries a weight (0 = red,
+// 1 = black, >= 2 = overweight), and the hard invariant — maintained by every
+// transformation here — is that all root-to-leaf paths through the real
+// subtree have equal weighted sums. Balance violations (red-red: a weight-0
+// node with a weight-0 parent; overweight: weight >= 2) are tolerated
+// transiently and repaired by a decoupled cleanup phase, so each update is a
+// small O(1)-node LLX/SCX transaction instead of a root-locked rebalance.
+//
+// Structure: leaf-oriented, like EFRB (Fig. 6 of the 2010 paper): real keys
+// live in leaves, internal keys route (left subtree < key <= right subtree),
+// and the sentinel spine ∞₁ < ∞₂ removes the empty/one-key special cases.
+// A single node type serves both roles; a node is a leaf iff its left child
+// pointer is null (stable for the node's whole lifetime — children are only
+// assigned at construction and swung on internals).
+//
+// Every mutation is one SCX: freeze the O(1)-node window V by CASing its info
+// words onto a fresh ScxRecord, mark the replaced set R, swing one child
+// pointer, commit. Helping, abort-on-conflict, and record reclamation are
+// entirely the engine's; this file only describes windows:
+//
+//   insert  V={p}          R={}        p's child l -> internal(new, l)
+//           (l reused by pointer; when l is overweight its copy changes
+//            weight, so the slow shape V={p,l} R={l} copies it instead)
+//   assign  V={p,l}        R={l}       p's child l -> copy(l, new value)
+//   erase   V={gp,p,l}     R={p,l}     gp's child p -> s (sibling hoisted
+//           by pointer; when s's weight must absorb p's, the slow shape
+//           V={gp,p,l,s} R={p,l,s} swings a reweighted copy(s))
+//   cleanup V⊆{p3,p2,p1,u,sibling}     one balance transformation (below)
+//
+// Rebalancing transformations (each preserves the weighted path-sum
+// invariant exactly; weights in parentheses):
+//
+//   BLK    red-red at u, uncle red: recolor — p2(w-1)[p1(1), uncle(1)]
+//   RB1    red-red at u outer, uncle black: single rotation, p1 up
+//   RB2    red-red at u inner, uncle black: double rotation, u up
+//   relabel red (or overweight) top of the real subtree: copy at weight 1
+//   W_ROT  overweight at u, red sibling: rotate the sibling above p1
+//   PUSH   overweight at u, black sibling: w(u)-1, w(s)-1, w(p1)+1
+//
+// cleanup(k) walks the search path for k from the root, fixes the topmost
+// violation it meets with one SCX, and restarts, up to a bounded number of
+// rounds. The cap makes the cost strictly bounded; under adversarial
+// interleavings a violation can be left behind (balance degrades toward the
+// unbalanced EFRB shape; the path-sum invariant and linearizability are
+// never at risk). Brown's per-violation responsibility hand-off would close
+// that gap and is noted in ROADMAP.md.
+//
+// Reclamation, stats, hooks and fault injection all arrive through the same
+// OpContext the EFRB core uses: retired nodes and drained ScxRecords go
+// through ctx.retire (Epoch/Hazard/HP-domain reclaimers, retire-to-pool),
+// descent depths feed TreeStats::depth_*, committed transformations bump
+// TreeStats::rotations, and every freeze/child CAS is gated and emitted via
+// core/debug_hooks.hpp (CasStep::kFreeze / kScxChild).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/alloc.hpp"
+#include "core/bounded_key.hpp"
+#include "core/debug_hooks.hpp"
+#include "core/llx_scx.hpp"
+#include "core/op_context.hpp"
+#include "core/protocol.hpp"  // InsertOutcome (shared with the EFRB core)
+#include "reclaim/epoch.hpp"
+#include "util/assert.hpp"
+#include "util/backoff.hpp"
+#include "util/cacheline.hpp"
+#include "util/rng.hpp"
+
+namespace efrb {
+
+/// Structural validation outcome for chromatic trees (quiescent trees); see
+/// ChromaticCore::validate. `ok` covers the hard invariants only — balance
+/// violations are legal transient states and are reported as counts.
+struct ChromaticValidation {
+  bool ok = true;
+  std::string error;
+  std::size_t real_leaves = 0;
+  std::size_t internals = 0;
+  std::size_t height = 0;         // max depth over all nodes (root = 1)
+  std::size_t red_red = 0;        // weight-0 nodes with weight-0 parents
+  std::size_t overweight = 0;     // nodes with weight >= 2
+};
+
+/// The chromatic node: one type for leaves and internals (leaf iff left ==
+/// nullptr), satisfying the ScxNode concept of the LLX/SCX engine. `weight`
+/// is immutable — reweighting replaces the node, which is what lets llx()
+/// treat everything except the children and the info word as constant.
+template <typename Key, typename Value>
+struct ChromaticLayout {
+  using key_type = Key;
+  using mapped_type = Value;
+  using BKey = BoundedKey<Key>;
+
+  struct alignas(kCacheLineSize) Node {
+    const BKey key;
+    [[no_unique_address]] Value value;  // meaningful in leaves only
+    const std::int32_t weight;          // 0 = red, 1 = black, >= 2 overweight
+    std::atomic<Node*> left;            // null iff leaf (stable)
+    std::atomic<Node*> right;
+    AtomicScxWord<Node> scx;
+
+    Node(BKey k, Value v, std::int32_t w, Node* l, Node* r)
+        : key(std::move(k)), value(std::move(v)), weight(w), left(l), right(r) {}
+  };
+
+  using Rec = ScxRecordOf<Node>;
+  using Word = ScxWord<Node>;
+
+  static_assert(ScxNode<Node>);
+};
+
+/// The chromatic tree core: dictionary operations, the cleanup phase, ordered
+/// navigation and the validator, all over ChromaticLayout nodes and the
+/// LlxScx engine. The facade (ChromaticTreeMap below) wraps it exactly like
+/// efrb_tree.hpp wraps TreeCore.
+template <typename Key, typename Value, typename Compare, typename Traits,
+          typename Ctx>
+class ChromaticCore {
+ public:
+  using Layout = ChromaticLayout<Key, Value>;
+  using Node = typename Layout::Node;
+  using Rec = typename Layout::Rec;
+  using Word = typename Layout::Word;
+  using BKey = typename Layout::BKey;
+  using AllocT = typename Ctx::AllocT;
+  using Llx = LlxScx<Node, Traits, Ctx>;
+
+  /// Rounds of the bounded cleanup phase. Each round is one root-to-key walk
+  /// plus at most one SCX; red-red cascades climb two levels per fix, so the
+  /// cap is far above any height a bounded key space can produce.
+  static constexpr int kMaxCleanupRounds = 256;
+
+  explicit ChromaticCore(Compare cmp, AllocT* alloc)
+      : cmp_(std::move(cmp)), alloc_(alloc) {
+    // Fig. 6 shape, chromatic weights: every sentinel has weight 1.
+    Node* left = make_direct<Node>(BKey::inf1(), Value{}, 1, nullptr, nullptr);
+    Node* right = nullptr;
+    try {
+      right = make_direct<Node>(BKey::inf2(), Value{}, 1, nullptr, nullptr);
+      root_ = make_direct<Node>(BKey::inf2(), Value{}, 1, left, right);
+    } catch (...) {
+      dispose_direct(right);
+      dispose_direct(left);
+      throw;
+    }
+  }
+
+  ChromaticCore(const ChromaticCore&) = delete;
+  ChromaticCore& operator=(const ChromaticCore&) = delete;
+
+  /// Requires quiescence. Frees every node reachable from the root plus the
+  /// ScxRecords still referenced by their info words (deduplicated — one
+  /// committed record is referenced by every node it froze that was never
+  /// displaced afterwards).
+  ~ChromaticCore() {
+    std::vector<Node*> stack{root_};
+    std::vector<Rec*> recs;
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      if (Rec* r = n->scx.load(std::memory_order_relaxed).info(); r != nullptr) {
+        recs.push_back(r);
+      }
+      Node* l = n->left.load(std::memory_order_relaxed);
+      if (l != nullptr) {
+        stack.push_back(l);
+        stack.push_back(n->right.load(std::memory_order_relaxed));
+      }
+      dispose_direct(n);
+    }
+    std::sort(recs.begin(), recs.end());
+    recs.erase(std::unique(recs.begin(), recs.end()), recs.end());
+    for (Rec* r : recs) dispose_direct(r);
+  }
+
+  const BoundedCompare<Key, Compare>& cmp() const noexcept { return cmp_; }
+  Node* root() const noexcept { return root_; }
+
+  // ---------------- Reads ----------------
+
+  bool contains(const Key& k, Ctx& ctx) const {
+    ctx.set_op_key(k);
+    const Node* l = descend(k, ctx);
+    hooks::emit_at<Traits>(HookPoint::kAfterSearch, ctx.tid(), ctx.op_key());
+    return cmp_.equals(k, l->key);
+  }
+
+  std::optional<Value> get(const Key& k, Ctx& ctx) const {
+    ctx.set_op_key(k);
+    const Node* l = descend(k, ctx);
+    hooks::emit_at<Traits>(HookPoint::kAfterSearch, ctx.tid(), ctx.op_key());
+    if (!cmp_.equals(k, l->key)) return std::nullopt;
+    return l->value;  // leaf payloads are immutable after publication
+  }
+
+  // ---------------- Updates ----------------
+
+  /// Insert k (or assign its value when present and `assign_if_present`).
+  /// The structural case is one SCX over V={p,l}: replace the leaf l by a
+  /// new internal with {new leaf, copy of l} below it. Weights: under a
+  /// sentinel parent everything is 1 (never introduces a violation at the
+  /// top); replacing a red leaf keeps the whole replacement red (path sums
+  /// unchanged: 0 = 0+0); otherwise the internal absorbs w(l)-1 and the
+  /// leaves take 1 each ((w-1)+1 = w).
+  InsertOutcome insert(const Key& k, Value v, bool assign_if_present,
+                       Ctx& ctx) {
+    ctx.set_op_key(k);
+    ctx.begin_op();
+    for (;;) {
+      const DescentWindow w = walk(k, ctx);
+      hooks::emit_at<Traits>(HookPoint::kAfterSearch, ctx.tid(), ctx.op_key());
+      Node* p = w.p;
+      Node* l = w.l;
+      if (cmp_.equals(k, l->key)) {
+        if (!assign_if_present) {
+          ctx.end_op();
+          return InsertOutcome::kDuplicate;
+        }
+        const LlxResult<Node> rp = Llx::llx(ctx, p);
+        std::atomic<Node*>* field = rp.ok ? field_for(p, rp, l) : nullptr;
+        const LlxResult<Node> rl =
+            field != nullptr ? Llx::llx(ctx, l) : LlxResult<Node>{};
+        if (!rl.ok) {
+          ctx.count_insert_retry();
+          scx_retry(ctx);
+          continue;
+        }
+        Node* nl = ctx.template make<Node>(l->key, v, l->weight, nullptr,
+                                           nullptr);
+        Rec* rec = make_rec(ctx, {p, l}, {rp.info, rl.info},
+                            /*finalize_mask=*/0b10, field, l, nl);
+        ctx.count_insert_attempt();
+        if (Llx::scx(ctx, rec)) {
+          ctx.end_op();
+          return InsertOutcome::kAssigned;
+        }
+        ctx.template dispose<Node>(nl);
+        ctx.count_insert_retry();
+        scx_retry(ctx);
+        continue;
+      }
+
+      const LlxResult<Node> rp = Llx::llx(ctx, p);
+      std::atomic<Node*>* field = rp.ok ? field_for(p, rp, l) : nullptr;
+      if (field == nullptr) {
+        ctx.count_insert_retry();
+        scx_retry(ctx);
+        continue;
+      }
+      std::int32_t wi, wl;
+      if (!p->key.is_real()) {
+        wi = 1;
+        wl = 1;
+      } else if (l->weight == 0) {
+        wi = 0;
+        wl = 0;
+      } else {
+        wi = l->weight - 1;
+        wl = 1;
+      }
+      Node* nk =
+          ctx.template make<Node>(BKey::real(k), v, wl, nullptr, nullptr);
+      // Leaf-oriented split: the larger key routes (left < key <= right).
+      const bool k_left = cmp_.less(k, l->key);
+      Node* ni;
+      Rec* rec;
+      Node* nold = nullptr;
+      if (wl == l->weight) {
+        // Fast path (the common case — every leaf except an overweight one
+        // keeps its weight): the old leaf stays in the tree below the new
+        // internal, so nothing is removed and V = {p}. Freezing p alone is
+        // enough: any transaction that would finalize l or swing it out must
+        // change p's child and therefore freeze p itself, which conflicts.
+        ni = ctx.template make<Node>(k_left ? l->key : BKey::real(k),
+                                     Value{}, wi, k_left ? nk : l,
+                                     k_left ? l : nk);
+        rec = make_rec(ctx, {p}, {rp.info}, /*finalize_mask=*/0b0, field, l,
+                       ni);
+      } else {
+        // The leaf's weight changes (w >= 2 collapsing to 1): copy it, and
+        // the copy's window must freeze and finalize the original.
+        const LlxResult<Node> rl = Llx::llx(ctx, l);
+        if (!rl.ok) {
+          ctx.template dispose<Node>(nk);
+          ctx.count_insert_retry();
+          scx_retry(ctx);
+          continue;
+        }
+        nold = ctx.template make<Node>(l->key, l->value, wl, nullptr, nullptr);
+        ni = ctx.template make<Node>(k_left ? l->key : BKey::real(k),
+                                     Value{}, wi, k_left ? nk : nold,
+                                     k_left ? nold : nk);
+        rec = make_rec(ctx, {p, l}, {rp.info, rl.info},
+                       /*finalize_mask=*/0b10, field, l, ni);
+      }
+      ctx.count_insert_attempt();
+      if (Llx::scx(ctx, rec)) {
+        // Only walk the cleanup path when this SCX actually created a
+        // violation: a red replacement internal is fine on its own (most
+        // inserts land under a black parent), it violates only paired with a
+        // red parent or red leaves; inheriting w(l)-1 >= 2 re-sites an
+        // existing overweight. p->weight is immutable, so reading it after
+        // the commit is safe even if p was already spliced out.
+        if (wi >= 2 || (wi == 0 && (wl == 0 || p->weight == 0))) {
+          cleanup(k, ctx);
+        }
+        ctx.end_op();
+        return InsertOutcome::kInserted;
+      }
+      ctx.template dispose<Node>(ni);
+      if (nold != nullptr) ctx.template dispose<Node>(nold);
+      ctx.template dispose<Node>(nk);
+      ctx.count_insert_retry();
+      scx_retry(ctx);
+    }
+  }
+
+  /// Atomic compare-and-replace on a key's value: one SCX over V={p,l}
+  /// replacing the leaf, exactly the assign window with a value precondition.
+  bool replace(const Key& k, const Value& expected, Value desired, Ctx& ctx) {
+    ctx.set_op_key(k);
+    ctx.begin_op();
+    for (;;) {
+      const DescentWindow w = walk(k, ctx);
+      hooks::emit_at<Traits>(HookPoint::kAfterSearch, ctx.tid(), ctx.op_key());
+      Node* p = w.p;
+      Node* l = w.l;
+      if (!cmp_.equals(k, l->key) || !(l->value == expected)) {
+        ctx.end_op();
+        return false;
+      }
+      const LlxResult<Node> rp = Llx::llx(ctx, p);
+      std::atomic<Node*>* field = rp.ok ? field_for(p, rp, l) : nullptr;
+      const LlxResult<Node> rl =
+          field != nullptr ? Llx::llx(ctx, l) : LlxResult<Node>{};
+      if (!rl.ok) {
+        ctx.count_insert_retry();
+        scx_retry(ctx);
+        continue;
+      }
+      Node* nl = ctx.template make<Node>(l->key, desired, l->weight, nullptr,
+                                         nullptr);
+      Rec* rec = make_rec(ctx, {p, l}, {rp.info, rl.info},
+                          /*finalize_mask=*/0b10, field, l, nl);
+      ctx.count_insert_attempt();
+      if (Llx::scx(ctx, rec)) {
+        ctx.end_op();
+        return true;
+      }
+      ctx.template dispose<Node>(nl);
+      ctx.count_insert_retry();
+      scx_retry(ctx);
+    }
+  }
+
+  /// Delete k: one SCX over V={gp,p,l,s} splicing out the leaf l and its
+  /// parent p, replacing them with a copy of the sibling s that absorbs both
+  /// weights (w(p)+w(s) — the path sums through s are exactly preserved; the
+  /// copy may be overweight, which cleanup then repairs). Under a sentinel
+  /// grandparent the copy tops the real subtree and is pinned to weight 1.
+  bool erase(const Key& k, Ctx& ctx) {
+    ctx.set_op_key(k);
+    ctx.begin_op();
+    for (;;) {
+      const DescentWindow w = walk(k, ctx);
+      hooks::emit_at<Traits>(HookPoint::kAfterSearch, ctx.tid(), ctx.op_key());
+      if (!cmp_.equals(k, w.l->key)) {
+        ctx.end_op();
+        return false;
+      }
+      Node* gp = w.gp;
+      Node* p = w.p;
+      Node* l = w.l;
+      EFRB_DCHECK(gp != nullptr);  // real leaves sit below the sentinel spine
+      const LlxResult<Node> rgp = Llx::llx(ctx, gp);
+      std::atomic<Node*>* field = rgp.ok ? field_for(gp, rgp, p) : nullptr;
+      const LlxResult<Node> rp =
+          field != nullptr ? Llx::llx(ctx, p) : LlxResult<Node>{};
+      Node* s = nullptr;
+      if (rp.ok) {
+        if (rp.left == l) {
+          s = rp.right;
+        } else if (rp.right == l) {
+          s = rp.left;
+        }
+      }
+      const LlxResult<Node> rl = s != nullptr ? Llx::llx(ctx, l)
+                                              : LlxResult<Node>{};
+      if (!rl.ok) {
+        ctx.count_delete_retry();
+        scx_retry(ctx);
+        continue;
+      }
+      const std::int32_t nw =
+          !gp->key.is_real() ? 1 : p->weight + s->weight;
+      Node* ns = nullptr;
+      Rec* rec;
+      if (nw == s->weight) {
+        // Fast path (p was red, or the topmost real node's sibling is
+        // already weight 1): the sibling keeps its weight, so it is hoisted
+        // by pointer instead of copied — V = {gp, p, l}, and s needs no LLX:
+        // any transaction that would finalize s or swing it out of p must
+        // freeze p, which conflicts with this window.
+        rec = make_rec(ctx, {gp, p, l}, {rgp.info, rp.info, rl.info},
+                       /*finalize_mask=*/0b110, field, p, s);
+      } else {
+        const LlxResult<Node> rs = Llx::llx(ctx, s);
+        if (!rs.ok) {
+          ctx.count_delete_retry();
+          scx_retry(ctx);
+          continue;
+        }
+        ns = ctx.template make<Node>(s->key, s->value, nw, rs.left, rs.right);
+        rec = make_rec(ctx, {gp, p, l, s},
+                       {rgp.info, rp.info, rl.info, rs.info},
+                       /*finalize_mask=*/0b1110, field, p, ns);
+      }
+      ctx.count_delete_attempt();
+      if (Llx::scx(ctx, rec)) {
+        // nw == 1 is violation-free; nw >= 2 is overweight; nw == 0 (both p
+        // and s were red) violates only when gp is red too.
+        if (nw >= 2 || (nw == 0 && gp->weight == 0)) cleanup(k, ctx);
+        ctx.end_op();
+        return true;
+      }
+      if (ns != nullptr) ctx.template dispose<Node>(ns);
+      ctx.count_delete_retry();
+      scx_retry(ctx);
+    }
+  }
+
+  // ---------------- Cleanup (decoupled rebalancing) ----------------
+
+  /// Walk the search path for k from the root; repair the topmost violation
+  /// met with one SCX; restart. Returns when the path is violation-free or
+  /// the round cap is hit (see the header note on the cap's consequences).
+  void cleanup(const Key& k, Ctx& ctx) {
+    for (int round = 0; round < kMaxCleanupRounds; ++round) {
+      Node* p3 = nullptr;
+      Node* p2 = nullptr;
+      Node* p1 = nullptr;
+      Node* u = root_;
+      for (;;) {
+        const bool red_red =
+            u->weight == 0 && p1 != nullptr && p1->weight == 0;
+        if (red_red || u->weight >= 2) break;
+        Node* c = cmp_.less(k, u->key)
+                      ? u->left.load(std::memory_order_acquire)
+                      : u->right.load(std::memory_order_acquire);
+        if (c == nullptr) return;  // clean path
+        p3 = p2;
+        p2 = p1;
+        p1 = u;
+        u = c;
+      }
+      hooks::emit_at<Traits>(HookPoint::kBeforeRebalance, ctx.tid(),
+                             ctx.op_key());
+      bool fixed;
+      if (u->weight >= 2) {
+        fixed = fix_overweight(ctx, p2, p1, u);
+      } else {
+        fixed = fix_red_red(ctx, p3, p2, p1, u);
+      }
+      if (fixed) {
+        ctx.count_rotation();
+      } else {
+        ctx.retry_pause();  // conflicting SCX won the window; re-walk
+      }
+    }
+  }
+
+  // ---------------- Ordered navigation ----------------
+  // Same weak-consistency contract as ordered.hpp: exact at quiescence;
+  // under concurrency every reported key was present at some time during the
+  // call. Callers hold a pinned region (the facade does).
+
+  std::optional<Key> min_key() const {
+    const Node* n = leftmost(root_);
+    if (!n->key.is_real()) return std::nullopt;
+    return n->key.key;
+  }
+
+  std::optional<Key> max_key() const {
+    const Node* n = rightmost(root_);
+    if (!n->key.is_real()) return std::nullopt;
+    return n->key.key;
+  }
+
+  /// Smallest key >= k (> k when strict); mirror logic of ordered::bound_up
+  /// with the left==null leaf test.
+  std::optional<Key> bound_up(const Key& k, bool strict) const {
+    const Node* n = root_;
+    const Node* last_right = nullptr;
+    for (;;) {
+      const Node* c;
+      if (cmp_.less(k, n->key)) {
+        c = n->left.load(std::memory_order_acquire);
+        if (c == nullptr) break;
+        last_right = n->right.load(std::memory_order_acquire);
+      } else {
+        c = n->right.load(std::memory_order_acquire);
+        if (c == nullptr) break;
+      }
+      n = c;
+    }
+    if (n->key.is_real()) {
+      const bool ge = !cmp_.user_compare()(n->key.key, k);
+      const bool gt = cmp_.user_compare()(k, n->key.key);
+      if (strict ? gt : ge) return n->key.key;
+    }
+    if (last_right == nullptr) return std::nullopt;
+    const Node* succ = leftmost(last_right);
+    if (!succ->key.is_real()) return std::nullopt;
+    return succ->key.key;
+  }
+
+  /// Largest key <= k (< k when strict); mirror image of bound_up.
+  std::optional<Key> bound_down(const Key& k, bool strict) const {
+    const Node* n = root_;
+    const Node* last_left = nullptr;
+    for (;;) {
+      const Node* c;
+      if (cmp_.less(k, n->key)) {
+        c = n->left.load(std::memory_order_acquire);
+        if (c == nullptr) break;
+      } else {
+        c = n->right.load(std::memory_order_acquire);
+        if (c == nullptr) break;
+        last_left = n->left.load(std::memory_order_acquire);
+      }
+      n = c;
+    }
+    if (n->key.is_real()) {
+      const bool le = !cmp_.user_compare()(k, n->key.key);
+      const bool lt = cmp_.user_compare()(n->key.key, k);
+      if (strict ? lt : le) return n->key.key;
+    }
+    if (last_left == nullptr) return std::nullopt;
+    const Node* pred = rightmost(last_left);
+    if (!pred->key.is_real()) return std::nullopt;
+    return pred->key.key;
+  }
+
+  /// Visit every (key, value) with lo <= key <= hi in order, pruning by the
+  /// BST bounds (explicit stack, like ordered::range).
+  template <typename Fn>
+  void range(const Key& lo, const Key& hi, Fn&& fn) const {
+    if (cmp_.user_compare()(hi, lo)) return;
+    std::vector<const Node*> stack{root_};
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      const Node* l = n->left.load(std::memory_order_acquire);
+      if (l != nullptr) {
+        if (!cmp_.less(hi, n->key)) {
+          stack.push_back(n->right.load(std::memory_order_acquire));
+        }
+        if (cmp_.less(lo, n->key)) stack.push_back(l);
+      } else if (n->key.is_real() && !cmp_.user_compare()(n->key.key, lo) &&
+                 !cmp_.user_compare()(hi, n->key.key)) {
+        fn(n->key.key, n->value);
+      }
+    }
+  }
+
+  /// Depth-first in-order visit of every real (key, value) pair.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::vector<const Node*> stack{root_};
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      const Node* l = n->left.load(std::memory_order_acquire);
+      if (l != nullptr) {
+        stack.push_back(n->right.load(std::memory_order_acquire));
+        stack.push_back(l);
+      } else if (n->key.is_real()) {
+        fn(n->key.key, n->value);
+      }
+    }
+  }
+
+  /// Structural validation (quiescent trees): leaf-oriented shape, BST key
+  /// order with sentinel placement, non-negative weights with weight-1
+  /// sentinels, and the chromatic hard invariant — every root-to-leaf path
+  /// ending in a real leaf carries the same weighted sum. Balance violations
+  /// are counted, not failed: they are legal transient states (and, past the
+  /// cleanup cap, legal resting states).
+  ChromaticValidation validate() const {
+    ChromaticValidation r;
+    if (root_->key.cls != KeyClass::kInf2) {
+      r.ok = false;
+      r.error = "root key is not ∞₂";
+      return r;
+    }
+    struct Frame {
+      const Node* n;
+      const BKey* lower;  // inclusive (equal keys go right)
+      const BKey* upper;  // exclusive
+      std::size_t depth;
+      std::int64_t sum;           // weighted path sum including n
+      std::int32_t parent_weight;
+    };
+    std::int64_t real_sum = -1;
+    std::vector<Frame> stack{{root_, nullptr, nullptr, 1, root_->weight, 1}};
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      r.height = std::max(r.height, f.depth);
+      if (f.lower != nullptr && cmp_(f.n->key, *f.lower)) {
+        r.ok = false;
+        r.error = "key below the lower bound inherited from an ancestor";
+        return r;
+      }
+      if (f.upper != nullptr && !cmp_(f.n->key, *f.upper)) {
+        r.ok = false;
+        r.error = "key not strictly below the upper bound from an ancestor";
+        return r;
+      }
+      if (f.n->weight < 0) {
+        r.ok = false;
+        r.error = "negative weight";
+        return r;
+      }
+      if (!f.n->key.is_real() && f.n->weight != 1) {
+        r.ok = false;
+        r.error = "sentinel node with weight != 1";
+        return r;
+      }
+      if (f.n->weight == 0 && f.parent_weight == 0) ++r.red_red;
+      if (f.n->weight >= 2) ++r.overweight;
+      const Node* left = f.n->left.load(std::memory_order_acquire);
+      const Node* right = f.n->right.load(std::memory_order_acquire);
+      if (left == nullptr) {
+        if (right != nullptr) {
+          r.ok = false;
+          r.error = "half-null children (leaf-oriented shape broken)";
+          return r;
+        }
+        if (f.n->key.is_real()) {
+          ++r.real_leaves;
+          if (real_sum < 0) {
+            real_sum = f.sum;
+          } else if (real_sum != f.sum) {
+            r.ok = false;
+            r.error = "unequal weighted path sums to real leaves";
+            return r;
+          }
+        }
+        continue;
+      }
+      if (right == nullptr) {
+        r.ok = false;
+        r.error = "half-null children (leaf-oriented shape broken)";
+        return r;
+      }
+      ++r.internals;
+      stack.push_back(Frame{left, f.lower, &f.n->key, f.depth + 1,
+                            f.sum + left->weight, f.n->weight});
+      stack.push_back(Frame{right, &f.n->key, f.upper, f.depth + 1,
+                            f.sum + right->weight, f.n->weight});
+    }
+    return r;
+  }
+
+ private:
+  struct DescentWindow {
+    Node* gp;
+    Node* p;
+    Node* l;
+  };
+
+  /// Root-to-leaf walk for k tracking (gp, p): the update window locator.
+  /// Plain acquire child loads — staleness is caught by the llx/field
+  /// verification that follows, exactly like EFRB's flag-check-then-CAS.
+  DescentWindow walk(const Key& k, Ctx& ctx) const {
+    Node* gp = nullptr;
+    Node* p = nullptr;
+    Node* l = root_;
+    std::size_t depth = 0;
+    for (;;) {
+      Node* c = cmp_.less(k, l->key)
+                    ? l->left.load(std::memory_order_acquire)
+                    : l->right.load(std::memory_order_acquire);
+      if (c == nullptr) break;
+      gp = p;
+      p = l;
+      l = c;
+      ++depth;
+    }
+    if constexpr (Ctx::kCounts) ctx.count_depth(depth);
+    return DescentWindow{gp, p, l};
+  }
+
+  /// Lean read-only descent (the Find fast path): no window tracking.
+  const Node* descend(const Key& k, Ctx& ctx) const {
+    const Node* n = root_;
+    std::size_t depth = 0;
+    for (;;) {
+      const Node* c = cmp_.less(k, n->key)
+                          ? n->left.load(std::memory_order_acquire)
+                          : n->right.load(std::memory_order_acquire);
+      if (c == nullptr) break;
+      n = c;
+      ++depth;
+    }
+    if constexpr (Ctx::kCounts) ctx.count_depth(depth);
+    return n;
+  }
+
+  static const Node* leftmost(const Node* from) {
+    const Node* n = from;
+    while (const Node* l = n->left.load(std::memory_order_acquire)) n = l;
+    return n;
+  }
+
+  /// Rightmost real-keyed leaf reachable from `from` (sentinels live on the
+  /// rightmost spine only — go left at sentinel-keyed internals).
+  static const Node* rightmost(const Node* from) {
+    const Node* n = from;
+    for (;;) {
+      const Node* l = n->left.load(std::memory_order_acquire);
+      if (l == nullptr) return n;
+      n = n->key.is_real() ? n->right.load(std::memory_order_acquire) : l;
+    }
+  }
+
+  /// The child field of `parent` holding `child` per the llx snapshot, or
+  /// null when the snapshot no longer links them (stale window — retry).
+  static std::atomic<Node*>* field_for(Node* parent,
+                                       const LlxResult<Node>& rp,
+                                       Node* child) {
+    if (rp.left == child) return &parent->left;
+    if (rp.right == child) return &parent->right;
+    return nullptr;
+  }
+
+  static void scx_retry(Ctx& ctx) {
+    hooks::emit_at<Traits>(HookPoint::kScxRetry, ctx.tid(), ctx.op_key());
+    ctx.retry_pause();
+  }
+
+  /// Copy `n` with a new weight and the given (snapshot) children.
+  Node* clone(Ctx& ctx, const Node* n, std::int32_t w, Node* l, Node* r) {
+    return ctx.template make<Node>(n->key, n->value, w, l, r);
+  }
+
+  Rec* make_rec(Ctx& ctx, std::initializer_list<Node*> v,
+                std::initializer_list<Rec*> infos, std::uint8_t finalize_mask,
+                std::atomic<Node*>* field, Node* old_child, Node* new_child) {
+    EFRB_DCHECK(v.size() == infos.size() && v.size() <= Rec::kMaxNodes);
+    Rec* rec = ctx.template make<Rec>();
+    std::uint8_t i = 0;
+    for (Node* n : v) rec->nodes[i++] = n;
+    rec->num_nodes = i;
+    i = 0;
+    for (Rec* r : infos) {
+      rec->infos[i++] = Word::make(ScxMark::kUnmarked, r);
+    }
+    rec->finalize_mask = finalize_mask;
+    rec->field = field;
+    rec->old_child = old_child;
+    rec->new_child = new_child;
+    return rec;
+  }
+
+  // -------- Balance transformations (one SCX each) --------
+
+  /// Overweight at u. Under a sentinel parent the copy is simply relabeled
+  /// to weight 1 (uniform shift of every real path sum — the invariant is
+  /// over their equality). Otherwise: red sibling -> W_ROT (rotate the
+  /// sibling above p1, exposing a black sibling for a later PUSH); black
+  /// sibling -> PUSH (shift one unit of weight from both children onto p1,
+  /// possibly re-siting the violation upward).
+  bool fix_overweight(Ctx& ctx, Node* p2, Node* p1, Node* u) {
+    EFRB_DCHECK(p1 != nullptr);  // the root is never overweight
+    if (!p1->key.is_real()) return relabel(ctx, p1, u);
+    EFRB_DCHECK(p2 != nullptr);  // real p1 hangs below the sentinel spine
+    const LlxResult<Node> r2 = Llx::llx(ctx, p2);
+    std::atomic<Node*>* field = r2.ok ? field_for(p2, r2, p1) : nullptr;
+    if (field == nullptr) return false;
+    const LlxResult<Node> r1 = Llx::llx(ctx, p1);
+    if (!r1.ok) return false;
+    Node* s;
+    bool u_left;
+    if (r1.left == u) {
+      s = r1.right;
+      u_left = true;
+    } else if (r1.right == u) {
+      s = r1.left;
+      u_left = false;
+    } else {
+      return false;
+    }
+    const LlxResult<Node> ru = Llx::llx(ctx, u);
+    if (!ru.ok) return false;
+    const LlxResult<Node> rs = Llx::llx(ctx, s);
+    if (!rs.ok) return false;
+
+    if (s->weight == 0) {
+      // W_ROT. A red sibling is internal whenever the path-sum invariant
+      // holds (a red leaf beside an overweight node would unbalance the
+      // sums); bail out defensively if the snapshot says otherwise.
+      if (rs.left == nullptr) return false;
+      Node* np1;
+      Node* ns;
+      if (u_left) {
+        np1 = clone(ctx, p1, 0, u, rs.left);
+        ns = clone(ctx, s, p1->weight, np1, rs.right);
+      } else {
+        np1 = clone(ctx, p1, 0, rs.right, u);
+        ns = clone(ctx, s, p1->weight, rs.left, np1);
+      }
+      Rec* rec = make_rec(ctx, {p2, p1, s}, {r2.info, r1.info, rs.info},
+                          /*finalize_mask=*/0b110, field, p1, ns);
+      if (Llx::scx(ctx, rec)) return true;
+      ctx.template dispose<Node>(ns);
+      ctx.template dispose<Node>(np1);
+      return false;
+    }
+
+    // PUSH: (w(u)-1) + (w(p1)+1) and (w(s)-1) + (w(p1)+1) preserve both
+    // path sums exactly.
+    Node* nu = clone(ctx, u, u->weight - 1, ru.left, ru.right);
+    Node* ns = clone(ctx, s, s->weight - 1, rs.left, rs.right);
+    Node* np1 = clone(ctx, p1, p1->weight + 1, u_left ? nu : ns,
+                      u_left ? ns : nu);
+    Rec* rec = make_rec(ctx, {p2, p1, u, s},
+                        {r2.info, r1.info, ru.info, rs.info},
+                        /*finalize_mask=*/0b1110, field, p1, np1);
+    if (Llx::scx(ctx, rec)) return true;
+    ctx.template dispose<Node>(np1);
+    ctx.template dispose<Node>(ns);
+    ctx.template dispose<Node>(nu);
+    return false;
+  }
+
+  /// Red-red pair (p1, u). A red top of the real subtree (sentinel p2) is
+  /// blackened by relabeling. Otherwise dispatch on the uncle: red uncle ->
+  /// BLK (recolor, shifting one unit from p2 down); black uncle -> RB1/RB2
+  /// (single/double rotation bringing a black node over both reds).
+  bool fix_red_red(Ctx& ctx, Node* p3, Node* p2, Node* p1, Node* u) {
+    EFRB_DCHECK(p1 != nullptr && p2 != nullptr);  // red nodes are not the root
+    if (!p2->key.is_real()) return relabel(ctx, p2, p1);
+    // The walk reports the topmost violation, so p2 is black here; a red p2
+    // means the window went stale under us.
+    if (p2->weight == 0) return false;
+    EFRB_DCHECK(p3 != nullptr);
+    const LlxResult<Node> r3 = Llx::llx(ctx, p3);
+    std::atomic<Node*>* field = r3.ok ? field_for(p3, r3, p2) : nullptr;
+    if (field == nullptr) return false;
+    const LlxResult<Node> r2 = Llx::llx(ctx, p2);
+    if (!r2.ok) return false;
+    Node* uncle;
+    bool p1_left;
+    if (r2.left == p1) {
+      uncle = r2.right;
+      p1_left = true;
+    } else if (r2.right == p1) {
+      uncle = r2.left;
+      p1_left = false;
+    } else {
+      return false;
+    }
+    const LlxResult<Node> r1 = Llx::llx(ctx, p1);
+    if (!r1.ok) return false;
+    Node* c;  // p1's other child
+    bool u_left;
+    if (r1.left == u) {
+      c = r1.right;
+      u_left = true;
+    } else if (r1.right == u) {
+      c = r1.left;
+      u_left = false;
+    } else {
+      return false;
+    }
+
+    if (uncle->weight == 0) {
+      // BLK: p2'(w-1)[ p1'(1), uncle'(1) ] — pure recoloring.
+      const LlxResult<Node> rn = Llx::llx(ctx, uncle);
+      if (!rn.ok) return false;
+      Node* np1 = clone(ctx, p1, 1, r1.left, r1.right);
+      Node* nun = clone(ctx, uncle, 1, rn.left, rn.right);
+      Node* np2 = clone(ctx, p2, p2->weight - 1, p1_left ? np1 : nun,
+                        p1_left ? nun : np1);
+      Rec* rec = make_rec(ctx, {p3, p2, p1, uncle},
+                          {r3.info, r2.info, r1.info, rn.info},
+                          /*finalize_mask=*/0b1110, field, p2, np2);
+      if (Llx::scx(ctx, rec)) return true;
+      ctx.template dispose<Node>(np2);
+      ctx.template dispose<Node>(nun);
+      ctx.template dispose<Node>(np1);
+      return false;
+    }
+
+    if (u_left == p1_left) {
+      // RB1 (outer red): rotate p1 above p2.
+      //   p1'(w(p2)) [ u, p2'(0)[c, uncle] ]   (and the mirror image)
+      Node* np2 = clone(ctx, p2, 0, p1_left ? c : uncle, p1_left ? uncle : c);
+      Node* np1 = clone(ctx, p1, p2->weight, p1_left ? u : np2,
+                        p1_left ? np2 : u);
+      Rec* rec = make_rec(ctx, {p3, p2, p1}, {r3.info, r2.info, r1.info},
+                          /*finalize_mask=*/0b110, field, p2, np1);
+      if (Llx::scx(ctx, rec)) return true;
+      ctx.template dispose<Node>(np1);
+      ctx.template dispose<Node>(np2);
+      return false;
+    }
+
+    // RB2 (inner red): rotate u above both. An inner red leaf beside a black
+    // uncle cannot satisfy the path-sum invariant, so a leaf snapshot here
+    // means the window went stale — bail out.
+    const LlxResult<Node> ru = Llx::llx(ctx, u);
+    if (!ru.ok || ru.left == nullptr) return false;
+    Node* np1;
+    Node* np2;
+    Node* nu;
+    if (p1_left) {
+      // u = p1.right: u'(w(p2)) [ p1'(0)[c, u.left], p2'(0)[u.right, uncle] ]
+      np1 = clone(ctx, p1, 0, c, ru.left);
+      np2 = clone(ctx, p2, 0, ru.right, uncle);
+      nu = clone(ctx, u, p2->weight, np1, np2);
+    } else {
+      // u = p1.left: u'(w(p2)) [ p2'(0)[uncle, u.left], p1'(0)[u.right, c] ]
+      np2 = clone(ctx, p2, 0, uncle, ru.left);
+      np1 = clone(ctx, p1, 0, ru.right, c);
+      nu = clone(ctx, u, p2->weight, np2, np1);
+    }
+    Rec* rec = make_rec(ctx, {p3, p2, p1, u},
+                        {r3.info, r2.info, r1.info, ru.info},
+                        /*finalize_mask=*/0b1110, field, p2, nu);
+    if (Llx::scx(ctx, rec)) return true;
+    ctx.template dispose<Node>(nu);
+    ctx.template dispose<Node>(np2);
+    ctx.template dispose<Node>(np1);
+    return false;
+  }
+
+  /// Replace u (child of a sentinel-keyed parent) with a weight-1 copy: the
+  /// chromatic analogue of blackening a red root / absorbing root overweight.
+  /// Shifts every real path sum by the same amount, preserving equality.
+  bool relabel(Ctx& ctx, Node* parent, Node* u) {
+    const LlxResult<Node> rp = Llx::llx(ctx, parent);
+    std::atomic<Node*>* field = rp.ok ? field_for(parent, rp, u) : nullptr;
+    if (field == nullptr) return false;
+    const LlxResult<Node> ru = Llx::llx(ctx, u);
+    if (!ru.ok) return false;
+    Node* nu = clone(ctx, u, 1, ru.left, ru.right);
+    Rec* rec = make_rec(ctx, {parent, u}, {rp.info, ru.info},
+                        /*finalize_mask=*/0b10, field, u, nu);
+    if (Llx::scx(ctx, rec)) return true;
+    ctx.template dispose<Node>(nu);
+    return false;
+  }
+
+  // Constructor/destructor-time allocation without an OpContext (quiescent;
+  // same policy, structure-level cache) — mirrors TreeCore.
+  template <typename T, typename... Args>
+  T* make_direct(Args&&... args) {
+    if constexpr (AllocT::kPooled) {
+      EFRB_DCHECK(alloc_ != nullptr);
+      return alloc_->template create<T>(*alloc_->local_cache(),
+                                        std::forward<Args>(args)...);
+    } else {
+      return new T(std::forward<Args>(args)...);
+    }
+  }
+
+  template <typename T>
+  void dispose_direct(T* p) noexcept {
+    if (p == nullptr) return;
+    if constexpr (AllocT::kPooled) {
+      alloc_->template destroy<T>(*alloc_->local_cache(), p);
+    } else {
+      delete p;
+    }
+  }
+
+  BoundedCompare<Key, Compare> cmp_;
+  AllocT* alloc_;
+  Node* root_ = nullptr;
+};
+
+/// Public facade: the chromatic tree behind the same ConcurrentMap surface,
+/// Handle fast path, reclaimer/allocator policies and stats plumbing as
+/// EfrbTreeMap (see efrb_tree.hpp for the contract of every member — the
+/// semantics here are identical, only the structure underneath differs).
+template <typename Key, typename Value = detail::Unit,
+          typename Compare = std::less<Key>,
+          typename Reclaimer = EpochReclaimer, typename Traits = NoopTraits>
+class ChromaticTreeMap {
+  static constexpr bool kTrackKeys = [] {
+    if constexpr (requires { Traits::kTrackKeys; }) {
+      return static_cast<bool>(Traits::kTrackKeys);
+    } else {
+      return false;
+    }
+  }();
+  using Layout = ChromaticLayout<Key, Value>;
+  using Node = typename Layout::Node;
+  using Rec = typename Layout::Rec;
+  using Alloc = std::conditional_t<hooks::pooled_alloc_v<Traits>,
+                                   ObjectPool<Node, Rec>, HeapAllocator>;
+  using Ctx = OpContext<Reclaimer, Traits::kCountStats, kTrackKeys, Alloc>;
+  using Core = ChromaticCore<Key, Value, Compare, Traits, Ctx>;
+  using Shards =
+      std::conditional_t<Traits::kCountStats, ShardPool, EmptyShardPool>;
+
+ public:
+  using key_type = Key;
+  using mapped_type = Value;
+  using ValidationResult = ChromaticValidation;
+  static constexpr const char* kName = "chromatic-tree";
+
+  explicit ChromaticTreeMap(Compare cmp = Compare{},
+                            Reclaimer reclaimer = Reclaimer{})
+      : reclaimer_(std::move(reclaimer)), core_(std::move(cmp), &alloc_) {
+    if constexpr (Alloc::kPooled) {
+      reclaimer_.set_pool_return(alloc_.pool_hook());
+    }
+  }
+
+  ChromaticTreeMap(const ChromaticTreeMap&) = delete;
+  ChromaticTreeMap& operator=(const ChromaticTreeMap&) = delete;
+
+  /// Requires quiescence, like all destructors.
+  ~ChromaticTreeMap() = default;
+
+  /// Per-thread fast path; same rules as EfrbTreeMap::Handle (movable,
+  /// thread-affine, must not outlive the tree).
+  class Handle {
+   public:
+    Handle() = default;
+
+    Handle(Handle&& other) noexcept
+        : tree_(std::exchange(other.tree_, nullptr)),
+          att_(std::move(other.att_)),
+          cache_(std::move(other.cache_)),
+          shard_(std::exchange(other.shard_, nullptr)),
+          shard_base_(other.shard_base_),
+          backoff_(other.backoff_),
+          rng_(other.rng_),
+          tid_(other.tid_) {}
+
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        detach();
+        tree_ = std::exchange(other.tree_, nullptr);
+        att_ = std::move(other.att_);
+        cache_ = std::move(other.cache_);
+        shard_ = std::exchange(other.shard_, nullptr);
+        shard_base_ = other.shard_base_;
+        backoff_ = other.backoff_;
+        rng_ = other.rng_;
+        tid_ = other.tid_;
+      }
+      return *this;
+    }
+
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    ~Handle() { detach(); }
+
+    bool valid() const noexcept { return tree_ != nullptr; }
+
+    void detach() noexcept {
+      if (tree_ != nullptr && shard_ != nullptr) Shards::release(shard_);
+      shard_ = nullptr;
+      att_.detach();
+      cache_ = typename Alloc::Cache{};
+      tree_ = nullptr;
+    }
+
+    bool contains(const Key& k) const {
+      return with_ctx([&](Ctx& c) { return tree_->core_.contains(k, c); });
+    }
+
+    std::optional<Value> get(const Key& k) const {
+      return with_ctx([&](Ctx& c) { return tree_->core_.get(k, c); });
+    }
+
+    bool insert(const Key& k, Value v = Value{}) {
+      return with_ctx([&](Ctx& c) {
+        return tree_->core_.insert(k, std::move(v),
+                                   /*assign_if_present=*/false, c) !=
+               InsertOutcome::kDuplicate;
+      });
+    }
+
+    bool insert_or_assign(const Key& k, Value v) {
+      return with_ctx([&](Ctx& c) {
+        return tree_->core_.insert(k, std::move(v),
+                                   /*assign_if_present=*/true, c) ==
+               InsertOutcome::kInserted;
+      });
+    }
+
+    bool replace(const Key& k, const Value& expected, Value desired) {
+      return with_ctx([&](Ctx& c) {
+        return tree_->core_.replace(k, expected, std::move(desired), c);
+      });
+    }
+
+    Value get_or_insert(const Key& k, Value v) {
+      for (;;) {
+        if (auto cur = get(k)) return *cur;
+        if (insert(k, v)) return v;
+      }
+    }
+
+    bool erase(const Key& k) {
+      return with_ctx([&](Ctx& c) { return tree_->core_.erase(k, c); });
+    }
+
+    std::optional<Key> min_key() const {
+      EFRB_DCHECK(valid());
+      [[maybe_unused]] auto guard = att_.pin();
+      return tree_->core_.min_key();
+    }
+
+    std::optional<Key> max_key() const {
+      EFRB_DCHECK(valid());
+      [[maybe_unused]] auto guard = att_.pin();
+      return tree_->core_.max_key();
+    }
+
+    std::optional<Key> find_ge(const Key& k) const { return bound(k, false, true); }
+    std::optional<Key> find_gt(const Key& k) const { return bound(k, true, true); }
+    std::optional<Key> find_le(const Key& k) const { return bound(k, false, false); }
+    std::optional<Key> find_lt(const Key& k) const { return bound(k, true, false); }
+
+    template <typename Fn>
+    void range(const Key& lo, const Key& hi, Fn&& fn) const {
+      EFRB_DCHECK(valid());
+      [[maybe_unused]] auto guard = att_.pin();
+      tree_->core_.range(lo, hi, std::forward<Fn>(fn));
+    }
+
+    std::size_t count_range(const Key& lo, const Key& hi) const {
+      std::size_t n = 0;
+      range(lo, hi, [&n](const Key&, const Value&) { ++n; });
+      return n;
+    }
+
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+      EFRB_DCHECK(valid());
+      [[maybe_unused]] auto guard = att_.pin();
+      tree_->core_.for_each(std::forward<Fn>(fn));
+    }
+
+    void flush() { att_.flush(); }
+
+    TreeStats local_stats() const noexcept {
+      TreeStats s;
+      if (shard_ != nullptr) {
+        accumulate(s, shard_->counters);
+        subtract(s, shard_base_);
+      }
+      return s;
+    }
+
+    Xoshiro256& rng() noexcept { return rng_; }
+    Backoff& backoff() noexcept { return backoff_; }
+    unsigned tid() const noexcept { return tid_; }
+    bool last_op_retried() const noexcept { return last_retried_; }
+
+   private:
+    friend class ChromaticTreeMap;
+
+    explicit Handle(ChromaticTreeMap* t)
+        : tree_(t),
+          att_(t->reclaimer_.attach()),
+          cache_(t->alloc_.make_cache()),
+          shard_(t->shards_.acquire()),
+          rng_(next_handle_seed()),
+          tid_(t->next_tid_.fetch_add(1, std::memory_order_relaxed)) {
+      if (shard_ != nullptr) accumulate(shard_base_, shard_->counters);
+    }
+
+    template <typename Fn>
+    decltype(auto) with_ctx(Fn&& fn) const {
+      EFRB_DCHECK(valid());
+      [[maybe_unused]] auto guard = att_.pin();
+      last_retried_ = false;
+      auto ctx = Ctx::attached(
+          att_, shard_ != nullptr ? &shard_->counters : nullptr, &backoff_,
+          tid_, &last_retried_, &tree_->alloc_, &cache_);
+      return fn(ctx);
+    }
+
+    std::optional<Key> bound(const Key& k, bool strict, bool up) const {
+      EFRB_DCHECK(valid());
+      [[maybe_unused]] auto guard = att_.pin();
+      return up ? tree_->core_.bound_up(k, strict)
+                : tree_->core_.bound_down(k, strict);
+    }
+
+    ChromaticTreeMap* tree_ = nullptr;
+    mutable typename Reclaimer::Attachment att_;
+    mutable typename Alloc::Cache cache_;
+    StatShard* shard_ = nullptr;
+    TreeStats shard_base_;
+    mutable Backoff backoff_;
+    mutable Xoshiro256 rng_{0};
+    unsigned tid_ = kNoTid;
+    mutable bool last_retried_ = false;
+  };
+
+  Handle handle() { return Handle(this); }
+
+  // Tree-level convenience wrappers (thread_local reclaimer lease; hot loops
+  // should go through handle()).
+
+  bool contains(const Key& k) const {
+    return with_ctx([&](Ctx& c) { return core_.contains(k, c); });
+  }
+
+  std::optional<Value> get(const Key& k) const {
+    return with_ctx([&](Ctx& c) { return core_.get(k, c); });
+  }
+
+  bool insert(const Key& k, Value v = Value{}) {
+    return with_ctx([&](Ctx& c) {
+      return core_.insert(k, std::move(v), /*assign_if_present=*/false, c) !=
+             InsertOutcome::kDuplicate;
+    });
+  }
+
+  bool insert_or_assign(const Key& k, Value v) {
+    return with_ctx([&](Ctx& c) {
+      return core_.insert(k, std::move(v), /*assign_if_present=*/true, c) ==
+             InsertOutcome::kInserted;
+    });
+  }
+
+  bool replace(const Key& k, const Value& expected, Value desired) {
+    return with_ctx([&](Ctx& c) {
+      return core_.replace(k, expected, std::move(desired), c);
+    });
+  }
+
+  Value get_or_insert(const Key& k, Value v) {
+    for (;;) {
+      if (auto cur = get(k)) return *cur;
+      if (insert(k, v)) return v;
+    }
+  }
+
+  bool erase(const Key& k) {
+    return with_ctx([&](Ctx& c) { return core_.erase(k, c); });
+  }
+
+  std::optional<Key> min_key() const {
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    return core_.min_key();
+  }
+
+  std::optional<Key> max_key() const {
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    return core_.max_key();
+  }
+
+  std::optional<Key> find_ge(const Key& k) const { return bound(k, false, true); }
+  std::optional<Key> find_gt(const Key& k) const { return bound(k, true, true); }
+  std::optional<Key> find_le(const Key& k) const { return bound(k, false, false); }
+  std::optional<Key> find_lt(const Key& k) const { return bound(k, true, false); }
+
+  template <typename Fn>
+  void range(const Key& lo, const Key& hi, Fn&& fn) const {
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    core_.range(lo, hi, std::forward<Fn>(fn));
+  }
+
+  std::size_t count_range(const Key& lo, const Key& hi) const {
+    std::size_t n = 0;
+    range(lo, hi, [&n](const Key&, const Value&) { ++n; });
+    return n;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    core_.for_each(std::forward<Fn>(fn));
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for_each([&n](const Key&, const Value&) { ++n; });
+    return n;
+  }
+
+  bool empty() const { return !min_key().has_value(); }
+
+  ValidationResult validate() const {
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    return core_.validate();
+  }
+
+  TreeStats stats() const noexcept { return stats_snapshot(); }
+
+  TreeStats stats_snapshot() const noexcept {
+    TreeStats s;
+    if constexpr (Traits::kCountStats) {
+      accumulate(s, counters_);
+      shards_.accumulate_into(s);
+    }
+    return s;
+  }
+
+  Reclaimer& reclaimer() noexcept { return reclaimer_; }
+  Alloc& allocator() noexcept { return alloc_; }
+
+ private:
+  template <typename Fn>
+  decltype(auto) with_ctx(Fn&& fn) const {
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    auto ctx = Ctx::tree_level(reclaimer_, &counters_, &alloc_,
+                               Alloc::kPooled ? alloc_.local_cache() : nullptr);
+    return fn(ctx);
+  }
+
+  std::optional<Key> bound(const Key& k, bool strict, bool up) const {
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    return up ? core_.bound_up(k, strict) : core_.bound_down(k, strict);
+  }
+
+  // Same load-bearing declaration order as EfrbTreeMap: pool before core,
+  // destroyed last.
+  [[no_unique_address]] mutable Alloc alloc_;
+  mutable Reclaimer reclaimer_;
+  Core core_;
+  mutable StatCounters counters_;
+  [[no_unique_address]] mutable Shards shards_;
+  std::atomic<unsigned> next_tid_{0};
+};
+
+/// Set flavour: keys only, no mapped values.
+template <typename Key, typename Compare = std::less<Key>,
+          typename Reclaimer = EpochReclaimer, typename Traits = NoopTraits>
+using ChromaticTreeSet =
+    ChromaticTreeMap<Key, detail::Unit, Compare, Reclaimer, Traits>;
+
+}  // namespace efrb

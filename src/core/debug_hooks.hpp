@@ -24,7 +24,10 @@
 
 namespace efrb {
 
-/// The eight CAS step kinds of the protocol (paper §3, Fig. 4).
+/// The CAS step kinds of the two commit protocols sharing this layer: the
+/// eight EFRB steps (paper §3, Fig. 4) plus the two SCX steps of the
+/// Brown–Ellen–Ruppert general technique (core/llx_scx.hpp), which fold the
+/// flag/mark/child-swing edges into freeze + child-swap.
 enum class CasStep : std::uint8_t {
   kIFlag,      // Insert: flag the parent (line 56)
   kIChild,     // Insert: swing the parent's child pointer (line 66 / 115/117)
@@ -34,11 +37,13 @@ enum class CasStep : std::uint8_t {
   kDChild,     // Delete: splice the parent out (line 105)
   kDUnflag,    // Delete: clean the grandparent (line 106)
   kBacktrack,  // Delete: remove the flag after a failed mark (line 98)
+  kFreeze,     // SCX: freeze one V-node's info word onto the ScxRecord
+  kScxChild,   // SCX: swing the target child pointer old -> new
 };
 
 /// Number of CasStep values; sizes the per-step counter arrays in
 /// op_context.hpp.
-inline constexpr std::size_t kNumCasSteps = 8;
+inline constexpr std::size_t kNumCasSteps = 10;
 
 inline const char* to_string(CasStep s) noexcept {
   switch (s) {
@@ -50,6 +55,8 @@ inline const char* to_string(CasStep s) noexcept {
     case CasStep::kDChild: return "dchild";
     case CasStep::kDUnflag: return "dunflag";
     case CasStep::kBacktrack: return "backtrack";
+    case CasStep::kFreeze: return "freeze";
+    case CasStep::kScxChild: return "scx-child";
   }
   return "?";
 }
@@ -69,10 +76,18 @@ enum class HookPoint : std::uint8_t {
   kInsertRetry,      // Insert attempt failed; looping
   kDeleteRetry,      // Delete attempt failed; looping
   kAfterHelp,        // help dispatch returned; pairs with kBeforeHelp
+  // SCX pause points (core/llx_scx.hpp / core/chromatic.hpp). A thread
+  // stalled at any of them leaves an SCX record mid-commit, which every
+  // other operation must be able to help past.
+  kBeforeFreeze,     // inside help_scx, before one freeze CAS
+  kBeforeScxChild,   // inside help_scx, all V frozen, before the child CAS
+  kBeforeScxCommit,  // inside help_scx, before the state InProgress->Committed
+  kScxRetry,         // an LLX/SCX transaction failed; operation looping
+  kBeforeRebalance,  // cleanup found a violation, before its fixing SCX
 };
 
 /// Number of HookPoint values; sizes the per-point tables in src/inject/.
-inline constexpr std::size_t kNumHookPoints = 13;
+inline constexpr std::size_t kNumHookPoints = 18;
 
 inline const char* to_string(HookPoint p) noexcept {
   switch (p) {
@@ -89,6 +104,11 @@ inline const char* to_string(HookPoint p) noexcept {
     case HookPoint::kInsertRetry: return "insert-retry";
     case HookPoint::kDeleteRetry: return "delete-retry";
     case HookPoint::kAfterHelp: return "after-help";
+    case HookPoint::kBeforeFreeze: return "before-freeze";
+    case HookPoint::kBeforeScxChild: return "before-scx-child";
+    case HookPoint::kBeforeScxCommit: return "before-scx-commit";
+    case HookPoint::kScxRetry: return "scx-retry";
+    case HookPoint::kBeforeRebalance: return "before-rebalance";
   }
   return "?";
 }

@@ -45,13 +45,6 @@
 
 namespace efrb {
 
-namespace detail {
-/// Empty mapped type for set semantics; occupies no leaf storage.
-struct Unit {
-  friend bool operator==(Unit, Unit) noexcept { return true; }
-};
-}  // namespace detail
-
 template <typename Key, typename Value = detail::Unit,
           typename Compare = std::less<Key>,
           typename Reclaimer = EpochReclaimer, typename Traits = NoopTraits>
@@ -175,15 +168,6 @@ class EfrbTreeMap {
 
     std::optional<Value> get(const Key& k) const {
       return with_ctx([&](Ctx& c) { return tree_->core_.get(k, c); });
-    }
-
-    /// Pre-redesign lookup spelling; forwards to get(). Kept for one release.
-    [[deprecated("use get(k) / contains(k)")]] bool find(const Key& k,
-                                                         Value& out) const {
-      auto v = get(k);
-      if (!v) return false;
-      out = std::move(*v);
-      return true;
     }
 
     bool insert(const Key& k, Value v = Value{}) {
@@ -361,15 +345,6 @@ class EfrbTreeMap {
   /// leaf is immutable after publication, so copying it under the pin is safe.
   std::optional<Value> get(const Key& k) const {
     return with_ctx([&](Ctx& c) { return core_.get(k, c); });
-  }
-
-  /// Pre-redesign lookup spelling; forwards to get(). Kept for one release.
-  [[deprecated("use get(k) / contains(k)")]] bool find(const Key& k,
-                                                       Value& out) const {
-    auto v = get(k);
-    if (!v) return false;
-    out = std::move(*v);
-    return true;
   }
 
   /// Insert(k), lines 42-62. Returns false iff k was already present.

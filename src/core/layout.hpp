@@ -26,6 +26,7 @@
 #include <utility>
 
 #include "core/bounded_key.hpp"
+#include "core/llx_scx.hpp"
 #include "util/assert.hpp"
 #include "util/cacheline.hpp"
 
@@ -50,74 +51,21 @@ struct Info {
   virtual ~Info() = default;
 };
 
-/// Immutable snapshot of an update field: (state, Info*) in one word.
-class Update {
- public:
-  constexpr Update() noexcept : bits_(0) {}  // {Clean, nullptr} — initial value
-
-  static Update make(UpdateState s, Info* info) noexcept {
-    const auto p = reinterpret_cast<std::uintptr_t>(info);
-    EFRB_DCHECK((p & kTagMask) == 0);
-    return Update(p | static_cast<std::uintptr_t>(s));
-  }
-
-  static constexpr Update from_bits(std::uintptr_t bits) noexcept {
-    return Update(bits);
-  }
-
-  UpdateState state() const noexcept {
-    return static_cast<UpdateState>(bits_ & kTagMask);
-  }
-
-  Info* info() const noexcept {
-    return reinterpret_cast<Info*>(bits_ & ~kTagMask);
-  }
-
-  std::uintptr_t bits() const noexcept { return bits_; }
-
-  friend bool operator==(Update a, Update b) noexcept {
-    return a.bits_ == b.bits_;
-  }
-  friend bool operator!=(Update a, Update b) noexcept {
-    return a.bits_ != b.bits_;
-  }
-
- private:
-  explicit constexpr Update(std::uintptr_t bits) noexcept : bits_(bits) {}
-  static constexpr std::uintptr_t kTagMask = 0x3;
-  std::uintptr_t bits_;
-};
+/// Immutable snapshot of an update field: (state, Info*) in one word — the
+/// four-state EFRB specialization of the shared tagged-word seam
+/// (core/llx_scx.hpp). A default-constructed Update is {Clean, nullptr}, the
+/// initial value of every internal node.
+using Update = TaggedInfoWord<UpdateState, Info>;
 
 /// The atomic update field of an internal node.
-class AtomicUpdate {
- public:
-  AtomicUpdate() noexcept : bits_(0) {}
-
-  Update load(std::memory_order order = std::memory_order_acquire) const noexcept {
-    return Update::from_bits(bits_.load(order));
-  }
-
-  /// Single-word CAS; on failure `expected` is refreshed with the witnessed
-  /// value (which callers pass to Help, per lines 61/85/97 of the paper).
-  ///
-  /// Orders default to the strongest pairing the protocol needs (acq_rel
-  /// success / acquire failure). Steps whose failure value is discarded and
-  /// whose success publishes nothing new pass weaker orders explicitly — see
-  /// the per-step audit comments in core/protocol.hpp.
-  bool compare_exchange(
-      Update& expected, Update desired,
-      std::memory_order success = std::memory_order_acq_rel,
-      std::memory_order failure = std::memory_order_acquire) noexcept {
-    std::uintptr_t exp = expected.bits();
-    const bool ok =
-        bits_.compare_exchange_strong(exp, desired.bits(), success, failure);
-    expected = Update::from_bits(exp);
-    return ok;
-  }
-
- private:
-  std::atomic<std::uintptr_t> bits_;
-};
+///
+/// compare_exchange: single-word CAS; on failure `expected` is refreshed with
+/// the witnessed value (which callers pass to Help, per lines 61/85/97 of the
+/// paper). Orders default to the strongest pairing the protocol needs
+/// (acq_rel success / acquire failure). Steps whose failure value is
+/// discarded and whose success publishes nothing new pass weaker orders
+/// explicitly — see the per-step audit comments in core/protocol.hpp.
+using AtomicUpdate = AtomicInfoWord<Update>;
 
 static_assert(sizeof(AtomicUpdate) == sizeof(std::uintptr_t),
               "update field must be one CAS word");

@@ -39,6 +39,14 @@
 
 namespace efrb {
 
+namespace detail {
+/// Empty mapped type for set semantics; occupies no leaf storage. Shared by
+/// every map facade's `*Set` alias (EfrbTreeSet, ChromaticTreeSet, ...).
+struct Unit {
+  friend bool operator==(Unit, Unit) noexcept { return true; }
+};
+}  // namespace detail
+
 /// Relaxed per-structure operation counters, collected when
 /// Traits::kCountStats. The per-CasStep arrays give benchmarks a
 /// protocol-step breakdown (attempts and failed CAS per step of Fig. 4)
@@ -50,8 +58,22 @@ struct TreeStats {
   std::uint64_t delete_retries = 0;   // extra Search rounds inside Delete
   std::uint64_t helps = 0;            // Help() dispatches on a non-Clean word
   std::uint64_t backtracks = 0;       // successful backtrack CAS steps
+  // Descent-depth telemetry (levels walked root->leaf, sampled at every
+  // counted descent) — the measurable form of the balance claim: EFRB depth
+  // collapses to O(n) under sorted keys, the chromatic tree holds O(log n).
+  std::uint64_t depth_total = 0;    // sum of sampled descent depths
+  std::uint64_t depth_samples = 0;  // number of sampled descents
+  std::uint64_t depth_max = 0;      // deepest sampled descent
+  std::uint64_t rotations = 0;      // committed rebalancing transactions
   std::array<std::uint64_t, kNumCasSteps> cas_attempts{};  // per CasStep
   std::array<std::uint64_t, kNumCasSteps> cas_failures{};  // failed CAS per step
+
+  double depth_avg() const noexcept {
+    return depth_samples == 0
+               ? 0.0
+               : static_cast<double>(depth_total) /
+                     static_cast<double>(depth_samples);
+  }
 };
 
 /// Atomic write side of TreeStats. All increments are relaxed: the counters
@@ -63,6 +85,10 @@ struct StatCounters {
   std::atomic<std::uint64_t> delete_retries{0};
   std::atomic<std::uint64_t> helps{0};
   std::atomic<std::uint64_t> backtracks{0};
+  std::atomic<std::uint64_t> depth_total{0};
+  std::atomic<std::uint64_t> depth_samples{0};
+  std::atomic<std::uint64_t> depth_max{0};
+  std::atomic<std::uint64_t> rotations{0};
   std::array<std::atomic<std::uint64_t>, kNumCasSteps> cas_attempts{};
   std::array<std::atomic<std::uint64_t>, kNumCasSteps> cas_failures{};
 };
@@ -74,6 +100,11 @@ inline void accumulate(TreeStats& s, const StatCounters& c) noexcept {
   s.delete_retries += c.delete_retries.load(std::memory_order_relaxed);
   s.helps += c.helps.load(std::memory_order_relaxed);
   s.backtracks += c.backtracks.load(std::memory_order_relaxed);
+  s.depth_total += c.depth_total.load(std::memory_order_relaxed);
+  s.depth_samples += c.depth_samples.load(std::memory_order_relaxed);
+  const std::uint64_t dm = c.depth_max.load(std::memory_order_relaxed);
+  if (dm > s.depth_max) s.depth_max = dm;
+  s.rotations += c.rotations.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < kNumCasSteps; ++i) {
     s.cas_attempts[i] += c.cas_attempts[i].load(std::memory_order_relaxed);
     s.cas_failures[i] += c.cas_failures[i].load(std::memory_order_relaxed);
@@ -89,6 +120,11 @@ inline void subtract(TreeStats& s, const TreeStats& base) noexcept {
   s.delete_retries -= base.delete_retries;
   s.helps -= base.helps;
   s.backtracks -= base.backtracks;
+  s.depth_total -= base.depth_total;
+  s.depth_samples -= base.depth_samples;
+  // depth_max is a running maximum, not a sum — a handle's own share is not
+  // recoverable by subtraction, so the lifetime maximum is reported as-is.
+  s.rotations -= base.rotations;
   for (std::size_t i = 0; i < kNumCasSteps; ++i) {
     s.cas_attempts[i] -= base.cas_attempts[i];
     s.cas_failures[i] -= base.cas_failures[i];
@@ -176,6 +212,11 @@ class OpContext {
   using Attachment = typename Reclaimer::Attachment;
   using AllocT = Alloc;
   using AllocCache = typename Alloc::Cache;
+
+  /// Whether this context counts statistics — lets the structure layers skip
+  /// preparing inputs (e.g. the descent-depth out-counter) that count_*()
+  /// would discard anyway.
+  static constexpr bool kCounts = kCount;
 
   /// Context for structure-level convenience methods: retires through the
   /// reclaimer's thread_local lease, counts into the shared block, no
@@ -299,6 +340,22 @@ class OpContext {
   void count_delete_retry() noexcept { bump(&StatCounters::delete_retries); }
   void count_help() noexcept { bump(&StatCounters::helps); }
   void count_backtrack() noexcept { bump(&StatCounters::backtracks); }
+  void count_rotation() noexcept { bump(&StatCounters::rotations); }
+
+  /// Record one descent's depth (levels walked from the root to the leaf).
+  /// The max is a relaxed CAS race — last-writer-wins per observed maximum is
+  /// exact for a monotone quantity.
+  void count_depth(std::size_t depth) noexcept {
+    if constexpr (kCount) {
+      const auto d = static_cast<std::uint64_t>(depth);
+      counters_->depth_total.fetch_add(d, std::memory_order_relaxed);
+      counters_->depth_samples.fetch_add(1, std::memory_order_relaxed);
+      std::uint64_t cur = counters_->depth_max.load(std::memory_order_relaxed);
+      while (cur < d && !counters_->depth_max.compare_exchange_weak(
+                            cur, d, std::memory_order_relaxed)) {
+      }
+    }
+  }
 
   /// Per-step protocol accounting, recorded at every Traits::on_cas point.
   void count_cas(CasStep step, bool ok) noexcept {

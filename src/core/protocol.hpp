@@ -138,7 +138,17 @@ class TreeCore {
     auto splice_marked = [this, &ctx](DInfo* op) {
       const_cast<TreeCore*>(this)->help_marked(op, ctx);
     };
-    return search_path<Traits, Layout>(root_, k, cmp_, splice_marked);
+    if constexpr (Ctx::kCounts) {
+      // Depth telemetry: sample the descent's depth into the stats shard.
+      // Uncounted contexts skip even the local counter.
+      std::size_t depth = 0;
+      const SearchResult r =
+          search_path<Traits, Layout>(root_, k, cmp_, splice_marked, &depth);
+      ctx.count_depth(depth);
+      return r;
+    } else {
+      return search_path<Traits, Layout>(root_, k, cmp_, splice_marked);
+    }
   }
 
   /// The leaf a Find for k terminates at. Routed through the lean find_path
@@ -152,7 +162,15 @@ class TreeCore {
       auto splice_marked = [this, &ctx](DInfo* op) {
         const_cast<TreeCore*>(this)->help_marked(op, ctx);
       };
-      return find_path<Traits, Layout>(root_, k, cmp_, splice_marked);
+      if constexpr (Ctx::kCounts) {
+        std::size_t depth = 0;
+        const Leaf* l =
+            find_path<Traits, Layout>(root_, k, cmp_, splice_marked, &depth);
+        ctx.count_depth(depth);
+        return l;
+      } else {
+        return find_path<Traits, Layout>(root_, k, cmp_, splice_marked);
+      }
     } else {
       return search(k, ctx).l;
     }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 
 #include "core/layout.hpp"
 
@@ -30,11 +31,18 @@ namespace efrb {
 /// (DInfo* -> void) before the walk restarts from the root; this Search is
 /// then not read-only, which is why the callback — and with it the protocol
 /// layer — stays outside this header.
+///
+/// `depth_out`, when non-null, receives the number of levels walked from the
+/// root to the returned leaf (restarts reset the count — the reported figure
+/// is the final descent's depth, the structural quantity the balance
+/// telemetry samples). Callers passing nullptr pay nothing: the counting
+/// folds away.
 template <typename Traits, typename Layout, typename Cmp, typename HelpMarked>
 typename Layout::SearchResult search_path(typename Layout::Internal* root,
                                           const typename Layout::key_type& k,
                                           const Cmp& cmp,
-                                          HelpMarked&& help_marked) {
+                                          HelpMarked&& help_marked,
+                                          std::size_t* depth_out = nullptr) {
   using Internal = typename Layout::Internal;
   using Leaf = typename Layout::Leaf;
   using Node = typename Layout::Node;
@@ -44,6 +52,7 @@ typename Layout::SearchResult search_path(typename Layout::Internal* root,
   Internal* p = nullptr;
   Update gpupdate, pupdate;
   Node* l = root;
+  std::size_t depth = 0;
   while (l->is_internal) {
     gp = p;                          // line 28
     p = static_cast<Internal*>(l);   // line 29
@@ -62,13 +71,16 @@ typename Layout::SearchResult search_path(typename Layout::Internal* root,
         gpupdate = Update{};
         pupdate = Update{};
         l = root;
+        depth = 0;
         continue;
       }
     }
+    ++depth;
     l = cmp.less(k, p->key)          // line 32
             ? p->left.load(std::memory_order_acquire)
             : p->right.load(std::memory_order_acquire);
   }
+  if (depth_out != nullptr) *depth_out = depth;
   return typename Layout::SearchResult{gp, p, static_cast<Leaf*>(l), pupdate,
                                        gpupdate};
 }
@@ -91,13 +103,15 @@ template <typename Traits, typename Layout, typename Cmp, typename HelpMarked>
 const typename Layout::Leaf* find_path(typename Layout::Internal* root,
                                        const typename Layout::key_type& k,
                                        const Cmp& cmp,
-                                       HelpMarked&& help_marked) {
+                                       HelpMarked&& help_marked,
+                                       std::size_t* depth_out = nullptr) {
   using Internal = typename Layout::Internal;
   using Leaf = typename Layout::Leaf;
   using Node = typename Layout::Node;
   using DInfo = typename Layout::DInfo;
 
   Node* l = root;
+  std::size_t depth = 0;
   while (l->is_internal) {
     auto* p = static_cast<Internal*>(l);
     if constexpr (Traits::kSearchHelpsMarked) {
@@ -105,12 +119,15 @@ const typename Layout::Leaf* find_path(typename Layout::Internal* root,
       if (pupdate.state() == UpdateState::kMark) {
         help_marked(static_cast<DInfo*>(pupdate.info()));
         l = root;
+        depth = 0;
         continue;
       }
     }
+    ++depth;
     l = cmp.less(k, p->key) ? p->left.load(std::memory_order_acquire)
                             : p->right.load(std::memory_order_acquire);
   }
+  if (depth_out != nullptr) *depth_out = depth;
   return static_cast<const Leaf*>(l);
 }
 

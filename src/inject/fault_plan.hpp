@@ -65,7 +65,8 @@ inline const char* to_string(FaultKind k) noexcept {
 /// contention (see the header comment for why the other four are not).
 inline constexpr bool step_failable(CasStep s) noexcept {
   return s == CasStep::kIFlag || s == CasStep::kDFlag ||
-         s == CasStep::kMark || s == CasStep::kBacktrack;
+         s == CasStep::kMark || s == CasStep::kBacktrack ||
+         s == CasStep::kFreeze;
 }
 
 /// One scripted fault. The site is either a CAS step (`step >= 0`, hit from
@@ -150,7 +151,8 @@ inline std::string to_string(const FaultPlan& p) {
 inline FaultPlan chaos(std::uint64_t seed, unsigned threads,
                        std::size_t n_actions) {
   static constexpr CasStep kFailable[] = {CasStep::kIFlag, CasStep::kDFlag,
-                                          CasStep::kMark, CasStep::kBacktrack};
+                                          CasStep::kMark, CasStep::kBacktrack,
+                                          CasStep::kFreeze};
   SplitMix64 sm(seed);
   FaultPlan plan;
   plan.actions.reserve(n_actions);

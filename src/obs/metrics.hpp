@@ -92,6 +92,15 @@ inline void append_tree_stats(JsonWriter& w, const TreeStats& s) {
   w.key("delete_retries").value(s.delete_retries);
   w.key("helps").value(s.helps);
   w.key("backtracks").value(s.backtracks);
+  // Balance telemetry (PR 7): committed rebalancing transformations and the
+  // descent-depth distribution (zero everywhere for structures that do not
+  // sample them, e.g. the unbalanced EFRB tree reports rotations == 0).
+  w.key("rotations").value(s.rotations);
+  w.key("depth").begin_object();
+  w.key("samples").value(s.depth_samples);
+  w.key("avg").value(s.depth_avg());
+  w.key("max").value(s.depth_max);
+  w.end_object();
   w.key("cas").begin_object();
   for (std::size_t i = 0; i < kNumCasSteps; ++i) {
     w.key(to_string(static_cast<CasStep>(i))).begin_object();

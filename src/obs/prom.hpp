@@ -202,6 +202,16 @@ inline void append_tree_stats_prom(PromWriter& w,
         "Help dispatches on a non-Clean update word", labels, s.helps);
   w.add("efrb_backtracks_total", PromType::kCounter,
         "Successful backtrack CAS steps", labels, s.backtracks);
+  w.add("efrb_rotations_total", PromType::kCounter,
+        "Committed rebalancing transformations (balanced trees only)", labels,
+        s.rotations);
+  w.add("efrb_depth_samples_total", PromType::kCounter,
+        "Descent-depth samples recorded", labels, s.depth_samples);
+  w.add("efrb_depth_avg", PromType::kGauge,
+        "Mean root-to-leaf descent depth over the sampled window", labels,
+        s.depth_avg());
+  w.add("efrb_depth_max", PromType::kGauge,
+        "Maximum observed root-to-leaf descent depth", labels, s.depth_max);
   for (std::size_t i = 0; i < kNumCasSteps; ++i) {
     PromWriter::Labels step = labels;
     step.emplace_back("step",

@@ -1,0 +1,307 @@
+// Single-threaded correctness and *shape* of the chromatic tree: sequential
+// set/map semantics, the ordered-query tier, the structural validator
+// (weighted path sums, violation counts), and the balance property itself —
+// a fully sorted insertion stream must leave a logarithmic-depth tree where
+// the unbalanced EFRB tree degenerates into a linked list. The concurrent
+// and fault-injection matrices live in chromatic_concurrent_test.cpp.
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <set>
+#include <vector>
+
+#include "core/chromatic.hpp"
+#include "core/efrb_tree.hpp"
+#include "util/rng.hpp"
+
+namespace efrb {
+namespace {
+
+// Sanitized builds run the same suite (scripts/check.sh asan/tsan stages);
+// scale the million-key shape test down there so those stages stay fast.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr int kSortedN = 200'000;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr int kSortedN = 200'000;
+#else
+constexpr int kSortedN = 1'000'000;
+#endif
+#else
+constexpr int kSortedN = 1'000'000;
+#endif
+
+using Set = ChromaticTreeSet<int>;
+using Map = ChromaticTreeMap<int, int>;
+
+// --------------------------- skeleton & semantics --------------------------
+
+TEST(ChromaticShapeTest, EmptySkeleton) {
+  Set t;
+  const auto v = t.validate();
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.internals, 1u);
+  EXPECT_EQ(v.real_leaves, 0u);
+  EXPECT_EQ(v.height, 2u);
+  EXPECT_EQ(v.red_red, 0u);
+  EXPECT_EQ(v.overweight, 0u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(ChromaticShapeTest, BasicSetSemantics) {
+  Set t;
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_TRUE(t.insert(5));
+  EXPECT_FALSE(t.insert(5));
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_TRUE(t.insert(3));
+  EXPECT_TRUE(t.insert(8));
+  EXPECT_TRUE(t.validate().ok);
+  EXPECT_TRUE(t.erase(5));
+  EXPECT_FALSE(t.erase(5));
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_TRUE(t.contains(3));
+  EXPECT_TRUE(t.contains(8));
+  const auto v = t.validate();
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.real_leaves, 2u);
+}
+
+TEST(ChromaticShapeTest, DrainReturnsToEmptySkeleton) {
+  Set t;
+  for (int k : {5, 3, 8, 1, 9, 7}) EXPECT_TRUE(t.insert(k));
+  for (int k : {5, 3, 8, 1, 9, 7}) EXPECT_TRUE(t.erase(k));
+  const auto v = t.validate();
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.internals, 1u);
+  EXPECT_EQ(v.real_leaves, 0u);
+  EXPECT_EQ(v.height, 2u);
+}
+
+TEST(ChromaticShapeTest, SentinelEdgeKeysAreOrdinary) {
+  // The bounded-key wrapper puts both infinities above every real key, so
+  // INT_MIN/INT_MAX need no special handling anywhere in the chromatic core.
+  Set t;
+  EXPECT_TRUE(t.insert(INT_MAX));
+  EXPECT_TRUE(t.insert(INT_MIN));
+  EXPECT_TRUE(t.insert(0));
+  EXPECT_TRUE(t.contains(INT_MAX));
+  EXPECT_TRUE(t.contains(INT_MIN));
+  EXPECT_EQ(t.min_key().value(), INT_MIN);
+  EXPECT_EQ(t.max_key().value(), INT_MAX);
+  EXPECT_TRUE(t.erase(INT_MAX));
+  EXPECT_TRUE(t.erase(INT_MIN));
+  EXPECT_TRUE(t.validate().ok);
+}
+
+TEST(ChromaticMapTest, ValueOperations) {
+  Map m;
+  EXPECT_FALSE(m.get(1).has_value());
+  EXPECT_TRUE(m.insert(1, 10));
+  EXPECT_FALSE(m.insert(1, 11));  // first-write-wins
+  EXPECT_EQ(m.get(1).value(), 10);
+  EXPECT_FALSE(m.insert_or_assign(1, 12));  // replaced, not inserted
+  EXPECT_EQ(m.get(1).value(), 12);
+  EXPECT_TRUE(m.insert_or_assign(2, 20));  // genuinely new
+  EXPECT_FALSE(m.replace(1, 99, 13));      // expected mismatch
+  EXPECT_TRUE(m.replace(1, 12, 13));
+  EXPECT_EQ(m.get(1).value(), 13);
+  EXPECT_EQ(m.get_or_insert(3, 30), 30);
+  EXPECT_EQ(m.get_or_insert(3, 31), 30);  // already present: existing wins
+  EXPECT_TRUE(m.erase(2));
+  EXPECT_FALSE(m.get(2).has_value());
+  EXPECT_TRUE(m.validate().ok);
+}
+
+// --------------------------- ordered-query tier ----------------------------
+
+TEST(ChromaticOrderedTest, BoundsAndRanges) {
+  Map m;
+  for (int k = 0; k <= 60; k += 3) ASSERT_TRUE(m.insert(k, k * 10));
+
+  EXPECT_EQ(m.min_key().value(), 0);
+  EXPECT_EQ(m.max_key().value(), 60);
+  EXPECT_EQ(m.find_ge(14).value(), 15);
+  EXPECT_EQ(m.find_ge(15).value(), 15);
+  EXPECT_EQ(m.find_gt(15).value(), 18);
+  EXPECT_EQ(m.find_le(14).value(), 12);
+  EXPECT_EQ(m.find_le(15).value(), 15);
+  EXPECT_EQ(m.find_lt(15).value(), 12);
+  EXPECT_FALSE(m.find_gt(60).has_value());
+  EXPECT_FALSE(m.find_lt(0).has_value());
+
+  EXPECT_EQ(m.count_range(10, 20), 3u);  // 12, 15, 18 — both ends closed
+  EXPECT_EQ(m.count_range(12, 18), 3u);
+  EXPECT_EQ(m.count_range(61, 100), 0u);
+
+  std::vector<int> keys;
+  m.range(9, 21, [&](const int& k, const int& v) {
+    keys.push_back(k);
+    EXPECT_EQ(v, k * 10);
+  });
+  EXPECT_EQ(keys, (std::vector<int>{9, 12, 15, 18, 21}));
+
+  std::vector<int> all;
+  m.for_each([&](const int& k, const int&) { all.push_back(k); });
+  ASSERT_EQ(all.size(), 21u);
+  for (std::size_t i = 1; i < all.size(); ++i) EXPECT_LT(all[i - 1], all[i]);
+  EXPECT_EQ(m.size(), 21u);
+}
+
+// --------------------------- validator-driven fuzz -------------------------
+
+TEST(ChromaticValidatorTest, RandomOpsKeepWeightedPathSumsEqual) {
+  Set t;
+  std::set<int> oracle;
+  Xoshiro256 rng(0xC0FFEE);
+  for (int step = 0; step < 6000; ++step) {
+    const int k = static_cast<int>(rng.next_below(256));
+    switch (rng.next_below(3)) {
+      case 0:
+        ASSERT_EQ(t.insert(k), oracle.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(t.erase(k), oracle.erase(k) != 0);
+        break;
+      default:
+        ASSERT_EQ(t.contains(k), oracle.count(k) != 0);
+    }
+    if (step % 500 == 499) {
+      const auto v = t.validate();
+      ASSERT_TRUE(v.ok) << "step " << step << ": " << v.error;
+      ASSERT_EQ(v.real_leaves, oracle.size());
+    }
+  }
+  const auto v = t.validate();
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.real_leaves, oracle.size());
+}
+
+// --------------------------- the balance property --------------------------
+
+TEST(ChromaticBalanceTest, SortedMillionInsertStaysLogarithmic) {
+  // The headline structural claim: a fully sorted insertion stream — the
+  // EFRB tree's pathological case, producing a height-N vine — leaves the
+  // chromatic tree at red-black depth. Quiescent single-threaded cleanup
+  // repairs every violation it creates, so the final tree is a legal
+  // red-black tree: zero violations and height <= 2*log2(N) + O(1).
+  Set t;
+  for (int k = 0; k < kSortedN; ++k) ASSERT_TRUE(t.insert(k));
+  const auto v = t.validate();
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.real_leaves, static_cast<std::size_t>(kSortedN));
+  EXPECT_EQ(v.red_red, 0u);
+  EXPECT_EQ(v.overweight, 0u);
+  EXPECT_LE(v.height, 50u);  // 2*log2(1e6) ~ 40, plus the sentinel skeleton
+
+  // Spot membership across the whole range.
+  for (int k = 0; k < kSortedN; k += kSortedN / 64) EXPECT_TRUE(t.contains(k));
+  EXPECT_FALSE(t.contains(kSortedN));
+}
+
+TEST(ChromaticBalanceTest, ReverseSortedInsertAlsoBalanced) {
+  Set t;
+  const int n = kSortedN / 10;
+  for (int k = n; k > 0; --k) ASSERT_TRUE(t.insert(k));
+  const auto v = t.validate();
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.red_red, 0u);
+  EXPECT_EQ(v.overweight, 0u);
+  EXPECT_LE(v.height, 44u);
+}
+
+TEST(ChromaticBalanceTest, EraseRebalancesOverweight) {
+  Set t;
+  for (int k = 0; k < 4096; ++k) ASSERT_TRUE(t.insert(k));
+  for (int k = 0; k < 4096; k += 2) ASSERT_TRUE(t.erase(k));
+  auto v = t.validate();
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.real_leaves, 2048u);
+  // Erase cleanup is decoupled and per-path: every overweight violation on a
+  // deleted key's path gets repaired before the erase returns, so none
+  // survive quiescence. (A PUSH can park a transient red-red off-path; the
+  // hard invariant — equal weighted path sums — holds regardless, which is
+  // what `ok` asserts.)
+  EXPECT_EQ(v.overweight, 0u);
+  EXPECT_LE(v.height, 60u);
+
+  for (int k = 1; k < 4096; k += 2) ASSERT_TRUE(t.erase(k));
+  v = t.validate();
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.real_leaves, 0u);
+  EXPECT_EQ(v.height, 2u);
+}
+
+// --------------------------- depth/rotation telemetry ----------------------
+
+TEST(ChromaticStatsTest, DepthAndRotationCountersPopulate) {
+  using StatsMap =
+      ChromaticTreeMap<int, int, std::less<int>, EpochReclaimer, StatsTraits>;
+  StatsMap chromatic;
+  for (int k = 0; k < 4096; ++k) ASSERT_TRUE(chromatic.insert(k, k));
+  for (int k = 0; k < 4096; ++k) ASSERT_TRUE(chromatic.contains(k));
+
+  const TreeStats s = chromatic.stats();
+  EXPECT_GT(s.rotations, 0u);  // sorted insert forces RB1/BLK repairs
+  EXPECT_GT(s.depth_samples, 0u);
+  EXPECT_GT(s.depth_avg(), 0.0);
+  EXPECT_LE(s.depth_avg(), static_cast<double>(s.depth_max));
+  // Red-black depth for 4096 keys: 2*12 + slack. The whole point.
+  EXPECT_LE(s.depth_max, 40u);
+
+  // The same stream through the unbalanced EFRB tree degenerates: its
+  // descent depths are two orders of magnitude deeper, and it has no
+  // rotations to report.
+  using EfrbStatsMap =
+      EfrbTreeMap<int, int, std::less<int>, EpochReclaimer, StatsTraits>;
+  EfrbStatsMap efrb;
+  for (int k = 0; k < 4096; ++k) ASSERT_TRUE(efrb.insert(k, k));
+  const TreeStats e = efrb.stats();
+  EXPECT_EQ(e.rotations, 0u);
+  EXPECT_GT(e.depth_max, 1000u);
+  EXPECT_GT(e.depth_max, 10 * s.depth_max);
+}
+
+// --------------------------- pooled allocation & handles -------------------
+
+TEST(ChromaticAllocTest, PooledVariantFullCycle) {
+  using Pooled =
+      ChromaticTreeSet<int, std::less<int>, EpochReclaimer, PooledTraits>;
+  Pooled t;
+  {
+    auto h = t.handle();
+    for (int k = 0; k < 2000; ++k) EXPECT_TRUE(h.insert(k));
+    for (int k = 0; k < 2000; k += 2) EXPECT_TRUE(h.erase(k));
+    h.flush();
+  }
+  EXPECT_TRUE(t.validate().ok);
+  EXPECT_EQ(t.size(), 1000u);
+  EXPECT_FALSE(t.contains(0));
+  EXPECT_TRUE(t.contains(1));
+}
+
+TEST(ChromaticHandleTest, HandleCoversFullSurface) {
+  Map m;
+  auto h = m.handle();
+  EXPECT_TRUE(h.insert(1, 10));
+  EXPECT_TRUE(h.insert_or_assign(2, 20));
+  EXPECT_FALSE(h.insert_or_assign(2, 21));
+  EXPECT_EQ(h.get(2).value(), 21);
+  EXPECT_TRUE(h.replace(2, 21, 22));
+  EXPECT_EQ(h.get_or_insert(3, 30), 30);
+  EXPECT_TRUE(h.contains(1));
+  EXPECT_EQ(h.min_key().value(), 1);
+  EXPECT_EQ(h.max_key().value(), 3);
+  EXPECT_EQ(h.find_ge(2).value(), 2);
+  EXPECT_EQ(h.count_range(1, 3), 3u);
+  EXPECT_TRUE(h.erase(1));
+  EXPECT_FALSE(h.erase(1));
+
+  // Handles are movable; the moved-to handle keeps working.
+  auto h2 = std::move(h);
+  EXPECT_TRUE(h2.contains(2));
+  EXPECT_TRUE(m.validate().ok);
+}
+
+}  // namespace
+}  // namespace efrb

@@ -14,6 +14,7 @@
 #include "baselines/locked_map.hpp"
 #include "baselines/set_interface.hpp"
 #include "baselines/skiplist.hpp"
+#include "core/chromatic.hpp"
 #include "core/debug_hooks.hpp"
 #include "core/efrb_tree.hpp"
 #include "reclaim/hazard.hpp"
@@ -70,6 +71,10 @@ TEST_P(DifferentialSweep, AllImplementationsAgreeStepByStep) {
       {"efrb-helping-search",
        run_script<EfrbTreeSet<int, std::less<int>, EpochReclaimer,
                               HelpingSearchTraits>>(script)},
+      {"chromatic", run_script<ChromaticTreeSet<int>>(script)},
+      {"chromatic-pooled",
+       run_script<ChromaticTreeSet<int, std::less<int>, EpochReclaimer,
+                                   PooledTraits>>(script)},
       {"coarse", run_script<CoarseLockBst<int>>(script)},
       {"finelock", run_script<FineLockBst<int>>(script)},
       {"stdmap", run_script<LockedStdSet<int>>(script)},
@@ -166,6 +171,14 @@ TEST_P(MapDifferentialSweep, AllMapsAgreeStepByStep) {
       {"efrb-map-stats",
        run_map_script<EfrbTreeMap<int, int, std::less<int>, EpochReclaimer,
                                   StatsTraits>>(script)},
+      {"chromatic-map", run_map_script<ChromaticTreeMap<int, int>>(script)},
+      {"chromatic-map-hazard",
+       run_map_script<
+           ChromaticTreeMap<int, int, std::less<int>, HazardReclaimer>>(
+           script)},
+      {"chromatic-map-stats",
+       run_map_script<ChromaticTreeMap<int, int, std::less<int>,
+                                       EpochReclaimer, StatsTraits>>(script)},
   };
 
   for (const auto& other : others) {

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <vector>
 
+#include "core/chromatic.hpp"
 #include "core/efrb_tree.hpp"
 #include "lincheck/checker.hpp"
 #include "lincheck/map_spec.hpp"
@@ -122,11 +123,12 @@ TEST(MapCheckerTest, ConcurrentPutAndAssignOnEmptyKey) {
 // Recorded histories from the real map.
 // ---------------------------------------------------------------------------
 
-TEST(EfrbMapLinearizabilityTest, RecordedBurstsAreLinearizable) {
+template <typename MapT>
+void run_recorded_bursts() {
   // Each burst runs on a fresh map (no windowed checking for maps — see
   // map_spec.hpp) with 3 threads x 5 ops = 15 ops <= kMaxWindow.
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-    EfrbTreeMap<int, int> map;
+    MapT map;
     std::atomic<std::uint64_t> clock{0};
     std::vector<MapHistory> logs(3);
     run_threads(3, [&](std::size_t tid) {
@@ -169,11 +171,12 @@ TEST(EfrbMapLinearizabilityTest, RecordedBurstsAreLinearizable) {
   }
 }
 
-TEST(EfrbMapLinearizabilityTest, SingleKeyAssignFight) {
+template <typename MapT>
+void run_single_key_assign_fight() {
   // All threads assign distinct values to one key plus interleaved gets: the
   // strictest test of the insert_or_assign linearization argument.
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-    EfrbTreeMap<int, int> map;
+    MapT map;
     std::atomic<std::uint64_t> clock{0};
     std::vector<MapHistory> logs(4);
     run_threads(4, [&](std::size_t tid) {
@@ -201,6 +204,26 @@ TEST(EfrbMapLinearizabilityTest, SingleKeyAssignFight) {
     for (const auto& log : logs) all.insert(all.end(), log.begin(), log.end());
     EXPECT_TRUE(MapChecker::check(all)) << "seed " << seed;
   }
+}
+
+TEST(EfrbMapLinearizabilityTest, RecordedBurstsAreLinearizable) {
+  run_recorded_bursts<EfrbTreeMap<int, int>>();
+}
+
+TEST(EfrbMapLinearizabilityTest, SingleKeyAssignFight) {
+  run_single_key_assign_fight<EfrbTreeMap<int, int>>();
+}
+
+// The chromatic tree's value operations ride the same recorded-history
+// checker: insert/assign/replace are all single-SCX leaf swaps, and the
+// histories must admit linearizations under the identical sequential spec.
+
+TEST(ChromaticMapLinearizabilityTest, RecordedBurstsAreLinearizable) {
+  run_recorded_bursts<ChromaticTreeMap<int, int>>();
+}
+
+TEST(ChromaticMapLinearizabilityTest, SingleKeyAssignFight) {
+  run_single_key_assign_fight<ChromaticTreeMap<int, int>>();
 }
 
 }  // namespace
