@@ -27,9 +27,9 @@
 //           (l reused by pointer; when l is overweight its copy changes
 //            weight, so the slow shape V={p,l} R={l} copies it instead)
 //   assign  V={p,l}        R={l}       p's child l -> copy(l, new value)
-//   erase   V={gp,p,l}     R={p,l}     gp's child p -> s (sibling hoisted
-//           by pointer; when s's weight must absorb p's, the slow shape
-//           V={gp,p,l,s} R={p,l,s} swings a reweighted copy(s))
+//   erase   V={gp,p,l,s}   R={p,l,s}   gp's child p -> copy(s) absorbing
+//           w(p)+w(s) (always a fresh copy, never the sibling by pointer —
+//           see the ABA note in erase())
 //   cleanup V⊆{p3,p2,p1,u,sibling}     one balance transformation (below)
 //
 // Rebalancing transformations (each preserves the weighted path-sum
@@ -286,6 +286,11 @@ class ChromaticCore {
         // internal, so nothing is removed and V = {p}. Freezing p alone is
         // enough: any transaction that would finalize l or swing it out must
         // change p's child and therefore freeze p itself, which conflicts.
+        // Leaving the displaced l non-finalized is sound only because every
+        // SCX in this file links a freshly allocated new_child, so the field
+        // can never return to l and a stalled helper's child CAS (expecting
+        // l) can never fire a second time — see the child-swing note in
+        // llx_scx.hpp and the matching erase() note below.
         ni = ctx.template make<Node>(k_left ? l->key : BKey::real(k),
                                      Value{}, wi, k_left ? nk : l,
                                      k_left ? l : nk);
@@ -406,30 +411,29 @@ class ChromaticCore {
         scx_retry(ctx);
         continue;
       }
+      const LlxResult<Node> rs = Llx::llx(ctx, s);
+      if (!rs.ok) {
+        ctx.count_delete_retry();
+        scx_retry(ctx);
+        continue;
+      }
       const std::int32_t nw =
           !gp->key.is_real() ? 1 : p->weight + s->weight;
-      Node* ns = nullptr;
-      Rec* rec;
-      if (nw == s->weight) {
-        // Fast path (p was red, or the topmost real node's sibling is
-        // already weight 1): the sibling keeps its weight, so it is hoisted
-        // by pointer instead of copied — V = {gp, p, l}, and s needs no LLX:
-        // any transaction that would finalize s or swing it out of p must
-        // freeze p, which conflicts with this window.
-        rec = make_rec(ctx, {gp, p, l}, {rgp.info, rp.info, rl.info},
-                       /*finalize_mask=*/0b110, field, p, s);
-      } else {
-        const LlxResult<Node> rs = Llx::llx(ctx, s);
-        if (!rs.ok) {
-          ctx.count_delete_retry();
-          scx_retry(ctx);
-          continue;
-        }
-        ns = ctx.template make<Node>(s->key, s->value, nw, rs.left, rs.right);
-        rec = make_rec(ctx, {gp, p, l, s},
-                       {rgp.info, rp.info, rl.info, rs.info},
-                       /*finalize_mask=*/0b1110, field, p, ns);
-      }
+      // The replacement is always a fresh copy of s, never s hoisted by
+      // pointer — even when nw == s->weight. The engine's child-CAS
+      // ABA-freedom rests on every value stored into a child field being a
+      // never-before-linked node (llx_scx.hpp); the insert fast path keeps
+      // its displaced leaf alive below the new internal, so hoisting that
+      // leaf back into the same field here would hand a stalled helper of
+      // the committed insert its expected old value again, letting its CAS
+      // re-link the retired internal (resurrecting the erased key, then
+      // use-after-free once the reclaimer frees it). Covered by
+      // ChromaticFaultTest.StalledInsertHelperCannotResurrectErasedSubtree.
+      Node* ns =
+          ctx.template make<Node>(s->key, s->value, nw, rs.left, rs.right);
+      Rec* rec = make_rec(ctx, {gp, p, l, s},
+                          {rgp.info, rp.info, rl.info, rs.info},
+                          /*finalize_mask=*/0b1110, field, p, ns);
       ctx.count_delete_attempt();
       if (Llx::scx(ctx, rec)) {
         // nw == 1 is violation-free; nw >= 2 is overweight; nw == 0 (both p
@@ -438,7 +442,7 @@ class ChromaticCore {
         ctx.end_op();
         return true;
       }
-      if (ns != nullptr) ctx.template dispose<Node>(ns);
+      ctx.template dispose<Node>(ns);
       ctx.count_delete_retry();
       scx_retry(ctx);
     }

@@ -173,6 +173,9 @@ using AtomicScxWord = AtomicInfoWord<ScxWord<Node>>;
 /// over V), and the single child-pointer swing that commits the update.
 /// Immutable after scx() starts except for the atomic lifecycle fields, so
 /// helpers can re-execute help_scx() idempotently from the record alone.
+/// Precondition on every record: `new_child` is freshly allocated and has
+/// never been linked into the structure before — the child swing's
+/// ABA-freedom depends on it (see the note in help_scx()).
 template <typename Node>
 struct alignas(kCacheLineSize) ScxRecordOf {
   static constexpr std::size_t kMaxNodes = 4;
@@ -336,8 +339,16 @@ struct LlxScx {
     }
 
     // Swing the child pointer. Losing the CAS means another helper already
-    // performed it (values never repeat: new_child is fresh, old_child is
-    // finalized and never re-linked).
+    // performed it, or the field moved on after this record was decided.
+    // ABA-freedom precondition (on the algorithm, not enforced here): every
+    // record's new_child is freshly allocated and never previously linked,
+    // so a child field never holds the same value twice and this CAS can
+    // succeed at most once per record — even when old_child itself stays
+    // reachable after displacement (e.g. the chromatic insert fast path
+    // keeps the displaced leaf alive below the new internal). Re-linking an
+    // existing node as new_child would break exactly this: a stalled helper
+    // holding the displaced value as its expected old_child could fire again
+    // and resurrect a retired subtree.
     hooks::emit_at<Traits>(HookPoint::kBeforeScxChild, ctx.tid(), ctx.op_key());
     Node* old_c = rec->old_child;
     const bool cok =

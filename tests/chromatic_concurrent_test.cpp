@@ -179,8 +179,8 @@ TYPED_TEST(ChromaticFaultMatrixTest, StallAtEveryScxPointUnderOpMix) {
       {HookPoint::kBeforeFreeze, false, -1},
       {HookPoint::kBeforeScxChild, false, -1},
       {HookPoint::kBeforeScxCommit, false, -1},
-      // Erase's window {gp, p, l} (plus s when the sibling must be copied
-      // for a weight change), with p and l finalize-marked.
+      // Erase's window {gp, p, l, s}, with p, l and s finalize-marked (the
+      // replacement is always a fresh copy of s — see erase()'s ABA note).
       {HookPoint::kBeforeFreeze, true, -1},
       {HookPoint::kBeforeScxChild, true, -1},
       {HookPoint::kBeforeScxCommit, true, -1},
@@ -329,6 +329,63 @@ TEST(ChromaticFaultTest, HelpingCompletesStalledErase) {
   EXPECT_TRUE(t.contains(10));
   EXPECT_TRUE(t.contains(50));
   EXPECT_TRUE(t.contains(70));
+}
+
+// ---------------------------------------------------------------------------
+// SCX child-swing ABA regression: a stalled helper's child CAS must never
+// fire after its record committed and the field moved on.
+// ---------------------------------------------------------------------------
+
+TEST(ChromaticFaultTest, StalledInsertHelperCannotResurrectErasedSubtree) {
+  // The adversarial schedule from the ABA analysis: the victim's fast-path
+  // insert (V = {p}, the displaced leaf stays alive below the new internal,
+  // nothing finalized) stalls between freezing p and its child CAS; a
+  // second thread helps the SCX to completion; an erase of the new key then
+  // splices the new internal back out of the very same child field,
+  // retiring it. When the victim finally executes CAS(field, leaf,
+  // internal), the field must not have returned to `leaf` — erase linking a
+  // fresh copy of the sibling (never the old leaf by pointer) is what
+  // guarantees it. A sibling hoisted by pointer would hand the stalled CAS
+  // its expected value back, re-linking the retired internal: the erased
+  // key would resurrect and the retired nodes would become reachable again.
+  InjectChromatic<EpochReclaimer> t;
+  for (int k : {100, 110, 120, 130}) ASSERT_TRUE(t.insert(k));
+
+  FaultScheduler sched(FaultPlan{{stall_at(0, HookPoint::kBeforeScxChild)}});
+
+  bool victim_ret = false;
+  std::thread victim([&] {
+    FaultScheduler::ThreadScope scope(sched, 0);
+    auto h = t.handle();
+    victim_ret = h.insert(105);
+  });
+  ASSERT_TRUE(sched.wait_until_stalled(0)) << "victim never reached gate";
+
+  {
+    FaultScheduler::ThreadScope scope(sched, 1);
+    auto h = t.handle();
+    // Same-key insert runs into the frozen window, must help the stalled
+    // SCX to completion (105 is linked by the helper's child CAS), and then
+    // reports the duplicate.
+    EXPECT_FALSE(h.insert(105));
+    EXPECT_GE(sched.point_hits(1, HookPoint::kBeforeHelp), 1u);
+    EXPECT_TRUE(h.contains(105));
+    // Splice 105 straight back out of the same field the victim's pending
+    // CAS targets, retiring the new internal and both leaves below it.
+    EXPECT_TRUE(h.erase(105));
+    EXPECT_FALSE(h.contains(105));
+  }
+
+  // The released victim's child CAS must fail (the field holds the erase's
+  // fresh sibling copy, never the old leaf again); its record was committed
+  // by the helper, so the insert still reports success.
+  sched.release(0);
+  victim.join();
+  EXPECT_TRUE(victim_ret);
+  EXPECT_FALSE(t.contains(105));
+  for (int k : {100, 110, 120, 130}) EXPECT_TRUE(t.contains(k));
+  const auto v = t.validate();
+  EXPECT_TRUE(v.ok) << v.error;
 }
 
 // ---------------------------------------------------------------------------
