@@ -26,6 +26,9 @@
 
 #include "obs/metrics.hpp"
 #include "obs/prom.hpp"
+#include "shard/shard_metrics.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/report.hpp"
 #include "workload/runner.hpp"
 
@@ -121,6 +124,49 @@ class MetricsSink {
     return ok;
   }
 
+  /// A cell with a `sharding` section: the common config/result/stats/gauges
+  /// payload plus the shard balance report and one gauges block per shard
+  /// (metrics v2), and the efrb_shard_* series (Prometheus). This is the
+  /// export path of the sharded front end — see shard/shard_metrics.hpp.
+  void add_cell_sharded(std::string_view name, const WorkloadConfig& cfg,
+                        const WorkloadResult& res, const TreeStats* stats,
+                        const ReclaimGauges* gauges, const char* router_name,
+                        const shard::ShardBalanceReport& rep,
+                        const std::vector<ReclaimGauges>& per_shard) {
+    if (doc_) {
+      obs::JsonWriter& w = doc_->begin_cell(name);
+      w.key("config");
+      obs::append_config(w, cfg);
+      w.key("result");
+      obs::append_result(w, res);
+      if (stats != nullptr) {
+        w.key("tree_stats");
+        obs::append_tree_stats(w, *stats);
+      }
+      if (gauges != nullptr) {
+        w.key("gauges");
+        obs::append_gauges(w, *gauges);
+      }
+      w.key("sharding");
+      shard::append_sharding(w, router_name, rep, per_shard);
+      doc_->end_cell();
+    }
+    if (prom_) {
+      obs::PromWriter::Labels labels{
+          {"tool", tool_},
+          {"cell", std::string(name)},
+          {"threads", std::to_string(cfg.threads)},
+          {"mix", std::string(mix_name(cfg.mix))},
+          {"dist", cfg.zipf ? "zipf" : "uniform"},
+          {"router", router_name},
+      };
+      obs::append_result_prom(*prom_, labels, res);
+      if (stats != nullptr) obs::append_tree_stats_prom(*prom_, labels, *stats);
+      if (gauges != nullptr) obs::append_gauges_prom(*prom_, labels, *gauges);
+      shard::append_sharding_prom(*prom_, labels, rep, per_shard);
+    }
+  }
+
  private:
   std::string tool_;
   std::string path_;
@@ -160,6 +206,83 @@ WorkloadResult run_cell(const WorkloadConfig& base_cfg,
       gauges_p = &gauges;
     }
     metrics().add_cell(name, cfg, res, stats_p, gauges_p);
+  }
+  return res;
+}
+
+/// Fixed-op-count mixed run on an existing (already prefilled) structure:
+/// every invocation with the same (ops, threads, range, seed) performs the
+/// IDENTICAL operation/key stream, so ops/sec ratios between two structures
+/// compare equal work — the stable footing the check.sh A/B gates need,
+/// where fixed-duration cells compare whatever the scheduler let each run
+/// get through. Mix: 50% contains / 25% insert / 25% erase, uniform keys.
+template <typename Set>
+WorkloadResult run_fixed_ops(Set& set, std::uint64_t total_ops,
+                             std::size_t threads, std::uint64_t range,
+                             std::uint64_t seed) {
+  const std::uint64_t per_thread = total_ops / threads;
+  std::vector<WorkloadResult> per(threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  run_threads(threads, [&](std::size_t tid) {
+    Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL + tid);
+    auto h = make_handle(set);
+    WorkloadResult& r = per[tid];
+    for (std::uint64_t i = 0; i < per_thread; ++i) {
+      const std::uint64_t k = rng.next_below(range);
+      switch (rng.next_below(4)) {
+        case 0:
+          ++r.inserts;
+          if (h.insert(static_cast<typename Set::key_type>(k))) ++r.ok_inserts;
+          break;
+        case 1:
+          ++r.erases;
+          if (h.erase(static_cast<typename Set::key_type>(k))) ++r.ok_erases;
+          break;
+        default:
+          ++r.finds;
+          if (h.contains(static_cast<typename Set::key_type>(k))) ++r.ok_finds;
+      }
+    }
+  });
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  WorkloadResult total;
+  for (const WorkloadResult& r : per) {
+    total.finds += r.finds;
+    total.inserts += r.inserts;
+    total.erases += r.erases;
+    total.ok_finds += r.ok_finds;
+    total.ok_inserts += r.ok_inserts;
+    total.ok_erases += r.ok_erases;
+  }
+  total.seconds = seconds;
+  return total;
+}
+
+/// run_fixed_ops over a fresh prefilled instance, recorded as a named cell
+/// (the fixed-op sibling of run_cell). EFRB_BENCH_SEED pins the stream.
+template <typename Set>
+WorkloadResult run_fixed_ops_cell(std::uint64_t total_ops, std::size_t threads,
+                                  std::uint64_t range, const char* name) {
+  const std::uint64_t seed = bench_seed(42);
+  Set set;
+  prefill(set, range, 0.5, seed);
+  const WorkloadResult res =
+      run_fixed_ops(set, total_ops, threads, range, seed);
+  if (name != nullptr && metrics().enabled()) {
+    WorkloadConfig cfg;
+    cfg.threads = threads;
+    cfg.key_range = range;
+    cfg.mix = kBalanced;
+    cfg.seed = seed;
+    TreeStats stats;
+    const TreeStats* stats_p = nullptr;
+    if constexpr (requires { set.stats_snapshot(); }) {
+      stats = set.stats_snapshot();
+      stats_p = &stats;
+    }
+    metrics().add_cell(name, cfg, res, stats_p);
   }
   return res;
 }

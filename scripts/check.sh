@@ -85,9 +85,32 @@ print(f"observability OK: {len(t['traceEvents'])} trace events, "
       f"{len(m['cells'])} metrics cell(s), {len(ts['samples'])} poll samples")
 EOF
 # The shared --json flag must work in every bench binary; smoke the heaviest.
-EFRB_BENCH_MS=20 run ./build/bench/bench_throughput \
+# EFRB_BENCH_SEED pins the op/key streams so the fixed-op shard/balance cells
+# in this document are reproducible inputs for the gates below.
+EFRB_BENCH_MS=20 EFRB_BENCH_SEED=1234 run ./build/bench/bench_throughput \
     --json build/bench_throughput_smoke.json > /dev/null
 run python3 -m json.tool build/bench_throughput_smoke.json /dev/null
+# The sharded front end's `sharding` cell (metrics v2): balance report +
+# per-shard reclaimer gauges, shape per docs/OBSERVABILITY.md.
+python3 - <<'EOF'
+import json
+cells = json.load(open('build/bench_throughput_smoke.json'))['cells']
+shard_cells = [c for c in cells if 'sharding' in c]
+assert shard_cells, 'no cell carries a sharding section'
+sh = shard_cells[0]['sharding']
+for k in ('router', 'shards', 'imbalance', 'hottest', 'total_attempts',
+          'total_contended', 'dropped', 'per_shard'):
+    assert k in sh, f'sharding cell missing {k}'
+assert len(sh['per_shard']) == sh['shards'], 'per_shard count != shards'
+for k in ('attempts', 'contended', 'share', 'retired', 'freed', 'backlog',
+          'orphans'):
+    assert k in sh['per_shard'][0], f'sharding per_shard entry missing {k}'
+assert sh['total_attempts'] == sum(s['attempts'] for s in sh['per_shard']), \
+    'shard attribution does not conserve totals'
+assert sh['imbalance'] >= 1.0, 'imbalance below the even-split floor'
+print(f"sharding cell OK: {sh['router']} x{sh['shards']}, "
+      f"imbalance {sh['imbalance']:.2f}")
+EOF
 
 echo "=== continuous telemetry: efrb_top headless + Prometheus exposition ==="
 # efrb_top --once renders a single plain frame (no escape codes) after the
@@ -104,6 +127,15 @@ done
 if grep -q $'\x1b' build/efrb_top_once.txt; then
   echo "efrb_top --once emitted ANSI escapes"; exit 1
 fi
+# --shards N adds the per-shard row (load share + per-shard reclaimer gauges)
+# under the same frame; the table and the balance summary line must render.
+run ./build/tools/efrb_top --once --ms 80 --interval 10 --threads 2 \
+    --shards 4 > build/efrb_top_shards.txt
+for needle in 'shards' 'imbalance' 'load %' 'backlog' 'orphans' \
+    'poller samples'; do
+  grep -q "$needle" build/efrb_top_shards.txt \
+    || { echo "efrb_top --shards output missing '$needle'"; exit 1; }
+done
 # The shared --prom flag writes Prometheus text exposition; lint it line by
 # line against the exposition-format grammar (docs/OBSERVABILITY.md).
 EFRB_BENCH_MS=20 run ./build/bench/bench_throughput \
@@ -138,7 +170,10 @@ for ln, line in enumerate(open('build/bench_throughput_smoke.prom'), 1):
         samples += 1
 assert samples > 0, 'prom exposition has no samples'
 for want in ('efrb_ops_total', 'efrb_cas_attempts_total',
-             'efrb_reclaim_backlog', 'efrb_throughput_mops'):
+             'efrb_reclaim_backlog', 'efrb_throughput_mops',
+             'efrb_shard_count', 'efrb_shard_imbalance',
+             'efrb_shard_attempts_total', 'efrb_shard_contended_total',
+             'efrb_shard_reclaim_backlog', 'efrb_shard_reclaim_orphans'):
     assert want in typed, f'prom exposition missing {want}'
 print(f'prometheus OK: {samples} samples across {len(typed)} metrics')
 EOF
@@ -232,8 +267,11 @@ EOF
   # the thresholds are ADVISORY by default (a miss prints a warning, the
   # pipeline continues); EFRB_BALANCE_GATE_STRICT=1 enforces them, with one
   # longer-run retry first so a scheduler hiccup alone cannot fail CI.
+  # EFRB_BENCH_SEED pins the key/op streams; with the fixed-op cells below the
+  # A/B pair then does IDENTICAL work and the ratio is a property of the trees,
+  # not of where the duration timer happened to cut each run off.
   balance_bench() {
-    EFRB_BENCH_MS="$1" run ./build/bench/bench_throughput \
+    EFRB_BENCH_MS="$1" EFRB_BENCH_SEED=1234 run ./build/bench/bench_throughput \
         --json build/balance_gate.json > /dev/null
   }
   balance_eval() {
@@ -246,17 +284,25 @@ def total(name):
     return t
 sorted_ratio = (total('balance:sorted-insert chromatic')
                 / total('balance:sorted-insert efrb'))
-uniform_ratio = (total('balance:uniform chromatic')
-                 / total('balance:uniform efrb'))
-total('balance:zipf chromatic')  # presence check for the full grid
+# The uniform-rent gate reads the FIXED-OP cells (balance:uniform-ops ...):
+# both trees execute the same pinned-seed op stream to completion, so the
+# ratio compares time-per-identical-work instead of whatever each tree got
+# done before a wall clock expired. That basis is much tighter run-to-run
+# (observed ~0.80-0.84 vs 0.90-0.97 spread for the duration cells) but sits
+# lower, because equal work makes the chromatic tree pay for its rebalancing
+# ops rather than silently doing fewer of them; hence >= 0.75, not >= 0.9.
+uniform_ratio = (total('balance:uniform-ops chromatic')
+                 / total('balance:uniform-ops efrb'))
+total('balance:uniform chromatic')  # presence checks for the full grid
+total('balance:zipf chromatic')
 print(f'balance gate: sorted-insert {sorted_ratio:.1f}x, '
-      f'uniform {uniform_ratio:.2f}x (chromatic/efrb, summed over threads)')
+      f'uniform-ops {uniform_ratio:.2f}x (chromatic/efrb, summed over threads)')
 assert sorted_ratio >= 5.0, (
     f'chromatic tree lost its reason to exist: only {sorted_ratio:.1f}x over '
     f'EFRB on sorted insert (gate: >= 5x)')
-assert uniform_ratio >= 0.9, (
-    f'chromatic rebalancing rent too high on the uniform mix: '
-    f'{uniform_ratio:.2f}x of EFRB (gate: >= 0.9x)')
+assert uniform_ratio >= 0.75, (
+    f'chromatic rebalancing rent too high on the uniform fixed-op mix: '
+    f'{uniform_ratio:.2f}x of EFRB (gate: >= 0.75x)')
 print('balance gate OK')
 EOF
   }
@@ -271,6 +317,43 @@ EOF
     echo "WARNING: balance gate below thresholds (advisory on this machine;" \
          "set EFRB_BALANCE_GATE_STRICT=1 to enforce)"
   fi
+
+  echo "=== sharded front end: suites under both sanitizers + advisory scaling gate ==="
+  # The sharded suites (routing, tree-of-trees surface, ordered oracle,
+  # balance scoring, mixed-op storms) and the sharded linearizability burst
+  # replays run under the pooled ASan and TSan builds, so cross-shard handle
+  # affinity and per-shard reclaimer plumbing face both sanitizers with the
+  # ObjectPool in the loop.
+  run cmake --build build-asan-pooled --target sharded_map_test map_lincheck_test
+  run ./build-asan-pooled/tests/sharded_map_test --gtest_color=no
+  run ./build-asan-pooled/tests/map_lincheck_test --gtest_color=no \
+      --gtest_filter='ShardedMapLinearizabilityTest.*'
+  run cmake --build build-tsan-pooled --target sharded_map_test map_lincheck_test
+  run ./build-tsan-pooled/tests/sharded_map_test --gtest_color=no
+  run ./build-tsan-pooled/tests/map_lincheck_test --gtest_color=no \
+      --gtest_filter='ShardedMapLinearizabilityTest.*'
+  # Scaling gate over the E1e shard ablation (fixed-op, pinned-seed cells from
+  # the smoke --json above): the best sharded 16-thread configuration should
+  # beat the single tree by >= 1.5x once real cores back the threads. ADVISORY
+  # always — on a single-CPU host every shard count bottoms out at the same
+  # core and the ratio is ~1x by construction, which is not a code defect.
+  python3 - <<'EOF' || echo "WARNING: sharded scaling gate below threshold" \
+      "(advisory: expected on hosts without enough cores)"
+import json
+cells = json.load(open('build/bench_throughput_smoke.json'))['cells']
+def mops(name):
+    t = sum(c['result']['mops'] for c in cells if c['name'] == name)
+    assert t > 0, f'no {name} cells in shard ablation output'
+    return t
+single = mops('shard:single')
+best_n, best = max(
+    ((n, mops(f'shard:uniform s={n}')) for n in (2, 4, 8, 16)),
+    key=lambda p: p[1])
+print(f'sharded gate: single {single:.2f} Mops, best sharded {best:.2f} Mops '
+      f'(s={best_n}) -> {best / single:.2f}x at 16 threads')
+assert best >= 1.5 * single
+print('sharded gate OK')
+EOF
 
   echo "=== debug-hooks instrumented build (live non-Noop on_cas/at callbacks) ==="
   # EFRB_TEST_FORCE_HOOKS switches the concurrent suites to traits whose

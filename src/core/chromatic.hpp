@@ -44,11 +44,13 @@
 //
 // cleanup(k) walks the search path for k from the root, fixes the topmost
 // violation it meets with one SCX, and restarts, up to a bounded number of
-// rounds. The cap makes the cost strictly bounded; under adversarial
-// interleavings a violation can be left behind (balance degrades toward the
-// unbalanced EFRB shape; the path-sum invariant and linearizability are
-// never at risk). Brown's per-violation responsibility hand-off would close
-// that gap and is noted in ROADMAP.md.
+// rounds. The cap makes the cost strictly bounded; when it is hit the pass
+// counts a TreeStats::cleanup_abandoned and parks the key in a one-deep
+// stash (ParkedViolation) that the next mutating op drains, so a violation
+// PUSHed off every future search path is still repaired eventually. The
+// path-sum invariant and linearizability are never at risk either way.
+// Brown's per-violation responsibility hand-off remains the stronger scheme
+// and is noted in ROADMAP.md.
 //
 // Reclamation, stats, hooks and fault injection all arrive through the same
 // OpContext the EFRB core uses: retired nodes and drained ScxRecords go
@@ -63,6 +65,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <type_traits>
@@ -94,6 +97,66 @@ struct ChromaticValidation {
   std::size_t height = 0;         // max depth over all nodes (root = 1)
   std::size_t red_red = 0;        // weight-0 nodes with weight-0 parents
   std::size_t overweight = 0;     // nodes with weight >= 2
+};
+
+/// One-deep stash for the search key of a cleanup pass that hit the round
+/// cap with a violation still on its path. The bounded cleanup loop makes
+/// every op's rebalancing cost strictly finite, but giving up can PUSH a
+/// red-red pair off every future search path, where no trigger ever revisits
+/// it — the key remembers which path to resume on. Losing a stash under a
+/// concurrent overwrite is benign (the stash is a repair hint, not a
+/// correctness obligation; abandonments are also counted in TreeStats), so
+/// the slot is deliberately single-entry and last-writer-wins.
+///
+/// Storage: keys with an integral round-trip go through a pair of atomics
+/// (lock-free; take() may pair a key from one stash with another's armed
+/// flag under a race, which just resumes a different valid path). Other key
+/// types fall back to a tiny mutex that is touched only when a stash exists
+/// — never on the clean-path fast exit, which checks `armed_` alone.
+template <typename Key>
+class ParkedViolation {
+  static constexpr bool kAtomicKey =
+      std::is_integral_v<Key> && sizeof(Key) <= sizeof(std::uint64_t);
+
+ public:
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_acquire);
+  }
+
+  void stash(const Key& k) {
+    if constexpr (kAtomicKey) {
+      key_.store(static_cast<std::uint64_t>(k), std::memory_order_relaxed);
+    } else {
+      const std::lock_guard<std::mutex> lock(mu_);
+      slot_ = k;
+    }
+    armed_.store(true, std::memory_order_release);
+  }
+
+  std::optional<Key> take() {
+    if (!armed_.exchange(false, std::memory_order_acq_rel)) {
+      return std::nullopt;
+    }
+    if constexpr (kAtomicKey) {
+      return static_cast<Key>(key_.load(std::memory_order_relaxed));
+    } else {
+      const std::lock_guard<std::mutex> lock(mu_);
+      std::optional<Key> out = std::move(slot_);
+      slot_.reset();
+      return out;
+    }
+  }
+
+ private:
+  struct Empty {};
+
+  std::atomic<bool> armed_{false};
+  [[no_unique_address]] std::conditional_t<kAtomicKey,
+                                           std::atomic<std::uint64_t>,
+                                           Empty> key_{};
+  [[no_unique_address]] std::conditional_t<kAtomicKey, Empty, std::mutex> mu_;
+  [[no_unique_address]] std::conditional_t<kAtomicKey, Empty,
+                                           std::optional<Key>> slot_;
 };
 
 /// The chromatic node: one type for leaves and internals (leaf iff left ==
@@ -246,6 +309,7 @@ class ChromaticCore {
                             /*finalize_mask=*/0b10, field, l, nl);
         ctx.count_insert_attempt();
         if (Llx::scx(ctx, rec)) {
+          resume_parked(ctx);  // mutating op: drain any abandoned repair
           ctx.end_op();
           return InsertOutcome::kAssigned;
         }
@@ -323,6 +387,8 @@ class ChromaticCore {
         // the commit is safe even if p was already spliced out.
         if (wi >= 2 || (wi == 0 && (wl == 0 || p->weight == 0))) {
           cleanup(k, ctx);
+        } else {
+          resume_parked(ctx);  // clean commit still drains abandoned repairs
         }
         ctx.end_op();
         return InsertOutcome::kInserted;
@@ -364,6 +430,7 @@ class ChromaticCore {
                           /*finalize_mask=*/0b10, field, l, nl);
       ctx.count_insert_attempt();
       if (Llx::scx(ctx, rec)) {
+        resume_parked(ctx);  // mutating op: drain any abandoned repair
         ctx.end_op();
         return true;
       }
@@ -438,7 +505,11 @@ class ChromaticCore {
       if (Llx::scx(ctx, rec)) {
         // nw == 1 is violation-free; nw >= 2 is overweight; nw == 0 (both p
         // and s were red) violates only when gp is red too.
-        if (nw >= 2 || (nw == 0 && gp->weight == 0)) cleanup(k, ctx);
+        if (nw >= 2 || (nw == 0 && gp->weight == 0)) {
+          cleanup(k, ctx);
+        } else {
+          resume_parked(ctx);  // clean commit still drains abandoned repairs
+        }
         ctx.end_op();
         return true;
       }
@@ -450,10 +521,29 @@ class ChromaticCore {
 
   // ---------------- Cleanup (decoupled rebalancing) ----------------
 
+  /// Drain any previously abandoned repair, then walk k's own path. Called
+  /// by every mutation that created a violation; mutations that commit clean
+  /// call resume_parked() directly, which is how a parked violation gets
+  /// revisited even when no later op ever re-triggers on its path.
+  void cleanup(const Key& k, Ctx& ctx) {
+    resume_parked(ctx);
+    cleanup_path(k, ctx);
+  }
+
+  /// Resume the repair a capped cleanup pass left behind, if any. The armed
+  /// check is one acquire load, so the common (nothing parked) case costs a
+  /// predictable branch on the mutation success path.
+  void resume_parked(Ctx& ctx) {
+    if (!parked_.armed()) return;
+    if (std::optional<Key> k = parked_.take()) cleanup_path(*k, ctx);
+  }
+
   /// Walk the search path for k from the root; repair the topmost violation
   /// met with one SCX; restart. Returns when the path is violation-free or
-  /// the round cap is hit (see the header note on the cap's consequences).
-  void cleanup(const Key& k, Ctx& ctx) {
+  /// the round cap is hit — in which case the violation is still on k's
+  /// path, so k is stashed for a later mutating op to resume (counted in
+  /// TreeStats::cleanup_abandoned).
+  void cleanup_path(const Key& k, Ctx& ctx) {
     for (int round = 0; round < kMaxCleanupRounds; ++round) {
       Node* p3 = nullptr;
       Node* p2 = nullptr;
@@ -486,6 +576,11 @@ class ChromaticCore {
         ctx.retry_pause();  // conflicting SCX won the window; re-walk
       }
     }
+    // Round cap hit with a violation still on this path. Park the key so the
+    // next mutating op resumes the repair; without this, a PUSH during the
+    // capped pass can leave a red-red pair off every future search path.
+    ctx.count_cleanup_abandoned();
+    parked_.stash(k);
   }
 
   // ---------------- Ordered navigation ----------------
@@ -999,6 +1094,7 @@ class ChromaticCore {
   BoundedCompare<Key, Compare> cmp_;
   AllocT* alloc_;
   Node* root_ = nullptr;
+  ParkedViolation<Key> parked_;
 };
 
 /// Public facade: the chromatic tree behind the same ConcurrentMap surface,

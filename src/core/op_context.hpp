@@ -65,6 +65,11 @@ struct TreeStats {
   std::uint64_t depth_samples = 0;  // number of sampled descents
   std::uint64_t depth_max = 0;      // deepest sampled descent
   std::uint64_t rotations = 0;      // committed rebalancing transactions
+  // Chromatic cleanup passes that hit kMaxCleanupRounds and gave up with a
+  // violation still parked on their search path (re-armed for a later op to
+  // drain; see core/chromatic.hpp). Nonzero values are a contention signal,
+  // not corruption — path sums stay valid, only balance is relaxed.
+  std::uint64_t cleanup_abandoned = 0;
   std::array<std::uint64_t, kNumCasSteps> cas_attempts{};  // per CasStep
   std::array<std::uint64_t, kNumCasSteps> cas_failures{};  // failed CAS per step
 
@@ -89,6 +94,7 @@ struct StatCounters {
   std::atomic<std::uint64_t> depth_samples{0};
   std::atomic<std::uint64_t> depth_max{0};
   std::atomic<std::uint64_t> rotations{0};
+  std::atomic<std::uint64_t> cleanup_abandoned{0};
   std::array<std::atomic<std::uint64_t>, kNumCasSteps> cas_attempts{};
   std::array<std::atomic<std::uint64_t>, kNumCasSteps> cas_failures{};
 };
@@ -105,9 +111,30 @@ inline void accumulate(TreeStats& s, const StatCounters& c) noexcept {
   const std::uint64_t dm = c.depth_max.load(std::memory_order_relaxed);
   if (dm > s.depth_max) s.depth_max = dm;
   s.rotations += c.rotations.load(std::memory_order_relaxed);
+  s.cleanup_abandoned += c.cleanup_abandoned.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < kNumCasSteps; ++i) {
     s.cas_attempts[i] += c.cas_attempts[i].load(std::memory_order_relaxed);
     s.cas_failures[i] += c.cas_failures[i].load(std::memory_order_relaxed);
+  }
+}
+
+/// Merge one plain snapshot into another (sums; depth_max by maximum). The
+/// sharded facade folds per-shard stats_snapshot() results through this.
+inline void accumulate(TreeStats& s, const TreeStats& o) noexcept {
+  s.insert_attempts += o.insert_attempts;
+  s.insert_retries += o.insert_retries;
+  s.delete_attempts += o.delete_attempts;
+  s.delete_retries += o.delete_retries;
+  s.helps += o.helps;
+  s.backtracks += o.backtracks;
+  s.depth_total += o.depth_total;
+  s.depth_samples += o.depth_samples;
+  if (o.depth_max > s.depth_max) s.depth_max = o.depth_max;
+  s.rotations += o.rotations;
+  s.cleanup_abandoned += o.cleanup_abandoned;
+  for (std::size_t i = 0; i < kNumCasSteps; ++i) {
+    s.cas_attempts[i] += o.cas_attempts[i];
+    s.cas_failures[i] += o.cas_failures[i];
   }
 }
 
@@ -125,6 +152,7 @@ inline void subtract(TreeStats& s, const TreeStats& base) noexcept {
   // depth_max is a running maximum, not a sum — a handle's own share is not
   // recoverable by subtraction, so the lifetime maximum is reported as-is.
   s.rotations -= base.rotations;
+  s.cleanup_abandoned -= base.cleanup_abandoned;
   for (std::size_t i = 0; i < kNumCasSteps; ++i) {
     s.cas_attempts[i] -= base.cas_attempts[i];
     s.cas_failures[i] -= base.cas_failures[i];
@@ -341,6 +369,9 @@ class OpContext {
   void count_help() noexcept { bump(&StatCounters::helps); }
   void count_backtrack() noexcept { bump(&StatCounters::backtracks); }
   void count_rotation() noexcept { bump(&StatCounters::rotations); }
+  void count_cleanup_abandoned() noexcept {
+    bump(&StatCounters::cleanup_abandoned);
+  }
 
   /// Record one descent's depth (levels walked from the root to the leaf).
   /// The max is a relaxed CAS race — last-writer-wins per observed maximum is

@@ -77,6 +77,20 @@ class KeyHeatmap {
   std::size_t buckets() const noexcept { return cells_.size(); }
   std::uint64_t key_range() const noexcept { return range_; }
 
+  /// Number of keys bucket i actually covers. Because the nominal width is
+  /// rounded up, the last populated bucket may span fewer keys and trailing
+  /// buckets may span none at all (range 100 over 64 buckets: width 2,
+  /// buckets 0..49 cover 2 keys each, 50..63 cover zero). Rate comparisons
+  /// across buckets must divide by this, not by the nominal width — see
+  /// strip() and the emitters in obs/metrics.hpp / obs/prom.hpp.
+  std::uint64_t bucket_width(std::size_t i) const noexcept {
+    if (i >= cells_.size()) return 0;
+    const std::uint64_t lo = i * width_;
+    if (lo >= range_) return 0;
+    const std::uint64_t hi = lo + width_ < range_ ? lo + width_ : range_;
+    return hi - lo;
+  }
+
   /// Bucket index for a key, or buckets() when the key is not attributable
   /// (kNoKey or outside [0, key_range)).
   std::size_t bucket_of(std::uint64_t key) const noexcept {
@@ -123,9 +137,47 @@ class KeyHeatmap {
     dropped_.store(0, std::memory_order_relaxed);
   }
 
-  /// One-line ASCII intensity strip over the contended() counts — the
-  /// "where is it hot" glance efrb_top renders per refresh. Intensity is
-  /// linear in each bucket's share of the maximum.
+  /// Width-normalized ASCII strip: intensity is linear in each bucket's
+  /// contended() rate *per key* (count / bucket_width), so a uniform stream
+  /// over a range that does not divide evenly still renders flat — the raw
+  /// count in a half-width final bucket is half everyone else's, but its
+  /// per-key rate is identical. Zero-width (dead) buckets render blank.
+  std::string strip(const std::vector<HeatBucket>& buckets) const {
+    static constexpr char kRamp[] = " .:-=+*#%@";
+    static constexpr std::size_t kLevels = sizeof(kRamp) - 2;  // max index
+    const std::size_t n =
+        buckets.size() < cells_.size() ? buckets.size() : cells_.size();
+    double peak = 0.0;
+    std::vector<double> rates(buckets.size(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t w = bucket_width(i);
+      if (w == 0) continue;
+      rates[i] = static_cast<double>(buckets[i].contended()) /
+                 static_cast<double>(w);
+      if (rates[i] > peak) peak = rates[i];
+    }
+    std::string out;
+    out.reserve(buckets.size());
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      std::size_t level = 0;
+      if (peak > 0.0 && rates[i] > 0.0) {
+        level = static_cast<std::size_t>(
+            (rates[i] * static_cast<double>(kLevels) + peak - rates[i]) /
+            peak);  // ceil(rate * kLevels / peak) without leaving zero blank
+        if (level == 0) level = 1;
+      }
+      out += kRamp[level > kLevels ? kLevels : level];
+    }
+    return out;
+  }
+
+  /// Convenience: snapshot-and-render in one call.
+  std::string strip() const { return strip(snapshot()); }
+
+  /// One-line ASCII intensity strip over raw contended() counts, with no
+  /// width normalization — only correct when every bucket covers the same
+  /// number of keys (synthetic snapshots in tests). Live heatmaps should use
+  /// strip(), which accounts for the rounded-up final/dead buckets.
   static std::string ascii_strip(const std::vector<HeatBucket>& buckets) {
     static constexpr char kRamp[] = " .:-=+*#%@";
     static constexpr std::size_t kLevels = sizeof(kRamp) - 2;  // max index

@@ -96,6 +96,7 @@ inline void append_tree_stats(JsonWriter& w, const TreeStats& s) {
   // descent-depth distribution (zero everywhere for structures that do not
   // sample them, e.g. the unbalanced EFRB tree reports rotations == 0).
   w.key("rotations").value(s.rotations);
+  w.key("cleanup_abandoned").value(s.cleanup_abandoned);
   w.key("depth").begin_object();
   w.key("samples").value(s.depth_samples);
   w.key("avg").value(s.depth_avg());
@@ -207,7 +208,15 @@ inline void append_heatmap(JsonWriter& w, const KeyHeatmap& h) {
   w.key("key_range").value(h.key_range());
   w.key("buckets").value(static_cast<std::uint64_t>(h.buckets()));
   w.key("dropped").value(h.dropped());
-  w.key("strip").value(KeyHeatmap::ascii_strip(buckets));
+  // Width-normalized strip (rounded-up bucketing leaves the last populated
+  // bucket narrower, and possibly dead trailing buckets, when the range does
+  // not divide evenly — raw counts would render those artificially cool).
+  w.key("strip").value(h.strip(buckets));
+  w.key("widths").begin_array();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    w.value(h.bucket_width(i));
+  }
+  w.end_array();
   w.key("cells").begin_array();
   for (const HeatBucket& b : buckets) {
     w.begin_array()

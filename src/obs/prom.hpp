@@ -205,6 +205,10 @@ inline void append_tree_stats_prom(PromWriter& w,
   w.add("efrb_rotations_total", PromType::kCounter,
         "Committed rebalancing transformations (balanced trees only)", labels,
         s.rotations);
+  w.add("efrb_cleanup_abandoned_total", PromType::kCounter,
+        "Chromatic cleanup passes that hit the round cap and parked a "
+        "violation for a later op to drain",
+        labels, s.cleanup_abandoned);
   w.add("efrb_depth_samples_total", PromType::kCounter,
         "Descent-depth samples recorded", labels, s.depth_samples);
   w.add("efrb_depth_avg", PromType::kGauge,
@@ -301,6 +305,11 @@ inline void append_heatmap_prom(PromWriter& w, const PromWriter::Labels& labels,
     w.add("efrb_heatmap_contended_total", PromType::kCounter,
           "CAS failures + helps + retries by key-range bucket", l,
           buckets[i].contended());
+    // Buckets are NOT all the same size (rounded-up widths); dashboards must
+    // divide the counters by this gauge before comparing buckets spatially.
+    w.add("efrb_heatmap_bucket_width", PromType::kGauge,
+          "Keys covered by this bucket (0 for dead trailing buckets)", l,
+          h.bucket_width(i));
   }
   w.add("efrb_heatmap_dropped_total", PromType::kCounter,
         "Contention events without an attributable key", labels, h.dropped());

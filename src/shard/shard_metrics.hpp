@@ -1,0 +1,217 @@
+// Shard-balance scoring and the observability exports of the sharded front
+// end — this is where the PR 5 loop closes: the KeyHeatmap already says
+// *where* in the key space the load lives; scoring a router against a
+// windowed heatmap delta says whether the *current shard map* spreads that
+// load, before and without re-sharding anything.
+//
+//   heatmap window (two snapshots)  ──►  score_shard_map(router, ...)
+//                                          │ attribute each bucket's delta
+//                                          │ to the shard(s) its keys route
+//                                          ▼
+//                                   ShardBalanceReport
+//                                          │
+//              metrics v2 `sharding` cell  ┴  Prometheus efrb_shard_* series
+//
+// Attribution: a heatmap bucket spans a contiguous key range, which a hash
+// router scatters across shards — so each bucket's delta is split by probing
+// up to kProbesPerBucket evenly spaced keys through the router and dividing
+// the bucket's events proportionally. Range routers resolve every probe of a
+// bucket to one or two shards, so attribution is near-exact; the residual
+// from integer division is given to the first probed shard (totals are
+// conserved exactly).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/heatmap.hpp"
+#include "obs/json.hpp"
+#include "obs/prom.hpp"
+#include "reclaim/reclaimer.hpp"
+#include "shard/shard_router.hpp"
+#include "util/assert.hpp"
+
+namespace efrb::shard {
+
+/// Load attributed to one shard over the scored window.
+struct ShardLoad {
+  std::uint64_t attempts = 0;   // operation rounds
+  std::uint64_t contended = 0;  // cas failures + helps + retries
+};
+
+/// How well the current shard map spreads the windowed key-space load.
+/// imbalance() is the headline number: 1.0 = perfectly even, N = everything
+/// on one of N shards.
+struct ShardBalanceReport {
+  std::vector<ShardLoad> per_shard;
+  std::uint64_t total_attempts = 0;
+  std::uint64_t total_contended = 0;
+  std::uint64_t dropped = 0;  // events without an attributable key
+
+  std::size_t shards() const noexcept { return per_shard.size(); }
+
+  std::size_t hottest() const noexcept {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < per_shard.size(); ++i) {
+      if (per_shard[i].attempts > per_shard[best].attempts) best = i;
+    }
+    return best;
+  }
+
+  /// Max over mean attempts ratio (1.0 when idle — an empty window is not
+  /// evidence of imbalance).
+  double imbalance() const noexcept {
+    if (per_shard.empty() || total_attempts == 0) return 1.0;
+    const double mean = static_cast<double>(total_attempts) /
+                        static_cast<double>(per_shard.size());
+    const double peak =
+        static_cast<double>(per_shard[hottest()].attempts);
+    return mean == 0.0 ? 1.0 : peak / mean;
+  }
+
+  /// Share of the window's attempts landing on shard i, in [0, 1].
+  double share(std::size_t i) const noexcept {
+    if (total_attempts == 0) return 0.0;
+    return static_cast<double>(per_shard[i].attempts) /
+           static_cast<double>(total_attempts);
+  }
+
+  /// Advisory verdict used by efrb_top and the check.sh sharded stage.
+  bool balanced(double threshold = 1.5) const noexcept {
+    return imbalance() <= threshold;
+  }
+};
+
+/// Score `router` against the heatmap delta between two snapshots (pass an
+/// empty `prev` to score whole-run totals). Snapshots must come from `h`
+/// (same bucket geometry). Counters are cumulative, so cur - prev is the
+/// windowed rate up to a constant factor — ratios, shares and the imbalance
+/// verdict are scale-free, which is all the report derives.
+template <typename Router>
+ShardBalanceReport score_shard_map(const Router& router,
+                                   const obs::KeyHeatmap& h,
+                                   const std::vector<obs::HeatBucket>& prev,
+                                   const std::vector<obs::HeatBucket>& cur) {
+  constexpr std::uint64_t kProbesPerBucket = 16;
+  ShardBalanceReport out;
+  out.per_shard.resize(router.shards());
+  out.dropped = h.dropped();
+  for (std::size_t b = 0; b < cur.size(); ++b) {
+    const std::uint64_t width = h.bucket_width(b);
+    if (width == 0) continue;
+    const obs::HeatBucket& c = cur[b];
+    obs::HeatBucket d = c;
+    if (b < prev.size()) {
+      const obs::HeatBucket& p = prev[b];
+      d.attempts = c.attempts >= p.attempts ? c.attempts - p.attempts : 0;
+      d.cas_failures = c.cas_failures >= p.cas_failures
+                           ? c.cas_failures - p.cas_failures
+                           : 0;
+      d.helps = c.helps >= p.helps ? c.helps - p.helps : 0;
+      d.retries = c.retries >= p.retries ? c.retries - p.retries : 0;
+    }
+    if (d.attempts == 0 && d.contended() == 0) continue;
+    // Probe evenly spaced keys of this bucket through the router and split
+    // the bucket's events across the probed shards proportionally.
+    const std::uint64_t lo = b * ((h.key_range() + h.buckets() - 1) /
+                                  h.buckets());
+    const std::uint64_t probes = width < kProbesPerBucket ? width
+                                                          : kProbesPerBucket;
+    std::vector<std::uint64_t> hits(router.shards(), 0);
+    for (std::uint64_t i = 0; i < probes; ++i) {
+      const std::uint64_t key = lo + (i * width) / probes;
+      hits[router.shard_of(key)] += 1;
+    }
+    std::uint64_t given_a = 0;
+    std::uint64_t given_c = 0;
+    std::size_t first = router.shards();
+    for (std::size_t s = 0; s < hits.size(); ++s) {
+      if (hits[s] == 0) continue;
+      if (first == router.shards()) first = s;
+      const std::uint64_t a = d.attempts * hits[s] / probes;
+      const std::uint64_t ct = d.contended() * hits[s] / probes;
+      out.per_shard[s].attempts += a;
+      out.per_shard[s].contended += ct;
+      given_a += a;
+      given_c += ct;
+    }
+    if (first < router.shards()) {
+      // Integer-division residual: conserve totals exactly.
+      out.per_shard[first].attempts += d.attempts - given_a;
+      out.per_shard[first].contended += d.contended() - given_c;
+    }
+    out.total_attempts += d.attempts;
+    out.total_contended += d.contended();
+  }
+  return out;
+}
+
+/// Metrics-v2 `sharding` cell section: the balance report plus one gauges
+/// block per shard (the per-shard reclaimer domains are the operational
+/// payoff of sharding — their backlogs must be visible individually).
+inline void append_sharding(obs::JsonWriter& w, const char* router_name,
+                            const ShardBalanceReport& rep,
+                            const std::vector<ReclaimGauges>& per_shard) {
+  w.begin_object();
+  w.key("router").value(router_name);
+  w.key("shards").value(static_cast<std::uint64_t>(rep.shards()));
+  w.key("imbalance").value(rep.imbalance());
+  w.key("hottest").value(static_cast<std::uint64_t>(rep.hottest()));
+  w.key("total_attempts").value(rep.total_attempts);
+  w.key("total_contended").value(rep.total_contended);
+  w.key("dropped").value(rep.dropped);
+  w.key("per_shard").begin_array();
+  for (std::size_t i = 0; i < rep.shards(); ++i) {
+    w.begin_object();
+    w.key("attempts").value(rep.per_shard[i].attempts);
+    w.key("contended").value(rep.per_shard[i].contended);
+    w.key("share").value(rep.share(i));
+    if (i < per_shard.size()) {
+      const ReclaimGauges& g = per_shard[i];
+      w.key("retired").value(g.retired_total);
+      w.key("freed").value(g.freed_total);
+      w.key("backlog").value(g.backlog());
+      w.key("orphans").value(g.orphan_depth);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+/// Prometheus efrb_shard_* vocabulary. Every series carries a `shard` label
+/// on top of the caller's labels; the scalar verdicts are emitted unlabeled
+/// (per cell) so dashboards can alert on imbalance without aggregating.
+inline void append_sharding_prom(obs::PromWriter& w,
+                                 const obs::PromWriter::Labels& labels,
+                                 const ShardBalanceReport& rep,
+                                 const std::vector<ReclaimGauges>& per_shard) {
+  w.add("efrb_shard_count", obs::PromType::kGauge,
+        "Number of shards behind the sharded facade", labels,
+        static_cast<std::uint64_t>(rep.shards()));
+  w.add("efrb_shard_imbalance", obs::PromType::kGauge,
+        "Max-over-mean windowed attempts across shards (1.0 = even)", labels,
+        rep.imbalance());
+  for (std::size_t i = 0; i < rep.shards(); ++i) {
+    obs::PromWriter::Labels l = labels;
+    l.emplace_back("shard", std::to_string(i));
+    w.add("efrb_shard_attempts_total", obs::PromType::kCounter,
+          "Windowed operation rounds attributed to this shard", l,
+          rep.per_shard[i].attempts);
+    w.add("efrb_shard_contended_total", obs::PromType::kCounter,
+          "Windowed contention events attributed to this shard", l,
+          rep.per_shard[i].contended);
+    if (i < per_shard.size()) {
+      const ReclaimGauges& g = per_shard[i];
+      w.add("efrb_shard_reclaim_backlog", obs::PromType::kGauge,
+            "Retired-but-not-freed objects in this shard's reclaimer domain",
+            l, g.backlog());
+      w.add("efrb_shard_reclaim_orphans", obs::PromType::kGauge,
+            "Entries parked in this shard's orphan store", l, g.orphan_depth);
+    }
+  }
+}
+
+}  // namespace efrb::shard

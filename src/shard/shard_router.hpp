@@ -1,0 +1,129 @@
+// Routing policies for the sharded tree-of-trees front end (sharded_map.hpp).
+//
+// A router is a small, copyable value that deterministically maps every key
+// to a shard index in [0, shards()). It is the only piece of the sharded
+// facade that knows about key distribution, so swapping hash sharding for
+// range sharding (or a learned policy fed by the KeyHeatmap balance report)
+// never touches the map surface.
+//
+// Two policies ship here:
+//
+//   HashRouter   — splitmix64-finalized hash of the key's integral
+//                  projection (std::hash for everything else). Spreads any
+//                  key distribution evenly, including adversarial sorted or
+//                  Zipf-hot streams; destroys cross-shard key locality, so
+//                  ordered queries always pay the full k-way merge.
+//   RangeRouter  — contiguous spans of [0, key_range) in shard order.
+//                  Preserves ordering across shards (kOrderedShards lets the
+//                  merge layer concatenate instead of heap-merging) and key
+//                  locality for range scans, but inherits whatever skew the
+//                  workload has — pair it with the ShardBalanceReport to see
+//                  when a hot span has captured one shard.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+
+#include "util/assert.hpp"
+
+namespace efrb::shard {
+
+/// What the sharded facade requires of a routing policy. `kOrderedShards`
+/// declares that shard index order equals global key order (ranges), which
+/// lets ordered queries skip the k-way merge.
+template <typename R, typename Key>
+concept ShardRouter = requires(const R& r, const Key& k) {
+  { r.shards() } noexcept -> std::convertible_to<std::size_t>;
+  { r.shard_of(k) } noexcept -> std::convertible_to<std::size_t>;
+  { R::kName } -> std::convertible_to<const char*>;
+  { R::kOrderedShards } -> std::convertible_to<bool>;
+};
+
+namespace detail {
+
+/// splitmix64 finalizer: full-avalanche mix so that dense key ranges (the
+/// common benchmark shape) do not stripe across shards in lockstep.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+template <typename Key>
+std::uint64_t key_projection(const Key& k) noexcept {
+  if constexpr (std::is_convertible_v<const Key&, std::uint64_t>) {
+    return static_cast<std::uint64_t>(k);
+  } else {
+    return static_cast<std::uint64_t>(std::hash<Key>{}(k));
+  }
+}
+
+}  // namespace detail
+
+/// Hash-sharded: shard_of(k) = mix(k) mod N. Shard index order carries no
+/// key-order information.
+class HashRouter {
+ public:
+  static constexpr const char* kName = "hash";
+  static constexpr bool kOrderedShards = false;
+  static constexpr std::size_t kDefaultShards = 8;
+
+  explicit HashRouter(std::size_t shards = kDefaultShards) noexcept
+      : shards_(shards == 0 ? 1 : shards) {}
+
+  std::size_t shards() const noexcept { return shards_; }
+
+  template <typename Key>
+  std::size_t shard_of(const Key& k) const noexcept {
+    return static_cast<std::size_t>(detail::mix64(detail::key_projection(k)) %
+                                    shards_);
+  }
+
+ private:
+  std::size_t shards_;
+};
+
+/// Range-sharded: [0, key_range) split into N equal contiguous spans (the
+/// last span absorbs the rounding remainder and everything >= key_range, so
+/// no key is ever unroutable). Requires keys with an integral projection.
+class RangeRouter {
+ public:
+  static constexpr const char* kName = "range";
+  static constexpr bool kOrderedShards = true;
+  static constexpr std::size_t kDefaultShards = 8;
+  static constexpr std::uint64_t kDefaultKeyRange = std::uint64_t{1} << 16;
+
+  explicit RangeRouter(std::size_t shards = kDefaultShards,
+                       std::uint64_t key_range = kDefaultKeyRange) noexcept
+      : shards_(shards == 0 ? 1 : shards),
+        range_(key_range == 0 ? 1 : key_range),
+        // Rounded up so span_ * shards_ >= range_ (same scheme as the
+        // KeyHeatmap buckets; RangeRouter::span_of reports actual spans).
+        span_((range_ + shards_ - 1) / shards_) {}
+
+  std::size_t shards() const noexcept { return shards_; }
+  std::uint64_t key_range() const noexcept { return range_; }
+
+  template <typename Key>
+  std::size_t shard_of(const Key& k) const noexcept {
+    const std::uint64_t v = detail::key_projection(k);
+    const std::uint64_t i = v / span_;
+    return static_cast<std::size_t>(
+        i < shards_ ? i : shards_ - 1);  // clamp out-of-range keys
+  }
+
+ private:
+  std::size_t shards_;
+  std::uint64_t range_;
+  std::uint64_t span_;
+};
+
+static_assert(ShardRouter<HashRouter, std::uint64_t>);
+static_assert(ShardRouter<RangeRouter, std::uint64_t>);
+static_assert(ShardRouter<HashRouter, int>);
+static_assert(ShardRouter<RangeRouter, int>);
+
+}  // namespace efrb::shard

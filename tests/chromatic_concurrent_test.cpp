@@ -415,5 +415,51 @@ TEST(ChromaticFaultTest, ForcedFreezeFailureRetriesThenSucceeds) {
   EXPECT_EQ(fired[0].step, static_cast<int>(CasStep::kFreeze));
 }
 
+// ---------------------------------------------------------------------------
+// Cleanup-abandonment regression: when every fix SCX is vetoed, the bounded
+// cleanup loop hits kMaxCleanupRounds and gives up with the violation still
+// in the tree. The fix under test: the abandonment is counted
+// (TreeStats::cleanup_abandoned) and the violation key is parked so the next
+// mutating op — even one that commits violation-free and would never trigger
+// cleanup itself — resumes the repair. On the old code the parked red-red
+// pair survived indefinitely, off every later search path.
+// ---------------------------------------------------------------------------
+
+TEST(ChromaticFaultTest, AbandonedCleanupIsCountedAndResumedByNextMutation) {
+  InjectChromatic<EpochReclaimer> t;
+
+  // Deterministic single-threaded setup: ascending inserts 1..4 each commit
+  // with one freeze (fast path V={p}); insert(4) lands a red leaf-internal
+  // under the red internal(3), which triggers cleanup. Vetoing every freeze
+  // from the 5th on lets all four inserts commit but fails every fix SCX,
+  // so cleanup burns its full round budget and abandons.
+  FaultScheduler sched(
+      FaultPlan{{fail_cas(0, CasStep::kFreeze, /*occurrence=*/5,
+                          /*count=*/100000)}});
+  {
+    FaultScheduler::ThreadScope scope(sched, 0);
+    auto h = t.handle();
+    for (int k : {1, 2, 3, 4}) ASSERT_TRUE(h.insert(k));
+  }
+
+  // The abandonment is visible: counted, and the red-red pair is still in
+  // the tree (hard invariants hold; balance does not).
+  EXPECT_GE(t.stats().cleanup_abandoned, 1u);
+  const auto before = t.validate();
+  ASSERT_TRUE(before.ok) << before.error;
+  ASSERT_GE(before.red_red, 1u);
+
+  // A mutating op whose own commit is violation-free (insert(0) hangs a red
+  // internal under the black internal(2) — no trigger) must still drain the
+  // parked repair. No scheduler is bound, so the resumed fixes succeed.
+  ASSERT_TRUE(t.insert(0));
+
+  const auto after = t.validate();
+  EXPECT_TRUE(after.ok) << after.error;
+  EXPECT_EQ(after.red_red, 0u);
+  EXPECT_EQ(after.overweight, 0u);
+  for (int k : {0, 1, 2, 3, 4}) EXPECT_TRUE(t.contains(k));
+}
+
 }  // namespace
 }  // namespace efrb

@@ -12,6 +12,8 @@
 #include "core/efrb_tree.hpp"
 #include "lincheck/checker.hpp"
 #include "lincheck/map_spec.hpp"
+#include "reclaim/hazard.hpp"
+#include "shard/sharded_map.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -224,6 +226,44 @@ TEST(ChromaticMapLinearizabilityTest, RecordedBurstsAreLinearizable) {
 
 TEST(ChromaticMapLinearizabilityTest, SingleKeyAssignFight) {
   run_single_key_assign_fight<ChromaticTreeMap<int, int>>();
+}
+
+// The sharded facade routes each key to one inner tree, so per-key
+// linearizability must be inherited verbatim from the inners — these recorded
+// histories (keys in [0, 4)) cross shard boundaries on every burst and would
+// catch any routing bug that sends the same key to two shards.
+
+/// Routes the checker's tiny key universe across two shards.
+struct TwoShardRangeRouter : shard::RangeRouter {
+  TwoShardRangeRouter() noexcept : RangeRouter(/*shards=*/2, /*key_range=*/4) {}
+};
+
+TEST(ShardedMapLinearizabilityTest, RecordedBurstsHashEfrb) {
+  run_recorded_bursts<shard::ShardedMap<EfrbTreeMap<int, int>>>();
+}
+
+TEST(ShardedMapLinearizabilityTest, RecordedBurstsHashChromaticHazard) {
+  run_recorded_bursts<shard::ShardedMap<
+      ChromaticTreeMap<int, int, std::less<int>, HazardReclaimer>>>();
+}
+
+TEST(ShardedMapLinearizabilityTest, RecordedBurstsRangeEfrb) {
+  run_recorded_bursts<
+      shard::ShardedMap<EfrbTreeMap<int, int>, TwoShardRangeRouter>>();
+}
+
+TEST(ShardedMapLinearizabilityTest, RecordedBurstsRangeChromatic) {
+  run_recorded_bursts<
+      shard::ShardedMap<ChromaticTreeMap<int, int>, TwoShardRangeRouter>>();
+}
+
+TEST(ShardedMapLinearizabilityTest, SingleKeyAssignFightHashEfrb) {
+  run_single_key_assign_fight<shard::ShardedMap<EfrbTreeMap<int, int>>>();
+}
+
+TEST(ShardedMapLinearizabilityTest, SingleKeyAssignFightRangeChromatic) {
+  run_single_key_assign_fight<
+      shard::ShardedMap<ChromaticTreeMap<int, int>, TwoShardRangeRouter>>();
 }
 
 }  // namespace

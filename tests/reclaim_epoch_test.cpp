@@ -233,6 +233,54 @@ TEST(EpochReclaimerTest, DetachedThreadsRetireesAreOrphanedAndFreed) {
   EXPECT_EQ(freed.load(), 10);
 }
 
+TEST(EpochReclaimerTest, OrphanGaugeMirrorsDrainedTotalsUnderChurn) {
+  std::atomic<int> freed{0};
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 25;
+  constexpr int kPerRound = 8;
+  constexpr int kTotal = kThreads * kRounds * kPerRound;
+  EpochReclaimer r(/*max_threads=*/16, /*retire_batch=*/64);
+
+  // Churners repeatedly attach, retire a short list (batch never reached, so
+  // the whole list is alive at detach), and detach — every round hands its
+  // retirees to the orphan store while a concurrent sweeper races drains
+  // against the hand-offs.
+  std::atomic<bool> stop{false};
+  std::thread sweeper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      r.flush();
+      // The snapshot races the churn (fields are read one by one), so only
+      // the absolute bound is safe mid-run; the exact books are checked at
+      // quiescence below.
+      const ReclaimGauges g = r.gauges();
+      EXPECT_LE(g.orphan_depth, static_cast<std::uint64_t>(kTotal));
+    }
+  });
+  run_threads(kThreads, [&](std::size_t) {
+    for (int round = 0; round < kRounds; ++round) {
+      auto att = r.attach();
+      for (int i = 0; i < kPerRound; ++i) att.retire(new Tracked(&freed));
+      att.detach();
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  sweeper.join();
+
+  // Quiescent with no attachments: everything retired-but-not-freed sits in
+  // the orphan store, so the lock-free mirror must equal the backlog exactly.
+  ReclaimGauges g = r.gauges();
+  EXPECT_EQ(g.retired_total, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(g.orphan_depth, g.backlog());
+  EXPECT_EQ(static_cast<std::uint64_t>(freed.load()), g.freed_total);
+
+  // Drain to empty: the mirror must reach zero with the books balanced.
+  for (int i = 0; i < 64 && freed.load() < kTotal; ++i) r.flush();
+  g = r.gauges();
+  EXPECT_EQ(g.orphan_depth, 0u);
+  EXPECT_EQ(g.freed_total, g.retired_total);
+  ASSERT_EQ(freed.load(), kTotal);
+}
+
 TEST(EpochReclaimerTest, AttachThrowsCapacityExhaustedAndRecovers) {
   EpochReclaimer r(/*max_threads=*/2);
   auto a = r.attach();

@@ -1,0 +1,462 @@
+// Tests for the sharded tree-of-trees front end: routing policies, the
+// full map surface through both the tree-level API and per-thread Handles,
+// batch ops, handle affinity, cross-shard ordered queries against a
+// sequential oracle, telemetry aggregation, and the heatmap-fed shard
+// balance report (shard/shard_metrics.hpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <vector>
+
+#include "core/chromatic.hpp"
+#include "core/debug_hooks.hpp"
+#include "core/efrb_tree.hpp"
+#include "leak_check_opt_out.hpp"  // LeakyReclaimer cells leak by design
+#include "obs/heatmap.hpp"
+#include "reclaim/hazard.hpp"
+#include "shard/shard_metrics.hpp"
+#include "shard/sharded_map.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace efrb {
+namespace {
+
+using shard::HashRouter;
+using shard::RangeRouter;
+using shard::ShardBalanceReport;
+using shard::ShardedMap;
+using shard::ShardedSet;
+
+/// Range router sized to the tests' key universe (default is 2^16, which
+/// would park every small test key in shard 0).
+struct TestRangeRouter : RangeRouter {
+  TestRangeRouter() noexcept : RangeRouter(/*shards=*/4, /*key_range=*/1024) {}
+};
+
+// ---------------------------------------------------------------------------
+// Routers.
+// ---------------------------------------------------------------------------
+
+TEST(ShardRouterTest, HashRouterIsDeterministicAndInRange) {
+  HashRouter r(5);
+  EXPECT_EQ(r.shards(), 5u);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const std::size_t s = r.shard_of(k);
+    EXPECT_LT(s, 5u);
+    EXPECT_EQ(s, r.shard_of(k)) << "routing must be a pure function of key";
+  }
+}
+
+TEST(ShardRouterTest, HashRouterSpreadsDenseKeys) {
+  // Dense ascending keys — the common benchmark shape — must not stripe or
+  // pile onto a subset of shards.
+  HashRouter r(8);
+  std::vector<std::size_t> hits(8, 0);
+  for (std::uint64_t k = 0; k < 8000; ++k) hits[r.shard_of(k)]++;
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_GT(hits[s], 500u) << "shard " << s << " starved";
+    EXPECT_LT(hits[s], 1500u) << "shard " << s << " overloaded";
+  }
+}
+
+TEST(ShardRouterTest, RangeRouterMapsContiguousSpansInOrder) {
+  RangeRouter r(/*shards=*/4, /*key_range=*/100);  // spans of 25
+  EXPECT_EQ(r.shard_of(0), 0u);
+  EXPECT_EQ(r.shard_of(24), 0u);
+  EXPECT_EQ(r.shard_of(25), 1u);
+  EXPECT_EQ(r.shard_of(99), 3u);
+  // Out-of-range keys clamp to the last shard instead of being unroutable.
+  EXPECT_EQ(r.shard_of(100), 3u);
+  EXPECT_EQ(r.shard_of(std::uint64_t{1} << 40), 3u);
+  // Monotone: shard index never decreases as keys ascend.
+  std::size_t prev = 0;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    const std::size_t s = r.shard_of(k);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(ShardRouterTest, ZeroCountsAreClampedToOne) {
+  EXPECT_EQ(HashRouter(0).shards(), 1u);
+  EXPECT_EQ(RangeRouter(0, 0).shards(), 1u);
+  EXPECT_EQ(RangeRouter(0, 0).shard_of(123), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Map surface, both routers, both inner trees.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+class ShardedSurfaceTest : public ::testing::Test {};
+
+using ShardedConfigs = ::testing::Types<
+    ShardedMap<EfrbTreeMap<int, int>>,
+    ShardedMap<EfrbTreeMap<int, int>, TestRangeRouter>,
+    ShardedMap<ChromaticTreeMap<int, int>>,
+    ShardedMap<ChromaticTreeMap<int, int>, TestRangeRouter>,
+    ShardedMap<EfrbTreeMap<int, int, std::less<int>, HazardReclaimer>>,
+    ShardedMap<ChromaticTreeMap<int, int, std::less<int>, LeakyReclaimer>,
+               TestRangeRouter>>;
+TYPED_TEST_SUITE(ShardedSurfaceTest, ShardedConfigs);
+
+TYPED_TEST(ShardedSurfaceTest, BasicMapOpsRouteCorrectly) {
+  TypeParam m;
+  EXPECT_TRUE(m.empty());
+  for (int k = 0; k < 200; ++k) EXPECT_TRUE(m.insert(k, k * 10));
+  EXPECT_FALSE(m.insert(7, 1)) << "duplicate insert must fail";
+  EXPECT_EQ(m.size(), 200u);
+  for (int k = 0; k < 200; ++k) {
+    ASSERT_TRUE(m.contains(k));
+    ASSERT_EQ(m.get(k).value_or(-1), k * 10);
+  }
+  EXPECT_FALSE(m.contains(200));
+  EXPECT_FALSE(m.insert_or_assign(7, 77));  // assigned, not inserted
+  EXPECT_EQ(m.get(7).value_or(-1), 77);
+  EXPECT_TRUE(m.replace(7, 77, 78));
+  EXPECT_FALSE(m.replace(7, 77, 79)) << "stale expected value must fail";
+  EXPECT_EQ(m.get_or_insert(7, 0), 78);
+  EXPECT_EQ(m.get_or_insert(500, 55), 55);
+  EXPECT_TRUE(m.erase(500));
+  for (int k = 0; k < 200; k += 2) EXPECT_TRUE(m.erase(k));
+  EXPECT_EQ(m.size(), 100u);
+  const auto v = m.validate();
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.shards, m.shard_count());
+  EXPECT_EQ(v.real_leaves, 100u);
+}
+
+TYPED_TEST(ShardedSurfaceTest, HandleSurfaceMatchesTreeSurface) {
+  TypeParam m;
+  auto h = m.handle();
+  for (int k = 0; k < 100; ++k) EXPECT_TRUE(h.insert(k, k));
+  EXPECT_FALSE(h.insert(3, 9));
+  EXPECT_TRUE(h.contains(50));
+  EXPECT_EQ(h.get(50).value_or(-1), 50);
+  EXPECT_FALSE(h.insert_or_assign(50, 5));
+  EXPECT_TRUE(h.replace(50, 5, 6));
+  EXPECT_EQ(h.get_or_insert(50, 0), 6);
+  EXPECT_TRUE(h.erase(50));
+  EXPECT_FALSE(h.erase(50));
+  // Tree-level view sees the handle's writes (same shards underneath).
+  EXPECT_EQ(m.size(), 99u);
+  EXPECT_FALSE(m.contains(50));
+  h.flush();
+  h.detach();
+  EXPECT_FALSE(h.valid());
+}
+
+TYPED_TEST(ShardedSurfaceTest, HandleIsMovable) {
+  TypeParam m;
+  auto a = m.handle();
+  EXPECT_TRUE(a.insert(1, 1));
+  auto b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_TRUE(b.contains(1));
+  a = std::move(b);
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(a.erase(1));
+}
+
+TYPED_TEST(ShardedSurfaceTest, MultiGetAndMultiInsertAnswerInInputOrder) {
+  TypeParam m;
+  auto h = m.handle();
+  std::vector<std::pair<int, int>> kvs;
+  for (int k = 63; k >= 0; --k) kvs.emplace_back(k, k + 1000);
+  kvs.emplace_back(63, 0);  // duplicate of an earlier batch entry
+  const std::vector<bool> ins = h.multi_insert(kvs);
+  ASSERT_EQ(ins.size(), kvs.size());
+  for (std::size_t i = 0; i + 1 < ins.size(); ++i) {
+    EXPECT_TRUE(ins[i]) << "fresh key at " << i;
+  }
+  EXPECT_FALSE(ins.back()) << "duplicate in the same batch must fail";
+
+  std::vector<int> keys = {5, 200, 63, 0, 31};
+  const auto got = h.multi_get(keys);
+  ASSERT_EQ(got.size(), keys.size());
+  EXPECT_EQ(got[0].value_or(-1), 1005);
+  EXPECT_FALSE(got[1].has_value());
+  EXPECT_EQ(got[2].value_or(-1), 1063);
+  EXPECT_EQ(got[3].value_or(-1), 1000);
+  EXPECT_EQ(got[4].value_or(-1), 1031);
+
+  // Tree-level batch helpers agree.
+  const auto got2 = m.multi_get(keys);
+  ASSERT_EQ(got2.size(), got.size());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got2[i], got[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Handle affinity: inner handles attach lazily, per touched shard.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedHandleTest, AttachesOnlyTouchedShards) {
+  ShardedMap<EfrbTreeMap<int, int>, TestRangeRouter> m;  // 4 shards of 256
+  auto h = m.handle();
+  EXPECT_EQ(h.attached_shards(), 0u);
+  h.insert(10, 1);  // shard 0
+  EXPECT_EQ(h.attached_shards(), 1u);
+  h.insert(20, 2);  // still shard 0
+  EXPECT_EQ(h.attached_shards(), 1u);
+  h.insert(300, 3);  // shard 1
+  EXPECT_EQ(h.attached_shards(), 2u);
+  h.contains(999);  // shard 3 — reads attach too (they pin the reclaimer)
+  EXPECT_EQ(h.attached_shards(), 3u);
+}
+
+TEST(ShardedHandleTest, RangePinnedThreadsConsumeOneInnerSlotEach) {
+  // The affinity payoff: handle capacity is a per-shard budget. Give each
+  // inner tree a reclaimer sized for 2 attachments and run 4 threads, each
+  // pinned to its own range shard — possible only if a thread attaches
+  // nowhere outside its shard.
+  using Inner = EfrbTreeMap<int, int>;
+  ShardedMap<Inner, TestRangeRouter> m;
+  run_threads(4, [&](std::size_t tid) {
+    auto h = m.handle();
+    const int base = static_cast<int>(tid) * 256;  // this thread's span
+    for (int i = 0; i < 100; ++i) h.insert(base + i, i);
+    EXPECT_EQ(h.attached_shards(), 1u) << "thread strayed off its shard";
+  });
+  EXPECT_EQ(m.size(), 400u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard ordered queries vs a sequential oracle.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+class ShardedOrderedTest : public ::testing::Test {};
+
+using OrderedConfigs = ::testing::Types<
+    ShardedMap<EfrbTreeMap<int, int>>,
+    ShardedMap<EfrbTreeMap<int, int>, TestRangeRouter>,
+    ShardedMap<ChromaticTreeMap<int, int>>,
+    ShardedMap<ChromaticTreeMap<int, int>, TestRangeRouter>>;
+TYPED_TEST_SUITE(ShardedOrderedTest, OrderedConfigs);
+
+TYPED_TEST(ShardedOrderedTest, OrderedTierMatchesStdMapOracle) {
+  TypeParam m;
+  std::map<int, int> oracle;
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 600; ++i) {
+    const int k = static_cast<int>(rng.next_below(1024));
+    if (rng.next_below(4) == 0) {
+      EXPECT_EQ(m.erase(k), oracle.erase(k) == 1u);
+    } else {
+      const int v = static_cast<int>(rng.next_below(100));
+      EXPECT_EQ(m.insert(k, v), oracle.emplace(k, v).second);
+    }
+  }
+  ASSERT_EQ(m.size(), oracle.size());
+
+  // min/max and the four directional probes.
+  ASSERT_FALSE(oracle.empty());
+  EXPECT_EQ(m.min_key().value(), oracle.begin()->first);
+  EXPECT_EQ(m.max_key().value(), oracle.rbegin()->first);
+  for (int probe : {-1, 0, 100, 511, 512, 1023, 1024}) {
+    auto ge = oracle.lower_bound(probe);
+    EXPECT_EQ(m.find_ge(probe),
+              ge == oracle.end() ? std::nullopt : std::optional<int>(ge->first))
+        << "find_ge(" << probe << ")";
+    auto gt = oracle.upper_bound(probe);
+    EXPECT_EQ(m.find_gt(probe),
+              gt == oracle.end() ? std::nullopt : std::optional<int>(gt->first))
+        << "find_gt(" << probe << ")";
+    auto le = oracle.upper_bound(probe);
+    EXPECT_EQ(m.find_le(probe), le == oracle.begin()
+                                    ? std::nullopt
+                                    : std::optional<int>(std::prev(le)->first))
+        << "find_le(" << probe << ")";
+    auto lt = oracle.lower_bound(probe);
+    EXPECT_EQ(m.find_lt(probe), lt == oracle.begin()
+                                    ? std::nullopt
+                                    : std::optional<int>(std::prev(lt)->first))
+        << "find_lt(" << probe << ")";
+  }
+
+  // for_each must emit the whole map in globally ascending key order even
+  // when hash sharding interleaves the per-shard runs.
+  std::vector<std::pair<int, int>> emitted;
+  m.for_each([&](int k, int v) { emitted.emplace_back(k, v); });
+  ASSERT_EQ(emitted.size(), oracle.size());
+  auto it = oracle.begin();
+  for (std::size_t i = 0; i < emitted.size(); ++i, ++it) {
+    ASSERT_EQ(emitted[i].first, it->first) << "order diverges at " << i;
+    ASSERT_EQ(emitted[i].second, it->second);
+  }
+
+  // range / count_range over a few windows, via tree and handle both.
+  auto h = m.handle();
+  const std::pair<int, int> windows[] = {{0, 1023}, {100, 400}, {512, 512},
+                                         {700, 699}, {-5, 2000}};
+  for (const auto& [lo, hi] : windows) {
+    std::vector<int> want;
+    for (auto j = oracle.lower_bound(lo);
+         j != oracle.end() && j->first <= hi; ++j) {
+      want.push_back(j->first);
+    }
+    std::vector<int> tree_got, handle_got;
+    m.range(lo, hi, [&](int k, int) { tree_got.push_back(k); });
+    h.range(lo, hi, [&](int k, int) { handle_got.push_back(k); });
+    EXPECT_EQ(tree_got, want) << "range [" << lo << ", " << hi << "]";
+    EXPECT_EQ(handle_got, want);
+    EXPECT_EQ(m.count_range(lo, hi), want.size());
+    EXPECT_EQ(h.count_range(lo, hi), want.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry aggregation.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedTelemetryTest, StatsAndGaugesFoldPerShardViews) {
+  using M = ShardedMap<EfrbTreeMap<int, int, std::less<int>, EpochReclaimer,
+                                   StatsTraits>>;
+  M m;
+  {
+    auto h = m.handle();
+    for (int k = 0; k < 400; ++k) h.insert(k, k);
+    for (int k = 0; k < 400; k += 2) h.erase(k);
+    h.flush();
+  }
+  // The fold must equal the sum of the per-shard views it folds.
+  TreeStats sum;
+  ReclaimGauges gsum;
+  for (std::size_t s = 0; s < m.shard_count(); ++s) {
+    accumulate(sum, m.shard_stats(s));
+    const ReclaimGauges g = m.shard_gauges(s);
+    gsum.retired_total += g.retired_total;
+    gsum.freed_total += g.freed_total;
+  }
+  const TreeStats folded = m.stats_snapshot();
+  EXPECT_EQ(folded.insert_attempts, sum.insert_attempts);
+  EXPECT_EQ(folded.delete_attempts, sum.delete_attempts);
+  EXPECT_GE(folded.insert_attempts, 400u);
+  EXPECT_GE(folded.delete_attempts, 200u);
+  const ReclaimGauges g = m.gauges();
+  EXPECT_EQ(g.retired_total, gsum.retired_total);
+  EXPECT_EQ(g.freed_total, gsum.freed_total);
+  EXPECT_GT(g.retired_total, 0u) << "erases must retire through the shards";
+}
+
+// ---------------------------------------------------------------------------
+// Shard balance report (heatmap -> router attribution).
+// ---------------------------------------------------------------------------
+
+TEST(ShardBalanceTest, RangeRouterAttributesHotSpanToItsShard) {
+  obs::KeyHeatmap h(1024, 64);
+  // All load in [0, 256): shard 0 of the 4-shard range router.
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    for (int i = 0; i < 4; ++i) h.record_attempt(k);
+    h.record_cas_failure(k);
+  }
+  const TestRangeRouter router;
+  const ShardBalanceReport rep =
+      shard::score_shard_map(router, h, {}, h.snapshot());
+  ASSERT_EQ(rep.shards(), 4u);
+  EXPECT_EQ(rep.total_attempts, 1024u);
+  EXPECT_EQ(rep.total_contended, 256u);
+  EXPECT_EQ(rep.hottest(), 0u);
+  EXPECT_EQ(rep.per_shard[0].attempts, 1024u);
+  EXPECT_EQ(rep.per_shard[1].attempts, 0u);
+  EXPECT_DOUBLE_EQ(rep.share(0), 1.0);
+  EXPECT_DOUBLE_EQ(rep.imbalance(), 4.0);  // all load on 1 of 4 shards
+  EXPECT_FALSE(rep.balanced());
+}
+
+TEST(ShardBalanceTest, HashRouterSpreadsTheSameHotSpan) {
+  obs::KeyHeatmap h(1024, 64);
+  for (std::uint64_t k = 0; k < 256; ++k) h.record_attempt(k);
+  const HashRouter router(4);
+  const ShardBalanceReport rep =
+      shard::score_shard_map(router, h, {}, h.snapshot());
+  EXPECT_EQ(rep.total_attempts, 256u) << "attribution must conserve totals";
+  std::uint64_t sum = 0;
+  for (const auto& s : rep.per_shard) sum += s.attempts;
+  EXPECT_EQ(sum, rep.total_attempts);
+  EXPECT_LT(rep.imbalance(), 2.0) << "hash sharding left the span on few "
+                                     "shards";
+}
+
+TEST(ShardBalanceTest, WindowDeltaIgnoresLoadBeforePrevSnapshot) {
+  obs::KeyHeatmap h(1024, 64);
+  for (std::uint64_t k = 0; k < 1024; ++k) h.record_attempt(k);
+  const auto prev = h.snapshot();
+  for (int i = 0; i < 10; ++i) h.record_attempt(700);  // shard 2's span
+  const TestRangeRouter router;
+  const ShardBalanceReport rep =
+      shard::score_shard_map(router, h, prev, h.snapshot());
+  EXPECT_EQ(rep.total_attempts, 10u);
+  EXPECT_EQ(rep.hottest(), 2u);
+  EXPECT_EQ(rep.per_shard[2].attempts, 10u);
+}
+
+TEST(ShardBalanceTest, EmptyWindowReportsBalanced) {
+  obs::KeyHeatmap h(1024, 64);
+  const ShardBalanceReport rep =
+      shard::score_shard_map(HashRouter(8), h, {}, h.snapshot());
+  EXPECT_EQ(rep.total_attempts, 0u);
+  EXPECT_DOUBLE_EQ(rep.imbalance(), 1.0);
+  EXPECT_TRUE(rep.balanced());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent storm: per-shard reclaimers under real contention. ASan builds
+// turn any cross-shard reclamation bug into a hard failure.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+class ShardedStormTest : public ::testing::Test {};
+
+using StormConfigs = ::testing::Types<
+    ShardedMap<EfrbTreeMap<int, int>>,
+    ShardedMap<ChromaticTreeMap<int, int>, TestRangeRouter>,
+    ShardedMap<EfrbTreeMap<int, int, std::less<int>, HazardReclaimer>,
+               TestRangeRouter>,
+    ShardedMap<ChromaticTreeMap<int, int, std::less<int>, HazardReclaimer>>>;
+TYPED_TEST_SUITE(ShardedStormTest, StormConfigs);
+
+TYPED_TEST(ShardedStormTest, MixedOpsAcrossShardsKeepEveryShardValid) {
+  TypeParam m;
+  constexpr int kThreads = 6;
+  constexpr int kOps = 3000;
+  constexpr std::uint64_t kRange = 1024;
+  std::atomic<std::uint64_t> inserted{0}, erased{0};
+  run_threads(kThreads, [&](std::size_t tid) {
+    Xoshiro256 rng(tid * 977 + 11);
+    auto h = m.handle();
+    for (int i = 0; i < kOps; ++i) {
+      const int k = static_cast<int>(rng.next_below(kRange));
+      switch (rng.next_below(4)) {
+        case 0:
+          if (h.insert(k, k)) inserted.fetch_add(1);
+          break;
+        case 1:
+          if (h.erase(k)) erased.fetch_add(1);
+          break;
+        case 2:
+          h.contains(k);
+          break;
+        default:
+          h.get(k);
+      }
+    }
+    h.flush();
+  });
+  const auto v = m.validate();
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(m.size(), inserted.load() - erased.load());
+  // Every key the structure reports must be found through the router too.
+  std::size_t walked = 0;
+  m.for_each([&](int k, int) {
+    ASSERT_TRUE(m.contains(k));
+    ++walked;
+  });
+  EXPECT_EQ(walked, m.size());
+}
+
+}  // namespace
+}  // namespace efrb

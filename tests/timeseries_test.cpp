@@ -297,6 +297,49 @@ TEST(HeatmapTest, AsciiStripScalesWithPeak) {
   EXPECT_EQ(KeyHeatmap::ascii_strip(std::vector<HeatBucket>(3)), "   ");
 }
 
+TEST(HeatmapTest, BucketWidthsSumToRangeOnNonDivisibleGeometry) {
+  // range 101 over 64 buckets: nominal width 2, buckets 0..49 cover 2 keys,
+  // bucket 50 covers one (key 100), buckets 51..63 cover none.
+  KeyHeatmap h(101, 64);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < h.buckets(); ++i) sum += h.bucket_width(i);
+  EXPECT_EQ(sum, 101u);
+  EXPECT_EQ(h.bucket_width(0), 2u);
+  EXPECT_EQ(h.bucket_width(49), 2u);
+  EXPECT_EQ(h.bucket_width(50), 1u);
+  EXPECT_EQ(h.bucket_width(51), 0u);
+  EXPECT_EQ(h.bucket_width(h.buckets()), 0u);  // out of range -> 0
+
+  // Divisible geometry: every bucket covers the same span.
+  KeyHeatmap even(1000, 10);
+  for (std::size_t i = 0; i < even.buckets(); ++i) {
+    EXPECT_EQ(even.bucket_width(i), 100u);
+  }
+}
+
+TEST(HeatmapTest, UniformStreamRendersFlatStripOnNonDivisibleRange) {
+  // The regression this guards: with rounded-up bucketing, the last
+  // populated bucket is narrower, so its raw count under a uniform stream is
+  // lower — the unnormalized strip rendered it artificially cool. The
+  // width-normalized strip() must render every populated bucket at the same
+  // intensity and every dead trailing bucket blank.
+  KeyHeatmap h(101, 64);
+  for (std::uint64_t k = 0; k < 101; ++k) h.record_cas_failure(k);
+  const std::string strip = h.strip(h.snapshot());
+  ASSERT_EQ(strip.size(), h.buckets());
+  for (std::size_t i = 0; i < h.buckets(); ++i) {
+    if (h.bucket_width(i) > 0) {
+      EXPECT_EQ(strip[i], '@') << "bucket " << i;
+    } else {
+      EXPECT_EQ(strip[i], ' ') << "bucket " << i;
+    }
+  }
+  // The raw-count strip demonstrates the skew the fix removes: the narrow
+  // bucket 50 renders cooler than its equally-hot neighbours.
+  const std::string raw = KeyHeatmap::ascii_strip(h.snapshot());
+  EXPECT_NE(raw[50], raw[0]);
+}
+
 // The acceptance-criteria property: under a Zipfian workload the heatmap
 // visibly concentrates in the hot buckets; under uniform it does not.
 // ZipfKeys makes low key values hot, so bucket 0 is the hot bucket.

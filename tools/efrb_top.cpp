@@ -27,6 +27,8 @@
 #include "core/efrb_tree.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/timeseries.hpp"
+#include "shard/shard_metrics.hpp"
+#include "shard/sharded_map.hpp"
 #include "workload/report.hpp"
 #include "workload/runner.hpp"
 
@@ -35,6 +37,10 @@ namespace {
 using Key = std::uint64_t;
 using TopTree = efrb::EfrbTreeSet<Key, std::less<Key>, efrb::EpochReclaimer,
                                   efrb::obs::HeatmapTraits>;
+// --shards N: the same workload over the sharded front end; the dashboard
+// grows a per-shard row (load share from the balance report, per-shard
+// reclaimer backlog/orphans).
+using TopSharded = efrb::shard::ShardedSet<TopTree, efrb::shard::HashRouter>;
 
 struct Options {
   long ms = 2000;
@@ -45,6 +51,7 @@ struct Options {
   const char* mix_label = "update";
   bool zipf = true;
   bool once = false;
+  std::size_t shards = 0;  // 0 = single tree
 };
 
 Options parse(int argc, char** argv) {
@@ -84,11 +91,13 @@ Options parse(int argc, char** argv) {
       opt.zipf = false;
     } else if (std::strcmp(argv[i], "--once") == 0) {
       opt.once = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      opt.shards = static_cast<std::size_t>(std::atol(next()));
     } else {
       std::fprintf(stderr,
                    "usage: efrb_top [--ms N] [--interval N] [--threads N] "
                    "[--range N] [--mix read|mostly|balanced|update] "
-                   "[--uniform] [--once]\n");
+                   "[--uniform] [--once] [--shards N]\n");
       std::exit(2);
     }
   }
@@ -139,7 +148,7 @@ void render_frame(const Options& opt, const efrb::obs::MetricsPoller& poller,
   }
   std::printf("\nheatmap  [%s]  (%llu contended / %llu attempts, "
               "%llu unattributed)\n",
-              efrb::obs::KeyHeatmap::ascii_strip(buckets).c_str(),
+              heatmap.strip(buckets).c_str(),
               static_cast<unsigned long long>(contended),
               static_cast<unsigned long long>(attempts),
               static_cast<unsigned long long>(heatmap.dropped()));
@@ -153,11 +162,35 @@ void render_frame(const Options& opt, const efrb::obs::MetricsPoller& poller,
   std::fflush(stdout);
 }
 
-}  // namespace
+/// The --shards extra: load share per shard (whole-run heatmap deltas pushed
+/// through the router, shard/shard_metrics.hpp) next to each shard's own
+/// reclaimer gauges — the per-domain backlog visibility that is the
+/// operational point of sharding.
+void render_shard_rows(const TopSharded& tree,
+                       const efrb::obs::KeyHeatmap& heatmap) {
+  const efrb::shard::ShardBalanceReport rep = efrb::shard::score_shard_map(
+      tree.router(), heatmap, {}, heatmap.snapshot());
+  std::printf("\nshards   %s  imbalance %.2fx  hottest %zu%s\n",
+              tree.describe().c_str(), rep.imbalance(), rep.hottest(),
+              rep.balanced() ? "" : "  ** imbalanced **");
+  efrb::Table t({"shard", "load %", "attempts", "contended", "backlog",
+                 "orphans"});
+  for (std::size_t i = 0; i < tree.shard_count(); ++i) {
+    const efrb::ReclaimGauges g = tree.shard_gauges(i);
+    t.add_row({std::to_string(i), efrb::Table::fmt(100.0 * rep.share(i), 1),
+               std::to_string(rep.per_shard[i].attempts),
+               std::to_string(rep.per_shard[i].contended),
+               std::to_string(g.backlog()), std::to_string(g.orphan_depth)});
+  }
+  t.print();
+}
 
-int main(int argc, char** argv) {
-  const Options opt = parse(argc, argv);
-
+/// One dashboard run over `tree`: background workload, live redraw loop,
+/// final frame + protocol summary. `gauges` snapshots the reclaim gauges and
+/// `extra` renders any structure-specific rows under the common frame.
+template <typename SetT, typename GaugesFn, typename ExtraFn>
+int run_top(const Options& opt, SetT& tree, GaugesFn&& gauges,
+            ExtraFn&& extra) {
   efrb::WorkloadConfig cfg;
   cfg.threads = opt.threads;
   cfg.key_range = opt.range;
@@ -167,8 +200,6 @@ int main(int argc, char** argv) {
 
   efrb::obs::KeyHeatmap heatmap(cfg.key_range);
   efrb::obs::HeatmapTraits::install(&heatmap);
-
-  TopTree tree;
   efrb::prefill(tree, cfg.key_range, cfg.prefill_fraction, cfg.seed);
 
   efrb::obs::MetricsPoller poller(
@@ -176,7 +207,7 @@ int main(int argc, char** argv) {
   poller.set_sources({
       {},  // ops source is wired by run_workload
       [&tree] { return tree.stats(); },
-      [&tree] { return tree.reclaimer().gauges(); },
+      [&gauges] { return gauges(); },
   });
 
   std::atomic<bool> done{false};
@@ -190,7 +221,8 @@ int main(int argc, char** argv) {
     while (!done.load(std::memory_order_acquire)) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(std::max(1L, opt.interval_ms)));
-      render_frame(opt, poller, heatmap, tree.reclaimer().gauges(), true);
+      render_frame(opt, poller, heatmap, gauges(), true);
+      extra(heatmap);
     }
   }
   worker.join();
@@ -198,11 +230,28 @@ int main(int argc, char** argv) {
 
   // Final (or only, with --once) frame from the completed run, plus the
   // protocol-step summary.
-  render_frame(opt, poller, heatmap, tree.reclaimer().gauges(), false);
+  render_frame(opt, poller, heatmap, gauges(), false);
+  extra(heatmap);
   std::printf("\n%llu ops in %.2f s (%.2f Mops/s), %llu poller samples\n\n",
               static_cast<unsigned long long>(result.total_ops()),
               result.seconds, result.mops(),
               static_cast<unsigned long long>(poller.samples_pushed()));
   efrb::protocol_step_table(tree.stats()).print();
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  if (opt.shards > 0) {
+    TopSharded tree{efrb::shard::HashRouter(opt.shards)};
+    return run_top(
+        opt, tree, [&tree] { return tree.gauges(); },
+        [&tree](const efrb::obs::KeyHeatmap& h) { render_shard_rows(tree, h); });
+  }
+  TopTree tree;
+  return run_top(
+      opt, tree, [&tree] { return tree.reclaimer().gauges(); },
+      [](const efrb::obs::KeyHeatmap&) {});
 }

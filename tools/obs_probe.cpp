@@ -152,7 +152,7 @@ int main(int argc, char** argv) {
   std::printf("obs_probe: %llu poller samples (%llu dropped), heatmap [%s]\n",
               static_cast<unsigned long long>(poller.samples_pushed()),
               static_cast<unsigned long long>(poller.samples_dropped()),
-              efrb::obs::KeyHeatmap::ascii_strip(heatmap.snapshot()).c_str());
+              heatmap.strip().c_str());
   std::printf("obs_probe: metrics -> %s\n", opt.metrics_path.c_str());
   std::printf("obs_probe: trace   -> %s\n", opt.trace_path.c_str());
   return 0;
