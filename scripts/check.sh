@@ -44,7 +44,8 @@ echo "=== observability: metrics + trace export round-trip ==="
 # readable artifacts; both must parse as JSON and carry the schema the docs
 # promise (docs/OBSERVABILITY.md).
 run ./build/tools/obs_probe --metrics build/obs_metrics.json \
-    --trace build/obs_trace.json --duration 60 --interval 10 > /dev/null
+    --trace build/obs_trace.json --prom build/obs_probe.prom \
+    --duration 60 --interval 10 > /dev/null
 run python3 -m json.tool build/obs_metrics.json /dev/null
 run python3 -m json.tool build/obs_trace.json /dev/null
 python3 - <<'EOF'
@@ -52,17 +53,29 @@ import json
 m = json.load(open('build/obs_metrics.json'))
 for k in ('schema', 'schema_version', 'tool', 'cells'):
     assert k in m, f'metrics missing {k}'
-assert m['schema'] == 'efrb-metrics' and m['schema_version'] == 2, m['schema']
+assert m['schema'] == 'efrb-metrics' and m['schema_version'] == 3, m['schema']
 assert m['cells'], 'metrics document has no cells'
 cell = m['cells'][0]
 for k in ('name', 'config', 'result', 'tree_stats', 'gauges', 'latency',
-          'timeseries', 'heatmap'):
+          'timeseries', 'heatmap', 'causality'):
     assert k in cell, f'cell missing {k}'
-for op in ('find', 'insert', 'erase', 'retried'):
+for op in ('find', 'insert', 'erase', 'retried',
+           'self_completed', 'helper_completed'):
     h = cell['latency'][op]
     for k in ('count', 'mean_ns', 'p50_ns', 'p99_ns', 'saturated', 'buckets'):
         assert k in h, f'latency[{op}] missing {k}'
 assert cell['latency']['insert']['count'] > 0, 'no latency samples recorded'
+# v3 causal split: every sampled op lands in exactly one of the two sides.
+split = (cell['latency']['self_completed']['count']
+         + cell['latency']['helper_completed']['count'])
+sampled = sum(cell['latency'][op]['count'] for op in ('find', 'insert', 'erase'))
+assert split == sampled, f'causal latency split {split} != sampled {sampled}'
+cz = cell['causality']
+for k in ('total_helps', 'dropped_unattributed', 'helped_by',
+          'helps_received'):
+    assert k in cz, f'causality missing {k}'
+assert sum(sum(row.values()) for row in cz['helped_by'].values()) \
+    == cz['total_helps'], 'causality matrix does not sum to total_helps'
 ts = cell['timeseries']
 assert ts['samples'], 'timeseries has no samples'
 assert len(ts['windows']) == len(ts['samples']) - 1, 'windows != samples-1'
@@ -119,7 +132,7 @@ echo "=== continuous telemetry: efrb_top headless + Prometheus exposition ==="
 run ./build/tools/efrb_top --once --ms 80 --interval 10 --threads 2 \
     > build/efrb_top_once.txt
 for needle in 'ops/s' 'cas fail %' 'backlog slope' 'heatmap' 'reclaim' \
-    'poller samples'; do
+    'causal' 'stalls' 'poller samples'; do
   grep -q "$needle" build/efrb_top_once.txt \
     || { echo "efrb_top --once output missing '$needle'"; exit 1; }
 done
@@ -177,6 +190,37 @@ for want in ('efrb_ops_total', 'efrb_cas_attempts_total',
     assert want in typed, f'prom exposition missing {want}'
 print(f'prometheus OK: {samples} samples across {len(typed)} metrics')
 EOF
+# obs_probe's exposition additionally carries the causality + watchdog
+# families (the bench binaries do not wire a CausalRegistry).
+for needle in efrb_help_given_total efrb_help_received_total \
+    efrb_help_unattributed_total efrb_stalled_ops efrb_stall_events_total \
+    efrb_latency_count; do
+  grep -q "^# TYPE $needle " build/obs_probe.prom \
+    || { echo "obs_probe prom missing $needle"; exit 1; }
+done
+
+echo "=== postmortem: abort-injected flight dump must decode ==="
+# obs_probe --abort raises SIGABRT after the run; the installed flight
+# handler must leave a decodable black box behind (signal-safe write path),
+# and efrb_postmortem must reconstruct gauges, the progress table, and the
+# per-thread timelines from it.
+rm -f build/obs_crash.bin
+set +e
+./build/tools/obs_probe --ms 60 --abort --flight build/obs_crash.bin \
+    > /dev/null 2>&1
+probe_rc=$?
+set -e
+[[ "$probe_rc" -ne 0 ]] \
+  || { echo "obs_probe --abort exited 0 (expected a SIGABRT death)"; exit 1; }
+[[ -s build/obs_crash.bin ]] \
+  || { echo "flight handler wrote no dump"; exit 1; }
+run ./build/tools/efrb_postmortem build/obs_crash.bin > build/postmortem.txt
+for needle in 'flight dump v1' 'gauges' 'progress table' \
+    'per-thread timeline' 'inferred help graph'; do
+  grep -q "$needle" build/postmortem.txt \
+    || { echo "efrb_postmortem output missing '$needle'"; exit 1; }
+done
+echo "postmortem OK: exit $probe_rc, $(wc -c < build/obs_crash.bin) byte dump"
 
 if [[ "$FAST" == "0" ]]; then
   echo "=== ASan + UBSan ==="

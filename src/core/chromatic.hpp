@@ -1117,10 +1117,14 @@ class ChromaticTreeMap {
   using Rec = typename Layout::Rec;
   using Alloc = std::conditional_t<hooks::pooled_alloc_v<Traits>,
                                    ObjectPool<Node, Rec>, HeapAllocator>;
-  using Ctx = OpContext<Reclaimer, Traits::kCountStats, kTrackKeys, Alloc>;
+  static constexpr bool kCausal = hooks::causal_trace_v<Traits>;
+  using Ctx =
+      OpContext<Reclaimer, Traits::kCountStats, kTrackKeys, Alloc, kCausal>;
   using Core = ChromaticCore<Key, Value, Compare, Traits, Ctx>;
   using Shards =
       std::conditional_t<Traits::kCountStats, ShardPool, EmptyShardPool>;
+  using Progress =
+      std::conditional_t<kCausal, ProgressTable, EmptyProgressTable>;
 
  public:
   using key_type = Key;
@@ -1154,6 +1158,7 @@ class ChromaticTreeMap {
           cache_(std::move(other.cache_)),
           shard_(std::exchange(other.shard_, nullptr)),
           shard_base_(other.shard_base_),
+          progress_(std::exchange(other.progress_, nullptr)),
           backoff_(other.backoff_),
           rng_(other.rng_),
           tid_(other.tid_) {}
@@ -1166,6 +1171,7 @@ class ChromaticTreeMap {
         cache_ = std::move(other.cache_);
         shard_ = std::exchange(other.shard_, nullptr);
         shard_base_ = other.shard_base_;
+        progress_ = std::exchange(other.progress_, nullptr);
         backoff_ = other.backoff_;
         rng_ = other.rng_;
         tid_ = other.tid_;
@@ -1183,6 +1189,8 @@ class ChromaticTreeMap {
     void detach() noexcept {
       if (tree_ != nullptr && shard_ != nullptr) Shards::release(shard_);
       shard_ = nullptr;
+      if (tree_ != nullptr) Progress::release(progress_);
+      progress_ = nullptr;
       att_.detach();
       cache_ = typename Alloc::Cache{};
       tree_ = nullptr;
@@ -1293,6 +1301,13 @@ class ChromaticTreeMap {
           rng_(next_handle_seed()),
           tid_(t->next_tid_.fetch_add(1, std::memory_order_relaxed)) {
       if (shard_ != nullptr) accumulate(shard_base_, shard_->counters);
+      try {
+        progress_ = t->progress_.acquire(tid_);
+      } catch (...) {
+        // The ctor body throwing skips ~Handle: hand the shard back here.
+        if (shard_ != nullptr) Shards::release(shard_);
+        throw;
+      }
     }
 
     template <typename Fn>
@@ -1302,7 +1317,7 @@ class ChromaticTreeMap {
       last_retried_ = false;
       auto ctx = Ctx::attached(
           att_, shard_ != nullptr ? &shard_->counters : nullptr, &backoff_,
-          tid_, &last_retried_, &tree_->alloc_, &cache_);
+          tid_, &last_retried_, &tree_->alloc_, &cache_, progress_);
       return fn(ctx);
     }
 
@@ -1318,6 +1333,7 @@ class ChromaticTreeMap {
     mutable typename Alloc::Cache cache_;
     StatShard* shard_ = nullptr;
     TreeStats shard_base_;
+    ProgressSlot* progress_ = nullptr;  // null unless Traits::kCausalTrace
     mutable Backoff backoff_;
     mutable Xoshiro256 rng_{0};
     unsigned tid_ = kNoTid;
@@ -1449,7 +1465,14 @@ class ChromaticTreeMap {
   Core core_;
   mutable StatCounters counters_;
   [[no_unique_address]] mutable Shards shards_;
+  // Per-handle liveness progress slots (empty unless Traits::kCausalTrace).
+  [[no_unique_address]] mutable Progress progress_;
   std::atomic<unsigned> next_tid_{0};
+
+ public:
+  /// The per-handle progress table the liveness watchdog samples
+  /// (obs/watchdog.hpp). Meaningful only when Traits::kCausalTrace.
+  const Progress& progress_table() const noexcept { return progress_; }
 };
 
 /// Set flavour: keys only, no mapped values.

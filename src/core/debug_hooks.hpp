@@ -125,6 +125,26 @@ inline constexpr unsigned kNoTid = ~0u;
 /// type has no integral projection.
 inline constexpr std::uint64_t kNoKey = ~std::uint64_t{0};
 
+/// Owner identity stamped into Info/ScxRecord records when the instantiating
+/// Traits enable kCausalTrace: the creating thread's id in the high 16 bits
+/// and its per-handle operation sequence number in the low 48, packed into
+/// one word so the stamp is a single plain store before the record's
+/// publishing CAS. kNoOwner means "not stamped" (trait off, or a tree-level
+/// op with no handle identity).
+inline constexpr std::uint64_t kNoOwner = ~std::uint64_t{0};
+
+inline constexpr std::uint64_t pack_owner(unsigned tid,
+                                          std::uint64_t op_seq) noexcept {
+  return (static_cast<std::uint64_t>(tid & 0xffffu) << 48) |
+         (op_seq & ((std::uint64_t{1} << 48) - 1));
+}
+inline constexpr unsigned owner_tid(std::uint64_t owner) noexcept {
+  return static_cast<unsigned>(owner >> 48);
+}
+inline constexpr std::uint64_t owner_seq(std::uint64_t owner) noexcept {
+  return owner & ((std::uint64_t{1} << 48) - 1);
+}
+
 // ---------------------------------------------------------------------------
 // Hook dispatch shims. Every emission point in protocol.hpp calls through
 // these, passing the full site identity (step/point + the OpContext's thread
@@ -164,6 +184,22 @@ inline void emit_at(HookPoint p, unsigned tid, std::uint64_t key = kNoKey) {
     Traits::at(p, tid);
   } else {
     Traits::at(p);
+  }
+}
+
+/// Help-site emission: like emit_at, but additionally carries the packed
+/// owner stamp of the operation being helped (read from the Info/ScxRecord
+/// the helper dispatched on). A Traits exposing the owner-aware arity
+/// at(point, tid, key, owner) receives it; every narrower Traits falls back
+/// through emit_at unchanged, so only causality-aware consumers pay for the
+/// extra word.
+template <typename Traits>
+inline void emit_help(HookPoint p, unsigned tid, std::uint64_t key,
+                      std::uint64_t owner) {
+  if constexpr (requires { Traits::at(p, tid, key, owner); }) {
+    Traits::at(p, tid, key, owner);
+  } else {
+    emit_at<Traits>(p, tid, key);
   }
 }
 
@@ -212,6 +248,20 @@ inline constexpr bool lean_find_v = [] {
     return static_cast<bool>(Traits::kLeanFind);
   } else {
     return true;
+  }
+}();
+
+/// kCausalTrace (default false) — stamp every Info/ScxRecord with its
+/// creator's {tid, op_seq} owner word, maintain per-handle progress words
+/// (op_seq/key/retries/step/help depth, core/op_context.hpp) for the
+/// liveness watchdog, and carry the owner through the kBeforeHelp/kAfterHelp
+/// emissions so causality consumers (obs/causal.hpp) can attribute helping.
+template <typename Traits>
+inline constexpr bool causal_trace_v = [] {
+  if constexpr (requires { Traits::kCausalTrace; }) {
+    return static_cast<bool>(Traits::kCausalTrace);
+  } else {
+    return false;
   }
 }();
 

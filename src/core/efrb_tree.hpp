@@ -70,12 +70,19 @@ class EfrbTreeMap {
       ObjectPool<typename Layout::Leaf, typename Layout::Internal,
                  typename Layout::IInfo, typename Layout::DInfo>,
       HeapAllocator>;
+  // Causal help-chain attribution is likewise opt-in (Traits::kCausalTrace):
+  // handles acquire a ProgressSlot for the liveness watchdog, contexts stamp
+  // Info records with their owner, and ops maintain the progress words.
+  static constexpr bool kCausal = hooks::causal_trace_v<Traits>;
   // One OpContext instantiation serves both the tree-level path and the
   // Handle fast path: they drive the SAME instantiation of the core.
-  using Ctx = OpContext<Reclaimer, Traits::kCountStats, kTrackKeys, Alloc>;
+  using Ctx =
+      OpContext<Reclaimer, Traits::kCountStats, kTrackKeys, Alloc, kCausal>;
   using Core = TreeCore<Key, Value, Compare, Traits, Ctx>;
   using Shards =
       std::conditional_t<Traits::kCountStats, ShardPool, EmptyShardPool>;
+  using Progress =
+      std::conditional_t<kCausal, ProgressTable, EmptyProgressTable>;
 
  public:
   using key_type = Key;
@@ -123,6 +130,7 @@ class EfrbTreeMap {
           cache_(std::move(other.cache_)),
           shard_(std::exchange(other.shard_, nullptr)),
           shard_base_(other.shard_base_),
+          progress_(std::exchange(other.progress_, nullptr)),
           backoff_(other.backoff_),
           rng_(other.rng_),
           tid_(other.tid_) {}
@@ -135,6 +143,7 @@ class EfrbTreeMap {
         cache_ = std::move(other.cache_);
         shard_ = std::exchange(other.shard_, nullptr);
         shard_base_ = other.shard_base_;
+        progress_ = std::exchange(other.progress_, nullptr);
         backoff_ = other.backoff_;
         rng_ = other.rng_;
         tid_ = other.tid_;
@@ -154,6 +163,8 @@ class EfrbTreeMap {
     void detach() noexcept {
       if (tree_ != nullptr && shard_ != nullptr) Shards::release(shard_);
       shard_ = nullptr;
+      if (tree_ != nullptr) Progress::release(progress_);
+      progress_ = nullptr;
       att_.detach();
       // Flush the private block chain back to the pool's global free list
       // (no-op in heap mode — the Cache is stateless there).
@@ -286,6 +297,13 @@ class EfrbTreeMap {
           rng_(next_handle_seed()),
           tid_(t->next_tid_.fetch_add(1, std::memory_order_relaxed)) {
       if (shard_ != nullptr) accumulate(shard_base_, shard_->counters);
+      try {
+        progress_ = t->progress_.acquire(tid_);
+      } catch (...) {
+        // The ctor body throwing skips ~Handle: hand the shard back here.
+        if (shard_ != nullptr) Shards::release(shard_);
+        throw;
+      }
     }
 
     /// Pin through the attachment, build this handle's context (attachment
@@ -298,7 +316,7 @@ class EfrbTreeMap {
       last_retried_ = false;
       auto ctx = Ctx::attached(
           att_, shard_ != nullptr ? &shard_->counters : nullptr, &backoff_,
-          tid_, &last_retried_, &tree_->alloc_, &cache_);
+          tid_, &last_retried_, &tree_->alloc_, &cache_, progress_);
       return fn(ctx);
     }
 
@@ -319,6 +337,7 @@ class EfrbTreeMap {
     mutable typename Alloc::Cache cache_;
     StatShard* shard_ = nullptr;
     TreeStats shard_base_;  // recycled shard's totals at acquisition
+    ProgressSlot* progress_ = nullptr;  // null unless Traits::kCausalTrace
     mutable Backoff backoff_;
     mutable Xoshiro256 rng_{0};
     unsigned tid_ = kNoTid;
@@ -508,7 +527,16 @@ class EfrbTreeMap {
   Core core_;
   mutable StatCounters counters_;  // tree-level (non-handle) counter block
   [[no_unique_address]] mutable Shards shards_;  // per-handle counter shards
+  // Per-handle liveness progress slots (empty unless Traits::kCausalTrace);
+  // the watchdog samples these through progress_table().
+  [[no_unique_address]] mutable Progress progress_;
   std::atomic<unsigned> next_tid_{0};  // handle-id source (see Handle::tid)
+
+ public:
+  /// The per-handle progress table the liveness watchdog samples
+  /// (obs/watchdog.hpp). Meaningful only when Traits::kCausalTrace; the
+  /// uninstrumented table is an empty stand-in.
+  const Progress& progress_table() const noexcept { return progress_; }
 };
 
 /// Set flavour: keys only, no mapped values.

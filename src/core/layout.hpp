@@ -26,6 +26,7 @@
 #include <utility>
 
 #include "core/bounded_key.hpp"
+#include "core/debug_hooks.hpp"
 #include "core/llx_scx.hpp"
 #include "util/assert.hpp"
 #include "util/cacheline.hpp"
@@ -48,6 +49,14 @@ enum class UpdateState : std::uintptr_t {
 /// record is retired when a *Clean* word referencing it is overwritten, and at
 /// that point the tag no longer identifies the concrete type.
 struct Info {
+  /// Causal owner stamp: pack_owner(tid, op_seq) of the creating operation,
+  /// written by the creator *before* the record's publishing CAS and read by
+  /// helpers only after an acquire load of the update word that published it
+  /// — so a plain (non-atomic) word is race-free. Stays kNoOwner unless the
+  /// instantiating Traits enable kCausalTrace (core/debug_hooks.hpp); both
+  /// concrete Info records are cache-line aligned, so the word rides in
+  /// existing padding.
+  std::uint64_t owner = kNoOwner;
   virtual ~Info() = default;
 };
 

@@ -187,6 +187,12 @@ struct alignas(kCacheLineSize) ScxRecordOf {
   Node* new_child = nullptr;
   std::uint8_t num_nodes = 0;
   std::uint8_t finalize_mask = 0;
+  /// Causal owner stamp: pack_owner(tid, op_seq) of the creating operation,
+  /// written by the creator before scx() publishes the record through the
+  /// first freeze CAS (acq_rel) and read by helpers only after an acquire
+  /// load of a frozen info word — so a plain word is race-free. Stays
+  /// kNoOwner unless the instantiating Traits enable kCausalTrace.
+  std::uint64_t owner = kNoOwner;
 
   std::atomic<ScxState> state{ScxState::kInProgress};
   std::atomic<bool> all_frozen{false};
@@ -244,10 +250,18 @@ struct LlxScx {
       // Marking happens only after all_frozen, so this removal is guaranteed
       // to commit; push it over the line before reporting FINALIZED.
       if (st == ScxState::kInProgress) {
-        hooks::emit_at<Traits>(HookPoint::kBeforeHelp, ctx.tid(), ctx.op_key());
+        // Owner stamp of the helped transaction; the load exists only in
+        // kCausalTrace instantiations (see the help() note in protocol.hpp).
+        std::uint64_t owner = kNoOwner;
+        if constexpr (hooks::causal_trace_v<Traits>) owner = rinfo->owner;
+        hooks::emit_help<Traits>(HookPoint::kBeforeHelp, ctx.tid(),
+                                 ctx.op_key(), owner);
         ctx.count_help();
+        ctx.help_enter();
         help_scx(ctx, rinfo);
-        hooks::emit_at<Traits>(HookPoint::kAfterHelp, ctx.tid(), ctx.op_key());
+        ctx.help_exit();
+        hooks::emit_help<Traits>(HookPoint::kAfterHelp, ctx.tid(),
+                                 ctx.op_key(), owner);
       }
       r.finalized = true;
       return r;
@@ -263,10 +277,16 @@ struct LlxScx {
         return r;
       }
     } else {
-      hooks::emit_at<Traits>(HookPoint::kBeforeHelp, ctx.tid(), ctx.op_key());
+      std::uint64_t owner = kNoOwner;
+      if constexpr (hooks::causal_trace_v<Traits>) owner = rinfo->owner;
+      hooks::emit_help<Traits>(HookPoint::kBeforeHelp, ctx.tid(), ctx.op_key(),
+                               owner);
       ctx.count_help();
+      ctx.help_enter();
       help_scx(ctx, rinfo);
-      hooks::emit_at<Traits>(HookPoint::kAfterHelp, ctx.tid(), ctx.op_key());
+      ctx.help_exit();
+      hooks::emit_help<Traits>(HookPoint::kAfterHelp, ctx.tid(), ctx.op_key(),
+                               owner);
     }
     return r;  // FAILED
   }
@@ -278,6 +298,9 @@ struct LlxScx {
   /// to zero through its own rollback and is claimed right there).
   static bool scx(Ctx& ctx, Rec* rec) {
     EFRB_DCHECK(rec->num_nodes >= 1 && rec->num_nodes <= Rec::kMaxNodes);
+    if constexpr (hooks::causal_trace_v<Traits>) {
+      rec->owner = ctx.owner();  // plain store precedes the first freeze CAS
+    }
     return help_scx(ctx, rec);
   }
 

@@ -24,6 +24,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <type_traits>
@@ -208,6 +209,84 @@ struct EmptyShardPool {
   void accumulate_into(TreeStats&) const noexcept {}
 };
 
+/// Sentinel for ProgressSlot::last_step: no protocol CAS recorded yet in the
+/// current operation.
+inline constexpr std::uint32_t kNoStep = ~std::uint32_t{0};
+
+/// One handle's liveness progress words, published for the watchdog
+/// (obs/watchdog.hpp) to sample from its own thread. Single-writer: only the
+/// owning handle's thread stores; all stores are relaxed except the op_seq
+/// release that opens an operation window. The seqlock-flavoured protocol:
+///
+///   * op_seq odd  — an operation is in flight; start_ns/op_key were written
+///     before the opening release increment, so a reader that (1) loads
+///     op_seq odd with acquire, (2) reads the fields, (3) re-reads op_seq and
+///     finds it unchanged has a consistent view of one in-flight operation.
+///   * op_seq even — the handle is idle between operations. A sampler must
+///     never flag it (the watchdog false-positive contract).
+///
+/// retries / last_step / help_depth mutate *during* the window (relaxed); a
+/// sampler sees some recent value of each, which is exactly what a stall
+/// diagnostic needs.
+struct ProgressSlot {
+  std::atomic<std::uint64_t> op_seq{0};
+  std::atomic<std::uint64_t> op_key{kNoKey};
+  std::atomic<std::uint64_t> start_ns{0};  // steady_clock since-epoch ns
+  std::atomic<std::uint64_t> retries{0};   // retry_pause calls this op
+  std::atomic<std::uint32_t> last_step{kNoStep};  // latest CasStep attempted
+  std::atomic<std::uint32_t> help_depth{0};       // nested help dispatches
+  std::atomic<unsigned> tid{kNoTid};              // owning handle id
+  std::atomic<bool> in_use{false};
+};
+
+/// Fixed pool of progress slots; one acquired per live handle when the
+/// structure's Traits enable kCausalTrace. Mirrors ShardPool's contract
+/// (bounded retry, CapacityExhausted, released slots recycle).
+struct ProgressTable {
+  static constexpr std::size_t kMaxHandles = ShardPool::kMaxHandles;
+  std::vector<CachePadded<ProgressSlot>> slots;
+
+  ProgressTable() : slots(kMaxHandles) {}
+
+  ProgressSlot* acquire(unsigned tid) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      for (auto& padded : slots) {
+        ProgressSlot& s = padded.value;
+        bool expected = false;
+        if (!s.in_use.load(std::memory_order_relaxed) &&
+            s.in_use.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+          // Fresh window for the new owner: close any stale odd seq left by
+          // a handle destroyed mid-operation (exception unwind).
+          if (s.op_seq.load(std::memory_order_relaxed) & 1) {
+            s.op_seq.fetch_add(1, std::memory_order_relaxed);
+          }
+          s.tid.store(tid, std::memory_order_release);
+          return &s;
+        }
+      }
+    }
+    throw CapacityExhausted(
+        "ProgressTable: progress-slot capacity exhausted "
+        "(more than kMaxHandles live handles)");
+  }
+
+  static void release(ProgressSlot* s) noexcept {
+    if (s == nullptr) return;
+    if (s->op_seq.load(std::memory_order_relaxed) & 1) {
+      s->op_seq.fetch_add(1, std::memory_order_relaxed);
+    }
+    s->tid.store(kNoTid, std::memory_order_release);
+    s->in_use.store(false, std::memory_order_release);
+  }
+};
+
+/// Causal tracing disabled: no slot storage; handles carry a null slot.
+struct EmptyProgressTable {
+  ProgressSlot* acquire(unsigned) noexcept { return nullptr; }
+  static void release(ProgressSlot*) noexcept {}
+};
+
 /// Distinct splitmix-derived seed per handle (never thread-id based; see the
 /// skiplist level-RNG bug this repository once had).
 inline std::uint64_t next_handle_seed() noexcept {
@@ -233,8 +312,15 @@ inline std::uint64_t next_handle_seed() noexcept {
 /// context carries no allocator state at all (the pointers below stay null
 /// and are never read); a pooled context routes through the allocator's
 /// thread-affine Cache.
+/// kCausal (default off) additionally maintains the handle's ProgressSlot
+/// across the operation (seq window, key, retries, last CAS step, help
+/// depth) and exposes owner() — the packed {tid, op_seq} stamp the protocol
+/// layers write into Info/ScxRecord records for help-chain attribution
+/// (obs/causal.hpp). With kCausal false every progress touch folds away and
+/// the context carries no slot pointer, keeping the uninstrumented
+/// instantiation byte-identical to the pre-causality code.
 template <typename Reclaimer, bool kCount, bool kTrackKeys = false,
-          typename Alloc = HeapAllocator>
+          typename Alloc = HeapAllocator, bool kCausal = false>
 class OpContext {
  public:
   using Attachment = typename Reclaimer::Attachment;
@@ -274,7 +360,8 @@ class OpContext {
                             Backoff* backoff, unsigned tid = kNoTid,
                             bool* retried_out = nullptr,
                             Alloc* alloc = nullptr,
-                            AllocCache* cache = nullptr) noexcept {
+                            AllocCache* cache = nullptr,
+                            ProgressSlot* progress = nullptr) noexcept {
     OpContext ctx;
     ctx.att_ = &a;
     ctx.counters_ = counters;
@@ -283,6 +370,7 @@ class OpContext {
     ctx.retried_out_ = retried_out;
     ctx.alloc_ = alloc;
     ctx.cache_ = cache;
+    if constexpr (kCausal) ctx.progress_ = progress;
     return ctx;
   }
 
@@ -323,15 +411,73 @@ class OpContext {
 
   void begin_op() noexcept {
     if (backoff_ != nullptr) backoff_->reset();
+    if constexpr (kCausal) {
+      if (progress_ != nullptr) {
+        progress_->op_key.store(kNoKey, std::memory_order_relaxed);
+        progress_->start_ns.store(steady_now_ns(), std::memory_order_relaxed);
+        progress_->retries.store(0, std::memory_order_relaxed);
+        progress_->last_step.store(kNoStep, std::memory_order_relaxed);
+        progress_->help_depth.store(0, std::memory_order_relaxed);
+        // Open the window: even -> odd. Self-healing if a prior op's window
+        // was left open (exception unwind skipped end_op): odd -> next odd.
+        const std::uint64_t s =
+            progress_->op_seq.load(std::memory_order_relaxed);
+        progress_->op_seq.store(s + 1 + (s & 1), std::memory_order_release);
+      }
+    }
   }
   /// Called on operation success: drops any escalation the finished op built
   /// up, so a missing begin_op on some future path cannot inherit it.
   void end_op() noexcept {
     if (backoff_ != nullptr) backoff_->reset();
+    if constexpr (kCausal) {
+      if (progress_ != nullptr) {
+        const std::uint64_t s =
+            progress_->op_seq.load(std::memory_order_relaxed);
+        if (s & 1) {  // close the window: odd -> even
+          progress_->op_seq.store(s + 1, std::memory_order_release);
+        }
+      }
+    }
   }
   void retry_pause() noexcept {
     if (retried_out_ != nullptr) *retried_out_ = true;
+    if constexpr (kCausal) {
+      if (progress_ != nullptr) {
+        progress_->retries.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     if (backoff_ != nullptr) (*backoff_)();
+  }
+
+  /// Nested help-dispatch depth, maintained for the watchdog's StallReport.
+  void help_enter() noexcept {
+    if constexpr (kCausal) {
+      if (progress_ != nullptr) {
+        progress_->help_depth.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  void help_exit() noexcept {
+    if constexpr (kCausal) {
+      if (progress_ != nullptr) {
+        progress_->help_depth.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Packed {tid, op_seq} identity of the current operation — the stamp the
+  /// protocol layers write into freshly created Info/ScxRecord records.
+  /// kNoOwner when causal tracing is off or the context has no progress slot
+  /// (tree-level path).
+  std::uint64_t owner() const noexcept {
+    if constexpr (kCausal) {
+      if (progress_ != nullptr && tid_ != kNoTid) {
+        return pack_owner(tid_,
+                          progress_->op_seq.load(std::memory_order_relaxed));
+      }
+    }
+    return kNoOwner;
   }
 
   /// Per-handle thread identity (kNoTid on the tree-level path), forwarded to
@@ -343,9 +489,18 @@ class OpContext {
   /// projection stay kNoKey. Compiled out entirely unless kTrackKeys.
   template <typename K>
   void set_op_key(const K& k) noexcept {
-    if constexpr (kTrackKeys) {
+    if constexpr (kTrackKeys || kCausal) {
       if constexpr (std::is_convertible_v<const K&, std::uint64_t>) {
-        op_key_ = static_cast<std::uint64_t>(k);
+        const auto key = static_cast<std::uint64_t>(k);
+        if constexpr (kTrackKeys) op_key_ = key;
+        // The progress slot carries the key independently of kTrackKeys: a
+        // causal-only tree still needs the watchdog's StallReport to name
+        // the stalled operation's key.
+        if constexpr (kCausal) {
+          if (progress_ != nullptr) {
+            progress_->op_key.store(key, std::memory_order_relaxed);
+          }
+        }
       }
     } else {
       (void)k;
@@ -397,16 +552,33 @@ class OpContext {
         counters_->cas_failures[i].fetch_add(1, std::memory_order_relaxed);
       }
     }
+    if constexpr (kCausal) {
+      if (progress_ != nullptr) {
+        progress_->last_step.store(static_cast<std::uint32_t>(step),
+                                   std::memory_order_relaxed);
+      }
+    }
   }
 
  private:
   OpContext() = default;
+
+  static std::uint64_t steady_now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
 
   void bump(std::atomic<std::uint64_t> StatCounters::* field) noexcept {
     if constexpr (kCount) {
       (counters_->*field).fetch_add(1, std::memory_order_relaxed);
     }
   }
+
+  /// Zero-size stand-in for the progress pointer when kCausal is off, so the
+  /// uninstrumented context's layout does not change.
+  struct NoProgress {};
 
   Attachment* att_ = nullptr;
   Reclaimer* rec_ = nullptr;
@@ -418,6 +590,8 @@ class OpContext {
   // Null (and never read) in heap mode; see make()/dispose().
   Alloc* alloc_ = nullptr;
   AllocCache* cache_ = nullptr;
+  [[no_unique_address]] std::conditional_t<kCausal, ProgressSlot*, NoProgress>
+      progress_{};
 };
 
 }  // namespace efrb

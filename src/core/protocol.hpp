@@ -322,6 +322,11 @@ class TreeCore {
       EFRB_DCHECK(s.gp != nullptr);
       // line 80: op := new DInfo(gp, p, l, pupdate)
       auto* op = ctx.template make<DInfo>(s.gp, s.p, s.l, s.pupdate);
+      if constexpr (hooks::causal_trace_v<Traits>) {
+        // Causal owner stamp: plain store, ordered before helpers by the
+        // dflag CAS (acq_rel) that publishes the record.
+        op->owner = ctx.owner();
+      }
       Update expected = s.gpupdate;
       const Update flagged = Update::make(UpdateState::kDFlag, op);
       // Memory-order audit (ellen_bintree_analysis.md, step "dflag",
@@ -364,6 +369,11 @@ class TreeCore {
   /// (caller owns dismantling `new_node`'s unpublished parts and retrying).
   bool try_install(const SearchResult& s, Node* new_node, Ctx& ctx) {
     auto* op = ctx.template make<IInfo>(s.p, s.l, new_node);  // line 55
+    if constexpr (hooks::causal_trace_v<Traits>) {
+      // Causal owner stamp: plain store, ordered before helpers by the iflag
+      // CAS (acq_rel) that publishes the record.
+      op->owner = ctx.owner();
+    }
     Update expected = s.pupdate;
     const Update flagged = Update::make(UpdateState::kIFlag, op);
     // Memory-order audit (ellen_bintree_analysis.md, step "iflag", line 56):
@@ -514,7 +524,17 @@ class TreeCore {
   void help(Update u, Ctx& ctx) {
     if (u.state() == UpdateState::kClean) return;
     ctx.count_help();
-    hooks::emit_at<Traits>(HookPoint::kBeforeHelp, ctx.tid(), ctx.op_key());
+    // The owner stamp of the operation being helped: written by its creator
+    // before the flagging CAS published the record, read here strictly after
+    // an acquire load of the flagged word — a plain read is race-free. The
+    // load exists only in kCausalTrace instantiations.
+    std::uint64_t owner = kNoOwner;
+    if constexpr (hooks::causal_trace_v<Traits>) {
+      if (u.info() != nullptr) owner = u.info()->owner;
+    }
+    hooks::emit_help<Traits>(HookPoint::kBeforeHelp, ctx.tid(), ctx.op_key(),
+                             owner);
+    ctx.help_enter();
     switch (u.state()) {
       case UpdateState::kIFlag:
         help_insert(static_cast<IInfo*>(u.info()), ctx);
@@ -528,7 +548,9 @@ class TreeCore {
       case UpdateState::kClean:
         break;
     }
-    hooks::emit_at<Traits>(HookPoint::kAfterHelp, ctx.tid(), ctx.op_key());
+    ctx.help_exit();
+    hooks::emit_help<Traits>(HookPoint::kAfterHelp, ctx.tid(), ctx.op_key(),
+                             owner);
   }
 
   // ---------------- CAS-Child (lines 113-118) ----------------

@@ -5,10 +5,10 @@
 // external tooling) consume one self-describing format instead of scraping
 // text tables.
 //
-// Document shape (kMetricsSchemaVersion = 2):
+// Document shape (kMetricsSchemaVersion = 3):
 //   {
 //     "schema": "efrb-metrics",
-//     "schema_version": 2,
+//     "schema_version": 3,
 //     "tool": "<bench binary name>",
 //     "cells": [
 //       {
@@ -23,7 +23,8 @@
 //         "timeseries": {                // optional, when a poller ran
 //           "samples": [...], "windows": [...]
 //         },
-//         "heatmap": { ... }             // optional, when a heatmap fed
+//         "heatmap": { ... },            // optional, when a heatmap fed
+//         "causality": { ... }           // optional, when causal-traced
 //       }, ...
 //     ]
 //   }
@@ -34,7 +35,13 @@
 // bump kMetricsSchemaVersion only on breaking changes (removing/renaming
 // keys or changing meanings — the v2 bump marks the "saturated" semantics
 // change: the top bucket now separates measured tail from clamp artifacts).
-// docs/OBSERVABILITY.md is the schema's prose home.
+// v2 -> v3: cells gained the optional "causality" section (the help-chain
+// attribution matrix from obs/causal.hpp) and the "latency" section gained
+// the self_completed / helper_completed histogram pair. The version bump
+// marks the latency semantics change: with a causal registry attached, the
+// per-type histograms no longer describe purely self-completed work — the
+// split pair is the authoritative decomposition. docs/OBSERVABILITY.md is
+// the schema's prose home.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +50,7 @@
 #include <utility>
 
 #include "core/op_context.hpp"
+#include "obs/causal.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/histogram.hpp"
 #include "obs/json.hpp"
@@ -52,7 +60,7 @@
 
 namespace efrb::obs {
 
-inline constexpr int kMetricsSchemaVersion = 2;
+inline constexpr int kMetricsSchemaVersion = 3;
 
 inline void append_config(JsonWriter& w, const WorkloadConfig& cfg) {
   w.begin_object();
@@ -158,7 +166,19 @@ inline void append_latency(JsonWriter& w, const LatencySamples& lat) {
   append_histogram(w, lat.erase);
   w.key("retried");
   append_histogram(w, lat.retried);
+  // The v3 causal split (empty histograms unless the run attached a
+  // CausalRegistry — see run_workload's `causal` parameter).
+  w.key("self_completed");
+  append_histogram(w, lat.self_completed);
+  w.key("helper_completed");
+  append_histogram(w, lat.helper_completed);
   w.end_object();
+}
+
+/// Causality section (v3): the helper x owner attribution matrix and
+/// per-tid help totals from obs/causal.hpp.
+inline void append_causality(JsonWriter& w, const CausalRegistry& c) {
+  c.append_json(w);
 }
 
 /// Time-series section: the raw cumulative samples (so consumers can rebin
@@ -260,7 +280,8 @@ class MetricsDocument {
                 const ReclaimGauges* gauges = nullptr,
                 const LatencySamples* latency = nullptr,
                 const std::vector<PollSample>* timeseries = nullptr,
-                const KeyHeatmap* heatmap = nullptr) {
+                const KeyHeatmap* heatmap = nullptr,
+                const CausalRegistry* causal = nullptr) {
     begin_cell(name);
     w_.key("config");
     append_config(w_, cfg);
@@ -285,6 +306,10 @@ class MetricsDocument {
     if (heatmap != nullptr) {
       w_.key("heatmap");
       append_heatmap(w_, *heatmap);
+    }
+    if (causal != nullptr) {
+      w_.key("causality");
+      append_causality(w_, *causal);
     }
     end_cell();
   }

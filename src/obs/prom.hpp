@@ -26,10 +26,12 @@
 #include <vector>
 
 #include "core/op_context.hpp"
+#include "obs/causal.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/histogram.hpp"
 #include "obs/json.hpp"
 #include "obs/timeseries.hpp"
+#include "obs/watchdog.hpp"
 #include "reclaim/reclaimer.hpp"
 #include "util/assert.hpp"
 #include "workload/runner.hpp"
@@ -313,6 +315,44 @@ inline void append_heatmap_prom(PromWriter& w, const PromWriter::Labels& labels,
   }
   w.add("efrb_heatmap_dropped_total", PromType::kCounter,
         "Contention events without an attributable key", labels, h.dropped());
+}
+
+/// Help-chain attribution: per-tid given/received totals (rows with no
+/// activity are elided, mirroring the JSON causality cell).
+inline void append_causality_prom(PromWriter& w,
+                                  const PromWriter::Labels& labels,
+                                  const CausalRegistry& c) {
+  for (std::size_t t = 0; t < c.max_tids(); ++t) {
+    const unsigned tid = static_cast<unsigned>(t);
+    const std::uint64_t given = c.helps_given(tid);
+    const std::uint64_t received = c.helps_received(tid);
+    if (given == 0 && received == 0) continue;
+    PromWriter::Labels l = labels;
+    l.emplace_back("tid", std::to_string(tid));
+    w.add("efrb_help_given_total", PromType::kCounter,
+          "Help dispatches this thread performed for other threads' ops", l,
+          given);
+    w.add("efrb_help_received_total", PromType::kCounter,
+          "Help dispatches other threads performed for this thread's ops", l,
+          received);
+  }
+  w.add("efrb_help_unattributed_total", PromType::kCounter,
+        "Help dispatches dropped for lack of an owner stamp", labels,
+        c.dropped_unattributed());
+}
+
+/// Watchdog surface: the current stalled-op gauge plus the monotone stall
+/// event counter.
+inline void append_watchdog_prom(PromWriter& w,
+                                 const PromWriter::Labels& labels,
+                                 const LivenessWatchdog& wd) {
+  w.add("efrb_stalled_ops", PromType::kGauge,
+        "In-flight operations over the retry/wall-time budget at the last "
+        "watchdog poll",
+        labels, wd.stalled_now());
+  w.add("efrb_stall_events_total", PromType::kCounter,
+        "Stalled-operation observations across all watchdog polls", labels,
+        wd.stall_events_total());
 }
 
 }  // namespace efrb::obs

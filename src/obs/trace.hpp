@@ -55,6 +55,7 @@ enum class TraceEventKind : std::uint8_t {
   kHelpExit,   // help dispatch returned (HookPoint::kAfterHelp)
   kOpBegin,    // dictionary op started; code = TraceOp
   kOpEnd,      // dictionary op finished; code = TraceOp, ok = result
+  kHelpOwner,  // companion to kHelpEnter: code = owner tid, ts = owner op_seq
 };
 
 /// Operation identity for op begin/end markers (the runner's vocabulary,
@@ -199,6 +200,21 @@ class TraceRegistry {
     r->push({now_ns(), kind, static_cast<std::uint8_t>(p), false});
   }
 
+  /// Companion slot pushed right after a kHelpEnter when causal tracing
+  /// knows the helped operation's owner. Reuses the packed-word layout:
+  /// the owner's op_seq rides in the timestamp field (low 48 bits) and the
+  /// owner's tid in the code byte, so the decoder can reconstruct the
+  /// helper -> owner edge without a second ring. Skipped by the Chrome
+  /// export (flow arrows come from CausalRegistry, which keeps full-width
+  /// timestamps); consumed by tools/efrb_postmortem.
+  void record_help_owner(unsigned tid, std::uint64_t owner) noexcept {
+    if (owner == kNoOwner) return;
+    if (TraceRing* r = ring_for(tid)) {
+      r->push({owner_seq(owner), TraceEventKind::kHelpOwner,
+               static_cast<std::uint8_t>(owner_tid(owner) & 0xFF), false});
+    }
+  }
+
   void record_op_begin(unsigned tid, TraceOp op) noexcept {
     if (TraceRing* r = ring_for(tid)) {
       r->push({now_ns(), TraceEventKind::kOpBegin,
@@ -244,15 +260,9 @@ class TraceRegistry {
     return write_file(path, chrome_trace_json());
   }
 
- private:
-  TraceRing* ring_for(unsigned tid) noexcept {
-    if (tid == kNoTid || tid >= rings_.size()) {
-      dropped_no_tid_.fetch_add(1, std::memory_order_relaxed);
-      return nullptr;
-    }
-    return &rings_[tid].value;
-  }
-
+  /// Renders one event as a Chrome trace-event object. Public so composed
+  /// exporters (obs/causal.hpp merges flow arrows into the same stream) can
+  /// reuse the exact vocabulary instead of re-deriving it.
   static void append_chrome_event(JsonWriter& w, unsigned tid,
                                   const TraceEvent& e) {
     // Chrome's ts field is microseconds; keep ns resolution as a fraction.
@@ -283,6 +293,8 @@ class TraceRegistry {
         name = to_string(static_cast<TraceOp>(e.code));
         ph = "E";
         break;
+      case TraceEventKind::kHelpOwner:
+        return;  // decoder-only metadata; flow arrows come from CausalRegistry
     }
     w.begin_object();
     w.key("name").value(name);
@@ -295,6 +307,15 @@ class TraceRegistry {
       w.key("args").begin_object().key("ok").value(e.ok).end_object();
     }
     w.end_object();
+  }
+
+ private:
+  TraceRing* ring_for(unsigned tid) noexcept {
+    if (tid == kNoTid || tid >= rings_.size()) {
+      dropped_no_tid_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    return &rings_[tid].value;
   }
 
   std::chrono::steady_clock::time_point t0_;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "baselines/set_interface.hpp"
+#include "obs/causal.hpp"
 #include "obs/histogram.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -73,12 +74,21 @@ struct LatencySamples {
   obs::LatencyHistogram insert;
   obs::LatencyHistogram erase;
   obs::LatencyHistogram retried;
+  // Causal split (populated only when run_workload is given a
+  // CausalRegistry): an op lands in helper_completed when some other thread
+  // helped it along — its helps_received counter moved while the op ran —
+  // and in self_completed otherwise. The pair separates "my latency" from
+  // "latency the helping protocol rescued".
+  obs::LatencyHistogram self_completed;
+  obs::LatencyHistogram helper_completed;
 
   void merge(const LatencySamples& other) noexcept {
     find.merge(other.find);
     insert.merge(other.insert);
     erase.merge(other.erase);
     retried.merge(other.retried);
+    self_completed.merge(other.self_completed);
+    helper_completed.merge(other.helper_completed);
   }
 
   std::uint64_t total_count() const noexcept {
@@ -178,11 +188,18 @@ void prefill(Set& set, std::uint64_t key_range, double fraction,
 /// after they join — so the sample series spans exactly the measured window.
 /// The caller keeps ownership and sets the stats/gauges sources (they own
 /// the structure); run_workload only wires and unwires the ops source.
+///
+/// `causal` (optional) splits the latency histograms by completion mode:
+/// each sampled op diffs the handle tid's helps_received counter across the
+/// op and records into latency->helper_completed when another thread helped
+/// it (self_completed otherwise). Requires `latency`; two relaxed counter
+/// loads per op is the documented cost.
 template <typename Set>
 WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg,
                             LatencySamples* latency = nullptr,
                             obs::TraceRegistry* trace = nullptr,
-                            obs::MetricsPoller* poller = nullptr) {
+                            obs::MetricsPoller* poller = nullptr,
+                            const obs::CausalRegistry* causal = nullptr) {
   EFRB_ASSERT(cfg.threads > 0);
   using Key = typename Set::key_type;
 
@@ -274,6 +291,8 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg,
                                          ? obs::TraceOp::kInsert
                                          : obs::TraceOp::kErase;
             if (trace != nullptr) trace->record_op_begin(trace_tid, top);
+            const std::uint64_t helps_before =
+                causal != nullptr ? causal->helps_received(trace_tid) : 0;
             const auto a = std::chrono::steady_clock::now();
             bool ok = false;
             switch (op) {
@@ -309,6 +328,12 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg,
                               } -> std::convertible_to<bool>;
                             }) {
                 if (target.last_op_retried()) lat->retried.record(ns);
+              }
+              if (causal != nullptr) {
+                (causal->helps_received(trace_tid) != helps_before
+                     ? lat->helper_completed
+                     : lat->self_completed)
+                    .record(ns);
               }
             }
           }

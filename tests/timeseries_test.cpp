@@ -442,6 +442,37 @@ TEST(PromTest, EscapesLabelValues) {
   EXPECT_NE(w.render().find("name=\"a\\\\b\\\"c\\nd\""), std::string::npos);
 }
 
+TEST(PromTest, EscapesEachSpecialCharacterIndividually) {
+  // The exposition rules name exactly three escapes inside a quoted label
+  // value; pin each one alone so a regression in one case cannot hide
+  // behind the combined string above.
+  EXPECT_EQ(obs::prom_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(obs::prom_escape("new\nline"), "new\\nline");
+  EXPECT_EQ(obs::prom_escape("quo\"te"), "quo\\\"te");
+  // Everything else passes through untouched (incl. tabs and UTF-8 bytes).
+  EXPECT_EQ(obs::prom_escape("plain value\t\xc3\xa9"), "plain value\t\xc3\xa9");
+}
+
+using PromDeathTest = ::testing::Test;
+
+TEST(PromDeathTest, RejectsMalformedFamilyName) {
+  // The grammar assert is the linter golden: a family name outside
+  // [a-zA-Z_:][a-zA-Z0-9_:]* must die at add() time, never reach render().
+  EXPECT_DEATH(
+      {
+        PromWriter w;
+        w.add("efrb-ops-total", PromType::kCounter, "dashes are invalid", {},
+              std::uint64_t{1});
+      },
+      "invalid Prometheus metric name");
+  EXPECT_DEATH(
+      {
+        PromWriter w;
+        w.add("9starts_with_digit", PromType::kGauge, "digit head", {}, 1.0);
+      },
+      "invalid Prometheus metric name");
+}
+
 TEST(PromTest, ValidatesMetricNames) {
   EXPECT_TRUE(obs::valid_prom_name("efrb_ops_total"));
   EXPECT_TRUE(obs::valid_prom_name("_x:y"));
@@ -479,6 +510,12 @@ TEST(PromTest, EmissionHelpersPassTheShapeLinter) {
   KeyHeatmap heat(64, 8);
   heat.record_cas_failure(3);
   obs::append_heatmap_prom(w, labels, heat);
+  obs::CausalRegistry causal(4);
+  causal.record_help(1, pack_owner(0, 7));
+  obs::append_causality_prom(w, labels, causal);
+  ProgressTable table;
+  obs::LivenessWatchdog wd(table);
+  obs::append_watchdog_prom(w, labels, wd);
 
   const std::string out = w.render();
   ASSERT_FALSE(out.empty());
@@ -519,7 +556,7 @@ TEST(MetricsV2Test, DocumentCarriesTimeseriesAndHeatmapSections) {
   doc.add_cell("cell", cfg, res, nullptr, nullptr, nullptr, &samples, &heat);
   const std::string json = doc.finish();
 
-  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos) << json;
   EXPECT_NE(json.find("\"timeseries\""), std::string::npos);
   EXPECT_NE(json.find("\"windows\""), std::string::npos);
   EXPECT_NE(json.find("\"heatmap\""), std::string::npos);

@@ -1,0 +1,184 @@
+// Flight-recorder dump decoder: turns the binary black box a crashing
+// process left behind (obs/flightrec.hpp, written by the installed signal
+// handler or an explicit dump_to_path) into a human-readable report:
+//
+//   * the header (format version, ring geometry),
+//   * the registered gauges at crash time,
+//   * the progress table — every handle slot, flagging ops still in flight
+//     (odd op_seq) with their key, retries, last CAS step, and help depth,
+//   * a per-thread timeline of the retained protocol events, oldest first,
+//   * the inferred help graph: helper -> owner edges reconstructed from
+//     kHelpEnter / kHelpOwner companion slots.
+//
+// Usage: efrb_postmortem <dump-file> [--events N]
+//   --events N   print at most N trailing events per thread (default 20;
+//                0 = all retained events)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/debug_hooks.hpp"
+#include "obs/flightrec.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+const char* kind_name(efrb::obs::TraceEventKind k) {
+  using efrb::obs::TraceEventKind;
+  switch (k) {
+    case TraceEventKind::kCas: return "cas";
+    case TraceEventKind::kPoint: return "point";
+    case TraceEventKind::kHelpEnter: return "help-enter";
+    case TraceEventKind::kHelpExit: return "help-exit";
+    case TraceEventKind::kOpBegin: return "op-begin";
+    case TraceEventKind::kOpEnd: return "op-end";
+    case TraceEventKind::kHelpOwner: return "help-owner";
+  }
+  return "?";
+}
+
+void print_event(const efrb::obs::TraceEvent& e) {
+  using efrb::obs::TraceEventKind;
+  switch (e.kind) {
+    case TraceEventKind::kCas:
+      std::printf("  %12llu ns  cas %s %s\n",
+                  static_cast<unsigned long long>(e.ts_ns),
+                  efrb::to_string(static_cast<efrb::CasStep>(e.code)),
+                  e.ok ? "ok" : "fail");
+      break;
+    case TraceEventKind::kPoint:
+      std::printf("  %12llu ns  point %s\n",
+                  static_cast<unsigned long long>(e.ts_ns),
+                  efrb::to_string(static_cast<efrb::HookPoint>(e.code)));
+      break;
+    case TraceEventKind::kHelpEnter:
+    case TraceEventKind::kHelpExit:
+      std::printf("  %12llu ns  %s\n",
+                  static_cast<unsigned long long>(e.ts_ns),
+                  kind_name(e.kind));
+      break;
+    case TraceEventKind::kOpBegin:
+    case TraceEventKind::kOpEnd:
+      std::printf("  %12llu ns  %s %s%s\n",
+                  static_cast<unsigned long long>(e.ts_ns), kind_name(e.kind),
+                  efrb::obs::to_string(
+                      static_cast<efrb::obs::TraceOp>(e.code)),
+                  e.kind == TraceEventKind::kOpEnd
+                      ? (e.ok ? " -> true" : " -> false")
+                      : "");
+      break;
+    case TraceEventKind::kHelpOwner:
+      // ts field carries the owner's op_seq, code the owner's tid.
+      std::printf("  %12s     help-owner tid=%u op_seq=%llu\n", "",
+                  static_cast<unsigned>(e.code),
+                  static_cast<unsigned long long>(e.ts_ns));
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  std::size_t max_events = 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      max_events = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (argv[i][0] != '-' && path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: efrb_postmortem <dump-file> [--events N]\n");
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: efrb_postmortem <dump-file> [--events N]\n");
+    return 2;
+  }
+
+  efrb::obs::FlightDump dump;
+  if (!efrb::obs::FlightDump::read_file(path, &dump)) {
+    std::fprintf(stderr,
+                 "efrb_postmortem: %s is not a valid flight dump "
+                 "(bad magic, version, or truncated)\n",
+                 path);
+    return 1;
+  }
+
+  std::printf("efrb_postmortem: flight dump v%llu  (%llu tids, ring %llu)\n",
+              static_cast<unsigned long long>(dump.version),
+              static_cast<unsigned long long>(dump.max_tids),
+              static_cast<unsigned long long>(dump.ring_cap));
+
+  std::printf("\n== gauges ==\n");
+  if (dump.gauges.empty()) std::printf("  (none registered)\n");
+  for (const efrb::obs::FlightGauge& g : dump.gauges) {
+    std::printf("  %-24s %llu\n", g.name.c_str(),
+                static_cast<unsigned long long>(g.value));
+  }
+
+  std::printf("\n== progress table ==\n");
+  std::size_t in_flight = 0;
+  for (const efrb::obs::FlightSlot& s : dump.slots) {
+    if (s.tid == efrb::kNoTid) continue;  // free slot
+    if (s.in_flight()) {
+      ++in_flight;
+      std::printf(
+          "  tid %-3llu IN FLIGHT  key=%llu retries=%llu last_step=%s "
+          "help_depth=%llu\n",
+          static_cast<unsigned long long>(s.tid),
+          static_cast<unsigned long long>(s.op_key),
+          static_cast<unsigned long long>(s.retries),
+          s.last_step == efrb::kNoStep
+              ? "(none)"
+              : efrb::to_string(static_cast<efrb::CasStep>(s.last_step)),
+          static_cast<unsigned long long>(s.help_depth));
+    } else {
+      std::printf("  tid %-3llu idle\n", static_cast<unsigned long long>(s.tid));
+    }
+  }
+  if (dump.slots.empty()) std::printf("  (no progress table attached)\n");
+  std::printf("  %llu op(s) in flight at dump time\n",
+              static_cast<unsigned long long>(in_flight));
+
+  // helper tid -> owner tid -> edge count, from help-owner companion slots.
+  std::map<unsigned, std::map<unsigned, std::uint64_t>> help_graph;
+
+  std::printf("\n== per-thread timeline ==\n");
+  for (std::size_t tid = 0; tid < dump.rings.size(); ++tid) {
+    const std::vector<efrb::obs::TraceEvent> events = dump.events(tid);
+    if (events.empty()) continue;
+    std::printf("thread %llu: %llu retained event(s)\n",
+                static_cast<unsigned long long>(tid),
+                static_cast<unsigned long long>(events.size()));
+    const std::size_t from =
+        (max_events == 0 || events.size() <= max_events)
+            ? 0
+            : events.size() - max_events;
+    if (from > 0) {
+      std::printf("  ... %llu older event(s) elided (--events 0 for all)\n",
+                  static_cast<unsigned long long>(from));
+    }
+    for (std::size_t i = from; i < events.size(); ++i) print_event(events[i]);
+    for (const efrb::obs::TraceEvent& e : events) {
+      if (e.kind == efrb::obs::TraceEventKind::kHelpOwner) {
+        ++help_graph[static_cast<unsigned>(tid)][e.code];
+      }
+    }
+  }
+
+  std::printf("\n== inferred help graph ==\n");
+  if (help_graph.empty()) {
+    std::printf("  (no attributed help events retained)\n");
+  }
+  for (const auto& [helper, owners] : help_graph) {
+    for (const auto& [owner, n] : owners) {
+      std::printf("  tid %u helped tid %u  x%llu\n", helper, owner,
+                  static_cast<unsigned long long>(n));
+    }
+  }
+  return 0;
+}

@@ -7,16 +7,26 @@
 // reclaimer gauges, and the key-space contention strip from the KeyHeatmap.
 // Think `top`, but the processes are protocol steps.
 //
-// Live mode redraws with ANSI clear-screen once per --interval until --ms
-// elapses, then prints the protocol-step table as a parting summary.
+// Live mode switches to the terminal's alternate screen, hides the cursor,
+// and redraws once per --interval until --ms elapses; on any exit — normal,
+// SIGINT, SIGTERM — the terminal is restored (alternate screen left, cursor
+// shown) so a Ctrl-C never strands the shell on a blank scrollback-less
+// screen. The parting protocol-step table prints on the normal screen.
 // `--once` renders exactly one plain frame after the run finishes — no
-// escape codes, no timing dependence — which is what scripts/check.sh drives
-// headlessly in CI.
+// escape codes, no signal handlers, no timing dependence — which is what
+// scripts/check.sh drives headlessly in CI.
+//
+// The dashboard also carries the liveness surface (PR 9): a causal help
+// summary (who is helping whom, from obs/causal.hpp) and the watchdog's
+// stalled-operation rows (obs/watchdog.hpp) for the single-tree mode.
 //
 // Usage: efrb_top [--ms N] [--interval N] [--threads N] [--range N]
 //                 [--mix read|mostly|balanced|update] [--uniform] [--once]
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,8 +35,10 @@
 #include <vector>
 
 #include "core/efrb_tree.hpp"
+#include "obs/causal.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/timeseries.hpp"
+#include "obs/watchdog.hpp"
 #include "shard/shard_metrics.hpp"
 #include "shard/sharded_map.hpp"
 #include "workload/report.hpp"
@@ -35,8 +47,33 @@
 namespace {
 
 using Key = std::uint64_t;
+
+/// Heatmap + causal help attribution in one traits type. kCausalTrace turns
+/// on the owner stamp and per-handle progress slots (the watchdog's sampling
+/// surface); help events land in the installed CausalRegistry via the
+/// 4-argument at() while everything keyed flows to the heatmap as before.
+struct TopTraits {
+  static constexpr bool kCountStats = true;
+  static constexpr bool kSearchHelpsMarked = false;
+  static constexpr bool kTrackKeys = true;
+  static constexpr bool kCausalTrace = true;
+
+  static void on_cas(efrb::CasStep s, bool ok, const void* node, unsigned tid,
+                     std::uint64_t key) {
+    efrb::obs::HeatmapTraits::on_cas(s, ok, node, tid, key);
+  }
+  static void at(efrb::HookPoint p, unsigned tid, std::uint64_t key) {
+    efrb::obs::HeatmapTraits::at(p, tid, key);
+  }
+  static void at(efrb::HookPoint p, unsigned tid, std::uint64_t key,
+                 std::uint64_t owner) {
+    efrb::obs::CausalTraits::at(p, tid, key, owner);
+    efrb::obs::HeatmapTraits::at(p, tid, key);
+  }
+};
+
 using TopTree = efrb::EfrbTreeSet<Key, std::less<Key>, efrb::EpochReclaimer,
-                                  efrb::obs::HeatmapTraits>;
+                                  TopTraits>;
 // --shards N: the same workload over the sharded front end; the dashboard
 // grows a per-shard row (load share from the balance report, per-shard
 // reclaimer backlog/orphans).
@@ -102,6 +139,93 @@ Options parse(int argc, char** argv) {
     }
   }
   return opt;
+}
+
+// --- terminal state management (live mode only) ---------------------------
+//
+// Live mode runs on the alternate screen. The restore sequence must reach
+// the terminal on EVERY exit path — normal return, SIGINT (Ctrl-C), SIGTERM
+// — or the user's shell is left on a blank alternate screen with a hidden
+// cursor. The signal handler uses only write(2) (async-signal-safe) and
+// _exit; 128+signo is the conventional killed-by-signal exit status.
+
+constexpr char kEnterAltScreen[] = "\x1b[?1049h\x1b[?25l";  // alt + hide cursor
+constexpr char kLeaveAltScreen[] = "\x1b[?1049l\x1b[?25h";  // back + show
+
+void restore_terminal_on_signal(int sig) {
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-bounds-array-to-pointer-decay)
+  ::write(STDOUT_FILENO, kLeaveAltScreen, sizeof(kLeaveAltScreen) - 1);
+  ::_exit(128 + sig);
+}
+
+void enter_live_screen() {
+  struct sigaction sa {};
+  sa.sa_handler = &restore_terminal_on_signal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  std::fputs(kEnterAltScreen, stdout);
+  std::fflush(stdout);
+}
+
+void leave_live_screen() {
+  std::fputs(kLeaveAltScreen, stdout);
+  std::fflush(stdout);
+  ::signal(SIGINT, SIG_DFL);
+  ::signal(SIGTERM, SIG_DFL);
+}
+
+/// Causal + watchdog rows under the common frame: who is helping whom and
+/// which in-flight ops the watchdog currently flags as stalled.
+void render_liveness(const efrb::obs::CausalRegistry* causal,
+                     const efrb::obs::LivenessWatchdog* watchdog) {
+  if (causal != nullptr) {
+    // The busiest helper->owner pair, as a one-line summary.
+    unsigned best_h = 0;
+    unsigned best_o = 0;
+    std::uint64_t best_n = 0;
+    for (unsigned h = 0; h < causal->max_tids(); ++h) {
+      if (causal->helps_given(h) == 0) continue;
+      for (unsigned o = 0; o < causal->max_tids(); ++o) {
+        const std::uint64_t n = causal->helped_by(h, o);
+        if (n > best_n) {
+          best_n = n;
+          best_h = h;
+          best_o = o;
+        }
+      }
+    }
+    std::printf("causal   %llu helps attributed (%llu unattributed)",
+                static_cast<unsigned long long>(causal->total_helps()),
+                static_cast<unsigned long long>(
+                    causal->dropped_unattributed()));
+    if (best_n > 0) {
+      std::printf("  top: tid %u helped tid %u x%llu", best_h, best_o,
+                  static_cast<unsigned long long>(best_n));
+    }
+    std::printf("\n");
+  }
+  if (watchdog != nullptr) {
+    const efrb::obs::StallReport rep = watchdog->report();
+    std::printf("stalls   %zu flagged now, %llu events total "
+                "(budget: %llu retries / %.0f ms)\n",
+                rep.stalled.size(),
+                static_cast<unsigned long long>(rep.stall_events_total),
+                static_cast<unsigned long long>(watchdog->budget().retries),
+                static_cast<double>(watchdog->budget().wall_ns) / 1e6);
+    for (const efrb::obs::StallEntry& e : rep.stalled) {
+      std::printf("         tid %-3u key=%llu age=%.1f ms retries=%llu "
+                  "step=%s depth=%u\n",
+                  e.tid, static_cast<unsigned long long>(e.op_key),
+                  static_cast<double>(e.age_ns) / 1e6,
+                  static_cast<unsigned long long>(e.retries),
+                  e.last_step == efrb::kNoStep
+                      ? "(none)"
+                      : efrb::to_string(
+                            static_cast<efrb::CasStep>(e.last_step)),
+                  e.help_depth);
+    }
+  }
 }
 
 /// One dashboard frame from the current poller/heatmap/gauge state. The
@@ -189,8 +313,9 @@ void render_shard_rows(const TopSharded& tree,
 /// final frame + protocol summary. `gauges` snapshots the reclaim gauges and
 /// `extra` renders any structure-specific rows under the common frame.
 template <typename SetT, typename GaugesFn, typename ExtraFn>
-int run_top(const Options& opt, SetT& tree, GaugesFn&& gauges,
-            ExtraFn&& extra) {
+int run_top(const Options& opt, SetT& tree, GaugesFn&& gauges, ExtraFn&& extra,
+            const efrb::obs::CausalRegistry* causal = nullptr,
+            efrb::obs::LivenessWatchdog* watchdog = nullptr) {
   efrb::WorkloadConfig cfg;
   cfg.threads = opt.threads;
   cfg.key_range = opt.range;
@@ -210,27 +335,35 @@ int run_top(const Options& opt, SetT& tree, GaugesFn&& gauges,
       [&gauges] { return gauges(); },
   });
 
+  if (watchdog != nullptr) watchdog->start();
+
   std::atomic<bool> done{false};
   efrb::WorkloadResult result;
   std::thread worker([&] {
-    result = efrb::run_workload(tree, cfg, nullptr, nullptr, &poller);
+    result = efrb::run_workload(tree, cfg, nullptr, nullptr, &poller, causal);
     done.store(true, std::memory_order_release);
   });
 
   if (!opt.once) {
+    enter_live_screen();
     while (!done.load(std::memory_order_acquire)) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(std::max(1L, opt.interval_ms)));
       render_frame(opt, poller, heatmap, gauges(), true);
+      render_liveness(causal, watchdog);
       extra(heatmap);
     }
+    leave_live_screen();
   }
   worker.join();
+  if (watchdog != nullptr) watchdog->stop();
   efrb::obs::HeatmapTraits::reset();
 
   // Final (or only, with --once) frame from the completed run, plus the
-  // protocol-step summary.
+  // protocol-step summary — on the normal screen, so it survives in
+  // scrollback after a live session.
   render_frame(opt, poller, heatmap, gauges(), false);
+  render_liveness(causal, watchdog);
   extra(heatmap);
   std::printf("\n%llu ops in %.2f s (%.2f Mops/s), %llu poller samples\n\n",
               static_cast<unsigned long long>(result.total_ops()),
@@ -251,7 +384,14 @@ int main(int argc, char** argv) {
         [&tree](const efrb::obs::KeyHeatmap& h) { render_shard_rows(tree, h); });
   }
   TopTree tree;
-  return run_top(
+  efrb::obs::CausalRegistry causal;
+  efrb::obs::CausalTraits::install(&causal);
+  efrb::obs::LivenessWatchdog watchdog(
+      tree.progress_table(), efrb::obs::WatchdogBudget{},
+      std::chrono::milliseconds(std::max(1L, opt.interval_ms)));
+  const int rc = run_top(
       opt, tree, [&tree] { return tree.reclaimer().gauges(); },
-      [](const efrb::obs::KeyHeatmap&) {});
+      [](const efrb::obs::KeyHeatmap&) {}, &causal, &watchdog);
+  efrb::obs::CausalTraits::reset();
+  return rc;
 }

@@ -1,12 +1,19 @@
-// Observability probe: runs a short instrumented workload on a trace+heatmap
-// enabled EFRB tree and writes the machine-readable artifacts the obs layer
-// produces — a schema-versioned metrics document (obs/metrics.hpp, including
-// the v2 "timeseries" and "heatmap" sections) and a Chrome trace-event JSON
-// (obs/trace.hpp). CI (scripts/check.sh) runs this and validates the files;
-// it is also the quickest way to eyeball a capture in chrome://tracing or
-// Perfetto.
+// Observability probe: runs a short instrumented workload on a fully
+// instrumented EFRB tree (trace + heatmap + causal help attribution +
+// liveness watchdog + flight recorder) and writes every machine-readable
+// artifact the obs layer produces:
+//   * a schema-versioned metrics document (obs/metrics.hpp, v3 — includes
+//     the "causality" cell and the self/helper-completed latency split),
+//   * a Chrome trace-event JSON with help-flow arrows (obs/causal.hpp),
+//   * a Prometheus text exposition via --prom (parity with the bench
+//     binaries' shared flag),
+//   * a flight-recorder dump via --flight (decodable with efrb_postmortem).
+// CI (scripts/check.sh) runs this and validates the files; --abort makes
+// the probe kill itself mid-flight after the workload so the check's
+// postmortem stage can assert the crash dump path works end to end.
 //
-// Usage: obs_probe [--metrics <path>] [--trace <path>]
+// Usage: obs_probe [--metrics <path>] [--trace <path>] [--prom <path>]
+//                  [--flight <path>] [--abort]
 //                  [--ms N | --duration N] [--interval N] [--threads N]
 #include <cstdio>
 #include <cstdlib>
@@ -14,33 +21,49 @@
 #include <string>
 
 #include "core/efrb_tree.hpp"
+#include "obs/causal.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prom.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "workload/runner.hpp"
 
 namespace {
 
 using Key = std::uint64_t;
 
-/// Trace + heatmap in one instrumented run: statically fans every hook out
-/// to both installed consumers. kTrackKeys makes the tree stamp operation
-/// keys (core/op_context.hpp), which the heatmap buckets and the trace
-/// ignores.
+/// Every obs consumer in one instrumented run: statically fans each hook out
+/// to all installed sinks. kTrackKeys makes the tree stamp operation keys
+/// (core/op_context.hpp) for the heatmap; kCausalTrace turns on the owner
+/// stamp + progress slots, routing help events through the 4-argument at()
+/// into the causal registry and the flight recorder.
 struct ProbeTraits {
   static constexpr bool kCountStats = true;
   static constexpr bool kSearchHelpsMarked = false;
   static constexpr bool kTrackKeys = true;
+  static constexpr bool kCausalTrace = true;
 
   static void on_cas(efrb::CasStep s, bool ok, const void* node, unsigned tid,
                      std::uint64_t key) {
     efrb::obs::TraceTraits::on_cas(s, ok, node, tid);
     efrb::obs::HeatmapTraits::on_cas(s, ok, node, tid, key);
+    efrb::obs::FlightTraits::on_cas(s, ok, node, tid);
   }
   static void at(efrb::HookPoint p, unsigned tid, std::uint64_t key) {
     efrb::obs::TraceTraits::at(p, tid);
     efrb::obs::HeatmapTraits::at(p, tid, key);
+    efrb::obs::FlightTraits::at(p, tid);
+  }
+  /// Help-path overload (hooks::emit_help): help points arrive here only,
+  /// never through the 3-argument at(), so nothing double-records.
+  static void at(efrb::HookPoint p, unsigned tid, std::uint64_t key,
+                 std::uint64_t owner) {
+    efrb::obs::CausalTraits::at(p, tid, key, owner);
+    efrb::obs::HeatmapTraits::at(p, tid, key);
+    efrb::obs::FlightTraits::at(p, tid, key, owner);
   }
 };
 
@@ -50,6 +73,9 @@ using ProbedTree = efrb::EfrbTreeSet<Key, std::less<Key>, efrb::EpochReclaimer,
 struct Options {
   std::string metrics_path = "obs_metrics.json";
   std::string trace_path = "obs_trace.json";
+  std::string prom_path;    // empty = no exposition output
+  std::string flight_path;  // empty = no flight dump
+  bool abort_after_run = false;
   long ms = 50;
   long interval_ms = 10;
   std::size_t threads = 4;
@@ -69,6 +95,12 @@ Options parse(int argc, char** argv) {
       opt.metrics_path = next();
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       opt.trace_path = next();
+    } else if (std::strcmp(argv[i], "--prom") == 0) {
+      opt.prom_path = next();
+    } else if (std::strcmp(argv[i], "--flight") == 0) {
+      opt.flight_path = next();
+    } else if (std::strcmp(argv[i], "--abort") == 0) {
+      opt.abort_after_run = true;
     } else if (std::strcmp(argv[i], "--ms") == 0 ||
                std::strcmp(argv[i], "--duration") == 0) {
       opt.ms = std::atol(next());
@@ -77,9 +109,11 @@ Options parse(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       opt.threads = static_cast<std::size_t>(std::atol(next()));
     } else {
-      std::fprintf(stderr,
-                   "usage: obs_probe [--metrics <path>] [--trace <path>] "
-                   "[--ms N | --duration N] [--interval N] [--threads N]\n");
+      std::fprintf(
+          stderr,
+          "usage: obs_probe [--metrics <path>] [--trace <path>] "
+          "[--prom <path>] [--flight <path>] [--abort] "
+          "[--ms N | --duration N] [--interval N] [--threads N]\n");
       std::exit(2);
     }
   }
@@ -102,24 +136,64 @@ int main(int argc, char** argv) {
   efrb::obs::TraceTraits::install(&registry);
   efrb::obs::KeyHeatmap heatmap(cfg.key_range);
   efrb::obs::HeatmapTraits::install(&heatmap);
+  efrb::obs::CausalRegistry causal(registry.max_tids(), &registry);
+  efrb::obs::CausalTraits::install(&causal, &registry);
+  efrb::obs::FlightRecorder flight;
+  efrb::obs::FlightTraits::install(&flight);
+  if (opt.abort_after_run && !opt.flight_path.empty()) {
+    efrb::obs::install_flight_handler(&flight, opt.flight_path.c_str());
+  }
 
   ProbedTree tree;
   efrb::prefill(tree, cfg.key_range, cfg.prefill_fraction, cfg.seed);
+
+  // Live gauge mirrors for the flight recorder: ReclaimGauges is a snapshot
+  // struct, so the poller's gauge source refreshes these atomics each
+  // interval — a crash dump then carries last-poll reclaimer state.
+  static std::atomic<std::uint64_t> live_retired{0};
+  static std::atomic<std::uint64_t> live_freed{0};
+  static std::atomic<std::uint64_t> live_backlog{0};
+  flight.add_gauge("reclaim_retired", &live_retired);
+  flight.add_gauge("reclaim_freed", &live_freed);
+  flight.add_gauge("reclaim_backlog", &live_backlog);
+  flight.attach_progress(&tree.progress_table());
 
   efrb::obs::MetricsPoller poller(
       std::chrono::milliseconds(std::max(1L, opt.interval_ms)));
   poller.set_sources({
       {},  // ops source is wired by run_workload
       [&tree] { return tree.stats(); },
-      [&tree] { return tree.reclaimer().gauges(); },
+      [&tree] {
+        const efrb::ReclaimGauges g = tree.reclaimer().gauges();
+        live_retired.store(g.retired_total, std::memory_order_relaxed);
+        live_freed.store(g.freed_total, std::memory_order_relaxed);
+        live_backlog.store(g.backlog(), std::memory_order_relaxed);
+        return g;
+      },
   });
+
+  efrb::obs::LivenessWatchdog watchdog(
+      tree.progress_table(), efrb::obs::WatchdogBudget{},
+      std::chrono::milliseconds(std::max(1L, opt.interval_ms)));
+  watchdog.start();
 
   efrb::LatencySamples latency;
   const efrb::WorkloadResult result =
-      efrb::run_workload(tree, cfg, &latency, &registry, &poller);
+      efrb::run_workload(tree, cfg, &latency, &registry, &poller, &causal);
+
+  watchdog.stop();
+
+  if (opt.abort_after_run) {
+    // The postmortem path: die the way a tripped EFRB_ASSERT would, leaving
+    // only the flight recorder's signal-handler dump behind.
+    std::fflush(stdout);
+    std::abort();
+  }
 
   efrb::obs::TraceTraits::reset();
   efrb::obs::HeatmapTraits::reset();
+  efrb::obs::CausalTraits::reset();
+  efrb::obs::FlightTraits::reset();
 
   const efrb::TreeStats stats = tree.stats();
   const efrb::ReclaimGauges gauges = tree.reclaimer().gauges();
@@ -127,16 +201,66 @@ int main(int argc, char** argv) {
 
   efrb::obs::MetricsDocument doc("obs_probe");
   doc.add_cell("efrb-tree/probed", cfg, result, &stats, &gauges, &latency,
-               &samples, &heatmap);
+               &samples, &heatmap, &causal);
   if (!doc.write(opt.metrics_path)) {
     std::fprintf(stderr, "obs_probe: FAILED to write %s\n",
                  opt.metrics_path.c_str());
     return 1;
   }
-  if (!registry.write_chrome_trace(opt.trace_path)) {
+  // The trace export now carries the help-flow arrows: every event the
+  // TraceRegistry retained plus an s/f pair per attributed help edge.
+  if (!efrb::obs::write_file(opt.trace_path,
+                             causal.chrome_trace_with_flows(registry))) {
     std::fprintf(stderr, "obs_probe: FAILED to write %s\n",
                  opt.trace_path.c_str());
     return 1;
+  }
+  if (!opt.prom_path.empty()) {
+    efrb::obs::PromWriter prom;
+    const efrb::obs::PromWriter::Labels labels{
+        {"tool", "obs_probe"},
+        {"cell", "efrb-tree/probed"},
+        {"threads", std::to_string(cfg.threads)},
+        {"mix", std::string(efrb::mix_name(cfg.mix))},
+        {"dist", cfg.zipf ? "zipf" : "uniform"},
+    };
+    efrb::obs::append_result_prom(prom, labels, result);
+    efrb::obs::append_tree_stats_prom(prom, labels, stats);
+    efrb::obs::append_gauges_prom(prom, labels, gauges);
+    const std::pair<const char*, const efrb::obs::LatencyHistogram*> hists[] =
+        {{"find", &latency.find},
+         {"insert", &latency.insert},
+         {"erase", &latency.erase},
+         {"retried", &latency.retried},
+         {"self_completed", &latency.self_completed},
+         {"helper_completed", &latency.helper_completed}};
+    for (const auto& [op, h] : hists) {
+      efrb::obs::PromWriter::Labels l = labels;
+      l.emplace_back("op", op);
+      efrb::obs::append_histogram_prom(prom, l, *h);
+    }
+    const std::vector<efrb::obs::WindowRates> rates =
+        efrb::obs::window_rates(samples);
+    if (!rates.empty()) {
+      efrb::obs::append_window_prom(prom, labels, rates.back());
+    }
+    efrb::obs::append_heatmap_prom(prom, labels, heatmap);
+    efrb::obs::append_causality_prom(prom, labels, causal);
+    efrb::obs::append_watchdog_prom(prom, labels, watchdog);
+    if (!prom.write(opt.prom_path)) {
+      std::fprintf(stderr, "obs_probe: FAILED to write %s\n",
+                   opt.prom_path.c_str());
+      return 1;
+    }
+    std::printf("obs_probe: prom    -> %s\n", opt.prom_path.c_str());
+  }
+  if (!opt.flight_path.empty()) {
+    if (!flight.dump_to_path(opt.flight_path.c_str())) {
+      std::fprintf(stderr, "obs_probe: FAILED to write %s\n",
+                   opt.flight_path.c_str());
+      return 1;
+    }
+    std::printf("obs_probe: flight  -> %s\n", opt.flight_path.c_str());
   }
 
   std::uint64_t events = 0;
@@ -153,6 +277,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(poller.samples_pushed()),
               static_cast<unsigned long long>(poller.samples_dropped()),
               heatmap.strip().c_str());
+  std::printf("obs_probe: %llu helps attributed (%llu unattributed), "
+              "stall events %llu\n",
+              static_cast<unsigned long long>(causal.total_helps()),
+              static_cast<unsigned long long>(causal.dropped_unattributed()),
+              static_cast<unsigned long long>(watchdog.stall_events_total()));
   std::printf("obs_probe: metrics -> %s\n", opt.metrics_path.c_str());
   std::printf("obs_probe: trace   -> %s\n", opt.trace_path.c_str());
   return 0;
