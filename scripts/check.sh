@@ -53,7 +53,7 @@ import json
 m = json.load(open('build/obs_metrics.json'))
 for k in ('schema', 'schema_version', 'tool', 'cells'):
     assert k in m, f'metrics missing {k}'
-assert m['schema'] == 'efrb-metrics' and m['schema_version'] == 3, m['schema']
+assert m['schema'] == 'efrb-metrics' and m['schema_version'] == 4, m['schema']
 assert m['cells'], 'metrics document has no cells'
 cell = m['cells'][0]
 for k in ('name', 'config', 'result', 'tree_stats', 'gauges', 'latency',
@@ -132,7 +132,8 @@ echo "=== continuous telemetry: efrb_top headless + Prometheus exposition ==="
 run ./build/tools/efrb_top --once --ms 80 --interval 10 --threads 2 \
     > build/efrb_top_once.txt
 for needle in 'ops/s' 'cas fail %' 'backlog slope' 'heatmap' 'reclaim' \
-    'causal' 'stalls' 'poller samples'; do
+    'causal' 'stalls' 'poller samples' 'latency' 'saturated=' 'profile' \
+    'descent' 'cas_protocol'; do
   grep -q "$needle" build/efrb_top_once.txt \
     || { echo "efrb_top --once output missing '$needle'"; exit 1; }
 done
@@ -198,6 +199,114 @@ for needle in efrb_help_given_total efrb_help_received_total \
   grep -q "^# TYPE $needle " build/obs_probe.prom \
     || { echo "obs_probe prom missing $needle"; exit 1; }
 done
+
+echo "=== profile: phase attribution + hardware-counter fallback ==="
+# obs_probe --profile attaches the phase profiler and per-thread perf
+# counter groups; the v4 `profile` cell must carry the attribution totals
+# with the phase-sum invariant, and the hw/sw/derived sections must follow
+# the absent-not-zero rule in whichever availability tier this host lands.
+run ./build/tools/obs_probe --profile --metrics build/obs_profile.json \
+    --prom build/obs_profile.prom --duration 60 --interval 10 > /dev/null
+python3 - <<'EOF'
+import json
+m = json.load(open('build/obs_profile.json'))
+assert m['schema_version'] == 4, m['schema_version']
+p = m['cells'][0]['profile']
+for k in ('available', 'sw_available', 'source', 'paranoid', 'ops', 'cycles',
+          'span_cycles', 'cycles_per_op', 'phase_cycles_sum',
+          'events_outside_op', 'dropped', 'phases'):
+    assert k in p, f'profile cell missing {k}'
+assert p['ops'] > 0, 'profile attributed no operations'
+assert p['cycles'] > 0, 'profile measured no cycles'
+assert p['phase_cycles_sum'] <= p['cycles'], \
+    f"phase attribution {p['phase_cycles_sum']} exceeds total {p['cycles']}"
+for name in ('descent', 'cas_protocol', 'helping', 'rebalance_cleanup',
+             'reclamation', 'pool_alloc'):
+    ph = p['phases'][name]
+    for k in ('cycles', 'enters', 'share'):
+        assert k in ph, f'phase {name} missing {k}'
+assert p['phases']['descent']['cycles'] > 0, 'no descent time attributed'
+if p['available']:
+    assert 'hw' in p and 'derived' in p, 'available profile lacks hw/derived'
+    assert p['hw']['cycles'] > 0, 'hw cycles claimed available but zero'
+else:
+    # Absent-not-zero: unavailable sections must not appear at all.
+    assert 'hw' not in p and 'derived' not in p, \
+        'unavailable profile still renders hw/derived sections'
+    assert p['unavailable_reason'], 'no explanation for hw unavailability'
+print(f"profile OK: {p['ops']} ops, {p['cycles_per_op']:.0f} "
+      f"{p['source']}/op, hw={'yes' if p['available'] else 'no'} "
+      f"({p.get('unavailable_reason', '')})")
+EOF
+for needle in efrb_profile_available efrb_profile_ops_total \
+    efrb_profile_cycles_total efrb_profile_cycles_per_op \
+    efrb_profile_phase_cycles_total efrb_profile_phase_enters_total \
+    efrb_profile_phase_share; do
+  grep -q "^# TYPE $needle " build/obs_profile.prom \
+    || { echo "profile prom missing $needle"; exit 1; }
+done
+# The kill switch forces the cycle-stamp fallback on ANY host: the same
+# command must still succeed, with available=false, an explanation, and no
+# hw/sw/derived sections (absent, never zero-filled).
+EFRB_PERFCTR_DISABLE=1 run ./build/tools/obs_probe --profile \
+    --metrics build/obs_profile_fallback.json --duration 40 > /dev/null
+python3 - <<'EOF'
+import json
+p = json.load(open('build/obs_profile_fallback.json'))['cells'][0]['profile']
+assert p['available'] is False and p['sw_available'] is False
+assert 'hw' not in p and 'sw' not in p and 'derived' not in p
+assert 'EFRB_PERFCTR_DISABLE' in p['unavailable_reason'], \
+    p['unavailable_reason']
+assert p['ops'] > 0 and p['phase_cycles_sum'] <= p['cycles']
+print(f"profile fallback OK: {p['unavailable_reason']}")
+EOF
+
+echo "=== perfdiff: snapshot regression pipeline ==="
+# Identity: a snapshot diffed against itself must compare clean (exit 0).
+run ./build/tools/efrb_perfdiff BENCH_throughput.json BENCH_throughput.json \
+    > /dev/null
+# Sensitivity: a doctored copy with every throughput halved must be flagged
+# (exit 1) and rendered as REGRESSED rows.
+python3 - <<'EOF'
+import json
+doc = json.load(open('BENCH_throughput.json'))
+for c in doc['cells']:
+    c['result']['mops'] /= 2.0
+json.dump(doc, open('build/bench_doctored.json', 'w'))
+EOF
+set +e
+./build/tools/efrb_perfdiff BENCH_throughput.json build/bench_doctored.json \
+    > build/perfdiff_doctored.txt
+diff_rc=$?
+set -e
+[[ "$diff_rc" -eq 1 ]] \
+  || { echo "perfdiff missed the doctored 2x regression (exit $diff_rc)"; exit 1; }
+grep -q 'REGRESSED' build/perfdiff_doctored.txt \
+  || { echo "perfdiff table has no REGRESSED rows"; exit 1; }
+# Drift vs the checked-in snapshot (advisory): the smoke run above uses
+# short 20 ms cells and may come from a different machine than the archived
+# snapshot, so a swing only warns; EFRB_PERFDIFF_STRICT=1 enforces it.
+set +e
+./build/tools/efrb_perfdiff --allow-cross-host \
+    BENCH_throughput.json build/bench_throughput_smoke.json \
+    > build/perfdiff_drift.txt
+drift_rc=$?
+set -e
+if [[ "$drift_rc" -eq 1 ]]; then
+  if [[ "${EFRB_PERFDIFF_STRICT:-0}" == "1" ]]; then
+    cat build/perfdiff_drift.txt
+    echo "perf drift vs checked-in snapshot (EFRB_PERFDIFF_STRICT=1)"
+    exit 1
+  fi
+  echo "WARNING: perf drift vs checked-in snapshot (advisory: short smoke" \
+       "cells; set EFRB_PERFDIFF_STRICT=1 to enforce)"
+  grep 'REGRESSED' build/perfdiff_drift.txt || true
+elif [[ "$drift_rc" -ne 0 ]]; then
+  cat build/perfdiff_drift.txt
+  echo "perfdiff drift comparison errored (exit $drift_rc)"
+  exit 1
+fi
+echo "perfdiff OK: identical clean, doctored flagged, drift advisory"
 
 echo "=== postmortem: abort-injected flight dump must decode ==="
 # obs_probe --abort raises SIGABRT after the run; the installed flight

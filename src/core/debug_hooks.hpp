@@ -113,6 +113,38 @@ inline const char* to_string(HookPoint p) noexcept {
   return "?";
 }
 
+/// Cost-attribution phases of one operation, the vocabulary of the profiling
+/// layer (obs/profile.hpp). A PhaseProfiler partitions each operation's
+/// measured time across these buckets: the first four are inferred from the
+/// HookPoint stream (kAfterSearch closes descent, kBeforeHelp/kAfterHelp
+/// bracket helping, kBeforeRebalance opens rebalance work, the retry points
+/// reset to descent); the last two are explicit scopes emitted by the
+/// protocol around allocation and retirement clusters via hooks::PhaseScope.
+enum class Phase : std::uint8_t {
+  kDescent,           // Search/find_path traversal down the tree
+  kCasProtocol,       // flag/mark/child-swing CAS steps of the op's own commit
+  kHelping,           // completing another operation's pending Info/ScxRecord
+  kRebalanceCleanup,  // chromatic violation cleanup (fixing SCXs)
+  kReclamation,       // retiring nodes/records into the reclaimer
+  kPoolAlloc,         // allocating nodes/records (pool or heap)
+};
+
+/// Number of Phase values; sizes the per-phase accumulator arrays in
+/// obs/profile.hpp.
+inline constexpr std::size_t kNumPhases = 6;
+
+inline const char* to_string(Phase p) noexcept {
+  switch (p) {
+    case Phase::kDescent: return "descent";
+    case Phase::kCasProtocol: return "cas_protocol";
+    case Phase::kHelping: return "helping";
+    case Phase::kRebalanceCleanup: return "rebalance_cleanup";
+    case Phase::kReclamation: return "reclamation";
+    case Phase::kPoolAlloc: return "pool_alloc";
+  }
+  return "?";
+}
+
 /// Thread identity carried by hook emissions: the per-handle id assigned by
 /// the owning structure, or kNoTid on the tree-level (thread_local lease)
 /// path, which has no stable per-thread identity to report.
@@ -202,6 +234,40 @@ inline void emit_help(HookPoint p, unsigned tid, std::uint64_t key,
     emit_at<Traits>(p, tid, key);
   }
 }
+
+/// Explicit-phase emission: brackets a region whose cost belongs to a phase
+/// the HookPoint stream cannot infer (reclamation, pool_alloc). A Traits
+/// exposing phase(entered, phase, tid) receives enter/exit edges; for every
+/// other Traits (NoopTraits included) the call folds away entirely, so the
+/// uninstrumented protocol stays byte-identical.
+template <typename Traits>
+inline void emit_phase(bool enter, Phase ph, unsigned tid) {
+  if constexpr (requires { Traits::phase(enter, ph, tid); }) {
+    Traits::phase(enter, ph, tid);
+  } else {
+    (void)enter;
+    (void)ph;
+    (void)tid;
+  }
+}
+
+/// RAII form of emit_phase: enter on construction, exit on destruction.
+/// Placed around allocation/retire clusters in protocol code; with a Traits
+/// that lacks the phase hook both edges fold to nothing.
+template <typename Traits>
+class PhaseScope {
+ public:
+  PhaseScope(Phase ph, unsigned tid) noexcept : ph_(ph), tid_(tid) {
+    emit_phase<Traits>(true, ph_, tid_);
+  }
+  ~PhaseScope() { emit_phase<Traits>(false, ph_, tid_); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Phase ph_;
+  unsigned tid_;
+};
 
 template <typename Traits>
 inline bool allow_cas(CasStep s, const void* node, unsigned tid) {

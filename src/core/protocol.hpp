@@ -197,7 +197,11 @@ class TreeCore {
   /// installs a never-before-seen node on the correct side.
   InsertOutcome insert(const Key& k, Value v, bool assign_if_present,
                        Ctx& ctx) {
-    auto* new_leaf = ctx.template make<Leaf>(BKey::real(k), std::move(v));  // line 45
+    Leaf* new_leaf;
+    {
+      hooks::PhaseScope<Traits> alloc_phase(Phase::kPoolAlloc, ctx.tid());
+      new_leaf = ctx.template make<Leaf>(BKey::real(k), std::move(v));  // line 45
+    }
     ctx.begin_op();
     for (;;) {
       const SearchResult s = search(k, ctx);  // line 49
@@ -234,20 +238,27 @@ class TreeCore {
       }
       // lines 53-54: build the replacement subtree. The new internal node's
       // key is max(k, l->key); the leaf with the smaller key goes left.
-      auto* new_sibling = ctx.template make<Leaf>(s.l->key, s.l->value);
+      Leaf* new_sibling;
       Internal* new_internal;
-      if (cmp_.less(k, s.l->key)) {
-        new_internal = ctx.template make<Internal>(s.l->key, new_leaf, new_sibling);
-      } else {
-        new_internal = ctx.template make<Internal>(BKey::real(k), new_sibling, new_leaf);
+      {
+        hooks::PhaseScope<Traits> alloc_phase(Phase::kPoolAlloc, ctx.tid());
+        new_sibling = ctx.template make<Leaf>(s.l->key, s.l->value);
+        if (cmp_.less(k, s.l->key)) {
+          new_internal = ctx.template make<Internal>(s.l->key, new_leaf, new_sibling);
+        } else {
+          new_internal = ctx.template make<Internal>(BKey::real(k), new_sibling, new_leaf);
+        }
       }
       if (try_install(s, new_internal, ctx)) {
         ctx.end_op();
         return InsertOutcome::kInserted;
       }
-      // iflag failed: dismantle the unpublished subtree (new_leaf is reused).
-      ctx.dispose(new_sibling);
-      ctx.dispose(new_internal);
+      {
+        // iflag failed: dismantle the unpublished subtree (new_leaf is reused).
+        hooks::PhaseScope<Traits> alloc_phase(Phase::kPoolAlloc, ctx.tid());
+        ctx.dispose(new_sibling);
+        ctx.dispose(new_internal);
+      }
       ctx.retry_pause();
     }
   }
@@ -281,6 +292,7 @@ class TreeCore {
         continue;
       }
       if (new_leaf == nullptr) {
+        hooks::PhaseScope<Traits> alloc_phase(Phase::kPoolAlloc, ctx.tid());
         new_leaf = ctx.template make<Leaf>(BKey::real(k), std::move(desired));
       }
       if (try_install(s, new_leaf, ctx)) {
@@ -321,7 +333,11 @@ class TreeCore {
       // check above guarantees a real (depth >= 2) leaf here.
       EFRB_DCHECK(s.gp != nullptr);
       // line 80: op := new DInfo(gp, p, l, pupdate)
-      auto* op = ctx.template make<DInfo>(s.gp, s.p, s.l, s.pupdate);
+      DInfo* op;
+      {
+        hooks::PhaseScope<Traits> alloc_phase(Phase::kPoolAlloc, ctx.tid());
+        op = ctx.template make<DInfo>(s.gp, s.p, s.l, s.pupdate);
+      }
       if constexpr (hooks::causal_trace_v<Traits>) {
         // Causal owner stamp: plain store, ordered before helpers by the
         // dflag CAS (acq_rel) that publishes the record.
@@ -342,7 +358,7 @@ class TreeCore {
       ctx.count_delete_attempt();
       if (ok) {
         // Last shared reference to the record behind gp's old Clean word.
-        if (Info* prev = s.gpupdate.info()) ctx.retire(prev);
+        if (Info* prev = s.gpupdate.info()) retire_scoped(prev, ctx);
         hooks::emit_at<Traits>(HookPoint::kAfterDFlag, ctx.tid(), ctx.op_key());
         if (help_delete(op, ctx)) {  // line 83
           ctx.end_op();
@@ -364,11 +380,24 @@ class TreeCore {
   }
 
  private:
+  /// Retirement with its cost attributed to Phase::kReclamation. For Traits
+  /// without the phase hook (the default) this is exactly ctx.retire(p) —
+  /// both scope edges fold away (see debug_hooks.hpp).
+  template <typename T>
+  void retire_scoped(T* p, Ctx& ctx) {
+    hooks::PhaseScope<Traits> reclaim_phase(Phase::kReclamation, ctx.tid());
+    ctx.retire(p);
+  }
+
   /// Common tail of Insert and insert_or_assign: flag s.p, then complete via
   /// HelpInsert. On iflag failure, helps the obstructor and returns false
   /// (caller owns dismantling `new_node`'s unpublished parts and retrying).
   bool try_install(const SearchResult& s, Node* new_node, Ctx& ctx) {
-    auto* op = ctx.template make<IInfo>(s.p, s.l, new_node);  // line 55
+    IInfo* op;
+    {
+      hooks::PhaseScope<Traits> alloc_phase(Phase::kPoolAlloc, ctx.tid());
+      op = ctx.template make<IInfo>(s.p, s.l, new_node);  // line 55
+    }
     if constexpr (hooks::causal_trace_v<Traits>) {
       // Causal owner stamp: plain store, ordered before helpers by the iflag
       // CAS (acq_rel) that publishes the record.
@@ -389,7 +418,7 @@ class TreeCore {
     if (ok) {
       // This CAS removed the last shared reference to the Info record that
       // the previous (Clean) word pointed to: retire it now.
-      if (Info* prev = s.pupdate.info()) ctx.retire(prev);
+      if (Info* prev = s.pupdate.info()) retire_scoped(prev, ctx);
       hooks::emit_at<Traits>(HookPoint::kAfterIFlag, ctx.tid(), ctx.op_key());
       help_insert(op, ctx);  // line 58
       return true;           // line 59
@@ -428,7 +457,7 @@ class TreeCore {
       // retired here: the Clean word keeps pointing at it (so the update
       // field never repeats a value, §4.2) — it is retired by whichever CAS
       // later overwrites that word, or freed by the tree destructor.
-      ctx.retire(op->l);
+      retire_scoped(op->l, ctx);
     }
   }
 
@@ -449,7 +478,7 @@ class TreeCore {
     ctx.count_cas(CasStep::kMark, ok);
     if (ok) {
       // The mark overwrote p's Clean word — retire the record it referenced.
-      if (Info* prev = op->pupdate.info()) ctx.retire(prev);
+      if (Info* prev = op->pupdate.info()) retire_scoped(prev, ctx);
     }
     if (ok || expected == marked) {  // line 92
       help_marked(op, ctx);  // line 93
@@ -513,6 +542,7 @@ class TreeCore {
       // gp's (Clean, op) word (and by the dead parent's Mark word); it is
       // retired by whichever CAS later overwrites gp's word, or freed by the
       // tree destructor.
+      hooks::PhaseScope<Traits> reclaim_phase(Phase::kReclamation, ctx.tid());
       ctx.retire(op->p);
       ctx.retire(op->l);
     }

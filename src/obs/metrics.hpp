@@ -5,11 +5,12 @@
 // external tooling) consume one self-describing format instead of scraping
 // text tables.
 //
-// Document shape (kMetricsSchemaVersion = 3):
+// Document shape (kMetricsSchemaVersion = 4):
 //   {
 //     "schema": "efrb-metrics",
-//     "schema_version": 3,
+//     "schema_version": 4,
 //     "tool": "<bench binary name>",
+//     "meta": { hostname, cpu_model, ... },  // optional, script-injected
 //     "cells": [
 //       {
 //         "name": "...",                 // structure / cell label
@@ -24,7 +25,8 @@
 //           "samples": [...], "windows": [...]
 //         },
 //         "heatmap": { ... },            // optional, when a heatmap fed
-//         "causality": { ... }           // optional, when causal-traced
+//         "causality": { ... },          // optional, when causal-traced
+//         "profile": { ... }             // optional, when a profiler ran
 //       }, ...
 //     ]
 //   }
@@ -42,6 +44,16 @@
 // per-type histograms no longer describe purely self-completed work — the
 // split pair is the authoritative decomposition. docs/OBSERVABILITY.md is
 // the schema's prose home.
+// v3 -> v4: cells gained the optional "profile" section (per-phase cost
+// attribution and hardware counters from obs/profile.hpp / obs/perfctr.hpp),
+// and documents may carry an optional top-level "meta" object (host, CPU
+// model, governor, perf_event_paranoid, repeats — written by
+// scripts/bench_json.sh, consumed by tools/efrb_perfdiff to refuse
+// cross-host comparisons). The version bump marks a semantics commitment,
+// not a key change: inside "profile", hardware-derived sections ("hw",
+// "sw", "derived") are ABSENT — never zero-filled — when the backing
+// counters were unavailable, so consumers can distinguish "measured zero"
+// from "not measured".
 #pragma once
 
 #include <cstdint>
@@ -54,13 +66,14 @@
 #include "obs/heatmap.hpp"
 #include "obs/histogram.hpp"
 #include "obs/json.hpp"
+#include "obs/profile.hpp"
 #include "obs/timeseries.hpp"
 #include "reclaim/reclaimer.hpp"
 #include "workload/runner.hpp"
 
 namespace efrb::obs {
 
-inline constexpr int kMetricsSchemaVersion = 3;
+inline constexpr int kMetricsSchemaVersion = 4;
 
 inline void append_config(JsonWriter& w, const WorkloadConfig& cfg) {
   w.begin_object();
@@ -250,6 +263,78 @@ inline void append_heatmap(JsonWriter& w, const KeyHeatmap& h) {
   w.end_object();
 }
 
+/// Profile section (v4): per-phase cost attribution plus whatever hardware/
+/// software counters the host granted. The "hw", "sw" and "derived"
+/// sub-objects are emitted only when their backing counters were collected
+/// (and inside "hw" each counter key appears only when its fd opened) — an
+/// unavailable rate is absent, never zero. "cycles" fields are in
+/// cycle_stamp() units; "source" names that clock ("tsc" on x86-64).
+inline void append_profile(JsonWriter& w, const ProfileSnapshot& p) {
+  w.begin_object();
+  w.key("available").value(p.available);
+  w.key("sw_available").value(p.sw_available);
+  w.key("source").value(std::string_view(p.source));
+  if (!p.available) {
+    w.key("unavailable_reason").value(std::string_view(p.unavailable_reason));
+  }
+  w.key("paranoid").value(static_cast<std::int64_t>(p.paranoid));
+  w.key("ops").value(p.ops);
+  w.key("cycles").value(p.cycles);
+  w.key("span_cycles").value(p.span_cycles);
+  w.key("cycles_per_op").value(p.cycles_per_op());
+  w.key("phase_cycles_sum").value(p.phase_cycles_sum());
+  w.key("events_outside_op").value(p.events_outside_op);
+  w.key("dropped").value(p.dropped);
+  w.key("phases").begin_object();
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    w.key(to_string(static_cast<Phase>(i))).begin_object();
+    w.key("cycles").value(p.phases[i].cycles);
+    w.key("enters").value(p.phases[i].enters);
+    w.key("share").value(p.phase_share(i));
+    double est = 0;
+    if (p.phase_cycles_est(i, &est)) w.key("hw_cycles_est").value(est);
+    w.end_object();
+  }
+  w.end_object();
+  if (p.available) {
+    w.key("hw").begin_object();
+    w.key("threads").value(static_cast<std::uint64_t>(p.hw_threads));
+    if (p.hw.cycles_ok) w.key("cycles").value(p.hw.cycles);
+    if (p.hw.instructions_ok) w.key("instructions").value(p.hw.instructions);
+    if (p.hw.cache_references_ok) {
+      w.key("cache_references").value(p.hw.cache_references);
+    }
+    if (p.hw.cache_misses_ok) w.key("cache_misses").value(p.hw.cache_misses);
+    if (p.hw.branch_misses_ok) {
+      w.key("branch_misses").value(p.hw.branch_misses);
+    }
+    w.key("time_enabled_ns").value(p.hw.time_enabled_ns);
+    w.key("time_running_ns").value(p.hw.time_running_ns);
+    w.end_object();
+  }
+  if (p.sw_available) {
+    w.key("sw").begin_object();
+    if (p.hw.task_clock_ok) w.key("task_clock_ns").value(p.hw.task_clock_ns);
+    if (p.hw.context_switches_ok) {
+      w.key("context_switches").value(p.hw.context_switches);
+    }
+    w.end_object();
+  }
+  if (p.available) {
+    w.key("derived").begin_object();
+    double v = 0;
+    if (p.hw_cycles_per_op(&v)) w.key("hw_cycles_per_op").value(v);
+    if (p.ipc(&v)) w.key("ipc").value(v);
+    if (p.cache_miss_rate(&v)) w.key("cache_miss_rate").value(v);
+    if (p.branch_miss_per_kinstr(&v)) {
+      w.key("branch_miss_per_kinstr").value(v);
+    }
+    if (p.multiplex_scale(&v)) w.key("multiplex_scale").value(v);
+    w.end_object();
+  }
+  w.end_object();
+}
+
 /// Builder for one metrics document. Cells are added as pre-serialized JSON
 /// fragments (via the append_* helpers above or the all-in-one add_cell), so
 /// callers with exotic payloads can still participate.
@@ -281,7 +366,8 @@ class MetricsDocument {
                 const LatencySamples* latency = nullptr,
                 const std::vector<PollSample>* timeseries = nullptr,
                 const KeyHeatmap* heatmap = nullptr,
-                const CausalRegistry* causal = nullptr) {
+                const CausalRegistry* causal = nullptr,
+                const ProfileSnapshot* profile = nullptr) {
     begin_cell(name);
     w_.key("config");
     append_config(w_, cfg);
@@ -310,6 +396,10 @@ class MetricsDocument {
     if (causal != nullptr) {
       w_.key("causality");
       append_causality(w_, *causal);
+    }
+    if (profile != nullptr) {
+      w_.key("profile");
+      append_profile(w_, *profile);
     }
     end_cell();
   }

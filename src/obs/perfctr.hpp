@@ -1,0 +1,428 @@
+// Dependency-free perf_event_open(2) wrapper for per-thread hardware and
+// software counters, with a graceful fallback when the kernel denies or
+// cannot satisfy the syscall (seccomp'd containers, perf_event_paranoid,
+// VMs with no exposed PMU).
+//
+// Design notes:
+//
+//  * Counters are opened as INDIVIDUAL fds, not one kernel group. A PMU that
+//    lacks one event (common in VMs: cycles exists but cache-references does
+//    not, or no PMU at all) then degrades per-counter instead of failing the
+//    whole set. Each fd is opened with
+//    PERF_FORMAT_TOTAL_TIME_ENABLED|TOTAL_TIME_RUNNING so multiplexed reads
+//    can be scaled (count * enabled / running).
+//
+//  * Availability is three-valued in practice and the wrapper keeps the
+//    tiers distinct: hw_available() means the cycles counter opened (the
+//    profile layer's "available"), sw_available() means the software
+//    task-clock counter opened (works even at perf_event_paranoid=2 with no
+//    PMU), and neither means callers fall back to cycle_stamp() — the
+//    TSC-family timestamp below — which always works.
+//
+//  * env EFRB_PERFCTR_DISABLE=1 is a kill switch: probe and open() both
+//    report unavailable without issuing the syscall. Tests use it to force
+//    the fallback path deterministically.
+//
+// The header is self-contained and compiles on non-Linux hosts (everything
+// perf-specific is compiled out; availability is then always false).
+#pragma once
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace efrb::obs {
+
+/// Monotonic cycle-granularity timestamp that never fails: the TSC on
+/// x86-64, the generic counter-timer on aarch64, steady_clock nanoseconds
+/// elsewhere. This is the clock the phase profiler attributes with; hardware
+/// counters, when available, ride alongside as totals.
+inline std::uint64_t cycle_stamp() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_ia32_rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t v = 0;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+/// Name of the clock cycle_stamp() reads on this build; disclosed in the
+/// metrics `profile` cell as `cycle_source` so cross-host consumers know
+/// what a "cycle" is.
+inline const char* cycle_source() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return "tsc";
+#elif defined(__aarch64__)
+  return "cntvct";
+#else
+  return "steady_clock_ns";
+#endif
+}
+
+/// True when the EFRB_PERFCTR_DISABLE=1 kill switch is set. Checked fresh on
+/// every call (no static cache) so tests can flip it per-case.
+inline bool perfctr_disabled() noexcept {
+  const char* v = std::getenv("EFRB_PERFCTR_DISABLE");
+  return v != nullptr && v[0] == '1' && v[1] == '\0';
+}
+
+/// Value of /proc/sys/kernel/perf_event_paranoid, or -100 when unreadable
+/// (non-Linux, masked /proc). Recorded in the profile cell for diagnosis.
+inline int perf_event_paranoid() noexcept {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/sys/kernel/perf_event_paranoid", "re");
+  if (f == nullptr) return -100;
+  int v = -100;
+  if (std::fscanf(f, "%d", &v) != 1) v = -100;
+  std::fclose(f);
+  return v;
+#else
+  return -100;
+#endif
+}
+
+/// One snapshot of every counter the group managed to open. Fields for
+/// counters that did not open stay zero and the matching *_ok flag is false;
+/// consumers must render those as ABSENT, never as zero.
+struct PerfCounts {
+  bool hw_ok = false;  // cycles counter opened (the headline availability)
+  bool sw_ok = false;  // task-clock counter opened
+
+  // Hardware events (valid iff the per-field _ok below).
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+  bool cycles_ok = false;
+  bool instructions_ok = false;
+  bool cache_references_ok = false;
+  bool cache_misses_ok = false;
+  bool branch_misses_ok = false;
+
+  // Software events.
+  std::uint64_t task_clock_ns = 0;
+  std::uint64_t context_switches = 0;
+  bool task_clock_ok = false;
+  bool context_switches_ok = false;
+
+  // Multiplexing exposure of the cycles counter: time the event was
+  // scheduled on the PMU vs time it was enabled. Scaled counts are already
+  // applied to the fields above; the ratio is kept for the `derived`
+  // section (multiplex_scale = enabled/running, 1.0 = never multiplexed).
+  std::uint64_t time_enabled_ns = 0;
+  std::uint64_t time_running_ns = 0;
+
+  /// Accumulate another thread's counts (availability intersects so a
+  /// summed snapshot only claims what every contributor delivered).
+  void accumulate(const PerfCounts& o) noexcept {
+    if (o.hw_ok || o.sw_ok) {
+      hw_ok = hw_ok || o.hw_ok;
+      sw_ok = sw_ok || o.sw_ok;
+    }
+    cycles += o.cycles;
+    instructions += o.instructions;
+    cache_references += o.cache_references;
+    cache_misses += o.cache_misses;
+    branch_misses += o.branch_misses;
+    cycles_ok = cycles_ok || o.cycles_ok;
+    instructions_ok = instructions_ok || o.instructions_ok;
+    cache_references_ok = cache_references_ok || o.cache_references_ok;
+    cache_misses_ok = cache_misses_ok || o.cache_misses_ok;
+    branch_misses_ok = branch_misses_ok || o.branch_misses_ok;
+    task_clock_ns += o.task_clock_ns;
+    context_switches += o.context_switches;
+    task_clock_ok = task_clock_ok || o.task_clock_ok;
+    context_switches_ok = context_switches_ok || o.context_switches_ok;
+    time_enabled_ns += o.time_enabled_ns;
+    time_running_ns += o.time_running_ns;
+  }
+};
+
+/// Result of probing whether hardware counting works on this host right now.
+struct PerfAvailability {
+  bool hw = false;       // a cycles counter can be opened
+  bool sw = false;       // a task-clock counter can be opened
+  int paranoid = -100;   // /proc/sys/kernel/perf_event_paranoid
+  std::string reason;    // human-readable cause when !hw ("" when hw)
+};
+
+#if defined(__linux__)
+namespace detail {
+
+inline long perf_event_open_raw(perf_event_attr* attr, pid_t pid, int cpu,
+                                int group_fd, unsigned long flags) noexcept {
+  return syscall(__NR_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+inline perf_event_attr make_attr(std::uint32_t type,
+                                 std::uint64_t config) noexcept {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // paranoid=2 forbids kernel counting
+  attr.exclude_hv = 1;
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return attr;
+}
+
+/// One opened counter fd plus its identity; -1 when the open failed.
+struct Counter {
+  int fd = -1;
+  bool ok() const noexcept { return fd >= 0; }
+};
+
+inline Counter open_counter(std::uint32_t type, std::uint64_t config,
+                            int* err_out = nullptr) noexcept {
+  perf_event_attr attr = make_attr(type, config);
+  long fd = perf_event_open_raw(&attr, 0 /* this thread */, -1 /* any cpu */,
+                                -1 /* no group */, 0);
+  if (fd < 0) {
+    if (err_out != nullptr) *err_out = errno;
+    return Counter{};
+  }
+  return Counter{static_cast<int>(fd)};
+}
+
+/// Read one fd and multiplex-scale the count. Returns false on read error.
+inline bool read_scaled(int fd, std::uint64_t* count,
+                        std::uint64_t* enabled_ns,
+                        std::uint64_t* running_ns) noexcept {
+  std::uint64_t buf[3] = {0, 0, 0};  // value, time_enabled, time_running
+  ssize_t n = read(fd, buf, sizeof(buf));
+  if (n != static_cast<ssize_t>(sizeof(buf))) return false;
+  std::uint64_t value = buf[0];
+  if (buf[2] != 0 && buf[2] < buf[1]) {
+    // Multiplexed: extrapolate to the full enabled window.
+    long double scaled = static_cast<long double>(value) *
+                         static_cast<long double>(buf[1]) /
+                         static_cast<long double>(buf[2]);
+    value = static_cast<std::uint64_t>(scaled);
+  }
+  *count = value;
+  if (enabled_ns != nullptr) *enabled_ns = buf[1];
+  if (running_ns != nullptr) *running_ns = buf[2];
+  return true;
+}
+
+}  // namespace detail
+#endif  // __linux__
+
+/// Probe availability without keeping anything open. Fresh syscall every
+/// call — intentionally uncached so EFRB_PERFCTR_DISABLE can be flipped
+/// between calls (tests) and so a first-use EPERM is re-checked after a
+/// sysctl change.
+inline PerfAvailability probe_perf_availability() {
+  PerfAvailability out;
+  out.paranoid = perf_event_paranoid();
+  if (perfctr_disabled()) {
+    out.reason = "disabled by EFRB_PERFCTR_DISABLE=1";
+    return out;
+  }
+#if defined(__linux__)
+  int err = 0;
+  detail::Counter hw = detail::open_counter(
+      PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, &err);
+  if (hw.ok()) {
+    out.hw = true;
+    close(hw.fd);
+  } else {
+    out.reason = std::string("perf_event_open(HW_CPU_CYCLES): ") +
+                 std::strerror(err) +
+                 (err == ENOENT ? " (no PMU exposed?)" : "");
+  }
+  detail::Counter sw = detail::open_counter(
+      PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK, nullptr);
+  if (sw.ok()) {
+    out.sw = true;
+    close(sw.fd);
+  }
+#else
+  out.reason = "perf_event_open unavailable on this platform";
+#endif
+  return out;
+}
+
+/// A per-thread set of counters. Open on the measuring thread, enable,
+/// run the measured region, then read() once at the end. Not thread-safe;
+/// one instance per thread (counters are bound to the opening thread).
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup() = default;
+  ~PerfCounterGroup() { close_all(); }
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// Open whatever this host grants. Returns true when at least one counter
+  /// opened. With EFRB_PERFCTR_DISABLE=1 opens nothing and returns false.
+  bool open() {
+    close_all();
+    if (perfctr_disabled()) {
+      reason_ = "disabled by EFRB_PERFCTR_DISABLE=1";
+      return false;
+    }
+#if defined(__linux__)
+    int err = 0;
+    cycles_ = detail::open_counter(PERF_TYPE_HARDWARE,
+                                   PERF_COUNT_HW_CPU_CYCLES, &err);
+    if (!cycles_.ok()) {
+      reason_ = std::string("perf_event_open(HW_CPU_CYCLES): ") +
+                std::strerror(err) + (err == ENOENT ? " (no PMU exposed?)" : "");
+    }
+    instructions_ = detail::open_counter(PERF_TYPE_HARDWARE,
+                                         PERF_COUNT_HW_INSTRUCTIONS);
+    cache_refs_ = detail::open_counter(PERF_TYPE_HARDWARE,
+                                       PERF_COUNT_HW_CACHE_REFERENCES);
+    cache_misses_ = detail::open_counter(PERF_TYPE_HARDWARE,
+                                         PERF_COUNT_HW_CACHE_MISSES);
+    branch_misses_ = detail::open_counter(PERF_TYPE_HARDWARE,
+                                          PERF_COUNT_HW_BRANCH_MISSES);
+    task_clock_ = detail::open_counter(PERF_TYPE_SOFTWARE,
+                                       PERF_COUNT_SW_TASK_CLOCK);
+    ctx_switches_ = detail::open_counter(PERF_TYPE_SOFTWARE,
+                                         PERF_COUNT_SW_CONTEXT_SWITCHES);
+    return cycles_.ok() || task_clock_.ok();
+#else
+    reason_ = "perf_event_open unavailable on this platform";
+    return false;
+#endif
+  }
+
+  /// Cycles counter opened — the profile layer's headline "available".
+  bool hw_available() const noexcept {
+#if defined(__linux__)
+    return cycles_.ok();
+#else
+    return false;
+#endif
+  }
+
+  /// Software task-clock opened (works even with no PMU at paranoid<=2).
+  bool sw_available() const noexcept {
+#if defined(__linux__)
+    return task_clock_.ok();
+#else
+    return false;
+#endif
+  }
+
+  /// Why hw_available() is false; empty when it is true.
+  const std::string& unavailable_reason() const noexcept { return reason_; }
+
+  void enable() noexcept {
+#if defined(__linux__)
+    for (int fd : fds())
+      if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+#endif
+  }
+
+  void disable() noexcept {
+#if defined(__linux__)
+    for (int fd : fds())
+      if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+#endif
+  }
+
+  /// Read every open counter, multiplex-scaled. Counters that failed to
+  /// open (or to read) leave their fields zero with _ok false.
+  PerfCounts read() const noexcept {
+    PerfCounts out;
+#if defined(__linux__)
+    std::uint64_t en = 0;
+    std::uint64_t run = 0;
+    if (cycles_.ok() &&
+        detail::read_scaled(cycles_.fd, &out.cycles, &en, &run)) {
+      out.cycles_ok = true;
+      out.hw_ok = true;
+      out.time_enabled_ns = en;
+      out.time_running_ns = run;
+    }
+    if (instructions_.ok() &&
+        detail::read_scaled(instructions_.fd, &out.instructions, nullptr,
+                            nullptr)) {
+      out.instructions_ok = true;
+    }
+    if (cache_refs_.ok() &&
+        detail::read_scaled(cache_refs_.fd, &out.cache_references, nullptr,
+                            nullptr)) {
+      out.cache_references_ok = true;
+    }
+    if (cache_misses_.ok() &&
+        detail::read_scaled(cache_misses_.fd, &out.cache_misses, nullptr,
+                            nullptr)) {
+      out.cache_misses_ok = true;
+    }
+    if (branch_misses_.ok() &&
+        detail::read_scaled(branch_misses_.fd, &out.branch_misses, nullptr,
+                            nullptr)) {
+      out.branch_misses_ok = true;
+    }
+    if (task_clock_.ok() &&
+        detail::read_scaled(task_clock_.fd, &out.task_clock_ns, nullptr,
+                            nullptr)) {
+      out.task_clock_ok = true;
+      out.sw_ok = true;
+    }
+    if (ctx_switches_.ok() &&
+        detail::read_scaled(ctx_switches_.fd, &out.context_switches, nullptr,
+                            nullptr)) {
+      out.context_switches_ok = true;
+    }
+#endif
+    return out;
+  }
+
+ private:
+#if defined(__linux__)
+  std::array<int, 7> fds() const noexcept {
+    return {cycles_.fd,       instructions_.fd,  cache_refs_.fd,
+            cache_misses_.fd, branch_misses_.fd, task_clock_.fd,
+            ctx_switches_.fd};
+  }
+#endif
+
+  void close_all() noexcept {
+#if defined(__linux__)
+    for (int fd : fds())
+      if (fd >= 0) close(fd);
+    cycles_ = instructions_ = cache_refs_ = cache_misses_ = branch_misses_ =
+        task_clock_ = ctx_switches_ = detail::Counter{};
+#endif
+    reason_.clear();
+  }
+
+#if defined(__linux__)
+  detail::Counter cycles_;
+  detail::Counter instructions_;
+  detail::Counter cache_refs_;
+  detail::Counter cache_misses_;
+  detail::Counter branch_misses_;
+  detail::Counter task_clock_;
+  detail::Counter ctx_switches_;
+#endif
+  std::string reason_;
+};
+
+}  // namespace efrb::obs

@@ -30,6 +30,7 @@
 #include "obs/heatmap.hpp"
 #include "obs/histogram.hpp"
 #include "obs/json.hpp"
+#include "obs/profile.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/watchdog.hpp"
 #include "reclaim/reclaimer.hpp"
@@ -339,6 +340,84 @@ inline void append_causality_prom(PromWriter& w,
   w.add("efrb_help_unattributed_total", PromType::kCounter,
         "Help dispatches dropped for lack of an owner stamp", labels,
         c.dropped_unattributed());
+}
+
+/// Profile surface (obs/profile.hpp). The always-present families come from
+/// the cycle_stamp attribution clock (labelled with its source so dashboards
+/// know what a "cycle" is); the efrb_profile_hw_* / derived-rate families
+/// are emitted ONLY when the backing hardware counters were collected —
+/// mirroring the JSON rule that unavailable rates are absent, never zero.
+inline void append_profile_prom(PromWriter& w, const PromWriter::Labels& labels,
+                                const ProfileSnapshot& p) {
+  w.add("efrb_profile_available", PromType::kGauge,
+        "1 when hardware cycle counting backed this profile, 0 in "
+        "cycle-stamp fallback mode",
+        labels, static_cast<std::uint64_t>(p.available ? 1 : 0));
+  w.add("efrb_profile_ops_total", PromType::kCounter,
+        "Operations bracketed by the phase profiler", labels, p.ops);
+  {
+    PromWriter::Labels l = labels;
+    l.emplace_back("source", std::string(p.source));
+    w.add("efrb_profile_cycles_total", PromType::kCounter,
+          "Total in-operation cycles on the attribution clock", l, p.cycles);
+  }
+  w.add("efrb_profile_cycles_per_op", PromType::kGauge,
+        "Mean in-operation cycles per operation (attribution clock)", labels,
+        p.cycles_per_op());
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    PromWriter::Labels l = labels;
+    l.emplace_back("phase", std::string(to_string(static_cast<Phase>(i))));
+    w.add("efrb_profile_phase_cycles_total", PromType::kCounter,
+          "Cycles attributed to each operation phase", l, p.phases[i].cycles);
+    w.add("efrb_profile_phase_enters_total", PromType::kCounter,
+          "Segment openings per phase", l, p.phases[i].enters);
+    w.add("efrb_profile_phase_share", PromType::kGauge,
+          "Fraction of in-op cycles attributed to each phase", l,
+          p.phase_share(i));
+  }
+  if (p.hw.cycles_ok) {
+    w.add("efrb_profile_hw_cycles_total", PromType::kCounter,
+          "Hardware CPU cycles over the measured window (multiplex-scaled)",
+          labels, p.hw.cycles);
+  }
+  if (p.hw.instructions_ok) {
+    w.add("efrb_profile_hw_instructions_total", PromType::kCounter,
+          "Retired instructions over the measured window", labels,
+          p.hw.instructions);
+  }
+  if (p.hw.cache_misses_ok) {
+    w.add("efrb_profile_hw_cache_misses_total", PromType::kCounter,
+          "Last-level cache misses over the measured window", labels,
+          p.hw.cache_misses);
+  }
+  if (p.hw.branch_misses_ok) {
+    w.add("efrb_profile_hw_branch_misses_total", PromType::kCounter,
+          "Branch mispredictions over the measured window", labels,
+          p.hw.branch_misses);
+  }
+  if (p.hw.task_clock_ok) {
+    w.add("efrb_profile_task_clock_seconds", PromType::kGauge,
+          "CPU time the workers consumed (software task-clock)", labels,
+          static_cast<double>(p.hw.task_clock_ns) / 1e9);
+  }
+  if (p.hw.context_switches_ok) {
+    w.add("efrb_profile_context_switches_total", PromType::kCounter,
+          "Context switches over the measured window", labels,
+          p.hw.context_switches);
+  }
+  double v = 0;
+  if (p.ipc(&v)) {
+    w.add("efrb_profile_ipc", PromType::kGauge,
+          "Instructions per hardware cycle", labels, v);
+  }
+  if (p.cache_miss_rate(&v)) {
+    w.add("efrb_profile_cache_miss_rate", PromType::kGauge,
+          "Cache misses over cache references", labels, v);
+  }
+  if (p.branch_miss_per_kinstr(&v)) {
+    w.add("efrb_profile_branch_miss_per_kinstr", PromType::kGauge,
+          "Branch mispredictions per thousand instructions", labels, v);
+  }
 }
 
 /// Watchdog surface: the current stalled-op gauge plus the monotone stall

@@ -21,6 +21,8 @@
 #include "baselines/set_interface.hpp"
 #include "obs/causal.hpp"
 #include "obs/histogram.hpp"
+#include "obs/perfctr.hpp"
+#include "obs/profile.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
@@ -194,12 +196,24 @@ void prefill(Set& set, std::uint64_t key_range, double fraction,
 /// op and records into latency->helper_completed when another thread helped
 /// it (self_completed otherwise). Requires `latency`; two relaxed counter
 /// loads per op is the documented cost.
+///
+/// `profiler` (optional) attaches per-phase cost attribution
+/// (obs/profile.hpp): every op is bracketed by profiler->op_begin/op_end
+/// (two cycle_stamp reads — the documented cost), keyed by the same tid the
+/// trace path uses, and each worker opens a per-thread perf-counter group
+/// (obs/perfctr.hpp) whose end-of-run read is folded into the profiler. On
+/// hosts where perf_event_open is denied the counters silently stay closed
+/// and the profiler reports hardware availability false. Note the profiler
+/// only sees phase detail when the structure was instantiated with a Traits
+/// that forwards at/phase to it (e.g. obs::ProfileTraits); attaching it
+/// here without such a Traits still yields ops/total-cycles/hw totals.
 template <typename Set>
 WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg,
                             LatencySamples* latency = nullptr,
                             obs::TraceRegistry* trace = nullptr,
                             obs::MetricsPoller* poller = nullptr,
-                            const obs::CausalRegistry* causal = nullptr) {
+                            const obs::CausalRegistry* causal = nullptr,
+                            obs::PhaseProfiler* profiler = nullptr) {
   EFRB_ASSERT(cfg.threads > 0);
   using Key = typename Set::key_type;
 
@@ -291,6 +305,7 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg,
                                          ? obs::TraceOp::kInsert
                                          : obs::TraceOp::kErase;
             if (trace != nullptr) trace->record_op_begin(trace_tid, top);
+            if (profiler != nullptr) profiler->op_begin(trace_tid);
             const std::uint64_t helps_before =
                 causal != nullptr ? causal->helps_received(trace_tid) : 0;
             const auto a = std::chrono::steady_clock::now();
@@ -313,6 +328,7 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg,
                 break;
             }
             const auto b = std::chrono::steady_clock::now();
+            if (profiler != nullptr) profiler->op_end(trace_tid);
             if (trace != nullptr) trace->record_op_end(trace_tid, top, ok);
             if (lat != nullptr) {
               const auto ns = static_cast<std::uint64_t>(
@@ -339,7 +355,8 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg,
           }
         }
       };
-      const bool instrument = latency != nullptr || trace != nullptr;
+      const bool instrument =
+          latency != nullptr || trace != nullptr || profiler != nullptr;
       auto run_target = [&](auto&& target) {
         if (instrument) {
           run_sampled(std::forward<decltype(target)>(target));
@@ -355,10 +372,23 @@ WorkloadResult run_workload(Set& set, const WorkloadConfig& cfg,
           run_target(std::forward<decltype(target)>(target));
         }
       };
+      // Per-thread perf counters for the profiled path. Opened and enabled
+      // here (the start-barrier wait they also cover is microseconds against
+      // a run window of milliseconds); read once after the measured loop and
+      // folded into the profiler's run totals.
+      obs::PerfCounterGroup perf;
+      if (profiler != nullptr) {
+        perf.open();
+        perf.enable();
+      }
       if (cfg.use_handles) {
         dispatch(make_handle(set));
       } else {
         dispatch(set);
+      }
+      if (profiler != nullptr) {
+        perf.disable();
+        profiler->add_hw(perf.read(), perf.unavailable_reason());
       }
     });
   }

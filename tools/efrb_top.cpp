@@ -20,6 +20,12 @@
 // summary (who is helping whom, from obs/causal.hpp) and the watchdog's
 // stalled-operation rows (obs/watchdog.hpp) for the single-tree mode.
 //
+// PR 10 adds two rows: `latency` (per-op p50/p99 plus the histogram
+// saturated counts — workers merge samples at join, so live frames show a
+// collecting placeholder) and `profile` (phase-attributed cycles/op from
+// obs/profile.hpp, with per-phase shares and the hw/sw counter verdict on
+// the final frame).
+//
 // Usage: efrb_top [--ms N] [--interval N] [--threads N] [--range N]
 //                 [--mix read|mostly|balanced|update] [--uniform] [--once]
 #include <unistd.h>
@@ -37,6 +43,7 @@
 #include "core/efrb_tree.hpp"
 #include "obs/causal.hpp"
 #include "obs/heatmap.hpp"
+#include "obs/profile.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/watchdog.hpp"
 #include "shard/shard_metrics.hpp"
@@ -48,10 +55,12 @@ namespace {
 
 using Key = std::uint64_t;
 
-/// Heatmap + causal help attribution in one traits type. kCausalTrace turns
-/// on the owner stamp and per-handle progress slots (the watchdog's sampling
-/// surface); help events land in the installed CausalRegistry via the
-/// 4-argument at() while everything keyed flows to the heatmap as before.
+/// Heatmap + causal help attribution + phase profiling in one traits type.
+/// kCausalTrace turns on the owner stamp and per-handle progress slots (the
+/// watchdog's sampling surface); help events land in the installed
+/// CausalRegistry via the 4-argument at(); everything keyed flows to the
+/// heatmap; and every hook point plus the explicit phase seams also reach
+/// the installed PhaseProfiler, which drives the dashboard's profile row.
 struct TopTraits {
   static constexpr bool kCountStats = true;
   static constexpr bool kSearchHelpsMarked = false;
@@ -64,11 +73,16 @@ struct TopTraits {
   }
   static void at(efrb::HookPoint p, unsigned tid, std::uint64_t key) {
     efrb::obs::HeatmapTraits::at(p, tid, key);
+    efrb::obs::ProfileTraits::at(p, tid, key);
   }
   static void at(efrb::HookPoint p, unsigned tid, std::uint64_t key,
                  std::uint64_t owner) {
     efrb::obs::CausalTraits::at(p, tid, key, owner);
     efrb::obs::HeatmapTraits::at(p, tid, key);
+    efrb::obs::ProfileTraits::at(p, tid, key);
+  }
+  static void phase(bool enter, efrb::Phase ph, unsigned tid) {
+    efrb::obs::ProfileTraits::phase(enter, ph, tid);
   }
 };
 
@@ -228,6 +242,57 @@ void render_liveness(const efrb::obs::CausalRegistry* causal,
   }
 }
 
+/// Latency row: per-op p50/p99 plus the saturated counts that tell a
+/// clamped tail from a measured one. Workers record into private sample
+/// sets that merge into `lat` only at join, so live frames pass
+/// `collecting=true` and show a placeholder until the final frame.
+void render_latency(const efrb::LatencySamples& lat, bool collecting) {
+  if (collecting) {
+    std::printf("latency  (collecting — merged at end of run)\n");
+    return;
+  }
+  std::printf("latency  find p50=%llu p99=%llu  insert p50=%llu p99=%llu  "
+              "erase p50=%llu p99=%llu ns  saturated=%llu/%llu/%llu\n",
+              static_cast<unsigned long long>(lat.find.percentile(50)),
+              static_cast<unsigned long long>(lat.find.percentile(99)),
+              static_cast<unsigned long long>(lat.insert.percentile(50)),
+              static_cast<unsigned long long>(lat.insert.percentile(99)),
+              static_cast<unsigned long long>(lat.erase.percentile(50)),
+              static_cast<unsigned long long>(lat.erase.percentile(99)),
+              static_cast<unsigned long long>(lat.find.saturated()),
+              static_cast<unsigned long long>(lat.insert.saturated()),
+              static_cast<unsigned long long>(lat.erase.saturated()));
+}
+
+/// Profile row: where the cycles go, by protocol phase. Live frames read
+/// the profiler's relaxed running totals; the final frame renders the full
+/// snapshot with per-phase shares and the hw/sw availability verdict.
+void render_profile(const efrb::obs::PhaseProfiler& profiler, bool live) {
+  if (live) {
+    std::printf("profile  %llu ops, %llu cycles attributed (live)\n",
+                static_cast<unsigned long long>(profiler.live_ops()),
+                static_cast<unsigned long long>(profiler.live_cycles()));
+    return;
+  }
+  const efrb::obs::ProfileSnapshot s = profiler.snapshot();
+  std::printf("profile  %llu ops, %.1f %s/op, hw=%s sw=%s\n",
+              static_cast<unsigned long long>(s.ops), s.cycles_per_op(),
+              s.source.c_str(), s.available ? "yes" : "no",
+              s.sw_available ? "yes" : "no");
+  std::printf("         ");
+  for (std::size_t i = 0; i < efrb::kNumPhases; ++i) {
+    std::printf("%s %.1f%%%s", efrb::to_string(static_cast<efrb::Phase>(i)),
+                100.0 * s.phase_share(i),
+                i + 1 < efrb::kNumPhases ? "  " : "\n");
+  }
+  double ipc = 0;
+  if (s.ipc(&ipc)) {
+    double miss = 0;
+    s.cache_miss_rate(&miss);
+    std::printf("         ipc=%.2f cache-miss=%.1f%%\n", ipc, 100.0 * miss);
+  }
+}
+
 /// One dashboard frame from the current poller/heatmap/gauge state. The
 /// same renderer serves the live loop and the --once snapshot; only the
 /// screen-clearing differs.
@@ -327,6 +392,13 @@ int run_top(const Options& opt, SetT& tree, GaugesFn&& gauges, ExtraFn&& extra,
   efrb::obs::HeatmapTraits::install(&heatmap);
   efrb::prefill(tree, cfg.key_range, cfg.prefill_fraction, cfg.seed);
 
+  // Phase profiler installed after prefill so the profile row describes the
+  // measured window only, and latency sampling for the p50/p99 + saturated
+  // row (workers record privately; run_workload merges at join).
+  efrb::LatencySamples latency;
+  efrb::obs::PhaseProfiler profiler;
+  efrb::obs::ProfileTraits::install(&profiler);
+
   efrb::obs::MetricsPoller poller(
       std::chrono::milliseconds(std::max(1L, opt.interval_ms)));
   poller.set_sources({
@@ -340,7 +412,8 @@ int run_top(const Options& opt, SetT& tree, GaugesFn&& gauges, ExtraFn&& extra,
   std::atomic<bool> done{false};
   efrb::WorkloadResult result;
   std::thread worker([&] {
-    result = efrb::run_workload(tree, cfg, nullptr, nullptr, &poller, causal);
+    result = efrb::run_workload(tree, cfg, &latency, nullptr, &poller, causal,
+                                &profiler);
     done.store(true, std::memory_order_release);
   });
 
@@ -350,6 +423,8 @@ int run_top(const Options& opt, SetT& tree, GaugesFn&& gauges, ExtraFn&& extra,
       std::this_thread::sleep_for(
           std::chrono::milliseconds(std::max(1L, opt.interval_ms)));
       render_frame(opt, poller, heatmap, gauges(), true);
+      render_latency(latency, /*collecting=*/true);
+      render_profile(profiler, /*live=*/true);
       render_liveness(causal, watchdog);
       extra(heatmap);
     }
@@ -358,11 +433,14 @@ int run_top(const Options& opt, SetT& tree, GaugesFn&& gauges, ExtraFn&& extra,
   worker.join();
   if (watchdog != nullptr) watchdog->stop();
   efrb::obs::HeatmapTraits::reset();
+  efrb::obs::ProfileTraits::reset();
 
   // Final (or only, with --once) frame from the completed run, plus the
   // protocol-step summary — on the normal screen, so it survives in
   // scrollback after a live session.
   render_frame(opt, poller, heatmap, gauges(), false);
+  render_latency(latency, /*collecting=*/false);
+  render_profile(profiler, /*live=*/false);
   render_liveness(causal, watchdog);
   extra(heatmap);
   std::printf("\n%llu ops in %.2f s (%.2f Mops/s), %llu poller samples\n\n",

@@ -25,6 +25,7 @@
 #include "obs/flightrec.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/prom.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -56,6 +57,7 @@ struct ProbeTraits {
     efrb::obs::TraceTraits::at(p, tid);
     efrb::obs::HeatmapTraits::at(p, tid, key);
     efrb::obs::FlightTraits::at(p, tid);
+    efrb::obs::ProfileTraits::at(p, tid, key);
   }
   /// Help-path overload (hooks::emit_help): help points arrive here only,
   /// never through the 3-argument at(), so nothing double-records.
@@ -64,6 +66,12 @@ struct ProbeTraits {
     efrb::obs::CausalTraits::at(p, tid, key, owner);
     efrb::obs::HeatmapTraits::at(p, tid, key);
     efrb::obs::FlightTraits::at(p, tid, key, owner);
+    efrb::obs::ProfileTraits::at(p, tid, key);
+  }
+  /// Phase scopes (hooks::emit_phase): reclamation / pool_alloc attribution
+  /// from the protocol's PhaseScope seams, consumed by the profiler only.
+  static void phase(bool enter, efrb::Phase ph, unsigned tid) {
+    efrb::obs::ProfileTraits::phase(enter, ph, tid);
   }
 };
 
@@ -76,6 +84,7 @@ struct Options {
   std::string prom_path;    // empty = no exposition output
   std::string flight_path;  // empty = no flight dump
   bool abort_after_run = false;
+  bool profile = false;  // attach the phase profiler + perf counters
   long ms = 50;
   long interval_ms = 10;
   std::size_t threads = 4;
@@ -101,6 +110,8 @@ Options parse(int argc, char** argv) {
       opt.flight_path = next();
     } else if (std::strcmp(argv[i], "--abort") == 0) {
       opt.abort_after_run = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      opt.profile = true;
     } else if (std::strcmp(argv[i], "--ms") == 0 ||
                std::strcmp(argv[i], "--duration") == 0) {
       opt.ms = std::atol(next());
@@ -112,7 +123,7 @@ Options parse(int argc, char** argv) {
       std::fprintf(
           stderr,
           "usage: obs_probe [--metrics <path>] [--trace <path>] "
-          "[--prom <path>] [--flight <path>] [--abort] "
+          "[--prom <path>] [--flight <path>] [--abort] [--profile] "
           "[--ms N | --duration N] [--interval N] [--threads N]\n");
       std::exit(2);
     }
@@ -147,6 +158,11 @@ int main(int argc, char** argv) {
   ProbedTree tree;
   efrb::prefill(tree, cfg.key_range, cfg.prefill_fraction, cfg.seed);
 
+  // Installed after prefill so the profiler's events_outside_op count
+  // describes only the measured window (the runner opens the op windows).
+  efrb::obs::PhaseProfiler profiler;
+  if (opt.profile) efrb::obs::ProfileTraits::install(&profiler);
+
   // Live gauge mirrors for the flight recorder: ReclaimGauges is a snapshot
   // struct, so the poller's gauge source refreshes these atomics each
   // interval — a crash dump then carries last-poll reclaimer state.
@@ -156,6 +172,19 @@ int main(int argc, char** argv) {
   flight.add_gauge("reclaim_retired", &live_retired);
   flight.add_gauge("reclaim_freed", &live_freed);
   flight.add_gauge("reclaim_backlog", &live_backlog);
+  // Profile mirror: last-poll profiler totals, so a crash dump decoded by
+  // efrb_postmortem shows the counter state at crash time.
+  static std::atomic<std::uint64_t> live_profile_ops{0};
+  static std::atomic<std::uint64_t> live_profile_cycles{0};
+  static std::atomic<std::uint64_t> live_profile_available{0};
+  if (opt.profile) {
+    flight.add_gauge("profile_ops", &live_profile_ops);
+    flight.add_gauge("profile_cycles", &live_profile_cycles);
+    flight.add_gauge("profile_available", &live_profile_available);
+    live_profile_available.store(
+        efrb::obs::probe_perf_availability().hw ? 1 : 0,
+        std::memory_order_relaxed);
+  }
   flight.attach_progress(&tree.progress_table());
 
   efrb::obs::MetricsPoller poller(
@@ -163,11 +192,17 @@ int main(int argc, char** argv) {
   poller.set_sources({
       {},  // ops source is wired by run_workload
       [&tree] { return tree.stats(); },
-      [&tree] {
+      [&tree, &profiler, profile = opt.profile] {
         const efrb::ReclaimGauges g = tree.reclaimer().gauges();
         live_retired.store(g.retired_total, std::memory_order_relaxed);
         live_freed.store(g.freed_total, std::memory_order_relaxed);
         live_backlog.store(g.backlog(), std::memory_order_relaxed);
+        if (profile) {
+          live_profile_ops.store(profiler.live_ops(),
+                                 std::memory_order_relaxed);
+          live_profile_cycles.store(profiler.live_cycles(),
+                                    std::memory_order_relaxed);
+        }
         return g;
       },
   });
@@ -179,7 +214,8 @@ int main(int argc, char** argv) {
 
   efrb::LatencySamples latency;
   const efrb::WorkloadResult result =
-      efrb::run_workload(tree, cfg, &latency, &registry, &poller, &causal);
+      efrb::run_workload(tree, cfg, &latency, &registry, &poller, &causal,
+                         opt.profile ? &profiler : nullptr);
 
   watchdog.stop();
 
@@ -194,14 +230,17 @@ int main(int argc, char** argv) {
   efrb::obs::HeatmapTraits::reset();
   efrb::obs::CausalTraits::reset();
   efrb::obs::FlightTraits::reset();
+  efrb::obs::ProfileTraits::reset();
 
   const efrb::TreeStats stats = tree.stats();
   const efrb::ReclaimGauges gauges = tree.reclaimer().gauges();
   const std::vector<efrb::obs::PollSample> samples = poller.samples();
+  const efrb::obs::ProfileSnapshot profile = profiler.snapshot();
 
   efrb::obs::MetricsDocument doc("obs_probe");
   doc.add_cell("efrb-tree/probed", cfg, result, &stats, &gauges, &latency,
-               &samples, &heatmap, &causal);
+               &samples, &heatmap, &causal,
+               opt.profile ? &profile : nullptr);
   if (!doc.write(opt.metrics_path)) {
     std::fprintf(stderr, "obs_probe: FAILED to write %s\n",
                  opt.metrics_path.c_str());
@@ -247,6 +286,7 @@ int main(int argc, char** argv) {
     efrb::obs::append_heatmap_prom(prom, labels, heatmap);
     efrb::obs::append_causality_prom(prom, labels, causal);
     efrb::obs::append_watchdog_prom(prom, labels, watchdog);
+    if (opt.profile) efrb::obs::append_profile_prom(prom, labels, profile);
     if (!prom.write(opt.prom_path)) {
       std::fprintf(stderr, "obs_probe: FAILED to write %s\n",
                    opt.prom_path.c_str());
@@ -282,6 +322,25 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(causal.total_helps()),
               static_cast<unsigned long long>(causal.dropped_unattributed()),
               static_cast<unsigned long long>(watchdog.stall_events_total()));
+  if (opt.profile) {
+    // Top phase by attributed cost, for the one-line summary.
+    std::size_t top = 0;
+    for (std::size_t i = 1; i < efrb::kNumPhases; ++i) {
+      if (profile.phases[i].cycles > profile.phases[top].cycles) top = i;
+    }
+    std::printf("obs_probe: profile %llu ops, %.1f %s/op, hw=%s sw=%s, "
+                "top phase %s (%.1f%%)\n",
+                static_cast<unsigned long long>(profile.ops),
+                profile.cycles_per_op(), profile.source.c_str(),
+                profile.available ? "yes" : "no",
+                profile.sw_available ? "yes" : "no",
+                efrb::to_string(static_cast<efrb::Phase>(top)),
+                100.0 * profile.phase_share(top));
+    if (!profile.available && !profile.unavailable_reason.empty()) {
+      std::printf("obs_probe: profile hw counters off: %s\n",
+                  profile.unavailable_reason.c_str());
+    }
+  }
   std::printf("obs_probe: metrics -> %s\n", opt.metrics_path.c_str());
   std::printf("obs_probe: trace   -> %s\n", opt.trace_path.c_str());
   return 0;
